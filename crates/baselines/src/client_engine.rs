@@ -1,0 +1,355 @@
+//! The client-side workflow engine baseline (GridAnt-style, §5).
+//!
+//! It executes the same DGL flows as the DfMS, but **all run state lives
+//! in the client process**: there is no server-side transaction, no
+//! provenance, and no way for anyone else to query status. A client
+//! crash loses the bookmark; recovery re-runs the flow from the top,
+//! re-executing completed steps (idempotence is the flow author's
+//! problem).
+
+use dgf_dgl::{interpolate, Children, ControlPattern, DglOperation, Flow, IterSource, Scope, Value};
+use dgf_dgms::{DataGrid, LogicalPath, MetaQuery, MetaTriple, Operation, Permission};
+use dgf_simgrid::{Duration, SimTime};
+
+/// An injected client crash: the process dies after `after_steps`
+/// successfully executed steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientCrash {
+    /// How many steps complete before the crash.
+    pub after_steps: usize,
+}
+
+/// Counters for one client-side run (E10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientRunStats {
+    /// Steps executed this run (including re-executions).
+    pub steps_executed: u64,
+    /// Steps that were *re*-executions of work a previous run finished.
+    pub steps_redone: u64,
+    /// Steps that failed because earlier work already exists
+    /// (`AlreadyExists` / `ReplicaExists` on re-run).
+    pub rerun_collisions: u64,
+    /// Simulated busy time.
+    pub busy: Duration,
+    /// Whether the run finished the whole flow.
+    pub completed: bool,
+}
+
+/// The client-side engine.
+///
+/// Control coverage is the subset GridAnt-era tools handled: sequential
+/// and parallel-as-sequential flows, for-each over collections and item
+/// lists, and plain DGMS steps. (No rules, no switch, no business-logic
+/// scheduling — the limitations are part of the baseline.)
+#[derive(Debug)]
+pub struct ClientSideEngine {
+    user: String,
+    /// Volatile bookmark: step paths completed by *this* client process.
+    completed: Vec<String>,
+    /// Step paths completed by any previous (crashed) process — known to
+    /// the experiment, invisible to the recovered client.
+    previously_completed: Vec<String>,
+}
+
+impl ClientSideEngine {
+    /// A fresh client for `user`.
+    pub fn new(user: impl Into<String>) -> Self {
+        ClientSideEngine { user: user.into(), completed: Vec::new(), previously_completed: Vec::new() }
+    }
+
+    /// Simulate a process crash + new process: the bookmark is lost (the
+    /// work itself, of course, persists in the grid).
+    pub fn crash_and_restart(&mut self) {
+        self.previously_completed.append(&mut self.completed);
+    }
+
+    /// Execute `flow` against the grid starting at `now`, optionally
+    /// dying after N steps. Returns the stats and the end time.
+    pub fn run(
+        &mut self,
+        grid: &mut DataGrid,
+        flow: &Flow,
+        now: SimTime,
+        crash: Option<ClientCrash>,
+    ) -> (ClientRunStats, SimTime) {
+        let mut stats = ClientRunStats::default();
+        let mut clock = now;
+        let mut scope = Scope::root();
+        let completed = self.exec_flow(grid, flow, &mut scope, &mut clock, &mut stats, crash, "".to_owned());
+        stats.completed = completed;
+        (stats, clock)
+    }
+
+    #[allow(clippy::too_many_arguments)] // explicit state threading reads clearer than a context struct
+    fn exec_flow(
+        &mut self,
+        grid: &mut DataGrid,
+        flow: &Flow,
+        scope: &mut Scope,
+        clock: &mut SimTime,
+        stats: &mut ClientRunStats,
+        crash: Option<ClientCrash>,
+        path_prefix: String,
+    ) -> bool {
+        scope.push();
+        for var in &flow.variables {
+            let Ok(text) = interpolate(&var.initial, scope) else {
+                scope.pop();
+                return false;
+            };
+            scope.declare(var.name.clone(), Value::from_text(&text));
+        }
+        let ok = match &flow.logic.pattern {
+            ControlPattern::Sequential | ControlPattern::Parallel => {
+                // GridAnt-era clients serialize "parallel" targets too.
+                self.exec_children(grid, flow, scope, clock, stats, crash, &path_prefix)
+            }
+            ControlPattern::ForEach { var, source, .. } => {
+                let items: Vec<String> = match source {
+                    IterSource::Items(templates) => templates
+                        .iter()
+                        .filter_map(|t| interpolate(t, scope).ok())
+                        .collect(),
+                    IterSource::Collection(c) => match interpolate(c, scope).ok().and_then(|p| LogicalPath::parse(&p).ok()) {
+                        Some(p) => grid.query(&p, &MetaQuery::Any).iter().map(|x| x.to_string()).collect(),
+                        None => Vec::new(),
+                    },
+                    IterSource::Query { collection, attribute, value } => {
+                        match interpolate(collection, scope).ok().and_then(|p| LogicalPath::parse(&p).ok()) {
+                            Some(p) => grid
+                                .query(&p, &MetaQuery::Eq(attribute.clone(), value.clone()))
+                                .iter()
+                                .map(|x| x.to_string())
+                                .collect(),
+                            None => Vec::new(),
+                        }
+                    }
+                    IterSource::Variable(_) => Vec::new(), // unsupported by the baseline
+                };
+                let mut all_ok = true;
+                for (i, item) in items.iter().enumerate() {
+                    scope.push();
+                    scope.declare(var.clone(), Value::Str(item.clone()));
+                    let ok = self.exec_children(grid, flow, scope, clock, stats, crash, &format!("{path_prefix}/it{i}"));
+                    scope.pop();
+                    if !ok {
+                        all_ok = false;
+                        break;
+                    }
+                }
+                all_ok
+            }
+            // Unsupported patterns simply fail, as 2004-era tools did.
+            ControlPattern::While(_) | ControlPattern::Switch { .. } => false,
+        };
+        scope.pop();
+        ok
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_children(
+        &mut self,
+        grid: &mut DataGrid,
+        flow: &Flow,
+        scope: &mut Scope,
+        clock: &mut SimTime,
+        stats: &mut ClientRunStats,
+        crash: Option<ClientCrash>,
+        path_prefix: &str,
+    ) -> bool {
+        match &flow.children {
+            Children::Flows(flows) => {
+                for (i, sub) in flows.iter().enumerate() {
+                    if !self.exec_flow(grid, sub, scope, clock, stats, crash, format!("{path_prefix}/{i}")) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Children::Steps(steps) => {
+                for (i, step) in steps.iter().enumerate() {
+                    let step_path = format!("{path_prefix}/{i}:{}", step.name);
+                    if let Some(c) = crash {
+                        if stats.steps_executed as usize >= c.after_steps {
+                            return false; // the process dies here
+                        }
+                    }
+                    let redo = self.previously_completed.contains(&step_path);
+                    let op = match self.build_op(&step.operation, scope) {
+                        Some(op) => op,
+                        None => return false,
+                    };
+                    stats.steps_executed += 1;
+                    if redo {
+                        stats.steps_redone += 1;
+                    }
+                    match grid.execute(&self.user, op, *clock) {
+                        Ok((d, _)) => {
+                            *clock += d;
+                            stats.busy += d;
+                            self.completed.push(step_path);
+                        }
+                        Err(dgf_dgms::DgmsError::AlreadyExists(_)) | Err(dgf_dgms::DgmsError::ReplicaExists { .. }) => {
+                            // The re-run tripped over its own earlier work.
+                            stats.rerun_collisions += 1;
+                            self.completed.push(step_path);
+                        }
+                        Err(_) => return false,
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn build_op(&self, op: &DglOperation, scope: &Scope) -> Option<Operation> {
+        let path = |t: &str| interpolate(t, scope).ok().and_then(|p| LogicalPath::parse(&p).ok());
+        let text = |t: &str| interpolate(t, scope).ok();
+        Some(match op {
+            DglOperation::CreateCollection { path: p } => Operation::CreateCollection { path: path(p)? },
+            DglOperation::Ingest { path: p, size, resource } => Operation::Ingest {
+                path: path(p)?,
+                size: text(size)?.parse().ok()?,
+                resource: text(resource)?,
+            },
+            DglOperation::Replicate { path: p, src, dst } => Operation::Replicate {
+                path: path(p)?,
+                src: match src {
+                    Some(s) => Some(text(s)?),
+                    None => None,
+                },
+                dst: text(dst)?,
+            },
+            DglOperation::Migrate { path: p, from, to } => {
+                Operation::Migrate { path: path(p)?, from: text(from)?, to: text(to)? }
+            }
+            DglOperation::Trim { path: p, resource } => Operation::Trim { path: path(p)?, resource: text(resource)? },
+            DglOperation::Delete { path: p } => Operation::Delete { path: path(p)? },
+            DglOperation::Rename { path: p, to } => Operation::Rename { path: path(p)?, to: path(to)? },
+            DglOperation::Checksum { path: p, resource, register } => Operation::Checksum {
+                path: path(p)?,
+                resource: match resource {
+                    Some(r) => Some(text(r)?),
+                    None => None,
+                },
+                register: *register,
+            },
+            DglOperation::SetMetadata { path: p, attribute, value } => Operation::SetMetadata {
+                path: path(p)?,
+                triple: MetaTriple::new(text(attribute)?, text(value)?),
+            },
+            DglOperation::SetPermission { path: p, grantee, level } => Operation::SetPermission {
+                path: path(p)?,
+                grantee: text(grantee)?,
+                permission: match text(level)?.as_str() {
+                    "read" => Permission::Read,
+                    "write" => Permission::Write,
+                    "own" => Permission::Own,
+                    _ => return None,
+                },
+            },
+            // Business logic and engine-local ops are beyond the baseline.
+            DglOperation::Execute { .. }
+            | DglOperation::Assign { .. }
+            | DglOperation::Notify { .. }
+            | DglOperation::Query { .. } => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgl::FlowBuilder;
+    use dgf_dgms::{Principal, UserRegistry};
+    use dgf_simgrid::{GridBuilder, GridPreset};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn grid() -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+        users.make_admin("u").unwrap();
+        DataGrid::new(topology, users)
+    }
+
+    fn three_step_flow() -> Flow {
+        FlowBuilder::sequential("f")
+            .step("a", DglOperation::Ingest { path: "/a".into(), size: "100".into(), resource: "site0-disk".into() })
+            .step("b", DglOperation::Ingest { path: "/b".into(), size: "100".into(), resource: "site0-disk".into() })
+            .step("c", DglOperation::Ingest { path: "/c".into(), size: "100".into(), resource: "site0-disk".into() })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn happy_path_executes_whole_flows() {
+        let mut g = grid();
+        let mut client = ClientSideEngine::new("u");
+        let (stats, end) = client.run(&mut g, &three_step_flow(), SimTime::ZERO, None);
+        assert!(stats.completed);
+        assert_eq!(stats.steps_executed, 3);
+        assert_eq!(stats.steps_redone, 0);
+        assert!(end > SimTime::ZERO);
+        assert!(g.exists(&path("/c")));
+    }
+
+    #[test]
+    fn crash_recovery_redoes_finished_work() {
+        let mut g = grid();
+        let mut client = ClientSideEngine::new("u");
+        // Crash after 2 of 3 steps.
+        let (stats, _) = client.run(&mut g, &three_step_flow(), SimTime::ZERO, Some(ClientCrash { after_steps: 2 }));
+        assert!(!stats.completed);
+        assert_eq!(stats.steps_executed, 2);
+        assert!(g.exists(&path("/b")) && !g.exists(&path("/c")));
+
+        // The client process restarts with no memory of its bookmark.
+        client.crash_and_restart();
+        let (stats2, _) = client.run(&mut g, &three_step_flow(), SimTime::from_secs(100), None);
+        assert!(stats2.completed);
+        assert_eq!(stats2.steps_executed, 3, "re-runs everything");
+        assert_eq!(stats2.steps_redone, 2, "two steps were wasted re-execution");
+        assert_eq!(stats2.rerun_collisions, 2, "and tripped over their own results");
+        assert!(g.exists(&path("/c")));
+    }
+
+    #[test]
+    fn foreach_flows_are_supported() {
+        let mut g = grid();
+        g.execute("u", Operation::CreateCollection { path: path("/in") }, SimTime::ZERO).unwrap();
+        for i in 0..3 {
+            g.execute("u", Operation::Ingest { path: path(&format!("/in/f{i}")), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+                .unwrap();
+        }
+        let flow = FlowBuilder::for_each_in_collection("sweep", "f", "/in")
+            .step("tag", DglOperation::SetMetadata { path: "${f}".into(), attribute: "seen".into(), value: "1".into() })
+            .build()
+            .unwrap();
+        let mut client = ClientSideEngine::new("u");
+        let (stats, _) = client.run(&mut g, &flow, SimTime::ZERO, None);
+        assert!(stats.completed);
+        assert_eq!(stats.steps_executed, 3);
+    }
+
+    #[test]
+    fn modern_constructs_are_beyond_the_baseline() {
+        let mut g = grid();
+        let while_flow = FlowBuilder::while_loop("w", "true").unwrap().build().unwrap();
+        let mut client = ClientSideEngine::new("u");
+        let (stats, _) = client.run(&mut g, &while_flow, SimTime::ZERO, None);
+        assert!(!stats.completed, "while loops unsupported");
+        let exec_flow = FlowBuilder::sequential("e")
+            .step(
+                "x",
+                DglOperation::Execute { code: "c".into(), nominal_secs: "1".into(), resource_type: None, inputs: vec![], outputs: vec![] },
+            )
+            .build()
+            .unwrap();
+        let (stats, _) = client.run(&mut g, &exec_flow, SimTime::ZERO, None);
+        assert!(!stats.completed, "no scheduler on the client side");
+    }
+}

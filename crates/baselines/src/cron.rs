@@ -1,0 +1,322 @@
+//! The cron + shell-script ILM baseline (§2.1).
+
+use dgf_dgms::{DataGrid, DgmsError, LogicalPath, Operation};
+use dgf_simgrid::{Duration, SimTime, StorageTier};
+
+/// What one administrator's script does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CronRule {
+    /// Migrate every replica on `from_tier` under `scope` older than
+    /// `age_days` to this domain's `to_tier` resource.
+    MigrateOlderThan { scope: LogicalPath, age_days: u64, from_tier: StorageTier, to_tier: StorageTier },
+    /// Delete every object under `scope` older than `age_days`.
+    DeleteOlderThan { scope: LogicalPath, age_days: u64 },
+    /// Replicate everything under `scope` to a named resource (the
+    /// hospital-to-archiver push, hard-wired).
+    PushTo { scope: LogicalPath, dst_resource: String },
+}
+
+/// One crontab line: "at `hour` every day, as `user`, on `domain`".
+#[derive(Debug, Clone)]
+pub struct CronEntry {
+    /// Domain whose resources the script manages (by name).
+    pub domain: String,
+    /// Acting administrator account.
+    pub user: String,
+    /// Hour of day the script fires (cron has no notion of grid-wide
+    /// windows — every admin picks an hour independently).
+    pub hour: u8,
+    /// What the script does.
+    pub rule: CronRule,
+}
+
+/// Counters for the E2 comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CronStats {
+    /// Script invocations.
+    pub invocations: u64,
+    /// Operations attempted.
+    pub ops_attempted: u64,
+    /// Operations that succeeded.
+    pub ops_succeeded: u64,
+    /// Operations that failed and were silently dropped (scripts have no
+    /// retry or reporting path — failures land in a mailbox nobody reads).
+    pub ops_dropped: u64,
+    /// Bytes moved.
+    pub bytes_moved: u64,
+    /// Busy time accumulated across scripts (serial within a script).
+    pub busy: Duration,
+}
+
+/// The whole baseline: a set of crontab entries driven day by day.
+///
+/// Scripts run serially within a domain and know nothing about each
+/// other: two admins pushing to the archiver at the same hour simply
+/// contend. There is no provenance — the only record is these counters.
+#[derive(Debug, Default)]
+pub struct CronScriptIlm {
+    entries: Vec<CronEntry>,
+    stats: CronStats,
+}
+
+impl CronScriptIlm {
+    /// An empty crontab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a crontab entry.
+    pub fn add_entry(&mut self, entry: CronEntry) {
+        assert!(entry.hour < 24, "cron hour out of range");
+        self.entries.push(entry);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CronStats {
+        self.stats
+    }
+
+    /// Fire every entry scheduled in the window `(from, to]`, mutating
+    /// the grid directly (no DfMS involved). Returns how many scripts ran.
+    pub fn run_between(&mut self, grid: &mut DataGrid, from: SimTime, to: SimTime) -> u64 {
+        let mut fired = 0;
+        let mut day = from.day();
+        while day <= to.day() {
+            // Clone to appease the borrow checker: entries are few.
+            for entry in self.entries.clone() {
+                let fire_at = SimTime::from_days(day) + Duration::from_hours(entry.hour as u64);
+                if fire_at > from && fire_at <= to {
+                    fired += 1;
+                    self.fire(grid, &entry, fire_at);
+                }
+            }
+            day += 1;
+        }
+        fired
+    }
+
+    fn fire(&mut self, grid: &mut DataGrid, entry: &CronEntry, now: SimTime) {
+        self.stats.invocations += 1;
+        match &entry.rule {
+            CronRule::MigrateOlderThan { scope, age_days, from_tier, to_tier } => {
+                let Some(domain) = grid.topology().domain_by_name(&entry.domain) else { return };
+                let storages = grid.topology().domain(domain).storage.clone();
+                let from_resources: Vec<_> =
+                    storages.iter().filter(|s| grid.topology().storage(**s).tier == *from_tier).copied().collect();
+                let to_resource = storages
+                    .iter()
+                    .find(|s| grid.topology().storage(**s).tier == *to_tier)
+                    .map(|s| grid.topology().storage(*s).name.clone());
+                let Some(to_resource) = to_resource else { return };
+                for src in from_resources {
+                    let src_name = grid.topology().storage(src).name.clone();
+                    for obj_path in grid.objects_on(src) {
+                        if !obj_path.is_under(scope) {
+                            continue;
+                        }
+                        let old_enough = grid
+                            .stat_object(&obj_path)
+                            .map(|o| now.since(o.created) >= Duration::from_days(*age_days))
+                            .unwrap_or(false);
+                        if !old_enough {
+                            continue;
+                        }
+                        self.attempt(
+                            grid,
+                            &entry.user,
+                            Operation::Migrate { path: obj_path, from: src_name.clone(), to: to_resource.clone() },
+                            now,
+                        );
+                    }
+                }
+            }
+            CronRule::DeleteOlderThan { scope, age_days } => {
+                let paths = grid.query(scope, &dgf_dgms::MetaQuery::Any);
+                for obj_path in paths {
+                    let old_enough = grid
+                        .stat_object(&obj_path)
+                        .map(|o| now.since(o.created) >= Duration::from_days(*age_days))
+                        .unwrap_or(false);
+                    if old_enough {
+                        self.attempt(grid, &entry.user, Operation::Delete { path: obj_path }, now);
+                    }
+                }
+            }
+            CronRule::PushTo { scope, dst_resource } => {
+                let paths = grid.query(scope, &dgf_dgms::MetaQuery::Any);
+                for obj_path in paths {
+                    self.attempt(
+                        grid,
+                        &entry.user,
+                        Operation::Replicate { path: obj_path, src: None, dst: dst_resource.clone() },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, grid: &mut DataGrid, user: &str, op: Operation, now: SimTime) {
+        self.stats.ops_attempted += 1;
+        match grid.begin(user, op, now) {
+            Ok(pending) => {
+                self.stats.bytes_moved += pending.bytes_moved;
+                self.stats.busy += pending.duration;
+                let duration = pending.duration;
+                match grid.complete(pending, now + duration) {
+                    Ok(_) => self.stats.ops_succeeded += 1,
+                    Err(_) => self.stats.ops_dropped += 1,
+                }
+            }
+            Err(DgmsError::ReplicaExists { .. }) => {
+                // Script re-pushes everything every night; already-pushed
+                // objects are "fine" (but the attempt still burned a scan).
+                self.stats.ops_succeeded += 1;
+            }
+            Err(_) => self.stats.ops_dropped += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgms::{Principal, UserRegistry};
+    use dgf_simgrid::{GridBuilder, GridPreset};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn grid() -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::ImplodingStar { sources: 2 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("admin", topology.domain_by_name("archiver").unwrap()));
+        users.make_admin("admin").unwrap();
+        let mut g = DataGrid::new(topology, users);
+        for h in 0..2 {
+            let coll = format!("/h{h}");
+            g.execute("admin", Operation::CreateCollection { path: path(&coll) }, SimTime::ZERO).unwrap();
+            for j in 0..3 {
+                g.execute(
+                    "admin",
+                    Operation::Ingest { path: path(&format!("{coll}/f{j}")), size: 1000, resource: format!("hospital0{h}-disk") },
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn push_rule_replicates_everything_nightly() {
+        let mut g = grid();
+        let mut cron = CronScriptIlm::new();
+        for h in 0..2 {
+            cron.add_entry(CronEntry {
+                domain: format!("hospital0{h}"),
+                user: "admin".into(),
+                hour: 2,
+                rule: CronRule::PushTo { scope: path(&format!("/h{h}")), dst_resource: "archiver-disk".into() },
+            });
+        }
+        let fired = cron.run_between(&mut g, SimTime::ZERO, SimTime::from_days(1));
+        assert_eq!(fired, 2, "both scripts fired at 02:00");
+        let s = cron.stats();
+        assert_eq!(s.ops_succeeded, 6);
+        assert_eq!(s.bytes_moved, 6_000);
+        // All six objects now have an archiver replica.
+        let archiver_disk = g.resolve_resource("archiver-disk").unwrap();
+        assert_eq!(g.objects_on(archiver_disk).len(), 6);
+        // Second night: re-push attempts are wasted scans, not errors.
+        cron.run_between(&mut g, SimTime::from_days(1), SimTime::from_days(2));
+        assert_eq!(cron.stats().ops_dropped, 0);
+        assert_eq!(cron.stats().ops_attempted, 12);
+    }
+
+    #[test]
+    fn migrate_rule_ages_data_down_tier() {
+        let mut g = grid();
+        let mut cron = CronScriptIlm::new();
+        cron.add_entry(CronEntry {
+            domain: "archiver".into(),
+            user: "admin".into(),
+            hour: 3,
+            rule: CronRule::MigrateOlderThan {
+                scope: path("/"),
+                age_days: 7,
+                from_tier: StorageTier::Disk,
+                to_tier: StorageTier::Tape,
+            },
+        });
+        // Stage data at the archiver first.
+        for h in 0..2 {
+            for j in 0..3 {
+                g.execute(
+                    "admin",
+                    Operation::Replicate { path: path(&format!("/h{h}/f{j}")), src: None, dst: "archiver-disk".into() },
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+        }
+        // Too young on day 1: nothing moves.
+        cron.run_between(&mut g, SimTime::ZERO, SimTime::from_days(1));
+        let tape = g.resolve_resource("archiver-tape").unwrap();
+        assert_eq!(g.objects_on(tape).len(), 0);
+        // Day 8: everything at the archiver migrates to tape.
+        cron.run_between(&mut g, SimTime::from_days(7), SimTime::from_days(8));
+        assert_eq!(g.objects_on(tape).len(), 6);
+        let disk = g.resolve_resource("archiver-disk").unwrap();
+        assert_eq!(g.objects_on(disk).len(), 0);
+    }
+
+    #[test]
+    fn failures_are_silently_dropped() {
+        let mut g = grid();
+        // Fill the archiver disk so pushes fail.
+        let disk = g.resolve_resource("archiver-disk").unwrap();
+        let free = g.topology().storage(disk).free();
+        assert!(g.topology_mut().storage_mut(disk).allocate(free));
+        let mut cron = CronScriptIlm::new();
+        cron.add_entry(CronEntry {
+            domain: "hospital00".into(),
+            user: "admin".into(),
+            hour: 2,
+            rule: CronRule::PushTo { scope: path("/h0"), dst_resource: "archiver-disk".into() },
+        });
+        cron.run_between(&mut g, SimTime::ZERO, SimTime::from_days(1));
+        let s = cron.stats();
+        assert_eq!(s.ops_dropped, 3, "no retry, no report — just dropped");
+        assert_eq!(s.ops_succeeded, 0);
+    }
+
+    #[test]
+    fn delete_rule_retires_old_data() {
+        let mut g = grid();
+        let mut cron = CronScriptIlm::new();
+        cron.add_entry(CronEntry {
+            domain: "hospital00".into(),
+            user: "admin".into(),
+            hour: 4,
+            rule: CronRule::DeleteOlderThan { scope: path("/h0"), age_days: 30 },
+        });
+        cron.run_between(&mut g, SimTime::from_days(29), SimTime::from_days(30));
+        assert_eq!(g.query(&path("/h0"), &dgf_dgms::MetaQuery::Any).len(), 3, "too young");
+        cron.run_between(&mut g, SimTime::from_days(30), SimTime::from_days(31));
+        assert_eq!(g.query(&path("/h0"), &dgf_dgms::MetaQuery::Any).len(), 0);
+        assert_eq!(g.query(&path("/h1"), &dgf_dgms::MetaQuery::Any).len(), 3, "other domain untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "cron hour")]
+    fn bad_hours_rejected() {
+        CronScriptIlm::new().add_entry(CronEntry {
+            domain: "x".into(),
+            user: "u".into(),
+            hour: 25,
+            rule: CronRule::DeleteOlderThan { scope: LogicalPath::root(), age_days: 1 },
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! # dgf-baselines — the comparison points the paper argues against
+//!
+//! Two systems the paper positions the DfMS against:
+//!
+//! * [`CronScriptIlm`] — "currently, some simple datagrid ILM processes
+//!   can be implemented using simple scripts and cron jobs" (§2.1). Each
+//!   domain's administrator runs an independent script at a fixed hour;
+//!   there is no cross-domain coordination, no provenance, no pause /
+//!   restart, and no status interface — exactly the shortcomings §2.1
+//!   lists. Experiment E2 compares it against DfMS-driven ILM.
+//!
+//! * [`ClientSideEngine`] — "GridAnt is a client-side workflow engine
+//!   ... the state information of the workflow is managed at the client
+//!   side" (§5). It interprets the same DGL flows, but all run state
+//!   lives in the client process: a client crash loses it, and recovery
+//!   re-executes (or trips over) already-completed work. Experiment E10
+//!   compares its crash recovery against DfMS server-side restart.
+
+mod client_engine;
+mod cron;
+
+pub use client_engine::{ClientCrash, ClientRunStats, ClientSideEngine};
+pub use cron::{CronEntry, CronRule, CronScriptIlm, CronStats};

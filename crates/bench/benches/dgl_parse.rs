@@ -1,0 +1,41 @@
+//! F1–F4 micro-bench: DGL document parse/serialize throughput vs
+//! document width and depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgf_bench::{deep_request, wide_request};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgl_parse_wide");
+    for steps in [10usize, 100, 1_000] {
+        let xml = wide_request(steps).to_xml();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &xml, |b, xml| {
+            b.iter(|| datagridflows::dgl::parse_request(std::hint::black_box(xml)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dgl_parse_deep");
+    for depth in [4usize, 16, 64] {
+        let xml = deep_request(depth).to_xml();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &xml, |b, xml| {
+            b.iter(|| datagridflows::dgl::parse_request(std::hint::black_box(xml)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgl_serialize_wide");
+    for steps in [10usize, 100, 1_000] {
+        let request = wide_request(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &request, |b, request| {
+            b.iter(|| std::hint::black_box(request).to_xml());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_serialize);
+criterion_main!(benches);

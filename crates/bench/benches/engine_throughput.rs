@@ -1,0 +1,46 @@
+//! E1 micro-bench: engine step throughput (dispatch + provenance +
+//! scope machinery per step, no data movement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagridflows::prelude::*;
+use dgf_bench::{mesh_dfms, notify_flow};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steps");
+    group.sample_size(20);
+    for steps in [100usize, 1_000] {
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut d = mesh_dfms(1, PlannerKind::CostBased, 1);
+                let txn = d.submit_flow("u", notify_flow("bench", steps)).unwrap();
+                d.pump();
+                assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+            });
+        });
+    }
+    group.finish();
+
+    // DGMS-op steps (catalog mutations, still no byte movement).
+    let mut group = c.benchmark_group("engine_dgms_steps");
+    group.sample_size(20);
+    for steps in [100usize, 500] {
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut d = mesh_dfms(1, PlannerKind::CostBased, 1);
+                let mut fb = FlowBuilder::sequential("ops");
+                for i in 0..steps {
+                    fb = fb.step(format!("mk{i}"), DglOperation::CreateCollection { path: format!("/c{i}") });
+                }
+                let txn = d.submit_flow("u", fb.build().unwrap()).unwrap();
+                d.pump();
+                assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

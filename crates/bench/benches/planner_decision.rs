@@ -1,0 +1,48 @@
+//! E5 micro-bench: one placement decision per planner as the grid grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagridflows::prelude::*;
+
+fn grid_with_data(domains: u32) -> DataGrid {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut g = DataGrid::new(topology, users);
+    g.execute(
+        "u",
+        Operation::Ingest { path: LogicalPath::parse("/in").unwrap(), size: 1_000_000_000, resource: "site0-pfs".into() },
+        SimTime::ZERO,
+    )
+    .unwrap();
+    g
+}
+
+fn task() -> AbstractTask {
+    AbstractTask {
+        code: "job".into(),
+        nominal: Duration::from_secs(300),
+        inputs: vec![LogicalPath::parse("/in").unwrap()],
+        outputs: vec![(LogicalPath::parse("/out").unwrap(), 1_000_000)],
+        requirement: Default::default(),
+        vo: None,
+    }
+}
+
+fn bench_planners(c: &mut Criterion) {
+    for domains in [4u32, 16, 64] {
+        let grid = grid_with_data(domains);
+        let t = task();
+        let mut group = c.benchmark_group(format!("plan_{domains}_domains"));
+        for kind in PlannerKind::ALL {
+            group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+                let mut scheduler = Scheduler::new(kind, 1);
+                b.iter(|| scheduler.plan(std::hint::black_box(&grid), std::hint::black_box(&t)).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E9 micro-bench: provenance query, memo lookup, and snapshot cost vs
+//! store size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagridflows::prelude::*;
+
+fn store_with(records: usize) -> ProvenanceStore {
+    let mut store = ProvenanceStore::new();
+    for i in 0..records {
+        store.record(datagridflows::dfms::ProvenanceRecord {
+            lineage: format!("L{}", i % 100),
+            transaction: format!("t{}", i % 1_000),
+            node: format!("/{}", i % 50),
+            name: format!("step{i}"),
+            verb: "replicate".into(),
+            user: "u".into(),
+            started: SimTime::from_secs(i as u64),
+            finished: SimTime::from_secs(i as u64 + 1),
+            outcome: if i % 7 == 0 { StepOutcome::Failed } else { StepOutcome::Completed },
+            detail: String::new(),
+        });
+    }
+    store
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_query");
+    group.sample_size(20);
+    for records in [1_000usize, 10_000, 100_000] {
+        let store = store_with(records);
+        let query = ProvenanceQuery { transaction: Some("t42".into()), ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(records), &store, |b, store| {
+            b.iter(|| store.query(std::hint::black_box(&query)).len());
+        });
+    }
+    group.finish();
+
+    let store = store_with(10_000);
+    c.bench_function("provenance_memo_lookup", |b| {
+        b.iter(|| store.step_completed(std::hint::black_box("L42"), std::hint::black_box("/7")));
+    });
+
+    let mut group = c.benchmark_group("provenance_snapshot");
+    group.sample_size(10);
+    for records in [1_000usize, 10_000] {
+        let store = store_with(records);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &store, |b, store| {
+            b.iter(|| store.snapshot().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_provenance);
+criterion_main!(benches);

@@ -1,0 +1,1680 @@
+//! The DfMS engine: deterministic interpretation of DGL flows on the
+//! simulation clock.
+
+use crate::error::DfmsError;
+use crate::provenance::{ProvenanceRecord, ProvenanceStore, StepOutcome};
+use crate::run::{Cursor, NodeBody, NodeId, Run, RunId, RunOptions};
+use dgf_dgl::{
+    interpolate, Children, ControlPattern, DataGridRequest, DataGridResponse, DglOperation, Expr,
+    Flow, FlowStatusQuery, IterSource, RequestAck, RequestBody, RequestMode, RunState, Scope,
+    StatusReport, Step, UserDefinedRule, Value,
+};
+use dgf_dgms::{
+    DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, NamespaceEvent, Operation,
+    PendingOp, Permission,
+};
+use dgf_ilm::IlmJob;
+use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
+use dgf_simgrid::{ComputeId, Duration, EventQueue, SimTime, StorageId};
+use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
+use std::collections::HashMap;
+
+/// Hard ceiling on while-loop iterations: a runaway `while (true)` in a
+/// submitted document must not hang the server.
+const MAX_LOOP_ITERATIONS: u64 = 100_000;
+
+/// How long a task waits before re-probing a saturated grid.
+const QUEUE_RETRY_INTERVAL: Duration = Duration(30_000_000); // 30 s
+
+/// A notification emitted by a `notify` operation or trigger action —
+/// the §2.2 "sending notifications when specific types of files are
+/// ingested" use case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// When it was emitted.
+    pub time: SimTime,
+    /// The emitting transaction (or trigger name).
+    pub source: String,
+    /// The rendered message.
+    pub message: String,
+}
+
+/// Engine-level counters (observability + experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Flows accepted.
+    pub runs_submitted: u64,
+    /// Flows that reached `Completed`.
+    pub runs_completed: u64,
+    /// Flows that reached `Failed`.
+    pub runs_failed: u64,
+    /// Steps that executed an operation.
+    pub steps_executed: u64,
+    /// Steps skipped by the virtual-data catalog.
+    pub steps_skipped_virtual: u64,
+    /// Steps skipped by the restart memo.
+    pub steps_skipped_restart: u64,
+    /// DGMS operations performed (including staging).
+    pub dgms_ops: u64,
+    /// Bytes moved by DGMS operations.
+    pub bytes_moved: u64,
+    /// Business-logic executions.
+    pub exec_tasks: u64,
+    /// Trigger firings handled.
+    pub trigger_firings: u64,
+    /// Step retry attempts.
+    pub retries: u64,
+}
+
+/// Work items on the engine's event queue.
+#[derive(Debug, Clone)]
+pub(crate) enum Work {
+    /// Begin (or re-attempt) a node.
+    Start { run: RunId, node: NodeId },
+    /// A DGMS operation issued by `node` finished.
+    OpDone { run: RunId, node: NodeId },
+    /// A business-logic execution finished.
+    ExecDone { run: RunId, node: NodeId, compute: ComputeId, outputs: Vec<(LogicalPath, StorageId, u64)>, code: String, inputs: Vec<LogicalPath> },
+    /// A recurring ILM job is due.
+    IlmDue { job: usize },
+}
+
+/// The Datagridflow Management System server core.
+///
+/// Owns the DGMS, the scheduler, the trigger engine, the virtual-data
+/// catalog, the provenance store, and the event queue. All time is
+/// simulation time: [`Dfms::pump`] drains due events deterministically.
+#[derive(Debug)]
+pub struct Dfms {
+    grid: DataGrid,
+    scheduler: Scheduler,
+    binding: BindingCache,
+    triggers: TriggerEngine,
+    catalog: VirtualDataCatalog,
+    queue: EventQueue<Work>,
+    runs: Vec<Run>,
+    txn_index: HashMap<String, RunId>,
+    pending_ops: HashMap<(RunId, usize), PendingOp>,
+    provenance: ProvenanceStore,
+    notifications: Vec<Notification>,
+    metrics: EngineMetrics,
+    ilm_jobs: Vec<IlmJob>,
+    procedures: HashMap<String, Flow>,
+    next_txn: u64,
+}
+
+impl Dfms {
+    /// A DfMS over a grid, with the given scheduler.
+    pub fn new(grid: DataGrid, scheduler: Scheduler) -> Self {
+        Dfms {
+            grid,
+            scheduler,
+            binding: BindingCache::new(BindingMode::Late),
+            triggers: TriggerEngine::new(),
+            catalog: VirtualDataCatalog::new(),
+            queue: EventQueue::new(),
+            runs: Vec::new(),
+            txn_index: HashMap::new(),
+            pending_ops: HashMap::new(),
+            provenance: ProvenanceStore::new(),
+            notifications: Vec::new(),
+            metrics: EngineMetrics::default(),
+            ilm_jobs: Vec::new(),
+            procedures: HashMap::new(),
+            next_txn: 1,
+        }
+    }
+
+    /// Switch the binding mode (default: late binding).
+    pub fn set_binding_mode(&mut self, mode: BindingMode) {
+        self.binding = BindingCache::new(mode);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying datagrid.
+    pub fn grid(&self) -> &DataGrid {
+        &self.grid
+    }
+
+    /// Mutable grid access (setup, fault injection).
+    pub fn grid_mut(&mut self) -> &mut DataGrid {
+        &mut self.grid
+    }
+
+    /// The trigger engine (register/remove triggers here).
+    pub fn triggers_mut(&mut self) -> &mut TriggerEngine {
+        &mut self.triggers
+    }
+
+    /// The trigger engine, read-only.
+    pub fn triggers(&self) -> &TriggerEngine {
+        &self.triggers
+    }
+
+    /// The provenance store.
+    pub fn provenance(&self) -> &ProvenanceStore {
+        &self.provenance
+    }
+
+    /// Replace the provenance store (reload from a snapshot).
+    pub fn restore_provenance(&mut self, store: ProvenanceStore) {
+        self.provenance = store;
+    }
+
+    /// Notifications emitted so far.
+    pub fn notifications(&self) -> &[Notification] {
+        &self.notifications
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// The virtual-data catalog.
+    pub fn catalog(&self) -> &VirtualDataCatalog {
+        &self.catalog
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    // ------------------------------------------------------------------
+    // Submission and the DGL protocol
+    // ------------------------------------------------------------------
+
+    /// Handle a complete DGL request document, honoring its mode:
+    /// synchronous requests pump the engine until the flow terminates
+    /// and return its final status; asynchronous requests return an
+    /// acknowledgement immediately (Appendix A).
+    pub fn handle(&mut self, request: DataGridRequest) -> DataGridResponse {
+        match &request.body {
+            RequestBody::StatusQuery(q) => match self.status_query(q) {
+                Ok(report) => DataGridResponse::status(&request.id, report),
+                Err(e) => DataGridResponse::ack(
+                    &request.id,
+                    RequestAck { transaction: q.transaction.clone(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
+                ),
+            },
+            RequestBody::Flow(_) => {
+                let mode = request.mode;
+                let request_id = request.id.clone();
+                match self.submit(request) {
+                    Ok(txn) => match mode {
+                        RequestMode::Asynchronous => DataGridResponse::ack(
+                            &request_id,
+                            RequestAck { transaction: txn, state: RunState::Pending, valid: true, message: None },
+                        ),
+                        RequestMode::Synchronous => {
+                            self.pump_until_terminal(&txn);
+                            let report = self
+                                .status(&txn, None)
+                                .expect("run exists: just submitted");
+                            DataGridResponse::status(&request_id, report)
+                        }
+                    },
+                    Err(e) => DataGridResponse::ack(
+                        &request_id,
+                        RequestAck { transaction: String::new(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Handle a raw DGL XML document and answer with DGL XML.
+    pub fn handle_xml(&mut self, xml: &str) -> String {
+        match dgf_dgl::parse_request(xml) {
+            Ok(request) => self.handle(request).to_xml(),
+            Err(e) => DataGridResponse::ack(
+                "unparsed",
+                RequestAck { transaction: String::new(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
+            )
+            .to_xml(),
+        }
+    }
+
+    /// Submit a flow-execution request, returning its transaction id.
+    /// The flow starts when the engine is pumped.
+    pub fn submit(&mut self, request: DataGridRequest) -> Result<String, DfmsError> {
+        let RequestBody::Flow(flow) = request.body else {
+            return Err(DfmsError::Dgl(dgf_dgl::DglError::Invalid("submit expects a flow body".into())));
+        };
+        self.grid.users().get(&request.user).map_err(|_| DfmsError::UnknownUser(request.user.clone()))?;
+        flow.validate()?;
+        self.spawn_run(flow, &request.user, request.vo.clone(), &request.id, RunOptions::default())
+    }
+
+    /// Convenience: submit a flow for `user` with default options.
+    pub fn submit_flow(&mut self, user: &str, flow: Flow) -> Result<String, DfmsError> {
+        self.submit_flow_with(user, flow, RunOptions::default())
+    }
+
+    /// Submit with explicit run options (window, lineage, trigger depth).
+    pub fn submit_flow_with(&mut self, user: &str, flow: Flow, options: RunOptions) -> Result<String, DfmsError> {
+        self.grid.users().get(user).map_err(|_| DfmsError::UnknownUser(user.to_owned()))?;
+        flow.validate()?;
+        self.spawn_run(flow, user, None, "api", options)
+    }
+
+    fn spawn_run(
+        &mut self,
+        flow: Flow,
+        user: &str,
+        vo: Option<String>,
+        _request_id: &str,
+        options: RunOptions,
+    ) -> Result<String, DfmsError> {
+        let txn = format!("t{}", self.next_txn);
+        self.next_txn += 1;
+        let id = RunId(self.runs.len() as u64);
+        let lineage = options.lineage.clone().unwrap_or_else(|| txn.clone());
+        let mut run = Run {
+            txn: txn.clone(),
+            lineage,
+            user: user.to_owned(),
+            vo,
+            paused: false,
+            stop_requested: false,
+            options,
+            nodes: Vec::new(),
+            deferred: Vec::new(),
+        };
+        let name = flow.name.clone();
+        let cursor = initial_cursor(&flow.logic.pattern);
+        run.alloc(None, 0, name, NodeBody::Flow { spec: flow, children: Vec::new(), cursor });
+        // Early binding (Pegasus-style up-front planning): pin a
+        // placement for every statically addressable execute step now,
+        // against the grid's *current* state. Loop bodies and templated
+        // steps cannot be pre-planned and fall back to bind-at-start.
+        if self.binding.mode() == dgf_scheduler::BindingMode::Early {
+            let spec = match &run.nodes[0].body {
+                NodeBody::Flow { spec, .. } => spec.clone(),
+                NodeBody::Step { .. } => unreachable!(),
+            };
+            let mut specs = Vec::new();
+            collect_execute_specs(&spec, "", &mut specs);
+            for (path, step) in specs {
+                if let Some(task) = abstract_task_from_spec(&step, run.vo.clone()) {
+                    let key = format!("{}:{}", run.lineage, path);
+                    let _ = self.binding.resolve(&mut self.scheduler, &self.grid, &key, &task);
+                }
+            }
+        }
+        self.runs.push(run);
+        self.txn_index.insert(txn.clone(), id);
+        self.metrics.runs_submitted += 1;
+        self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
+        Ok(txn)
+    }
+
+    /// Register a recurring ILM job; its first run is scheduled at the
+    /// next window opening.
+    pub fn register_ilm_job(&mut self, job: IlmJob) -> usize {
+        let idx = self.ilm_jobs.len();
+        let first = job.next_start(self.now());
+        self.ilm_jobs.push(job);
+        self.queue.schedule_at(first, Work::IlmDue { job: idx });
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Datagrid stored procedures (§2.2)
+    // ------------------------------------------------------------------
+
+    /// Register a named, parameterized flow — "datagrid stored
+    /// procedures ... run from the DGMS itself rather than executing the
+    /// procedure outside the DGMS using client side components" (§2.2).
+    ///
+    /// The flow's top-level variables are the procedure's parameters;
+    /// callers override them per invocation.
+    pub fn register_procedure(&mut self, name: impl Into<String>, flow: Flow) -> Result<(), DfmsError> {
+        flow.validate()?;
+        self.procedures.insert(name.into(), flow);
+        Ok(())
+    }
+
+    /// Registered procedure names, sorted.
+    pub fn procedures(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.procedures.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Invoke a stored procedure with parameter overrides. Returns the
+    /// new transaction id; pump the engine to run it.
+    pub fn call_procedure(
+        &mut self,
+        user: &str,
+        name: &str,
+        args: &[(&str, &str)],
+    ) -> Result<String, DfmsError> {
+        let mut flow = self
+            .procedures
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DfmsError::UnknownTransaction(format!("procedure:{name}")))?;
+        for (arg, value) in args {
+            match flow.variables.iter_mut().find(|v| v.name == *arg) {
+                Some(decl) => decl.initial = (*value).to_owned(),
+                None => flow.variables.push(dgf_dgl::VarDecl::new(*arg, *value)),
+            }
+        }
+        self.submit_flow(user, flow)
+    }
+
+    // ------------------------------------------------------------------
+    // Pumping
+    // ------------------------------------------------------------------
+
+    /// Process every due event until the queue is empty. Returns the
+    /// number of events processed.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while let Some((_, work)) = self.queue.pop() {
+            n += 1;
+            self.dispatch(work);
+        }
+        n
+    }
+
+    /// Process events until `txn`'s root is terminal (or the queue runs
+    /// dry). ILM jobs reschedule themselves forever, so this also stops
+    /// when only `IlmDue` work remains.
+    pub fn pump_until_terminal(&mut self, txn: &str) {
+        while !self.is_terminal(txn) {
+            let Some((_, work)) = self.queue.pop() else { break };
+            self.dispatch(work);
+        }
+    }
+
+    /// Process events with timestamps `<= until`.
+    pub fn pump_until(&mut self, until: SimTime) -> usize {
+        let mut n = 0;
+        while self.queue.next_time().map(|t| t <= until).unwrap_or(false) {
+            let (_, work) = self.queue.pop().expect("peeked");
+            n += 1;
+            self.dispatch(work);
+        }
+        self.queue.advance_to(until.max(self.queue.now()));
+        n
+    }
+
+    fn is_terminal(&self, txn: &str) -> bool {
+        self.txn_index
+            .get(txn)
+            .map(|id| self.runs[id.0 as usize].nodes[0].state.is_terminal())
+            .unwrap_or(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle (§3.1: start, stop, pause, restart)
+    // ------------------------------------------------------------------
+
+    fn run_id(&self, txn: &str) -> Result<RunId, DfmsError> {
+        self.txn_index.get(txn).copied().ok_or_else(|| DfmsError::UnknownTransaction(txn.to_owned()))
+    }
+
+    /// Pause a running flow: in-flight operations finish, but no new
+    /// steps dispatch until [`Dfms::resume`].
+    pub fn pause(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let id = self.run_id(txn)?;
+        let run = &mut self.runs[id.0 as usize];
+        let state = run.nodes[0].state;
+        if state.is_terminal() {
+            return Err(DfmsError::BadLifecycle { transaction: txn.to_owned(), action: "pause", state: state.to_string() });
+        }
+        run.paused = true;
+        Ok(())
+    }
+
+    /// Resume a paused flow.
+    pub fn resume(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let id = self.run_id(txn)?;
+        let run = &mut self.runs[id.0 as usize];
+        if !run.paused {
+            return Err(DfmsError::BadLifecycle {
+                transaction: txn.to_owned(),
+                action: "resume",
+                state: run.nodes[0].state.to_string(),
+            });
+        }
+        run.paused = false;
+        let deferred = std::mem::take(&mut run.deferred);
+        for work in deferred {
+            self.queue.schedule_in(Duration::ZERO, work);
+        }
+        Ok(())
+    }
+
+    /// Stop a flow: every non-terminal node becomes `Stopped`; in-flight
+    /// operations are aborted when their completions arrive.
+    pub fn stop(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let id = self.run_id(txn)?;
+        let now = self.now();
+        let run = &mut self.runs[id.0 as usize];
+        let state = run.nodes[0].state;
+        if state.is_terminal() {
+            return Err(DfmsError::BadLifecycle { transaction: txn.to_owned(), action: "stop", state: state.to_string() });
+        }
+        run.stop_requested = true;
+        run.deferred.clear();
+        run.stop_subtree(NodeId(0), now);
+        let user = run.user.clone();
+        let lineage = run.lineage.clone();
+        let txn_s = run.txn.clone();
+        self.provenance.record(ProvenanceRecord {
+            lineage,
+            transaction: txn_s,
+            node: "/".into(),
+            name: run.nodes[0].name.clone(),
+            verb: "flow".into(),
+            user,
+            started: run.nodes[0].started,
+            finished: now,
+            outcome: StepOutcome::Stopped,
+            detail: "stopped by lifecycle request".into(),
+        });
+        Ok(())
+    }
+
+    /// Restart a stopped or failed flow as a new transaction in the same
+    /// lineage: steps recorded `Completed` in provenance are skipped, so
+    /// the new run resumes where the old one left off.
+    pub fn restart(&mut self, txn: &str) -> Result<String, DfmsError> {
+        let id = self.run_id(txn)?;
+        let run = &self.runs[id.0 as usize];
+        let state = run.nodes[0].state;
+        if !matches!(state, RunState::Stopped | RunState::Failed) {
+            return Err(DfmsError::BadLifecycle { transaction: txn.to_owned(), action: "restart", state: state.to_string() });
+        }
+        let spec = match &run.nodes[0].body {
+            NodeBody::Flow { spec, .. } => spec.clone(),
+            NodeBody::Step { .. } => unreachable!("roots are flows"),
+        };
+        let user = run.user.clone();
+        let lineage = run.lineage.clone();
+        let options = RunOptions { lineage: Some(lineage), ..run.options.clone() };
+        self.submit_flow_with(&user, spec, options)
+    }
+
+    // ------------------------------------------------------------------
+    // Status (§3.1: query the status of any process at any time)
+    // ------------------------------------------------------------------
+
+    /// Status of a transaction, optionally narrowed to one node path.
+    pub fn status(&self, txn: &str, node: Option<&str>) -> Result<StatusReport, DfmsError> {
+        let id = self.run_id(txn)?;
+        let run = &self.runs[id.0 as usize];
+        let node_id = match node {
+            None => run.root(),
+            Some(p) => run
+                .find(p)
+                .ok_or_else(|| DfmsError::UnknownNode { transaction: txn.to_owned(), node: p.to_owned() })?,
+        };
+        Ok(run.report(node_id))
+    }
+
+    fn status_query(&self, q: &FlowStatusQuery) -> Result<StatusReport, DfmsError> {
+        self.status(&q.transaction, q.node.as_deref())
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, work: Work) {
+        match work {
+            Work::Start { run, node } => self.start_node(run, node),
+            Work::OpDone { run, node } => self.op_done(run, node),
+            Work::ExecDone { run, node, compute, outputs, code, inputs } => {
+                self.exec_done(run, node, compute, outputs, code, inputs)
+            }
+            Work::IlmDue { job } => self.ilm_due(job),
+        }
+    }
+
+    fn run_ref(&self, id: RunId) -> &Run {
+        &self.runs[id.0 as usize]
+    }
+
+    fn run_mut(&mut self, id: RunId) -> &mut Run {
+        &mut self.runs[id.0 as usize]
+    }
+
+    fn start_node(&mut self, run_id: RunId, node_id: NodeId) {
+        let now = self.now();
+        {
+            let run = self.run_ref(run_id);
+            if run.stop_requested {
+                return;
+            }
+            if run.paused {
+                self.run_mut(run_id).deferred.push(Work::Start { run: run_id, node: node_id });
+                return;
+            }
+            // Window gating: steps only dispatch inside the window.
+            if let Some(window) = &run.options.window {
+                if !window.is_open(now) {
+                    let reopen = window.next_open(now);
+                    self.queue.schedule_at(reopen, Work::Start { run: run_id, node: node_id });
+                    return;
+                }
+            }
+        }
+        // Compute the node's scope: parent scope + fresh frame + declared vars.
+        let parent_scope = {
+            let run = self.run_ref(run_id);
+            match self.run_ref(run_id).node(node_id).parent {
+                Some(p) => run.node(p).scope.clone(),
+                None => Scope::root(),
+            }
+        };
+        let mut scope = parent_scope;
+        scope.push();
+        // Declare node variables (interpolated against the enclosing scope).
+        let var_decls: Vec<(String, String)> = {
+            let run = self.run_ref(run_id);
+            let node = run.node(node_id);
+            match &node.body {
+                NodeBody::Flow { spec, .. } => spec.variables.iter().map(|v| (v.name.clone(), v.initial.clone())).collect(),
+                NodeBody::Step { spec, .. } => spec.variables.iter().map(|v| (v.name.clone(), v.initial.clone())).collect(),
+            }
+        };
+        for (name, initial) in var_decls {
+            match interpolate(&initial, &scope) {
+                Ok(text) => scope.declare(name, Value::from_text(&text)),
+                Err(e) => {
+                    self.fail_node(run_id, node_id, format!("variable {name:?}: {e}"));
+                    return;
+                }
+            }
+        }
+        {
+            let run = self.run_mut(run_id);
+            let node = run.node_mut(node_id);
+            node.state = RunState::Running;
+            node.started = now;
+            node.scope = scope;
+        }
+        // beforeEntry rules.
+        if let Err(e) = self.run_rules(run_id, node_id, dgf_dgl::RULE_BEFORE_ENTRY) {
+            self.fail_node(run_id, node_id, format!("beforeEntry: {e}"));
+            return;
+        }
+        let is_step = self.run_ref(run_id).node(node_id).is_step();
+        if is_step {
+            self.start_step(run_id, node_id);
+        } else {
+            self.start_flow(run_id, node_id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow control patterns
+    // ------------------------------------------------------------------
+
+    fn start_flow(&mut self, run_id: RunId, node_id: NodeId) {
+        let pattern = {
+            let run = self.run_ref(run_id);
+            match &run.node(node_id).body {
+                NodeBody::Flow { spec, .. } => spec.logic.pattern.clone(),
+                NodeBody::Step { .. } => unreachable!(),
+            }
+        };
+        match pattern {
+            ControlPattern::Sequential => self.advance_static(run_id, node_id),
+            ControlPattern::Parallel => {
+                // Materialize every spec child now.
+                let count = self.spec_child_count(run_id, node_id);
+                if count == 0 {
+                    self.complete_node(run_id, node_id, Ok(()));
+                    return;
+                }
+                if let NodeBody::Flow { cursor, .. } = &mut self.run_mut(run_id).node_mut(node_id).body {
+                    *cursor = Cursor::Static { next_spec: count, outstanding: count, parallel: true };
+                }
+                for i in 0..count {
+                    let child = self.materialize_spec_child(run_id, node_id, i);
+                    self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+                }
+            }
+            ControlPattern::While(cond) => self.advance_while(run_id, node_id, &cond),
+            ControlPattern::ForEach { var, source, parallel } => {
+                let items = match self.resolve_items(run_id, node_id, &source) {
+                    Ok(items) => items,
+                    Err(e) => {
+                        self.fail_node(run_id, node_id, format!("for-each source: {e}"));
+                        return;
+                    }
+                };
+                if items.is_empty() {
+                    self.complete_node(run_id, node_id, Ok(()));
+                    return;
+                }
+                if let NodeBody::Flow { cursor, .. } = &mut self.run_mut(run_id).node_mut(node_id).body {
+                    *cursor = Cursor::ForEach { items: items.clone(), next: 0, outstanding: 0, parallel };
+                }
+                if parallel {
+                    for (i, item) in items.iter().enumerate() {
+                        let child = self.materialize_iteration(run_id, node_id, i, Some((var.clone(), item.clone())));
+                        self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+                    }
+                    if let NodeBody::Flow { cursor: Cursor::ForEach { next, outstanding, .. }, .. } =
+                        &mut self.run_mut(run_id).node_mut(node_id).body
+                    {
+                        *next = items.len();
+                        *outstanding = items.len();
+                    }
+                } else {
+                    self.dispatch_next_foreach(run_id, node_id, var);
+                }
+            }
+            ControlPattern::Switch { on, cases } => {
+                let scope = self.run_ref(run_id).node(node_id).scope.clone();
+                let selected = match on.eval(&scope) {
+                    Ok(v) => {
+                        let text = v.to_string();
+                        let exact = cases.iter().position(|c| c.value.as_deref() == Some(text.as_str()));
+                        exact.or_else(|| cases.iter().position(|c| c.value.is_none()))
+                    }
+                    Err(e) => {
+                        self.fail_node(run_id, node_id, format!("switch: {e}"));
+                        return;
+                    }
+                };
+                match selected {
+                    Some(idx) => {
+                        let child = self.materialize_spec_child(run_id, node_id, idx);
+                        self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+                    }
+                    None => self.complete_node(run_id, node_id, Ok(())), // no arm matched
+                }
+            }
+        }
+    }
+
+    /// Sequential dispatch: materialize and start the next spec child,
+    /// or complete the flow.
+    fn advance_static(&mut self, run_id: RunId, node_id: NodeId) {
+        let (next, count) = {
+            let run = self.run_ref(run_id);
+            match &run.node(node_id).body {
+                NodeBody::Flow { cursor: Cursor::Static { next_spec, .. }, spec, .. } => {
+                    (*next_spec, spec_children_len(spec))
+                }
+                _ => unreachable!("advance_static on a static flow"),
+            }
+        };
+        if next >= count {
+            self.complete_node(run_id, node_id, Ok(()));
+            return;
+        }
+        if let NodeBody::Flow { cursor: Cursor::Static { next_spec, .. }, .. } =
+            &mut self.run_mut(run_id).node_mut(node_id).body
+        {
+            *next_spec += 1;
+        }
+        let child = self.materialize_spec_child(run_id, node_id, next);
+        self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+    }
+
+    /// While loop: re-check the condition; unroll the next iteration or
+    /// finish.
+    fn advance_while(&mut self, run_id: RunId, node_id: NodeId, cond: &Expr) {
+        let (iterations, scope) = {
+            let run = self.run_ref(run_id);
+            let node = run.node(node_id);
+            let iterations = match &node.body {
+                NodeBody::Flow { cursor: Cursor::While { iterations }, .. } => *iterations,
+                _ => 0,
+            };
+            (iterations, node.scope.clone())
+        };
+        if iterations >= MAX_LOOP_ITERATIONS {
+            let txn = self.run_ref(run_id).txn.clone();
+            let path = self.run_ref(run_id).path_of(node_id);
+            self.fail_node(
+                run_id,
+                node_id,
+                DfmsError::IterationLimit { transaction: txn, node: path, limit: MAX_LOOP_ITERATIONS }.to_string(),
+            );
+            return;
+        }
+        match cond.eval_bool(&scope) {
+            Ok(true) => {
+                if let NodeBody::Flow { cursor, .. } = &mut self.run_mut(run_id).node_mut(node_id).body {
+                    *cursor = Cursor::While { iterations: iterations + 1 };
+                }
+                let idx = iterations as usize;
+                let child = self.materialize_iteration(run_id, node_id, idx, None);
+                self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+            }
+            Ok(false) => self.complete_node(run_id, node_id, Ok(())),
+            Err(e) => self.fail_node(run_id, node_id, format!("while condition: {e}")),
+        }
+    }
+
+    fn dispatch_next_foreach(&mut self, run_id: RunId, node_id: NodeId, var: String) {
+        let (next, items) = {
+            let run = self.run_ref(run_id);
+            match &run.node(node_id).body {
+                NodeBody::Flow { cursor: Cursor::ForEach { next, items, .. }, .. } => (*next, items.clone()),
+                _ => unreachable!(),
+            }
+        };
+        if next >= items.len() {
+            self.complete_node(run_id, node_id, Ok(()));
+            return;
+        }
+        if let NodeBody::Flow { cursor: Cursor::ForEach { next, .. }, .. } =
+            &mut self.run_mut(run_id).node_mut(node_id).body
+        {
+            *next += 1;
+        }
+        let child = self.materialize_iteration(run_id, node_id, next, Some((var, items[next].clone())));
+        self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: child });
+    }
+
+    /// Clone spec child `idx` of `parent` into a runtime node.
+    fn materialize_spec_child(&mut self, run_id: RunId, parent: NodeId, idx: usize) -> NodeId {
+        let (body, name, runtime_idx) = {
+            let run = self.run_ref(run_id);
+            match &run.node(parent).body {
+                NodeBody::Flow { spec, children, .. } => {
+                    let runtime_idx = children.len();
+                    // Clone only the selected child spec — cloning the
+                    // whole parent spec would make wide flows quadratic.
+                    match &spec.children {
+                        Children::Flows(flows) => {
+                            let f = flows[idx].clone();
+                            let name = f.name.clone();
+                            let cursor = initial_cursor(&f.logic.pattern);
+                            (NodeBody::Flow { spec: f, children: Vec::new(), cursor }, name, runtime_idx)
+                        }
+                        Children::Steps(steps) => {
+                            let s = steps[idx].clone();
+                            let name = s.name.clone();
+                            (NodeBody::Step { spec: s, attempts: 0 }, name, runtime_idx)
+                        }
+                    }
+                }
+                NodeBody::Step { .. } => unreachable!(),
+            }
+        };
+        let run = self.run_mut(run_id);
+        let id = run.alloc(Some(parent), runtime_idx, name, body);
+        if let NodeBody::Flow { children, .. } = &mut run.node_mut(parent).body {
+            children.push(id);
+        }
+        id
+    }
+
+    /// Create an iteration wrapper: a sequential flow cloning the
+    /// parent's spec children, optionally binding a loop variable.
+    fn materialize_iteration(
+        &mut self,
+        run_id: RunId,
+        parent: NodeId,
+        iteration: usize,
+        bind: Option<(String, String)>,
+    ) -> NodeId {
+        let (children_spec, runtime_idx) = {
+            let run = self.run_ref(run_id);
+            match &run.node(parent).body {
+                NodeBody::Flow { spec, children, .. } => (spec.children.clone(), children.len()),
+                NodeBody::Step { .. } => unreachable!(),
+            }
+        };
+        let mut wrapper = Flow {
+            name: format!("iter{iteration}"),
+            variables: Vec::new(),
+            logic: dgf_dgl::FlowLogic::sequential(),
+            children: children_spec,
+        };
+        if let Some((var, item)) = bind {
+            // Bind via a variable declaration; values are plain strings
+            // (paths, names) so no interpolation hazards.
+            wrapper.variables.push(dgf_dgl::VarDecl::new(var, item));
+        }
+        let cursor = initial_cursor(&wrapper.logic.pattern);
+        let name = wrapper.name.clone();
+        let run = self.run_mut(run_id);
+        let id = run.alloc(Some(parent), runtime_idx, name, NodeBody::Flow { spec: wrapper, children: Vec::new(), cursor });
+        if let NodeBody::Flow { children, .. } = &mut run.node_mut(parent).body {
+            children.push(id);
+        }
+        id
+    }
+
+    fn spec_child_count(&self, run_id: RunId, node_id: NodeId) -> usize {
+        match &self.run_ref(run_id).node(node_id).body {
+            NodeBody::Flow { spec, .. } => spec_children_len(spec),
+            NodeBody::Step { .. } => 0,
+        }
+    }
+
+    fn resolve_items(&mut self, run_id: RunId, node_id: NodeId, source: &IterSource) -> Result<Vec<String>, DfmsError> {
+        let scope = self.run_ref(run_id).node(node_id).scope.clone();
+        match source {
+            IterSource::Items(templates) => templates
+                .iter()
+                .map(|t| interpolate(t, &scope).map_err(DfmsError::from))
+                .collect(),
+            IterSource::Collection(template) => {
+                let raw = interpolate(template, &scope)?;
+                let path = LogicalPath::parse(&raw).map_err(DfmsError::from)?;
+                Ok(self.grid.query(&path, &MetaQuery::Any).iter().map(|p| p.to_string()).collect())
+            }
+            IterSource::Query { collection, attribute, value } => {
+                let raw = interpolate(collection, &scope)?;
+                let path = LogicalPath::parse(&raw).map_err(DfmsError::from)?;
+                let attribute = interpolate(attribute, &scope)?;
+                let value = interpolate(value, &scope)?;
+                Ok(self
+                    .grid
+                    .query(&path, &MetaQuery::Eq(attribute, value))
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect())
+            }
+            IterSource::Variable(name) => {
+                let v = scope
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| DfmsError::Dgl(dgf_dgl::DglError::UnknownVariable(name.clone())))?;
+                match v {
+                    Value::List(items) => Ok(items.iter().map(|i| i.to_string()).collect()),
+                    other => Ok(vec![other.to_string()]),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Steps
+    // ------------------------------------------------------------------
+
+    fn start_step(&mut self, run_id: RunId, node_id: NodeId) {
+        // Restart memo: skip steps completed in an earlier transaction of
+        // this lineage.
+        let (lineage, path, is_restart) = {
+            let run = self.run_ref(run_id);
+            (run.lineage.clone(), run.path_of(node_id), run.options.lineage.is_some())
+        };
+        if is_restart && self.provenance.step_completed(&lineage, &path) {
+            self.metrics.steps_skipped_restart += 1;
+            self.skip_node(run_id, node_id, "restart: completed in an earlier transaction");
+            return;
+        }
+        let (op, scope) = {
+            let run = self.run_ref(run_id);
+            let node = run.node(node_id);
+            match &node.body {
+                NodeBody::Step { spec, .. } => (spec.operation.clone(), node.scope.clone()),
+                NodeBody::Flow { .. } => unreachable!(),
+            }
+        };
+        match op {
+            DglOperation::Assign { variable, expr } => match expr.eval(&scope) {
+                Ok(value) => {
+                    self.run_mut(run_id).node_mut(node_id).scope.assign(&variable, value);
+                    self.metrics.steps_executed += 1;
+                    self.complete_node(run_id, node_id, Ok(()));
+                }
+                Err(e) => self.step_failed(run_id, node_id, format!("assign: {e}")),
+            },
+            DglOperation::Notify { message } => match interpolate(&message, &scope) {
+                Ok(rendered) => {
+                    let txn = self.run_ref(run_id).txn.clone();
+                    self.notifications.push(Notification { time: self.now(), source: txn, message: rendered });
+                    self.metrics.steps_executed += 1;
+                    self.complete_node(run_id, node_id, Ok(()));
+                }
+                Err(e) => self.step_failed(run_id, node_id, format!("notify: {e}")),
+            },
+            DglOperation::Query { collection, attribute, value, into } => {
+                let result: Result<Vec<Value>, DfmsError> = (|| {
+                    let path = LogicalPath::parse(&interpolate(&collection, &scope)?)?;
+                    let attribute = interpolate(&attribute, &scope)?;
+                    let value = interpolate(&value, &scope)?;
+                    Ok(self
+                        .grid
+                        .query(&path, &MetaQuery::Eq(attribute, value))
+                        .iter()
+                        .map(|p| Value::Str(p.to_string()))
+                        .collect())
+                })();
+                match result {
+                    Ok(items) => {
+                        self.run_mut(run_id).node_mut(node_id).scope.assign(&into, Value::List(items));
+                        self.metrics.steps_executed += 1;
+                        self.complete_node(run_id, node_id, Ok(()));
+                    }
+                    Err(e) => self.step_failed(run_id, node_id, format!("query: {e}")),
+                }
+            }
+            DglOperation::Execute { .. } => self.start_execute(run_id, node_id),
+            dgms_op => self.start_dgms_op(run_id, node_id, dgms_op),
+        }
+    }
+
+    /// Translate a DGL operation into a DGMS operation with interpolation.
+    fn build_dgms_op(&self, op: &DglOperation, scope: &Scope) -> Result<Operation, DfmsError> {
+        let path = |template: &str| -> Result<LogicalPath, DfmsError> {
+            Ok(LogicalPath::parse(&interpolate(template, scope)?)?)
+        };
+        let text = |template: &str| -> Result<String, DfmsError> { Ok(interpolate(template, scope)?) };
+        Ok(match op {
+            DglOperation::CreateCollection { path: p } => Operation::CreateCollection { path: path(p)? },
+            DglOperation::Ingest { path: p, size, resource } => {
+                let size_text = text(size)?;
+                let size = Value::from_text(&size_text).as_i64().filter(|s| *s >= 0).ok_or_else(|| {
+                    DfmsError::Dgl(dgf_dgl::DglError::Invalid(format!("ingest size {size_text:?} is not a byte count")))
+                })? as u64;
+                Operation::Ingest { path: path(p)?, size, resource: text(resource)? }
+            }
+            DglOperation::Replicate { path: p, src, dst } => Operation::Replicate {
+                path: path(p)?,
+                src: src.as_deref().map(text).transpose()?,
+                dst: text(dst)?,
+            },
+            DglOperation::Migrate { path: p, from, to } => {
+                Operation::Migrate { path: path(p)?, from: text(from)?, to: text(to)? }
+            }
+            DglOperation::Trim { path: p, resource } => Operation::Trim { path: path(p)?, resource: text(resource)? },
+            DglOperation::Delete { path: p } => Operation::Delete { path: path(p)? },
+            DglOperation::Rename { path: p, to } => Operation::Rename { path: path(p)?, to: path(to)? },
+            DglOperation::Checksum { path: p, resource, register } => Operation::Checksum {
+                path: path(p)?,
+                resource: resource.as_deref().map(text).transpose()?,
+                register: *register,
+            },
+            DglOperation::SetMetadata { path: p, attribute, value } => Operation::SetMetadata {
+                path: path(p)?,
+                triple: MetaTriple::new(text(attribute)?, text(value)?),
+            },
+            DglOperation::SetPermission { path: p, grantee, level } => {
+                let level_text = text(level)?;
+                let permission = match level_text.as_str() {
+                    "read" => Permission::Read,
+                    "write" => Permission::Write,
+                    "own" => Permission::Own,
+                    "none" => Permission::None,
+                    other => {
+                        return Err(DfmsError::Dgl(dgf_dgl::DglError::Invalid(format!(
+                            "unknown permission level {other:?}"
+                        ))))
+                    }
+                };
+                Operation::SetPermission { path: path(p)?, grantee: text(grantee)?, permission }
+            }
+            DglOperation::Execute { .. }
+            | DglOperation::Assign { .. }
+            | DglOperation::Notify { .. }
+            | DglOperation::Query { .. } => {
+                unreachable!("handled before build_dgms_op")
+            }
+        })
+    }
+
+    fn start_dgms_op(&mut self, run_id: RunId, node_id: NodeId, dgl_op: DglOperation) {
+        let now = self.now();
+        let (scope, user, depth) = {
+            let run = self.run_ref(run_id);
+            (run.node(node_id).scope.clone(), run.user.clone(), run.options.trigger_depth)
+        };
+        let op = match self.build_dgms_op(&dgl_op, &scope) {
+            Ok(op) => op,
+            Err(e) => {
+                self.step_failed(run_id, node_id, e.to_string());
+                return;
+            }
+        };
+        // BEFORE triggers observe the intent.
+        let before_firings = self.triggers.before_op(&self.grid, &op, &user, now, depth);
+        self.handle_firings(before_firings);
+        match self.grid.begin(&user, op, now) {
+            Ok(pending) => {
+                let duration = pending.duration;
+                self.metrics.bytes_moved += pending.bytes_moved;
+                self.metrics.dgms_ops += 1;
+                self.pending_ops.insert((run_id, node_id.0), pending);
+                self.queue.schedule_in(duration, Work::OpDone { run: run_id, node: node_id });
+            }
+            Err(e) => self.step_failed(run_id, node_id, e.to_string()),
+        }
+    }
+
+    fn op_done(&mut self, run_id: RunId, node_id: NodeId) {
+        let now = self.now();
+        let Some(pending) = self.pending_ops.remove(&(run_id, node_id.0)) else {
+            return; // stopped runs may have had their pendings dropped
+        };
+        if self.run_ref(run_id).stop_requested {
+            self.grid.abort(pending);
+            return;
+        }
+        let was_verify = matches!(pending.op, Operation::Checksum { register: false, .. });
+        match self.grid.complete(pending, now) {
+            Ok(events) => {
+                let mismatch = events.iter().any(|e| e.kind == EventKind::ChecksumMismatch);
+                self.after_events(&events, run_id);
+                if was_verify && mismatch {
+                    let detail = events
+                        .iter()
+                        .find(|e| e.kind == EventKind::ChecksumMismatch)
+                        .map(|e| e.detail.clone())
+                        .unwrap_or_default();
+                    self.step_failed(run_id, node_id, format!("integrity violation: {detail}"));
+                } else {
+                    self.metrics.steps_executed += 1;
+                    self.complete_node(run_id, node_id, Ok(()));
+                }
+            }
+            Err(e) => self.step_failed(run_id, node_id, e.to_string()),
+        }
+    }
+
+    /// Poll AFTER triggers for freshly emitted events.
+    fn after_events(&mut self, _events: &[NamespaceEvent], run_id: RunId) {
+        let depth = self.run_ref(run_id).options.trigger_depth;
+        let firings = self.triggers.poll(&self.grid, depth);
+        self.handle_firings(firings);
+    }
+
+    fn handle_firings(&mut self, firings: Vec<Firing>) {
+        for firing in firings {
+            self.metrics.trigger_firings += 1;
+            match firing.action {
+                TriggerAction::Notify(template) => {
+                    let message = interpolate(&template, &firing.bindings)
+                        .unwrap_or_else(|e| format!("<bad notify template: {e}>"));
+                    self.notifications.push(Notification {
+                        time: self.now(),
+                        source: format!("trigger:{}", firing.trigger),
+                        message,
+                    });
+                }
+                TriggerAction::Flow(mut flow) => {
+                    // Pre-bind the event variables so the flow's templates
+                    // can reference them.
+                    for name in ["event.path", "event.kind", "event.principal"] {
+                        if let Some(v) = firing.bindings.get(name) {
+                            flow.variables.insert(0, dgf_dgl::VarDecl::new(name, v.to_string()));
+                        }
+                    }
+                    let options = RunOptions { trigger_depth: firing.depth, ..Default::default() };
+                    // Trigger flows run as the trigger's owner.
+                    let _ = self.submit_flow_with(&firing.owner.clone(), flow, options);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Business-logic execution (scheduler + virtual data)
+    // ------------------------------------------------------------------
+
+    fn start_execute(&mut self, run_id: RunId, node_id: NodeId) {
+        let now = self.now();
+        let (spec, scope, vo, lineage, path_id) = {
+            let run = self.run_ref(run_id);
+            let node = run.node(node_id);
+            let spec = match &node.body {
+                NodeBody::Step { spec, .. } => spec.clone(),
+                NodeBody::Flow { .. } => unreachable!(),
+            };
+            (spec, node.scope.clone(), run.vo.clone(), run.lineage.clone(), run.path_of(node_id))
+        };
+        let DglOperation::Execute { code, nominal_secs, resource_type, inputs, outputs } = &spec.operation else {
+            unreachable!("start_execute on an execute step")
+        };
+        // Resolve the abstract task.
+        let task: Result<AbstractTask, DfmsError> = (|| {
+            let code = interpolate(code, &scope)?;
+            let nominal_text = interpolate(nominal_secs, &scope)?;
+            let nominal = Value::from_text(&nominal_text)
+                .as_f64()
+                .filter(|s| *s >= 0.0)
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| DfmsError::Dgl(dgf_dgl::DglError::Invalid(format!("bad nominalSecs {nominal_text:?}"))))?;
+            let requirement = match resource_type {
+                None => ResourceReq::default(),
+                Some(spec_text) => {
+                    let rendered = interpolate(spec_text, &scope)?;
+                    ResourceReq::parse(&rendered).ok_or_else(|| {
+                        DfmsError::Dgl(dgf_dgl::DglError::Invalid(format!("bad resourceType {rendered:?}")))
+                    })?
+                }
+            };
+            let inputs = inputs
+                .iter()
+                .map(|i| Ok(LogicalPath::parse(&interpolate(i, &scope)?)?))
+                .collect::<Result<Vec<_>, DfmsError>>()?;
+            let outputs = outputs
+                .iter()
+                .map(|(p, s)| {
+                    let path = LogicalPath::parse(&interpolate(p, &scope)?)?;
+                    let size_text = interpolate(s, &scope)?;
+                    let size = Value::from_text(&size_text).as_i64().filter(|v| *v >= 0).ok_or_else(|| {
+                        DfmsError::Dgl(dgf_dgl::DglError::Invalid(format!("bad output size {size_text:?}")))
+                    })? as u64;
+                    Ok((path, size))
+                })
+                .collect::<Result<Vec<_>, DfmsError>>()?;
+            Ok(AbstractTask { code, nominal, inputs, outputs, requirement, vo })
+        })();
+        let task = match task {
+            Ok(t) => t,
+            Err(e) => {
+                self.step_failed(run_id, node_id, e.to_string());
+                return;
+            }
+        };
+        // Virtual data: skip the derivation if its products exist.
+        if self.catalog.lookup(&self.grid, &task.code, &task.inputs).is_some() {
+            self.metrics.steps_skipped_virtual += 1;
+            self.skip_node(run_id, node_id, "virtual data: outputs already derived");
+            return;
+        }
+        // Bind (late or early) to concrete infrastructure.
+        let binding_key = format!("{lineage}:{path_id}");
+        let placement = match self.binding.resolve(&mut self.scheduler, &self.grid, &binding_key, &task) {
+            Ok(p) => p,
+            Err(e @ dgf_scheduler::PlannerError::NoEligibleResource { .. })
+                if self.scheduler.feasible_ever(&self.grid, &task) =>
+            {
+                // The grid is saturated, not unsuitable: queue like a
+                // batch system and retry when capacity frees up.
+                let _ = e;
+                self.queue.schedule_in(QUEUE_RETRY_INTERVAL, Work::Start { run: run_id, node: node_id });
+                return;
+            }
+            Err(e) => {
+                self.step_failed(run_id, node_id, e.to_string());
+                return;
+            }
+        };
+        // Claim the slot (early-bound placements may be stale).
+        if !self.grid.topology_mut().compute_mut(placement.compute).claim_slot() {
+            self.step_failed(
+                run_id,
+                node_id,
+                format!("compute resource {} unavailable at execution time", self.grid.topology().compute(placement.compute).name),
+            );
+            return;
+        }
+        // Stage missing inputs (sequential transfers, real replicas).
+        let user = self.run_ref(run_id).user.clone();
+        let mut stage_total = Duration::ZERO;
+        for plan in &placement.stage {
+            if plan.is_local() {
+                continue;
+            }
+            let dst_name = self.grid.topology().storage(plan.dst).name.clone();
+            let src_name = self.grid.topology().storage(plan.src).name.clone();
+            let op = Operation::Replicate { path: plan.path.clone(), src: Some(src_name), dst: dst_name };
+            match self.grid.execute(&user, op, now + stage_total) {
+                Ok((d, events)) => {
+                    stage_total += d;
+                    self.metrics.dgms_ops += 1;
+                    self.metrics.bytes_moved += plan.bytes;
+                    self.after_events(&events, run_id);
+                }
+                Err(dgf_dgms::DgmsError::ReplicaExists { .. }) => {
+                    // Another task staged it meanwhile; fine.
+                }
+                Err(e) => {
+                    self.grid.topology_mut().compute_mut(placement.compute).release_slot();
+                    self.step_failed(run_id, node_id, format!("staging {}: {e}", plan.path));
+                    return;
+                }
+            }
+        }
+        // Output write time at the chosen stores.
+        let mut output_total = Duration::ZERO;
+        for (_, storage, bytes) in &placement.outputs {
+            output_total += self.grid.topology().storage(*storage).access_time(*bytes);
+        }
+        let exec = placement.estimate.exec;
+        self.metrics.exec_tasks += 1;
+        self.queue.schedule_in(
+            stage_total + exec + output_total,
+            Work::ExecDone {
+                run: run_id,
+                node: node_id,
+                compute: placement.compute,
+                outputs: placement.outputs.clone(),
+                code: task.code.clone(),
+                inputs: task.inputs.clone(),
+            },
+        );
+    }
+
+    fn exec_done(
+        &mut self,
+        run_id: RunId,
+        node_id: NodeId,
+        compute: ComputeId,
+        outputs: Vec<(LogicalPath, StorageId, u64)>,
+        code: String,
+        inputs: Vec<LogicalPath>,
+    ) {
+        let now = self.now();
+        self.grid.topology_mut().compute_mut(compute).release_slot();
+        if self.run_ref(run_id).stop_requested {
+            return;
+        }
+        let user = self.run_ref(run_id).user.clone();
+        // Register outputs in the namespace.
+        let mut output_paths = Vec::with_capacity(outputs.len());
+        for (path, storage, bytes) in outputs {
+            let resource = self.grid.topology().storage(storage).name.clone();
+            match self.grid.execute(&user, Operation::Ingest { path: path.clone(), size: bytes, resource }, now) {
+                Ok((_, events)) => {
+                    self.metrics.dgms_ops += 1;
+                    self.after_events(&events, run_id);
+                    output_paths.push(path);
+                }
+                Err(dgf_dgms::DgmsError::AlreadyExists(_)) => {
+                    output_paths.push(path); // idempotent re-run
+                }
+                Err(e) => {
+                    self.step_failed(run_id, node_id, format!("registering output {path}: {e}"));
+                    return;
+                }
+            }
+        }
+        self.catalog.register(&code, &inputs, &output_paths);
+        self.metrics.steps_executed += 1;
+        self.complete_node(run_id, node_id, Ok(()));
+    }
+
+    // ------------------------------------------------------------------
+    // Completion, failure, rules
+    // ------------------------------------------------------------------
+
+    fn skip_node(&mut self, run_id: RunId, node_id: NodeId, reason: &str) {
+        let now = self.now();
+        {
+            let run = self.run_mut(run_id);
+            let node = run.node_mut(node_id);
+            node.state = RunState::Skipped;
+            node.finished = now;
+            node.message = Some(reason.to_owned());
+        }
+        self.record_node(run_id, node_id, StepOutcome::Skipped);
+        self.child_finished(run_id, node_id, true);
+    }
+
+    fn fail_node(&mut self, run_id: RunId, node_id: NodeId, message: String) {
+        let now = self.now();
+        {
+            let run = self.run_mut(run_id);
+            let node = run.node_mut(node_id);
+            node.state = RunState::Failed;
+            node.finished = now;
+            node.message = Some(message);
+        }
+        let _ = self.run_rules(run_id, node_id, dgf_dgl::RULE_AFTER_EXIT);
+        self.record_node(run_id, node_id, StepOutcome::Failed);
+        if self.run_ref(run_id).node(node_id).parent.is_none() {
+            self.metrics.runs_failed += 1;
+        }
+        self.child_finished(run_id, node_id, false);
+    }
+
+    /// Step-level failure: applies the step's error policy before
+    /// escalating.
+    fn step_failed(&mut self, run_id: RunId, node_id: NodeId, message: String) {
+        let policy = {
+            let run = self.run_ref(run_id);
+            match &run.node(node_id).body {
+                NodeBody::Step { spec, .. } => spec.on_error,
+                NodeBody::Flow { .. } => dgf_dgl::ErrorPolicy::Fail,
+            }
+        };
+        match policy {
+            dgf_dgl::ErrorPolicy::Retry(max) => {
+                let attempts = {
+                    let run = self.run_mut(run_id);
+                    match &mut run.node_mut(node_id).body {
+                        NodeBody::Step { attempts, .. } => {
+                            *attempts += 1;
+                            *attempts
+                        }
+                        NodeBody::Flow { .. } => unreachable!(),
+                    }
+                };
+                if attempts <= max {
+                    self.metrics.retries += 1;
+                    // Re-plan from scratch (late binding may choose a
+                    // different resource this time).
+                    self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: node_id });
+                    return;
+                }
+                self.fail_node(run_id, node_id, format!("{message} (after {max} retries)"));
+            }
+            dgf_dgl::ErrorPolicy::Ignore => {
+                let now = self.now();
+                {
+                    let run = self.run_mut(run_id);
+                    let node = run.node_mut(node_id);
+                    node.state = RunState::Completed;
+                    node.finished = now;
+                    node.message = Some(format!("ignored failure: {message}"));
+                }
+                let _ = self.run_rules(run_id, node_id, dgf_dgl::RULE_AFTER_EXIT);
+                self.record_node(run_id, node_id, StepOutcome::Completed);
+                self.child_finished(run_id, node_id, true);
+            }
+            dgf_dgl::ErrorPolicy::Fail => self.fail_node(run_id, node_id, message),
+        }
+    }
+
+    fn complete_node(&mut self, run_id: RunId, node_id: NodeId, outcome: Result<(), String>) {
+        match outcome {
+            Ok(()) => {
+                let now = self.now();
+                {
+                    let run = self.run_mut(run_id);
+                    let node = run.node_mut(node_id);
+                    node.state = RunState::Completed;
+                    node.finished = now;
+                }
+                let _ = self.run_rules(run_id, node_id, dgf_dgl::RULE_AFTER_EXIT);
+                self.record_node(run_id, node_id, StepOutcome::Completed);
+                if self.run_ref(run_id).node(node_id).parent.is_none() {
+                    self.metrics.runs_completed += 1;
+                }
+                self.child_finished(run_id, node_id, true);
+            }
+            Err(message) => self.fail_node(run_id, node_id, message),
+        }
+    }
+
+    /// Propagate a child's completion into its parent's cursor.
+    fn child_finished(&mut self, run_id: RunId, child: NodeId, success: bool) {
+        let Some(parent) = self.run_ref(run_id).node(child).parent else {
+            return; // root finished
+        };
+        // Scope write-back for sequential contexts: assignments made by
+        // the child become visible to later siblings and loop conditions.
+        let sequential_parent = {
+            let run = self.run_ref(run_id);
+            matches!(
+                &run.node(parent).body,
+                NodeBody::Flow { cursor: Cursor::Static { parallel: false, .. }, .. }
+                    | NodeBody::Flow { cursor: Cursor::While { .. }, .. }
+                    | NodeBody::Flow { cursor: Cursor::ForEach { parallel: false, .. }, .. }
+                    | NodeBody::Flow { cursor: Cursor::Switch, .. }
+            )
+        };
+        if sequential_parent {
+            let mut child_scope = self.run_ref(run_id).node(child).scope.clone();
+            if child_scope.depth() > 1 {
+                child_scope.pop();
+                self.run_mut(run_id).node_mut(parent).scope = child_scope;
+            }
+        }
+        if !success {
+            // A failed/stopped child fails the whole parent (step-level
+            // policies were already applied).
+            let message = self.run_ref(run_id).node(child).message.clone();
+            let child_name = self.run_ref(run_id).node(child).name.clone();
+            self.fail_node(
+                run_id,
+                parent,
+                format!("child {child_name:?} failed{}", message.map(|m| format!(": {m}")).unwrap_or_default()),
+            );
+            return;
+        }
+        let action = {
+            let run = self.run_mut(run_id);
+            match &mut run.node_mut(parent).body {
+                NodeBody::Flow { cursor, .. } => match cursor {
+                    Cursor::Static { parallel: false, .. } => AfterChild::AdvanceStatic,
+                    Cursor::Static { parallel: true, outstanding, .. } => {
+                        *outstanding -= 1;
+                        if *outstanding == 0 {
+                            AfterChild::Complete
+                        } else {
+                            AfterChild::Wait
+                        }
+                    }
+                    Cursor::While { .. } => AfterChild::AdvanceWhile,
+                    Cursor::ForEach { parallel: false, .. } => AfterChild::AdvanceForEach,
+                    Cursor::ForEach { parallel: true, outstanding, .. } => {
+                        *outstanding -= 1;
+                        if *outstanding == 0 {
+                            AfterChild::Complete
+                        } else {
+                            AfterChild::Wait
+                        }
+                    }
+                    Cursor::Switch => AfterChild::Complete,
+                },
+                NodeBody::Step { .. } => unreachable!("steps have no children"),
+            }
+        };
+        match action {
+            AfterChild::Wait => {}
+            AfterChild::Complete => self.complete_node(run_id, parent, Ok(())),
+            AfterChild::AdvanceStatic => self.advance_static(run_id, parent),
+            AfterChild::AdvanceWhile => {
+                let cond = {
+                    let run = self.run_ref(run_id);
+                    match &run.node(parent).body {
+                        NodeBody::Flow { spec, .. } => match &spec.logic.pattern {
+                            ControlPattern::While(c) => c.clone(),
+                            _ => unreachable!(),
+                        },
+                        NodeBody::Step { .. } => unreachable!(),
+                    }
+                };
+                self.advance_while(run_id, parent, &cond);
+            }
+            AfterChild::AdvanceForEach => {
+                let var = {
+                    let run = self.run_ref(run_id);
+                    match &run.node(parent).body {
+                        NodeBody::Flow { spec, .. } => match &spec.logic.pattern {
+                            ControlPattern::ForEach { var, .. } => var.clone(),
+                            _ => unreachable!(),
+                        },
+                        NodeBody::Step { .. } => unreachable!(),
+                    }
+                };
+                self.dispatch_next_foreach(run_id, parent, var);
+            }
+        }
+    }
+
+    fn record_node(&mut self, run_id: RunId, node_id: NodeId, outcome: StepOutcome) {
+        let run = self.run_ref(run_id);
+        let node = run.node(node_id);
+        let verb = match &node.body {
+            NodeBody::Flow { .. } => "flow".to_owned(),
+            NodeBody::Step { spec, .. } => spec.operation.verb().to_owned(),
+        };
+        let record = ProvenanceRecord {
+            lineage: run.lineage.clone(),
+            transaction: run.txn.clone(),
+            node: run.path_of(node_id),
+            name: node.name.clone(),
+            verb,
+            user: run.user.clone(),
+            started: node.started,
+            finished: node.finished,
+            outcome,
+            detail: node.message.clone().unwrap_or_default(),
+        };
+        self.provenance.record(record);
+    }
+
+    /// Run a node's user-defined rule with the given reserved name.
+    ///
+    /// Appendix A semantics: the tcondition is evaluated; the action
+    /// whose *name* equals the result runs. A boolean `true` with a
+    /// single action also selects it (the common unconditional case).
+    /// Rule-action steps execute inline and atomically (entry/exit hooks
+    /// are bookkeeping-weight: metadata, notifications, assignments).
+    fn run_rules(&mut self, run_id: RunId, node_id: NodeId, rule_name: &str) -> Result<(), DfmsError> {
+        let rules: Vec<UserDefinedRule> = {
+            let run = self.run_ref(run_id);
+            let node = run.node(node_id);
+            let rules = match &node.body {
+                NodeBody::Flow { spec, .. } => &spec.logic.rules,
+                NodeBody::Step { spec, .. } => &spec.rules,
+            };
+            rules.iter().filter(|r| r.name == rule_name).cloned().collect()
+        };
+        for rule in rules {
+            let scope = self.run_ref(run_id).node(node_id).scope.clone();
+            let value = rule.condition.eval(&scope).map_err(DfmsError::from)?;
+            let selected = rule
+                .actions
+                .iter()
+                .find(|a| a.name == value.to_string())
+                .or_else(|| {
+                    if value.truthy() && rule.actions.len() == 1 {
+                        Some(&rule.actions[0])
+                    } else {
+                        None
+                    }
+                })
+                .cloned();
+            if let Some(action) = selected {
+                for step in &action.steps {
+                    self.run_inline_step(run_id, node_id, step)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one rule-action step synchronously at the current instant.
+    fn run_inline_step(&mut self, run_id: RunId, node_id: NodeId, step: &Step) -> Result<(), DfmsError> {
+        let now = self.now();
+        let scope = self.run_ref(run_id).node(node_id).scope.clone();
+        match &step.operation {
+            DglOperation::Notify { message } => {
+                let rendered = interpolate(message, &scope)?;
+                let txn = self.run_ref(run_id).txn.clone();
+                self.notifications.push(Notification { time: now, source: txn, message: rendered });
+            }
+            DglOperation::Assign { variable, expr } => {
+                let value = expr.eval(&scope)?;
+                self.run_mut(run_id).node_mut(node_id).scope.assign(variable, value);
+            }
+            DglOperation::Execute { .. } => {
+                return Err(DfmsError::Dgl(dgf_dgl::DglError::Invalid(
+                    "execute operations are not allowed in rule actions".into(),
+                )));
+            }
+            other => {
+                let user = self.run_ref(run_id).user.clone();
+                let op = self.build_dgms_op(other, &scope)?;
+                let (_, events) = self.grid.execute(&user, op, now)?;
+                self.metrics.dgms_ops += 1;
+                self.after_events(&events, run_id);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // ILM jobs
+    // ------------------------------------------------------------------
+
+    fn ilm_due(&mut self, job_idx: usize) {
+        let Some(job) = self.ilm_jobs.get(job_idx).cloned() else { return };
+        let now = self.now();
+        // Submit this period's run, window-constrained, as the job's user.
+        let options = RunOptions { window: Some(job.window.clone()), ..Default::default() };
+        let _ = self.submit_flow_with(&job.run_as, job.flow.clone(), options);
+        let next = job.start_after(now);
+        self.queue.schedule_at(next, Work::IlmDue { job: job_idx });
+    }
+}
+
+enum AfterChild {
+    Wait,
+    Complete,
+    AdvanceStatic,
+    AdvanceWhile,
+    AdvanceForEach,
+}
+
+fn initial_cursor(pattern: &ControlPattern) -> Cursor {
+    match pattern {
+        ControlPattern::Sequential => Cursor::Static { next_spec: 0, outstanding: 0, parallel: false },
+        ControlPattern::Parallel => Cursor::Static { next_spec: 0, outstanding: 0, parallel: true },
+        ControlPattern::While(_) => Cursor::While { iterations: 0 },
+        ControlPattern::ForEach { parallel, .. } => {
+            Cursor::ForEach { items: Vec::new(), next: 0, outstanding: 0, parallel: *parallel }
+        }
+        ControlPattern::Switch { .. } => Cursor::Switch,
+    }
+}
+
+fn spec_children_len(spec: &Flow) -> usize {
+    spec.children.len()
+}
+
+/// Collect (runtime path, step) pairs for execute steps whose runtime
+/// node path is statically known: sequential/parallel flows materialize
+/// children at their spec indices, so those paths are predictable.
+fn collect_execute_specs(flow: &Flow, prefix: &str, out: &mut Vec<(String, Step)>) {
+    if !matches!(flow.logic.pattern, ControlPattern::Sequential | ControlPattern::Parallel) {
+        return; // loop/switch bodies get runtime-dependent paths
+    }
+    match &flow.children {
+        Children::Flows(flows) => {
+            for (i, f) in flows.iter().enumerate() {
+                collect_execute_specs(f, &format!("{prefix}/{i}"), out);
+            }
+        }
+        Children::Steps(steps) => {
+            for (i, s) in steps.iter().enumerate() {
+                if matches!(s.operation, DglOperation::Execute { .. }) {
+                    out.push((format!("{prefix}/{i}"), s.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Resolve a spec step to an abstract task with an empty scope; steps
+/// whose templates need runtime variables return `None` (bind later).
+fn abstract_task_from_spec(step: &Step, vo: Option<String>) -> Option<AbstractTask> {
+    let DglOperation::Execute { code, nominal_secs, resource_type, inputs, outputs } = &step.operation else {
+        return None;
+    };
+    let scope = Scope::root();
+    let code = interpolate(code, &scope).ok()?;
+    let nominal = Value::from_text(&interpolate(nominal_secs, &scope).ok()?).as_f64().map(Duration::from_secs_f64)?;
+    let requirement = match resource_type {
+        None => ResourceReq::default(),
+        Some(spec_text) => ResourceReq::parse(&interpolate(spec_text, &scope).ok()?)?,
+    };
+    let inputs = inputs
+        .iter()
+        .map(|i| interpolate(i, &scope).ok().and_then(|p| LogicalPath::parse(&p).ok()))
+        .collect::<Option<Vec<_>>>()?;
+    let outputs = outputs
+        .iter()
+        .map(|(p, s)| {
+            let path = interpolate(p, &scope).ok().and_then(|x| LogicalPath::parse(&x).ok())?;
+            let size = Value::from_text(&interpolate(s, &scope).ok()?).as_i64().filter(|v| *v >= 0)? as u64;
+            Some((path, size))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(AbstractTask { code, nominal, inputs, outputs, requirement, vo })
+}

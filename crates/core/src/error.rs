@@ -1,0 +1,74 @@
+//! The DfMS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the DfMS API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfmsError {
+    /// Unknown transaction id.
+    UnknownTransaction(String),
+    /// Unknown node path within a transaction.
+    UnknownNode { transaction: String, node: String },
+    /// The requested lifecycle change is illegal in the run's state.
+    BadLifecycle { transaction: String, action: &'static str, state: String },
+    /// A DGL-level problem (parse, validation, evaluation).
+    Dgl(dgf_dgl::DglError),
+    /// A DGMS-level problem that terminated submission.
+    Dgms(dgf_dgms::DgmsError),
+    /// The submitting user is not registered with the grid.
+    UnknownUser(String),
+    /// The engine refused a runaway loop.
+    IterationLimit { transaction: String, node: String, limit: u64 },
+    /// No server in the network can own the request.
+    NoRoute(String),
+}
+
+impl fmt::Display for DfmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfmsError::UnknownTransaction(t) => write!(f, "unknown transaction {t:?}"),
+            DfmsError::UnknownNode { transaction, node } => {
+                write!(f, "transaction {transaction:?} has no node {node:?}")
+            }
+            DfmsError::BadLifecycle { transaction, action, state } => {
+                write!(f, "cannot {action} transaction {transaction:?} in state {state}")
+            }
+            DfmsError::Dgl(e) => write!(f, "DGL: {e}"),
+            DfmsError::Dgms(e) => write!(f, "DGMS: {e}"),
+            DfmsError::UnknownUser(u) => write!(f, "unknown user {u:?}"),
+            DfmsError::IterationLimit { transaction, node, limit } => {
+                write!(f, "transaction {transaction:?} node {node:?} exceeded {limit} iterations")
+            }
+            DfmsError::NoRoute(what) => write!(f, "no DfMS server routes {what:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DfmsError {}
+
+impl From<dgf_dgl::DglError> for DfmsError {
+    fn from(e: dgf_dgl::DglError) -> Self {
+        DfmsError::Dgl(e)
+    }
+}
+
+impl From<dgf_dgms::DgmsError> for DfmsError {
+    fn from(e: dgf_dgms::DgmsError) -> Self {
+        DfmsError::Dgms(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DfmsError = dgf_dgl::DglError::UnknownVariable("x".into()).into();
+        assert!(e.to_string().contains("DGL"));
+        let e: DfmsError = dgf_dgms::DgmsError::UnknownUser("u".into()).into();
+        assert!(e.to_string().contains("DGMS"));
+        let e = DfmsError::BadLifecycle { transaction: "t1".into(), action: "pause", state: "completed".into() };
+        assert!(e.to_string().contains("pause") && e.to_string().contains("completed"));
+    }
+}

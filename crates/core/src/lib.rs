@@ -1,0 +1,42 @@
+//! # dgf-dfms — the Datagridflow Management System
+//!
+//! The paper's §3.2 "DfMS Server": it "can service DGL requests both
+//! synchronously and asynchronously", "manages state information about
+//! all the tasks, which can be queried at any time", and "works on top
+//! of the datagrid server (DGMS)". This crate is the execution half of
+//! the system (the language half is [`dgf_dgl`]):
+//!
+//! * [`Dfms`] — the deterministic flow engine: interprets DGL flows
+//!   against the [`dgf_dgms::DataGrid`] on the simulation clock;
+//!   sequential / parallel / while / for-each / switch control patterns,
+//!   lexically scoped variables, `beforeEntry` / `afterExit` rules,
+//!   per-step fault policies, business-logic execution via the
+//!   [`dgf_scheduler`] (late or early binding) with a virtual-data
+//!   catalog short-circuit;
+//! * full **lifecycle control** (§3.1): start, stop, pause, restart —
+//!   restart resumes from provenance, skipping already-completed steps;
+//! * **status queries at any granularity**: every node of a running flow
+//!   tree is addressable (`/0/3/1`) via DGL `FlowStatusQuery`;
+//! * a durable [`ProvenanceStore`] with snapshot/reload, queryable
+//!   "even (years) after the execution";
+//! * **datagrid triggers** wired into the operation path (BEFORE) and
+//!   the event feed (AFTER), with cascade-depth control;
+//! * recurring window-constrained **ILM jobs** ([`dgf_ilm::IlmJob`]);
+//! * a threaded **server front-end** ([`DfmsServer`]) speaking DGL XML
+//!   over channels — the request/response protocol of Appendix A;
+//! * a **peer-to-peer DfMS network** ([`DfmsNetwork`]) with a lookup
+//!   service, as sketched in §3.2.
+
+mod engine;
+mod error;
+mod network;
+mod provenance;
+mod run;
+mod server;
+
+pub use engine::{Dfms, EngineMetrics, Notification};
+pub use error::DfmsError;
+pub use network::{DfmsNetwork, LookupService};
+pub use provenance::{ProvenanceQuery, ProvenanceRecord, ProvenanceStore, StepOutcome};
+pub use run::{NodeId, RunId, RunOptions};
+pub use server::{DfmsServer, ServerHandle};

@@ -1,0 +1,285 @@
+//! A peer-to-peer datagridflow network (paper §3.2): "multiple DfMS
+//! servers can form a peer-to-peer datagridflow network with one or more
+//! lookup servers."
+//!
+//! Each server owns one zone of the federated namespace (a set of path
+//! prefixes registered with the lookup service). Requests are routed by
+//! the first logical path their flow touches; status queries by the
+//! server that issued the transaction.
+
+use crate::engine::Dfms;
+use crate::error::DfmsError;
+use dgf_dgl::{Children, DataGridRequest, DataGridResponse, DglOperation, Flow, RequestBody};
+use dgf_dgms::LogicalPath;
+use std::collections::HashMap;
+
+/// The lookup service: maps namespace prefixes to server names.
+#[derive(Debug, Default)]
+pub struct LookupService {
+    routes: Vec<(LogicalPath, String)>,
+}
+
+impl LookupService {
+    /// An empty lookup table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a prefix → server route.
+    pub fn register(&mut self, prefix: LogicalPath, server: impl Into<String>) {
+        self.routes.push((prefix, server.into()));
+    }
+
+    /// The server owning a path (deepest matching prefix wins).
+    pub fn lookup(&self, path: &LogicalPath) -> Option<&str> {
+        self.routes
+            .iter()
+            .filter(|(prefix, _)| path.is_under(prefix))
+            .max_by_key(|(prefix, _)| prefix.depth())
+            .map(|(_, server)| server.as_str())
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// A network of named DfMS servers with a shared lookup service.
+#[derive(Debug, Default)]
+pub struct DfmsNetwork {
+    servers: HashMap<String, Dfms>,
+    order: Vec<String>,
+    lookup: LookupService,
+    txn_home: HashMap<String, String>,
+}
+
+impl DfmsNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a server under a name.
+    pub fn add_server(&mut self, name: impl Into<String>, server: Dfms) {
+        let name = name.into();
+        if !self.servers.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.servers.insert(name, server);
+    }
+
+    /// The lookup service (register namespace routes here).
+    pub fn lookup_mut(&mut self) -> &mut LookupService {
+        &mut self.lookup
+    }
+
+    /// Access a server by name.
+    pub fn server(&self, name: &str) -> Option<&Dfms> {
+        self.servers.get(name)
+    }
+
+    /// Mutable access to a server by name.
+    pub fn server_mut(&mut self, name: &str) -> Option<&mut Dfms> {
+        self.servers.get_mut(name)
+    }
+
+    /// Server names, in registration order.
+    pub fn server_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Route a request to the owning server and handle it there.
+    ///
+    /// Flow requests route by the first logical path mentioned in the
+    /// flow; status queries route to the server that issued the
+    /// transaction (tracked when the flow was submitted through this
+    /// network).
+    pub fn route(&mut self, request: DataGridRequest) -> Result<(String, DataGridResponse), DfmsError> {
+        let server_name = match &request.body {
+            RequestBody::Flow(flow) => {
+                let path = first_path(flow)
+                    .ok_or_else(|| DfmsError::NoRoute("flow touches no logical path".into()))?;
+                let parsed = LogicalPath::parse(&path)
+                    .map_err(|_| DfmsError::NoRoute(format!("unroutable path template {path:?}")))?;
+                self.lookup
+                    .lookup(&parsed)
+                    .ok_or_else(|| DfmsError::NoRoute(parsed.to_string()))?
+                    .to_owned()
+            }
+            RequestBody::StatusQuery(q) => self
+                .txn_home
+                .get(&q.transaction)
+                .cloned()
+                .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
+        };
+        let server = self
+            .servers
+            .get_mut(&server_name)
+            .ok_or_else(|| DfmsError::NoRoute(server_name.clone()))?;
+        let response = server.handle(request);
+        if !response.transaction().is_empty() {
+            self.txn_home.insert(response.transaction().to_owned(), server_name.clone());
+        }
+        Ok((server_name, response))
+    }
+
+    /// Pump every server until all queues are idle.
+    pub fn pump_all(&mut self) -> usize {
+        let mut total = 0;
+        for name in &self.order {
+            total += self.servers.get_mut(name).expect("ordered names exist").pump();
+        }
+        total
+    }
+}
+
+/// The first concrete logical path a flow mentions (templates with
+/// variables are skipped — routing needs a static prefix).
+fn first_path(flow: &Flow) -> Option<String> {
+    fn from_op(op: &DglOperation) -> Option<String> {
+        let candidate = match op {
+            DglOperation::CreateCollection { path }
+            | DglOperation::Ingest { path, .. }
+            | DglOperation::Replicate { path, .. }
+            | DglOperation::Migrate { path, .. }
+            | DglOperation::Trim { path, .. }
+            | DglOperation::Delete { path }
+            | DglOperation::Rename { path, .. }
+            | DglOperation::Checksum { path, .. }
+            | DglOperation::SetMetadata { path, .. }
+            | DglOperation::SetPermission { path, .. } => path,
+            DglOperation::Query { collection, .. } => collection,
+            DglOperation::Execute { inputs, .. } => inputs.first()?,
+            DglOperation::Assign { .. } | DglOperation::Notify { .. } => return None,
+        };
+        if candidate.contains("${") {
+            None
+        } else {
+            Some(candidate.clone())
+        }
+    }
+    // The iteration source may carry the routable collection even when
+    // step paths are templates.
+    if let dgf_dgl::ControlPattern::ForEach { source, .. } = &flow.logic.pattern {
+        match source {
+            dgf_dgl::IterSource::Collection(c) if !c.contains("${") => return Some(c.clone()),
+            dgf_dgl::IterSource::Query { collection, .. } if !collection.contains("${") => {
+                return Some(collection.clone())
+            }
+            _ => {}
+        }
+    }
+    match &flow.children {
+        Children::Steps(steps) => steps.iter().find_map(|s| from_op(&s.operation)),
+        Children::Flows(flows) => flows.iter().find_map(first_path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgl::FlowBuilder;
+    use dgf_dgms::{DataGrid, Principal, UserRegistry};
+    use dgf_scheduler::{PlannerKind, Scheduler};
+    use dgf_simgrid::{GridBuilder, GridPreset};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn server() -> Dfms {
+        let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+        users.make_admin("u").unwrap();
+        Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1))
+    }
+
+    fn flow_touching(p: &str) -> Flow {
+        // Create the full hierarchy so the flow succeeds end-to-end.
+        let mut b = FlowBuilder::sequential("f");
+        let segments: Vec<&str> = p.trim_start_matches('/').split('/').collect();
+        let mut at = String::new();
+        for (i, seg) in segments.iter().enumerate() {
+            at.push('/');
+            at.push_str(seg);
+            b = b.step(format!("mk{i}"), DglOperation::CreateCollection { path: at.clone() });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_prefers_deepest_prefix() {
+        let mut l = LookupService::new();
+        l.register(path("/"), "root-server");
+        l.register(path("/home/scec"), "scec-server");
+        assert_eq!(l.lookup(&path("/home/scec/run1")), Some("scec-server"));
+        assert_eq!(l.lookup(&path("/home/other")), Some("root-server"));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+        let empty = LookupService::new();
+        assert_eq!(empty.lookup(&path("/x")), None);
+    }
+
+    #[test]
+    fn requests_route_by_namespace_and_status_follows_home() {
+        let mut net = DfmsNetwork::new();
+        net.add_server("alpha", server());
+        net.add_server("beta", server());
+        net.lookup_mut().register(path("/alpha"), "alpha");
+        net.lookup_mut().register(path("/beta"), "beta");
+
+        let req = DataGridRequest::flow("r1", "u", flow_touching("/beta/x")).asynchronous();
+        let (routed_to, response) = net.route(req).unwrap();
+        assert_eq!(routed_to, "beta");
+        let txn = response.transaction().to_owned();
+        net.pump_all();
+
+        // Status query for the transaction routes home without a path.
+        let status_req = DataGridRequest::status("r2", "u", dgf_dgl::FlowStatusQuery::whole(&txn));
+        let (home, status) = net.route(status_req).unwrap();
+        assert_eq!(home, "beta");
+        match status.body {
+            dgf_dgl::ResponseBody::Status(s) => assert_eq!(s.state, dgf_dgl::RunState::Completed),
+            other => panic!("expected status, got {other:?}"),
+        }
+        // The flow really ran on beta, not alpha.
+        assert!(net.server("beta").unwrap().grid().exists(&path("/beta/x")));
+        assert!(!net.server("alpha").unwrap().grid().exists(&path("/beta/x")));
+    }
+
+    #[test]
+    fn unroutable_requests_error() {
+        let mut net = DfmsNetwork::new();
+        net.add_server("alpha", server());
+        net.lookup_mut().register(path("/alpha"), "alpha");
+        let req = DataGridRequest::flow("r", "u", flow_touching("/nowhere/x"));
+        assert!(matches!(net.route(req), Err(DfmsError::NoRoute(_))));
+        let unknown_status = DataGridRequest::status("r", "u", dgf_dgl::FlowStatusQuery::whole("t99"));
+        assert!(matches!(net.route(unknown_status), Err(DfmsError::UnknownTransaction(_))));
+        // A flow with no concrete path at all cannot route.
+        let opaque = FlowBuilder::sequential("f")
+            .step("n", DglOperation::Notify { message: "x".into() })
+            .build()
+            .unwrap();
+        assert!(matches!(
+            net.route(DataGridRequest::flow("r", "u", opaque)),
+            Err(DfmsError::NoRoute(_))
+        ));
+    }
+
+    #[test]
+    fn foreach_flows_route_by_their_collection() {
+        let flow = FlowBuilder::for_each_in_collection("sweep", "f", "/alpha/data")
+            .step("c", DglOperation::Checksum { path: "${f}".into(), resource: None, register: false })
+            .build()
+            .unwrap();
+        assert_eq!(first_path(&flow), Some("/alpha/data".to_owned()));
+    }
+}

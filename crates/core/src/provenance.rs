@@ -1,0 +1,296 @@
+//! The provenance store.
+//!
+//! §3.1: the DfMS "must manage information about all workflows and their
+//! tasks. This information would be queried and audited later" — for
+//! persistent archives, "even (years) after the execution". The store is
+//! an append-only record log with query, snapshot, and reload; restart
+//! reads it to skip completed work.
+
+use dgf_simgrid::SimTime;
+use dgf_xml::Element;
+use std::collections::HashSet;
+
+/// How a step or flow node ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Failed (after exhausting retries).
+    Failed,
+    /// Skipped: unselected switch arm, virtual-data hit, or restart memo.
+    Skipped,
+    /// Stopped by a lifecycle request.
+    Stopped,
+}
+
+impl StepOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            StepOutcome::Completed => "completed",
+            StepOutcome::Failed => "failed",
+            StepOutcome::Skipped => "skipped",
+            StepOutcome::Stopped => "stopped",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "completed" => StepOutcome::Completed,
+            "failed" => StepOutcome::Failed,
+            "skipped" => StepOutcome::Skipped,
+            "stopped" => StepOutcome::Stopped,
+            _ => return None,
+        })
+    }
+}
+
+/// One provenance record: a node of some run, with timing and outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Lineage id: stable across restarts of the same logical process.
+    pub lineage: String,
+    /// The concrete transaction that executed this node.
+    pub transaction: String,
+    /// Hierarchical node path ("/0/3/1"; "/" is the root flow).
+    pub node: String,
+    /// DGL name of the flow/step.
+    pub name: String,
+    /// Operation verb ("replicate", "execute", "flow", ...).
+    pub verb: String,
+    /// Acting user.
+    pub user: String,
+    /// Start time.
+    pub started: SimTime,
+    /// End time.
+    pub finished: SimTime,
+    /// Outcome.
+    pub outcome: StepOutcome,
+    /// Free-form detail (failure message, chosen resource, digest, ...).
+    pub detail: String,
+}
+
+/// A filter over the store. Empty fields match everything.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceQuery {
+    /// Match this lineage.
+    pub lineage: Option<String>,
+    /// Match this transaction.
+    pub transaction: Option<String>,
+    /// Match nodes under this path prefix.
+    pub node_prefix: Option<String>,
+    /// Match this outcome.
+    pub outcome: Option<StepOutcome>,
+    /// Match records finishing at or after this time.
+    pub since: Option<SimTime>,
+}
+
+impl ProvenanceQuery {
+    /// Everything for one transaction.
+    pub fn transaction(txn: &str) -> Self {
+        ProvenanceQuery { transaction: Some(txn.to_owned()), ..Default::default() }
+    }
+
+    /// Everything for one lineage.
+    pub fn lineage(lineage: &str) -> Self {
+        ProvenanceQuery { lineage: Some(lineage.to_owned()), ..Default::default() }
+    }
+
+    fn matches(&self, r: &ProvenanceRecord) -> bool {
+        self.lineage.as_deref().map(|l| r.lineage == l).unwrap_or(true)
+            && self.transaction.as_deref().map(|t| r.transaction == t).unwrap_or(true)
+            && self
+                .node_prefix
+                .as_deref()
+                .map(|p| r.node == p || r.node.starts_with(&format!("{}/", p.trim_end_matches('/'))) || p == "/")
+                .unwrap_or(true)
+            && self.outcome.map(|o| r.outcome == o).unwrap_or(true)
+            && self.since.map(|s| r.finished >= s).unwrap_or(true)
+    }
+}
+
+/// The append-only provenance store.
+#[derive(Debug, Default)]
+pub struct ProvenanceStore {
+    records: Vec<ProvenanceRecord>,
+    completed_steps: HashSet<(String, String)>, // (lineage, node)
+}
+
+impl ProvenanceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn record(&mut self, record: ProvenanceRecord) {
+        if record.outcome == StepOutcome::Completed && record.verb != "flow" {
+            self.completed_steps.insert((record.lineage.clone(), record.node.clone()));
+        }
+        self.records.push(record);
+    }
+
+    /// Restart support: has a *step* at `node` already completed in this
+    /// lineage (in any earlier transaction)?
+    pub fn step_completed(&self, lineage: &str, node: &str) -> bool {
+        self.completed_steps.contains(&(lineage.to_owned(), node.to_owned()))
+    }
+
+    /// Query, in record order.
+    pub fn query(&self, q: &ProvenanceQuery) -> Vec<&ProvenanceRecord> {
+        self.records.iter().filter(|r| q.matches(r)).collect()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ProvenanceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialize to an XML document — the archival format persistent
+    /// archives keep "for years".
+    pub fn snapshot(&self) -> String {
+        let mut root = Element::new("provenance");
+        for r in &self.records {
+            root.push_element(
+                Element::new("record")
+                    .with_attr("lineage", &r.lineage)
+                    .with_attr("transaction", &r.transaction)
+                    .with_attr("node", &r.node)
+                    .with_attr("name", &r.name)
+                    .with_attr("verb", &r.verb)
+                    .with_attr("user", &r.user)
+                    .with_attr("started", r.started.0.to_string())
+                    .with_attr("finished", r.finished.0.to_string())
+                    .with_attr("outcome", r.outcome.as_str())
+                    .with_attr("detail", &r.detail),
+            );
+        }
+        root.to_xml_pretty()
+    }
+
+    /// Reload a snapshot (e.g. in a fresh process, years later).
+    pub fn restore(xml: &str) -> Result<Self, String> {
+        let root = dgf_xml::parse(xml).map_err(|e| e.to_string())?;
+        if root.name != "provenance" {
+            return Err(format!("expected <provenance>, found <{}>", root.name));
+        }
+        let mut store = ProvenanceStore::new();
+        for el in root.children_named("record") {
+            let attr = |name: &str| -> Result<String, String> {
+                el.attr(name).map(str::to_owned).ok_or_else(|| format!("record missing {name:?}"))
+            };
+            let time = |name: &str| -> Result<SimTime, String> {
+                attr(name)?.parse::<u64>().map(SimTime).map_err(|e| format!("bad {name}: {e}"))
+            };
+            store.record(ProvenanceRecord {
+                lineage: attr("lineage")?,
+                transaction: attr("transaction")?,
+                node: attr("node")?,
+                name: attr("name")?,
+                verb: attr("verb")?,
+                user: attr("user")?,
+                started: time("started")?,
+                finished: time("finished")?,
+                outcome: StepOutcome::parse(&attr("outcome")?)
+                    .ok_or_else(|| format!("bad outcome {:?}", el.attr("outcome")))?,
+                detail: attr("detail")?,
+            });
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(txn: &str, node: &str, outcome: StepOutcome, finished_s: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            lineage: "L1".into(),
+            transaction: txn.into(),
+            node: node.into(),
+            name: format!("n{node}"),
+            verb: "replicate".into(),
+            user: "u".into(),
+            started: SimTime::from_secs(finished_s.saturating_sub(1)),
+            finished: SimTime::from_secs(finished_s),
+            outcome,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn queries_filter_precisely() {
+        let mut s = ProvenanceStore::new();
+        s.record(rec("t1", "/0", StepOutcome::Completed, 10));
+        s.record(rec("t1", "/0/1", StepOutcome::Failed, 20));
+        s.record(rec("t2", "/1", StepOutcome::Completed, 30));
+        assert_eq!(s.query(&ProvenanceQuery::transaction("t1")).len(), 2);
+        assert_eq!(s.query(&ProvenanceQuery::lineage("L1")).len(), 3);
+        assert_eq!(
+            s.query(&ProvenanceQuery { outcome: Some(StepOutcome::Failed), ..Default::default() }).len(),
+            1
+        );
+        assert_eq!(
+            s.query(&ProvenanceQuery { since: Some(SimTime::from_secs(25)), ..Default::default() }).len(),
+            1
+        );
+        assert_eq!(
+            s.query(&ProvenanceQuery { node_prefix: Some("/0".into()), ..Default::default() }).len(),
+            2,
+            "prefix matches the node and its descendants"
+        );
+        assert_eq!(
+            s.query(&ProvenanceQuery { node_prefix: Some("/".into()), ..Default::default() }).len(),
+            3
+        );
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn completed_step_memo_powers_restart() {
+        let mut s = ProvenanceStore::new();
+        s.record(rec("t1", "/0", StepOutcome::Completed, 1));
+        s.record(rec("t1", "/1", StepOutcome::Failed, 2));
+        assert!(s.step_completed("L1", "/0"));
+        assert!(!s.step_completed("L1", "/1"));
+        assert!(!s.step_completed("L2", "/0"), "other lineages unaffected");
+    }
+
+    #[test]
+    fn flow_records_do_not_memoize() {
+        let mut s = ProvenanceStore::new();
+        let mut r = rec("t1", "/", StepOutcome::Completed, 1);
+        r.verb = "flow".into();
+        s.record(r);
+        assert!(!s.step_completed("L1", "/"), "flows re-execute; only steps skip");
+    }
+
+    #[test]
+    fn snapshot_restores_bit_for_bit() {
+        let mut s = ProvenanceStore::new();
+        s.record(rec("t1", "/0", StepOutcome::Completed, 10));
+        s.record(rec("t1", "/0/3", StepOutcome::Skipped, 11));
+        let xml = s.snapshot();
+        let restored = ProvenanceStore::restore(&xml).unwrap();
+        assert_eq!(restored.records(), s.records());
+        assert!(restored.step_completed("L1", "/0"), "memo rebuilt on restore");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_documents() {
+        assert!(ProvenanceStore::restore("<notProvenance/>").is_err());
+        assert!(ProvenanceStore::restore("<provenance><record/></provenance>").is_err());
+        assert!(ProvenanceStore::restore("not xml").is_err());
+    }
+}

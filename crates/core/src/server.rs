@@ -1,0 +1,209 @@
+//! The threaded server front-end.
+//!
+//! Appendix A's protocol is request/response over a connection; this
+//! module provides that boundary: a [`DfmsServer`] owns the engine
+//! behind a lock and a worker thread, and [`ServerHandle`]s (cloneable,
+//! thread-safe) submit DGL XML documents and receive DGL XML responses.
+//!
+//! The *engine* stays deterministic — the worker serializes all requests
+//! — but the client side exercises the real concurrency surface:
+//! multiple client threads, asynchronous submissions, status polling.
+
+use crate::engine::Dfms;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum ClientMessage {
+    Request { xml: String, reply: Sender<String> },
+    Shutdown,
+}
+
+/// A running DfMS server: an engine plus a worker thread draining a
+/// request channel.
+#[derive(Debug)]
+pub struct DfmsServer {
+    engine: Arc<Mutex<Dfms>>,
+    sender: Sender<ClientMessage>,
+    worker: Option<JoinHandle<u64>>,
+}
+
+/// A cloneable client handle to a [`DfmsServer`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    sender: Sender<ClientMessage>,
+}
+
+impl DfmsServer {
+    /// Start a server around an engine.
+    pub fn start(engine: Dfms) -> Self {
+        let engine = Arc::new(Mutex::new(engine));
+        let (sender, receiver): (Sender<ClientMessage>, Receiver<ClientMessage>) = unbounded();
+        let worker_engine = Arc::clone(&engine);
+        let worker = std::thread::Builder::new()
+            .name("dfms-server".into())
+            .spawn(move || {
+                let mut served = 0u64;
+                while let Ok(message) = receiver.recv() {
+                    match message {
+                        ClientMessage::Request { xml, reply } => {
+                            let response = worker_engine.lock().handle_xml(&xml);
+                            served += 1;
+                            // A dropped client is not a server error.
+                            let _ = reply.send(response);
+                        }
+                        ClientMessage::Shutdown => break,
+                    }
+                }
+                served
+            })
+            .expect("spawning the DfMS worker thread");
+        DfmsServer { engine, sender, worker: Some(worker) }
+    }
+
+    /// A client handle (cheap to clone, safe to share across threads).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { sender: self.sender.clone() }
+    }
+
+    /// Direct, locked access to the engine (tests, administration).
+    pub fn engine(&self) -> Arc<Mutex<Dfms>> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Stop the worker and return (requests served, the engine).
+    pub fn shutdown(mut self) -> (u64, Arc<Mutex<Dfms>>) {
+        let _ = self.sender.send(ClientMessage::Shutdown);
+        let served = self.worker.take().expect("worker present until shutdown").join().unwrap_or(0);
+        (served, Arc::clone(&self.engine))
+    }
+}
+
+impl Drop for DfmsServer {
+    fn drop(&mut self) {
+        let _ = self.sender.send(ClientMessage::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Send a DGL XML request and wait for the DGL XML response.
+    ///
+    /// Returns `None` if the server has shut down.
+    pub fn request(&self, xml: &str) -> Option<String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender
+            .send(ClientMessage::Request { xml: xml.to_owned(), reply: reply_tx })
+            .ok()?;
+        reply_rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgl::{DataGridRequest, DglOperation, FlowBuilder, ResponseBody, RunState};
+    use dgf_dgms::{DataGrid, LogicalPath, Principal, UserRegistry};
+    use dgf_scheduler::{PlannerKind, Scheduler};
+    use dgf_simgrid::{GridBuilder, GridPreset};
+
+    fn engine() -> Dfms {
+        let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+        users.make_admin("u").unwrap();
+        Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1))
+    }
+
+    fn ingest_request(id: &str, path: &str) -> String {
+        let flow = FlowBuilder::sequential("f")
+            .step("i", DglOperation::Ingest { path: path.into(), size: "100".into(), resource: "site0-disk".into() })
+            .build()
+            .unwrap();
+        DataGridRequest::flow(id, "u", flow).to_xml()
+    }
+
+    #[test]
+    fn synchronous_xml_round_trip_over_the_server() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let response_xml = handle.request(&ingest_request("r1", "/a.dat")).unwrap();
+        let response = dgf_dgl::parse_response(&response_xml).unwrap();
+        match response.body {
+            ResponseBody::Status(s) => assert_eq!(s.state, RunState::Completed),
+            other => panic!("expected final status, got {other:?}"),
+        }
+        let (served, engine) = server.shutdown();
+        assert_eq!(served, 1);
+        assert!(engine.lock().grid().exists(&LogicalPath::parse("/a.dat").unwrap()));
+    }
+
+    #[test]
+    fn concurrent_clients_are_serialized_safely() {
+        let server = DfmsServer::start(engine());
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let handle = server.handle();
+            joins.push(std::thread::spawn(move || {
+                let xml = ingest_request(&format!("r{i}"), &format!("/f{i}.dat"));
+                let response = handle.request(&xml).unwrap();
+                dgf_dgl::parse_response(&response).unwrap()
+            }));
+        }
+        for join in joins {
+            let response = join.join().unwrap();
+            match response.body {
+                ResponseBody::Status(s) => assert_eq!(s.state, RunState::Completed),
+                other => panic!("{other:?}"),
+            }
+        }
+        let (served, engine) = server.shutdown();
+        assert_eq!(served, 8);
+        assert_eq!(engine.lock().grid().stats().objects, 8);
+    }
+
+    #[test]
+    fn async_submission_then_status_poll() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let flow = FlowBuilder::sequential("f")
+            .step("i", DglOperation::Ingest { path: "/x".into(), size: "1".into(), resource: "site0-disk".into() })
+            .build()
+            .unwrap();
+        let async_req = DataGridRequest::flow("r1", "u", flow).asynchronous().to_xml();
+        let ack_xml = handle.request(&async_req).unwrap();
+        let ack = dgf_dgl::parse_response(&ack_xml).unwrap();
+        let txn = ack.transaction().to_owned();
+        match ack.body {
+            ResponseBody::Ack(a) => assert!(a.valid),
+            other => panic!("{other:?}"),
+        }
+        // The engine has not been pumped; pump it via the admin handle.
+        server.engine().lock().pump();
+        let status_req = DataGridRequest::status("r2", "u", dgf_dgl::FlowStatusQuery::whole(&txn)).to_xml();
+        let status = dgf_dgl::parse_response(&handle.request(&status_req).unwrap()).unwrap();
+        match status.body {
+            ResponseBody::Status(s) => assert_eq!(s.state, RunState::Completed),
+            other => panic!("{other:?}"),
+        }
+        drop(handle);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_invalid_acks() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let response = dgf_dgl::parse_response(&handle.request("<garbage").unwrap()).unwrap();
+        match response.body {
+            ResponseBody::Ack(a) => {
+                assert!(!a.valid);
+                assert!(a.message.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

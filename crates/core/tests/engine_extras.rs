@@ -1,0 +1,216 @@
+//! Additional engine behaviour: batch queueing on saturated grids, VO
+//! enforcement through SLAs, renames via DGL, cost-weight plumbing, and
+//! notification/event interplay.
+
+use dgf_dfms::{Dfms, RunOptions};
+use dgf_dgl::{DglOperation, FlowBuilder, RunState};
+use dgf_dgms::{DataGrid, LogicalPath, Operation, Principal, UserRegistry};
+use dgf_scheduler::{InfraDescription, PlannerKind, Scheduler, Sla};
+use dgf_simgrid::{Duration, GridBuilder, GridPreset, SimTime};
+
+fn path(s: &str) -> LogicalPath {
+    LogicalPath::parse(s).unwrap()
+}
+
+#[test]
+fn saturated_grids_queue_tasks_instead_of_failing() {
+    // One domain, one cluster with 32 slots; 80 parallel 600 s tasks.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let mut b = FlowBuilder::parallel("burst");
+    for i in 0..80 {
+        b = b.flow(
+            FlowBuilder::sequential(format!("lane{i}"))
+                .step(
+                    "t",
+                    DglOperation::Execute { code: format!("j{i}"), nominal_secs: "600".into(), resource_type: None, inputs: vec![], outputs: vec![] },
+                )
+                .build()
+                .unwrap(),
+        );
+    }
+    let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+    // 80 tasks / 32 slots = 3 waves ≈ 1800 s (+ queue-poll slack).
+    let elapsed = d.now().as_secs_f64();
+    assert!((1800.0..2100.0).contains(&elapsed), "batch-queued makespan: {elapsed}");
+}
+
+#[test]
+fn impossible_requirements_fail_fast_rather_than_queue() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let flow = FlowBuilder::sequential("impossible")
+        .step(
+            "t",
+            DglOperation::Execute {
+                code: "huge".into(),
+                nominal_secs: "10".into(),
+                resource_type: Some("compute:9999".into()), // nothing is that big
+                inputs: vec![],
+                outputs: vec![],
+            },
+        )
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    let report = d.status(&txn, None).unwrap();
+    assert_eq!(report.state, RunState::Failed, "structural impossibility is not queued forever");
+    assert!(d.now() < SimTime::from_secs(60), "failed immediately, not after a queue timeout");
+}
+
+#[test]
+fn vo_restricted_slas_apply_through_the_engine() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let compute_id = topology.compute_ids().next().unwrap();
+    let mut users = UserRegistry::new();
+    let d0 = topology.domain_ids().next().unwrap();
+    users.register(Principal::new("insider", d0).with_vo("cms"));
+    users.register(Principal::new("outsider", d0).with_vo("atlas"));
+    users.make_admin("insider").unwrap();
+    users.make_admin("outsider").unwrap();
+    let mut infra = InfraDescription::open();
+    infra.publish(compute_id, Sla::for_vos(&["cms"]));
+    let scheduler = Scheduler::new(PlannerKind::CostBased, 1).with_infra(infra);
+    let mut d = Dfms::new(DataGrid::new(topology, users), scheduler);
+
+    let exec_flow = || {
+        FlowBuilder::sequential("job")
+            .step(
+                "t",
+                DglOperation::Execute { code: "sim".into(), nominal_secs: "10".into(), resource_type: None, inputs: vec![], outputs: vec![] },
+            )
+            .build()
+            .unwrap()
+    };
+    // The VO is taken from the submitting request.
+    let ok = d.submit(dgf_dgl::DataGridRequest::flow("r1", "insider", exec_flow()).with_vo("cms")).unwrap();
+    let denied = d.submit(dgf_dgl::DataGridRequest::flow("r2", "outsider", exec_flow()).with_vo("atlas")).unwrap();
+    d.pump();
+    assert_eq!(d.status(&ok, None).unwrap().state, RunState::Completed);
+    let report = d.status(&denied, None).unwrap();
+    assert_eq!(report.state, RunState::Failed, "atlas may not use a cms-only cluster");
+}
+
+#[test]
+fn rename_via_dgl_keeps_downstream_steps_working() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let flow = FlowBuilder::sequential("publish")
+        .step("put", DglOperation::Ingest { path: "/draft.dat".into(), size: "1000".into(), resource: "site0-disk".into() })
+        .step("sum", DglOperation::Checksum { path: "/draft.dat".into(), resource: None, register: true })
+        .step("publish", DglOperation::Rename { path: "/draft.dat".into(), to: "/published.dat".into() })
+        // Later steps address the NEW name — the catalog is consistent
+        // mid-flow.
+        .step("cp", DglOperation::Replicate { path: "/published.dat".into(), src: None, dst: "site1-disk".into() })
+        .step("verify", DglOperation::Checksum { path: "/published.dat".into(), resource: Some("site1-disk".into()), register: false })
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+    assert!(!d.grid().exists(&path("/draft.dat")));
+    let obj = d.grid().stat_object(&path("/published.dat")).unwrap();
+    assert_eq!(obj.replicas.len(), 2);
+    assert!(obj.checksum.is_some(), "digest survived the rename");
+    // The DGL document round-trips with the rename operation in it.
+    let events = d.grid().events();
+    assert!(events.iter().any(|e| e.kind == dgf_dgms::EventKind::ObjectRenamed));
+}
+
+#[test]
+fn window_plus_pause_interact_correctly() {
+    // A windowed run that is ALSO paused must wait for both: resume
+    // during a closed window defers to the next opening.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let flow = FlowBuilder::sequential("weekend-work")
+        .step("a", DglOperation::CreateCollection { path: "/wk".into() })
+        .build()
+        .unwrap();
+    let options = RunOptions { window: Some(dgf_simgrid::ScheduleWindow::weekends()), ..Default::default() };
+    let txn = d.submit_flow_with("u", flow, options).unwrap();
+    d.pause(&txn).unwrap();
+    // Pump into Wednesday: paused AND windowed — nothing runs.
+    d.pump_until(SimTime::from_days(2));
+    assert!(!d.grid().exists(&path("/wk")));
+    d.resume(&txn).unwrap();
+    // Still Wednesday: the window gates even after resume.
+    d.pump_until(SimTime::from_days(3));
+    assert!(!d.grid().exists(&path("/wk")));
+    // Saturday: it finally runs.
+    d.pump_until(SimTime::from_days(5) + Duration::from_hours(1));
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+}
+
+#[test]
+fn engine_metrics_add_up() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let flow = FlowBuilder::sequential("mix")
+        .step("mk", DglOperation::CreateCollection { path: "/m".into() })
+        .step("put", DglOperation::Ingest { path: "/m/x".into(), size: "12345".into(), resource: "site0-disk".into() })
+        .step("note", DglOperation::Notify { message: "done".into() })
+        .build()
+        .unwrap();
+    d.submit_flow("u", flow).unwrap();
+    d.pump();
+    let m = d.metrics();
+    assert_eq!(m.runs_submitted, 1);
+    assert_eq!(m.runs_completed, 1);
+    assert_eq!(m.runs_failed, 0);
+    assert_eq!(m.steps_executed, 3);
+    assert_eq!(m.dgms_ops, 2, "notify is engine-local");
+    assert_eq!(m.bytes_moved, 12345);
+    assert_eq!(d.notifications().len(), 1);
+    // Grid-level audit agrees.
+    assert_eq!(d.grid().events().len(), 2);
+}
+
+#[test]
+fn directly_driven_grid_and_engine_share_one_audit_stream() {
+    // Mixing direct DGMS calls (setup scripts) with engine runs keeps one
+    // coherent event history — the trigger cursor must not skip or
+    // double-count.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    d.triggers_mut().register(dgf_triggers::Trigger::new(
+        "count-all",
+        "u",
+        LogicalPath::root(),
+        dgf_triggers::TriggerAction::Notify("saw ${event.path}".into()),
+    ));
+    // Direct grid mutation (no engine involvement yet).
+    d.grid_mut().execute("u", Operation::CreateCollection { path: path("/direct") }, SimTime::ZERO).unwrap();
+    // Engine run: its post-op poll also picks up the direct event.
+    let flow = FlowBuilder::sequential("f")
+        .step("mk", DglOperation::CreateCollection { path: "/via-engine".into() })
+        .build()
+        .unwrap();
+    d.submit_flow("u", flow).unwrap();
+    d.pump();
+    let messages: Vec<&str> = d.notifications().iter().map(|n| n.message.as_str()).collect();
+    assert!(messages.contains(&"saw /direct"));
+    assert!(messages.contains(&"saw /via-engine"));
+    assert_eq!(messages.len(), 2, "each event fires exactly once: {messages:?}");
+}

@@ -1,0 +1,325 @@
+//! [`FlowBuilder`]: the programmatic API for composing flows.
+//!
+//! §3.1 requires "an API based interface for developers and expert users
+//! to programmatically interact with the DfMS"; this builder is that
+//! interface (the IDE of §3.2 would emit the same structures as XML).
+
+use crate::error::DglError;
+use crate::expr::Expr;
+use crate::flow::{Case, Children, ControlPattern, Flow, FlowLogic, IterSource, UserDefinedRule, VarDecl};
+use crate::step::{DglOperation, Step};
+
+/// A fluent builder for [`Flow`] trees.
+///
+/// ```
+/// use dgf_dgl::{DglOperation, FlowBuilder};
+///
+/// let flow = FlowBuilder::sequential("backup")
+///     .var("src", "/home/scec/run1")
+///     .step("snapshot", DglOperation::Replicate {
+///         path: "${src}".into(), src: None, dst: "archive".into(),
+///     })
+///     .step("note", DglOperation::Notify { message: "backed up ${src}".into() })
+///     .build()
+///     .unwrap();
+/// assert_eq!(flow.step_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FlowBuilder {
+    name: String,
+    variables: Vec<VarDecl>,
+    pattern: ControlPattern,
+    rules: Vec<UserDefinedRule>,
+    steps: Vec<Step>,
+    flows: Vec<Flow>,
+}
+
+impl FlowBuilder {
+    fn new(name: impl Into<String>, pattern: ControlPattern) -> Self {
+        FlowBuilder {
+            name: name.into(),
+            variables: Vec::new(),
+            pattern,
+            rules: Vec::new(),
+            steps: Vec::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// A flow whose children run in order.
+    pub fn sequential(name: impl Into<String>) -> Self {
+        Self::new(name, ControlPattern::Sequential)
+    }
+
+    /// A flow whose children run concurrently.
+    pub fn parallel(name: impl Into<String>) -> Self {
+        Self::new(name, ControlPattern::Parallel)
+    }
+
+    /// A while loop; `condition` is a Tcondition source string.
+    pub fn while_loop(name: impl Into<String>, condition: &str) -> Result<Self, DglError> {
+        Ok(Self::new(name, ControlPattern::While(Expr::parse(condition)?)))
+    }
+
+    /// A for-each over an explicit item list.
+    pub fn for_each_items<I, S>(name: impl Into<String>, var: impl Into<String>, items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::new(
+            name,
+            ControlPattern::ForEach {
+                var: var.into(),
+                source: IterSource::Items(items.into_iter().map(Into::into).collect()),
+                parallel: false,
+            },
+        )
+    }
+
+    /// A for-each over every object in a collection.
+    pub fn for_each_in_collection(
+        name: impl Into<String>,
+        var: impl Into<String>,
+        collection: impl Into<String>,
+    ) -> Self {
+        Self::new(
+            name,
+            ControlPattern::ForEach {
+                var: var.into(),
+                source: IterSource::Collection(collection.into()),
+                parallel: false,
+            },
+        )
+    }
+
+    /// A for-each over a metadata query's results.
+    pub fn for_each_query(
+        name: impl Into<String>,
+        var: impl Into<String>,
+        collection: impl Into<String>,
+        attribute: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        Self::new(
+            name,
+            ControlPattern::ForEach {
+                var: var.into(),
+                source: IterSource::Query {
+                    collection: collection.into(),
+                    attribute: attribute.into(),
+                    value: value.into(),
+                },
+                parallel: false,
+            },
+        )
+    }
+
+    /// A switch on an expression; add one child per case via
+    /// [`case`](Self::case) / [`default_case`](Self::default_case).
+    pub fn switch(name: impl Into<String>, on: &str) -> Result<Self, DglError> {
+        Ok(Self::new(name, ControlPattern::Switch { on: Expr::parse(on)?, cases: Vec::new() }))
+    }
+
+    /// Make a for-each run its iterations concurrently.
+    #[must_use]
+    pub fn concurrent(mut self) -> Self {
+        if let ControlPattern::ForEach { parallel, .. } = &mut self.pattern {
+            *parallel = true;
+        }
+        self
+    }
+
+    /// Declare a flow variable.
+    #[must_use]
+    pub fn var(mut self, name: impl Into<String>, initial: impl Into<String>) -> Self {
+        self.variables.push(VarDecl::new(name, initial));
+        self
+    }
+
+    /// Attach a user-defined rule.
+    #[must_use]
+    pub fn rule(mut self, rule: UserDefinedRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Shorthand: an unconditional `beforeEntry` rule running `steps`.
+    #[must_use]
+    pub fn before_entry(mut self, steps: Vec<Step>) -> Self {
+        self.rules.push(UserDefinedRule::unconditional(crate::flow::RULE_BEFORE_ENTRY, steps));
+        self
+    }
+
+    /// Shorthand: an unconditional `afterExit` rule running `steps`.
+    #[must_use]
+    pub fn after_exit(mut self, steps: Vec<Step>) -> Self {
+        self.rules.push(UserDefinedRule::unconditional(crate::flow::RULE_AFTER_EXIT, steps));
+        self
+    }
+
+    /// Append a step child.
+    #[must_use]
+    pub fn step(mut self, name: impl Into<String>, op: DglOperation) -> Self {
+        self.steps.push(Step::new(name, op));
+        self
+    }
+
+    /// Append a pre-built step child.
+    #[must_use]
+    pub fn add_step(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Append a sub-flow child.
+    #[must_use]
+    pub fn flow(mut self, flow: Flow) -> Self {
+        self.flows.push(flow);
+        self
+    }
+
+    /// Append a switch arm matching `value`, executing `child`.
+    #[must_use]
+    pub fn case(mut self, value: impl Into<String>, child: Flow) -> Self {
+        if let ControlPattern::Switch { cases, .. } = &mut self.pattern {
+            cases.push(Case { value: Some(value.into()) });
+        }
+        self.flows.push(child);
+        self
+    }
+
+    /// Append the default switch arm.
+    #[must_use]
+    pub fn default_case(mut self, child: Flow) -> Self {
+        if let ControlPattern::Switch { cases, .. } = &mut self.pattern {
+            cases.push(Case { value: None });
+        }
+        self.flows.push(child);
+        self
+    }
+
+    /// Finish, validating the resulting tree.
+    pub fn build(self) -> Result<Flow, DglError> {
+        if !self.steps.is_empty() && !self.flows.is_empty() {
+            return Err(DglError::Invalid(format!(
+                "flow {:?}: children are sub-flows or steps, not both",
+                self.name
+            )));
+        }
+        let children = if self.flows.is_empty() {
+            Children::Steps(self.steps)
+        } else {
+            Children::Flows(self.flows)
+        };
+        let flow = Flow {
+            name: self.name,
+            variables: self.variables,
+            logic: FlowLogic { pattern: self.pattern, rules: self.rules },
+            children,
+        };
+        flow.validate()?;
+        Ok(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::RULE_BEFORE_ENTRY;
+
+    fn notify(msg: &str) -> DglOperation {
+        DglOperation::Notify { message: msg.into() }
+    }
+
+    #[test]
+    fn builds_nested_flows() {
+        let inner = FlowBuilder::parallel("fan-out")
+            .step("a", notify("a"))
+            .step("b", notify("b"))
+            .build()
+            .unwrap();
+        let outer = FlowBuilder::sequential("pipeline")
+            .var("run", "42")
+            .flow(inner)
+            .flow(FlowBuilder::sequential("tail").step("c", notify("c")).build().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(outer.step_count(), 3);
+        assert_eq!(outer.depth(), 2);
+    }
+
+    #[test]
+    fn rejects_mixed_children() {
+        let err = FlowBuilder::sequential("bad")
+            .step("s", notify("x"))
+            .flow(Flow::sequence("f", vec![]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DglError::Invalid(msg) if msg.contains("not both")));
+    }
+
+    #[test]
+    fn while_and_switch_builders() {
+        let loop_flow = FlowBuilder::while_loop("retry", "attempts < 3")
+            .unwrap()
+            .var("attempts", "0")
+            .step("try", notify("trying"))
+            .step(
+                "count",
+                DglOperation::Assign { variable: "attempts".into(), expr: Expr::parse("attempts + 1").unwrap() },
+            )
+            .build()
+            .unwrap();
+        assert_eq!(loop_flow.children.len(), 2);
+
+        let sw = FlowBuilder::switch("route", "doc_type")
+            .unwrap()
+            .case("pdf", Flow::sequence("pdf-path", vec![Step::new("p", notify("pdf"))]))
+            .case("image", Flow::sequence("image-path", vec![Step::new("i", notify("img"))]))
+            .default_case(Flow::sequence("other", vec![Step::new("o", notify("other"))]))
+            .build()
+            .unwrap();
+        match &sw.logic.pattern {
+            ControlPattern::Switch { cases, .. } => assert_eq!(cases.len(), 3),
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_exit_shorthands_set_reserved_names() {
+        let f = FlowBuilder::sequential("f")
+            .before_entry(vec![Step::new("init", notify("enter"))])
+            .after_exit(vec![Step::new("fini", notify("exit"))])
+            .step("body", notify("work"))
+            .build()
+            .unwrap();
+        assert_eq!(f.logic.rules[0].name, RULE_BEFORE_ENTRY);
+        assert_eq!(f.logic.rules.len(), 2);
+    }
+
+    #[test]
+    fn builder_output_round_trips_via_xml() {
+        let flow = FlowBuilder::for_each_query("sweep", "f", "/home", "type", "pdf")
+            .concurrent()
+            .step("verify", DglOperation::Checksum { path: "${f}".into(), resource: None, register: false })
+            .build()
+            .unwrap();
+        let req = crate::DataGridRequest::flow("r", "u", flow.clone());
+        let parsed = crate::parse_request(&req.to_xml()).unwrap();
+        match parsed.body {
+            crate::RequestBody::Flow(f) => assert_eq!(f, flow),
+            _ => panic!("expected flow body"),
+        }
+    }
+
+    #[test]
+    fn builder_validates_through_flow_validate() {
+        let err = FlowBuilder::sequential("dup")
+            .step("same", notify("1"))
+            .step("same", notify("2"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DglError::Invalid(_)));
+    }
+}

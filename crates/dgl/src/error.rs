@@ -1,0 +1,72 @@
+//! DGL errors: parse, validation, and evaluation failures.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the language layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DglError {
+    /// The XML layer rejected the document.
+    Xml(String),
+    /// The XML parsed but does not conform to the DGL schema.
+    Schema { element: String, reason: String },
+    /// A Tcondition failed to parse.
+    ExprParse { expr: String, reason: String },
+    /// A Tcondition failed to evaluate.
+    ExprEval { expr: String, reason: String },
+    /// A variable was referenced but never declared in any enclosing scope.
+    UnknownVariable(String),
+    /// `${...}` interpolation in a template failed.
+    BadInterpolation { template: String, reason: &'static str },
+    /// Structural validation failed (mixed children, duplicate names, ...).
+    Invalid(String),
+}
+
+impl DglError {
+    /// Helper for schema errors.
+    pub fn schema(element: impl Into<String>, reason: impl Into<String>) -> Self {
+        DglError::Schema { element: element.into(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for DglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DglError::Xml(e) => write!(f, "XML error: {e}"),
+            DglError::Schema { element, reason } => write!(f, "DGL schema error in <{element}>: {reason}"),
+            DglError::ExprParse { expr, reason } => write!(f, "cannot parse tcondition {expr:?}: {reason}"),
+            DglError::ExprEval { expr, reason } => write!(f, "cannot evaluate tcondition {expr:?}: {reason}"),
+            DglError::UnknownVariable(v) => write!(f, "unknown DGL variable {v:?}"),
+            DglError::BadInterpolation { template, reason } => {
+                write!(f, "bad interpolation in {template:?}: {reason}")
+            }
+            DglError::Invalid(msg) => write!(f, "invalid DGL document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DglError {}
+
+impl From<dgf_xml::XmlError> for DglError {
+    fn from(e: dgf_xml::XmlError) -> Self {
+        DglError::Xml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_errors_convert() {
+        let xml_err = dgf_xml::parse("<a>").unwrap_err();
+        let dgl_err: DglError = xml_err.into();
+        assert!(matches!(dgl_err, DglError::Xml(_)));
+        assert!(dgl_err.to_string().contains("XML"));
+    }
+
+    #[test]
+    fn schema_helper_builds_variant() {
+        let e = DglError::schema("flow", "missing flowlogic");
+        assert!(e.to_string().contains("<flow>") && e.to_string().contains("missing flowlogic"));
+    }
+}

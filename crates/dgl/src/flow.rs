@@ -1,0 +1,425 @@
+//! [`Flow`]: the recursive control structure of Figure 1.
+
+use crate::error::DglError;
+use crate::expr::Expr;
+use crate::step::Step;
+
+/// A variable declaration in a flow's `Variables` section.
+///
+/// The initial value is a template string, interpolated and then typed
+/// (int → float → bool → string) when the flow enters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Initial value template.
+    pub initial: String,
+}
+
+impl VarDecl {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, initial: impl Into<String>) -> Self {
+        VarDecl { name: name.into(), initial: initial.into() }
+    }
+}
+
+/// Where a `for-each` flow draws its items from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IterSource {
+    /// An explicit item list (templates, interpolated per run).
+    Items(Vec<String>),
+    /// Every object directly or transitively under a collection — "the
+    /// workflow involves iterating some set of tasks over collections of
+    /// files" (§2.3).
+    Collection(String),
+    /// Objects under `collection` whose metadata has `attribute == value`
+    /// — "the files are used as input data and processed according to a
+    /// datagrid query" (§2.3).
+    Query { collection: String, attribute: String, value: String },
+    /// The items already bound to a list variable (e.g. by a `query` step).
+    Variable(String),
+}
+
+/// One arm of a `switch` flow. Arms pair positionally with the flow's
+/// children: child *i* runs iff arm *i* matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Value to match against the switch expression's result; `None` is
+    /// the default arm.
+    pub value: Option<String>,
+}
+
+/// The control choice of Figure 3: "each flow defines a unique control
+/// pattern that dictates how its contents should be executed, e.g.
+/// sequentially, in parallel, while loop, for-each loop, switch-case".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlPattern {
+    /// Children run one after another; a failure aborts the rest.
+    Sequential,
+    /// Children run concurrently; the flow completes when all complete.
+    Parallel,
+    /// Children run repeatedly (sequentially) while the condition holds.
+    While(Expr),
+    /// Children run once per item, with `var` bound to the item.
+    /// `parallel` controls whether iterations overlap.
+    ForEach { var: String, source: IterSource, parallel: bool },
+    /// Evaluate `on`; run the child whose case matches.
+    Switch { on: Expr, cases: Vec<Case> },
+}
+
+impl ControlPattern {
+    /// The DGL element name this pattern serializes as.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ControlPattern::Sequential => "sequential",
+            ControlPattern::Parallel => "parallel",
+            ControlPattern::While(_) => "while",
+            ControlPattern::ForEach { .. } => "forEach",
+            ControlPattern::Switch { .. } => "switch",
+        }
+    }
+}
+
+/// One action inside a [`UserDefinedRule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleAction {
+    /// Action name — selected when the rule's condition evaluates to it.
+    pub name: String,
+    /// Steps executed when selected.
+    pub steps: Vec<Step>,
+}
+
+/// An Event-Condition-Action rule (Appendix A): "a UserDefinedRule
+/// consists of a condition and one or more action statements. ... The
+/// Actions are executed if the condition statement evaluates to the name
+/// of the action."
+///
+/// Two rule names are reserved and fired automatically: `beforeEntry`
+/// (before the flow/step starts) and `afterExit` (after it finishes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserDefinedRule {
+    /// Rule name (`beforeEntry`, `afterExit`, or custom).
+    pub name: String,
+    /// The tcondition; its result (as a string) selects an action.
+    pub condition: Expr,
+    /// Candidate actions.
+    pub actions: Vec<RuleAction>,
+}
+
+/// Reserved rule name fired before a flow or step starts.
+pub const RULE_BEFORE_ENTRY: &str = "beforeEntry";
+/// Reserved rule name fired after a flow or step finishes.
+pub const RULE_AFTER_EXIT: &str = "afterExit";
+
+impl UserDefinedRule {
+    /// A rule whose condition selects among its actions.
+    pub fn new(name: impl Into<String>, condition: Expr, actions: Vec<RuleAction>) -> Self {
+        UserDefinedRule { name: name.into(), condition, actions }
+    }
+
+    /// A rule that always runs a single unconditional action.
+    pub fn unconditional(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        UserDefinedRule {
+            name: name.into(),
+            condition: Expr::parse("'do'").expect("literal parses"),
+            actions: vec![RuleAction { name: "do".into(), steps }],
+        }
+    }
+}
+
+/// The `FlowLogic` section (Figure 3): a control pattern plus the
+/// user-defined rules "that encapsulate the actions that the Flow should
+/// take upon starting up and before exiting".
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowLogic {
+    /// The control structure.
+    pub pattern: ControlPattern,
+    /// ECA rules.
+    pub rules: Vec<UserDefinedRule>,
+}
+
+impl FlowLogic {
+    /// Sequential logic with no rules.
+    pub fn sequential() -> Self {
+        FlowLogic { pattern: ControlPattern::Sequential, rules: Vec::new() }
+    }
+
+    /// Parallel logic with no rules.
+    pub fn parallel() -> Self {
+        FlowLogic { pattern: ControlPattern::Parallel, rules: Vec::new() }
+    }
+}
+
+/// A flow's children: "sub-flows or steps (but not both)" (Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Children {
+    /// Nested flows.
+    Flows(Vec<Flow>),
+    /// Leaf steps.
+    Steps(Vec<Step>),
+}
+
+impl Children {
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        match self {
+            Children::Flows(f) => f.len(),
+            Children::Steps(s) => s.len(),
+        }
+    }
+
+    /// True when there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The recursive flow structure of Figure 1: Variables + FlowLogic +
+/// Children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Flow name (unique among siblings).
+    pub name: String,
+    /// The `Variables` section.
+    pub variables: Vec<VarDecl>,
+    /// The `FlowLogic` section.
+    pub logic: FlowLogic,
+    /// The `Children` section.
+    pub children: Children,
+}
+
+impl Flow {
+    /// A sequential flow over steps.
+    pub fn sequence(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        Flow { name: name.into(), variables: Vec::new(), logic: FlowLogic::sequential(), children: Children::Steps(steps) }
+    }
+
+    /// A parallel flow over sub-flows.
+    pub fn parallel_flows(name: impl Into<String>, flows: Vec<Flow>) -> Self {
+        Flow { name: name.into(), variables: Vec::new(), logic: FlowLogic::parallel(), children: Children::Flows(flows) }
+    }
+
+    /// Total number of steps in this subtree (rule-action steps excluded:
+    /// they are data-dependent).
+    pub fn step_count(&self) -> usize {
+        match &self.children {
+            Children::Steps(steps) => steps.len(),
+            Children::Flows(flows) => flows.iter().map(Flow::step_count).sum(),
+        }
+    }
+
+    /// Maximum flow nesting depth (a flow of steps is depth 1).
+    pub fn depth(&self) -> usize {
+        match &self.children {
+            Children::Steps(_) => 1,
+            Children::Flows(flows) => 1 + flows.iter().map(Flow::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Structural validation of the whole subtree.
+    ///
+    /// Checks the constraints the XML schema cannot express locally:
+    /// * switch flows have exactly one case per child and at most one
+    ///   default arm;
+    /// * for-each flows bind a non-empty variable name;
+    /// * sibling names (flows or steps) are unique — status queries
+    ///   address children by name;
+    /// * rule names are unique within a flow/step;
+    /// * every rule has at least one action, with unique action names.
+    pub fn validate(&self) -> Result<(), DglError> {
+        self.validate_inner("")
+    }
+
+    fn validate_inner(&self, prefix: &str) -> Result<(), DglError> {
+        let here = if prefix.is_empty() { self.name.clone() } else { format!("{prefix}/{}", self.name) };
+        if self.name.is_empty() {
+            return Err(DglError::Invalid(format!("flow under {prefix:?} has an empty name")));
+        }
+        if let ControlPattern::Switch { cases, .. } = &self.logic.pattern {
+            if cases.len() != self.children.len() {
+                return Err(DglError::Invalid(format!(
+                    "{here}: switch has {} cases for {} children",
+                    cases.len(),
+                    self.children.len()
+                )));
+            }
+            if cases.iter().filter(|c| c.value.is_none()).count() > 1 {
+                return Err(DglError::Invalid(format!("{here}: switch has multiple default arms")));
+            }
+        }
+        if let ControlPattern::ForEach { var, .. } = &self.logic.pattern {
+            if var.is_empty() {
+                return Err(DglError::Invalid(format!("{here}: for-each with empty variable name")));
+            }
+        }
+        validate_rules(&self.logic.rules, &here)?;
+        let mut names: Vec<&str> = Vec::with_capacity(self.children.len());
+        match &self.children {
+            Children::Flows(flows) => {
+                for flow in flows {
+                    names.push(&flow.name);
+                    flow.validate_inner(&here)?;
+                }
+            }
+            Children::Steps(steps) => {
+                for step in steps {
+                    if step.name.is_empty() {
+                        return Err(DglError::Invalid(format!("{here}: step with empty name")));
+                    }
+                    names.push(&step.name);
+                    validate_rules(&step.rules, &format!("{here}/{}", step.name))?;
+                }
+            }
+        }
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DglError::Invalid(format!("{here}: duplicate child name {:?}", dup[0])));
+        }
+        Ok(())
+    }
+}
+
+fn validate_rules(rules: &[UserDefinedRule], context: &str) -> Result<(), DglError> {
+    let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+    names.sort_unstable();
+    if let Some(dup) = names.windows(2).find(|w| w[0] == w[1]) {
+        return Err(DglError::Invalid(format!("{context}: duplicate rule {:?}", dup[0])));
+    }
+    for rule in rules {
+        if rule.actions.is_empty() {
+            return Err(DglError::Invalid(format!("{context}: rule {:?} has no actions", rule.name)));
+        }
+        let mut action_names: Vec<&str> = rule.actions.iter().map(|a| a.name.as_str()).collect();
+        action_names.sort_unstable();
+        if let Some(dup) = action_names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DglError::Invalid(format!(
+                "{context}: rule {:?} has duplicate action {:?}",
+                rule.name, dup[0]
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::DglOperation;
+
+    fn step(name: &str) -> Step {
+        Step::new(name, DglOperation::Notify { message: "x".into() })
+    }
+
+    #[test]
+    fn counting_and_depth() {
+        let inner = Flow::sequence("inner", vec![step("a"), step("b")]);
+        let outer = Flow::parallel_flows("outer", vec![inner.clone(), Flow::sequence("other", vec![step("c")])]);
+        assert_eq!(outer.step_count(), 3);
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(inner.depth(), 1);
+        assert_eq!(outer.children.len(), 2);
+        assert!(!outer.children.is_empty());
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_flows() {
+        let flow = Flow {
+            name: "f".into(),
+            variables: vec![VarDecl::new("i", "0")],
+            logic: FlowLogic {
+                pattern: ControlPattern::While(Expr::parse("i < 3").unwrap()),
+                rules: vec![UserDefinedRule::unconditional(RULE_BEFORE_ENTRY, vec![step("init")])],
+            },
+            children: Children::Steps(vec![step("body"), step("incr")]),
+        };
+        flow.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_switch_case_mismatch() {
+        let flow = Flow {
+            name: "sw".into(),
+            variables: vec![],
+            logic: FlowLogic {
+                pattern: ControlPattern::Switch {
+                    on: Expr::parse("'a'").unwrap(),
+                    cases: vec![Case { value: Some("a".into()) }],
+                },
+                rules: vec![],
+            },
+            children: Children::Steps(vec![step("one"), step("two")]),
+        };
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("cases")));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_names() {
+        let flow = Flow::sequence("f", vec![step("same"), step("same")]);
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("duplicate child")));
+        let nested = Flow::parallel_flows(
+            "p",
+            vec![Flow::sequence("x", vec![]), Flow::sequence("x", vec![])],
+        );
+        assert!(nested.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rules() {
+        let mut flow = Flow::sequence("f", vec![step("a")]);
+        flow.logic.rules = vec![UserDefinedRule::new("r", Expr::always(), vec![])];
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("no actions")));
+
+        flow.logic.rules = vec![UserDefinedRule::new(
+            "r",
+            Expr::always(),
+            vec![
+                RuleAction { name: "a".into(), steps: vec![] },
+                RuleAction { name: "a".into(), steps: vec![] },
+            ],
+        )];
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("duplicate action")));
+
+        flow.logic.rules = vec![
+            UserDefinedRule::unconditional("r", vec![]),
+            UserDefinedRule::unconditional("r", vec![]),
+        ];
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("duplicate rule")));
+    }
+
+    #[test]
+    fn validation_rejects_multiple_defaults_and_empty_names() {
+        let flow = Flow {
+            name: "sw".into(),
+            variables: vec![],
+            logic: FlowLogic {
+                pattern: ControlPattern::Switch {
+                    on: Expr::parse("'a'").unwrap(),
+                    cases: vec![Case { value: None }, Case { value: None }],
+                },
+                rules: vec![],
+            },
+            children: Children::Steps(vec![step("one"), step("two")]),
+        };
+        assert!(flow.validate().is_err());
+        let empty_named = Flow::sequence("", vec![]);
+        assert!(empty_named.validate().is_err());
+        let empty_step = Flow::sequence("f", vec![step("")]);
+        assert!(empty_step.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_tags_match_dgl_elements() {
+        assert_eq!(ControlPattern::Sequential.tag(), "sequential");
+        assert_eq!(ControlPattern::Parallel.tag(), "parallel");
+        assert_eq!(ControlPattern::While(Expr::always()).tag(), "while");
+        assert_eq!(
+            ControlPattern::ForEach { var: "f".into(), source: IterSource::Items(vec![]), parallel: false }.tag(),
+            "forEach"
+        );
+        assert_eq!(
+            ControlPattern::Switch { on: Expr::always(), cases: vec![] }.tag(),
+            "switch"
+        );
+    }
+}

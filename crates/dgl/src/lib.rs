@@ -1,0 +1,99 @@
+//! # dgf-dgl — the Data Grid Language
+//!
+//! "Just as SQL is used for databases, an analog is needed for datagrids.
+//! Our contribution to the datagridflows and the datagrid community is
+//! the Datagrid Language (DGL)." — Jagatheesan et al., VLDB DMG 2005, §4.
+//!
+//! This crate implements the language exactly as Appendix A describes it:
+//!
+//! * [`DataGridRequest`] / [`DataGridResponse`] — the request/response
+//!   wire documents (Figures 2 and 4), carrying either a [`Flow`] or a
+//!   [`FlowStatusQuery`];
+//! * [`Flow`] — the recursive control structure (Figure 1): its own
+//!   variable scope, a [`FlowLogic`] (Figure 3) choosing a control
+//!   pattern (sequential, parallel, while, for-each, switch) plus
+//!   [`UserDefinedRule`]s (`beforeEntry` / `afterExit` ECA rules), and
+//!   children that are either sub-flows or [`Step`]s — never both;
+//! * [`Step`] — a concrete action: a datagrid [`DglOperation`] or
+//!   business-logic execution;
+//! * the **Tcondition** expression language ([`Expr`]) with DGL variable
+//!   access and `${var}` string interpolation;
+//! * XML encoding/decoding over [`dgf_xml`], with structural validation.
+//!
+//! The execution engine lives in `dgf-dfms`; this crate is purely the
+//! language: parse, validate, build, serialize.
+
+mod builder;
+mod error;
+mod expr;
+mod flow;
+mod request;
+mod response;
+mod scope;
+mod status;
+mod step;
+mod value;
+mod xml_codec;
+
+pub use builder::FlowBuilder;
+pub use error::DglError;
+pub use expr::Expr;
+pub use flow::{
+    Case, Children, ControlPattern, Flow, FlowLogic, IterSource, RuleAction, UserDefinedRule,
+    VarDecl, RULE_AFTER_EXIT, RULE_BEFORE_ENTRY,
+};
+pub use step::ErrorPolicy;
+pub use request::{DataGridRequest, RequestBody, RequestMode};
+pub use response::{DataGridResponse, RequestAck, ResponseBody};
+pub use scope::Scope;
+pub use status::{FlowStatusQuery, RunState, StatusReport};
+pub use step::{DglOperation, Step};
+pub use value::Value;
+pub use xml_codec::{parse_request, parse_response};
+
+/// Interpolate `${name}` references in a template string from a scope.
+///
+/// Unknown variables are an error — silently leaving `${x}` in a resource
+/// name or path is how production flows destroy the wrong collection.
+pub fn interpolate(template: &str, scope: &Scope) -> Result<String, DglError> {
+    if !template.contains("${") {
+        return Ok(template.to_owned());
+    }
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find("${") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let end = after.find('}').ok_or_else(|| DglError::BadInterpolation {
+            template: template.to_owned(),
+            reason: "unterminated ${",
+        })?;
+        let name = &after[..end];
+        let value = scope.get(name).ok_or_else(|| DglError::UnknownVariable(name.to_owned()))?;
+        out.push_str(&value.to_string());
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_substitutes_scope_values() {
+        let mut scope = Scope::root();
+        scope.declare("site", Value::Str("sdsc".into()));
+        scope.declare("i", Value::Int(3));
+        assert_eq!(interpolate("/home/${site}/run${i}.dat", &scope).unwrap(), "/home/sdsc/run3.dat");
+        assert_eq!(interpolate("no vars", &scope).unwrap(), "no vars");
+    }
+
+    #[test]
+    fn interpolation_rejects_unknown_and_unterminated() {
+        let scope = Scope::root();
+        assert!(matches!(interpolate("${missing}", &scope), Err(DglError::UnknownVariable(_))));
+        assert!(matches!(interpolate("${oops", &scope), Err(DglError::BadInterpolation { .. })));
+    }
+}

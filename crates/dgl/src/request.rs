@@ -1,0 +1,114 @@
+//! [`DataGridRequest`]: the client→DfMS document of Figure 2.
+
+use crate::flow::Flow;
+use crate::status::FlowStatusQuery;
+
+/// Whether the client wants to wait for execution or get an immediate
+/// acknowledgement (Appendix A: "the requests can be synchronous or
+/// asynchronous").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestMode {
+    /// Reply after the flow finishes, with its final status.
+    #[default]
+    Synchronous,
+    /// Reply immediately with a [`crate::RequestAck`]; poll via
+    /// [`FlowStatusQuery`].
+    Asynchronous,
+}
+
+/// The request's core component: "either a Flow or a FlowStatusQuery"
+/// (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// A workflow to execute.
+    Flow(Flow),
+    /// A status query on a previous transaction.
+    StatusQuery(FlowStatusQuery),
+}
+
+/// A complete Data Grid Request: "general information including document
+/// metadata, grid user information and the virtual organization to which
+/// the user belongs," plus the body (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataGridRequest {
+    /// Client-chosen document id (echoed in the response).
+    pub id: String,
+    /// Human description of the request.
+    pub description: String,
+    /// The authenticated grid user submitting the request.
+    pub user: String,
+    /// The user's virtual organization, when acting within one.
+    pub vo: Option<String>,
+    /// Synchronous or asynchronous handling.
+    pub mode: RequestMode,
+    /// The flow or status query.
+    pub body: RequestBody,
+}
+
+impl DataGridRequest {
+    /// A synchronous flow-execution request.
+    pub fn flow(id: impl Into<String>, user: impl Into<String>, flow: Flow) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Flow(flow),
+        }
+    }
+
+    /// A status-query request.
+    pub fn status(id: impl Into<String>, user: impl Into<String>, query: FlowStatusQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::StatusQuery(query),
+        }
+    }
+
+    /// Builder-style async marking.
+    #[must_use]
+    pub fn asynchronous(mut self) -> Self {
+        self.mode = RequestMode::Asynchronous;
+        self
+    }
+
+    /// Builder-style description.
+    #[must_use]
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Builder-style VO.
+    #[must_use]
+    pub fn with_vo(mut self, vo: impl Into<String>) -> Self {
+        self.vo = Some(vo.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+
+    #[test]
+    fn builders_compose() {
+        let r = DataGridRequest::flow("req-1", "arun", Flow::sequence("f", vec![]))
+            .asynchronous()
+            .with_description("nightly ILM")
+            .with_vo("scec");
+        assert_eq!(r.mode, RequestMode::Asynchronous);
+        assert_eq!(r.vo.as_deref(), Some("scec"));
+        assert!(matches!(r.body, RequestBody::Flow(_)));
+
+        let q = DataGridRequest::status("req-2", "arun", FlowStatusQuery::whole("t9"));
+        assert!(matches!(q.body, RequestBody::StatusQuery(_)));
+        assert_eq!(q.mode, RequestMode::Synchronous);
+    }
+}

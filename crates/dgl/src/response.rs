@@ -1,0 +1,88 @@
+//! [`DataGridResponse`]: the DfMS→client document of Figure 4.
+
+use crate::status::{RunState, StatusReport};
+
+/// A Request Acknowledgement: "contains a unique identifier for each
+/// request and the initial status of the request and its validity"
+/// (Appendix A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestAck {
+    /// The transaction id assigned by the DfMS server.
+    pub transaction: String,
+    /// Initial state (normally [`RunState::Pending`] or
+    /// [`RunState::Running`]).
+    pub state: RunState,
+    /// Whether the request passed validation; invalid requests carry a
+    /// diagnostic in `message`.
+    pub valid: bool,
+    /// Optional diagnostic message.
+    pub message: Option<String>,
+}
+
+/// The response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Immediate acknowledgement (asynchronous requests, or rejects).
+    Ack(RequestAck),
+    /// Final or queried status (synchronous completions and status
+    /// queries).
+    Status(StatusReport),
+}
+
+/// A complete Data Grid Response, paired to a request by `request_id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataGridResponse {
+    /// Echo of the request's document id.
+    pub request_id: String,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+impl DataGridResponse {
+    /// An acknowledgement response.
+    pub fn ack(request_id: impl Into<String>, ack: RequestAck) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Ack(ack) }
+    }
+
+    /// A status response.
+    pub fn status(request_id: impl Into<String>, report: StatusReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Status(report) }
+    }
+
+    /// The transaction this response refers to.
+    pub fn transaction(&self) -> &str {
+        match &self.body {
+            ResponseBody::Ack(a) => &a.transaction,
+            ResponseBody::Status(s) => &s.transaction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_extraction_covers_both_bodies() {
+        let ack = DataGridResponse::ack(
+            "r1",
+            RequestAck { transaction: "t5".into(), state: RunState::Pending, valid: true, message: None },
+        );
+        assert_eq!(ack.transaction(), "t5");
+        let st = DataGridResponse::status(
+            "r2",
+            StatusReport {
+                transaction: "t6".into(),
+                node: "/".into(),
+                name: "f".into(),
+                state: RunState::Completed,
+                steps_completed: 1,
+                steps_total: 1,
+                message: None,
+                children: vec![],
+            },
+        );
+        assert_eq!(st.transaction(), "t6");
+        assert_eq!(st.request_id, "r2");
+    }
+}

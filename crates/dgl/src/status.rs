@@ -1,0 +1,148 @@
+//! Flow status: queries, run states, and reports.
+//!
+//! "Each DGL transaction generates a unique identifier that can be used
+//! to query the status of the any task in the workflow at any level of
+//! granularity" (§4).
+
+use std::fmt;
+
+/// Lifecycle state of a flow, sub-flow, or step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunState {
+    /// Accepted, not yet started.
+    Pending,
+    /// Currently executing.
+    Running,
+    /// Paused by a lifecycle request; resumable.
+    Paused,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Stopped by a lifecycle request; not resumable.
+    Stopped,
+    /// Skipped (unselected switch arm, or virtual-data hit).
+    Skipped,
+}
+
+impl RunState {
+    /// True for states that will never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RunState::Completed | RunState::Failed | RunState::Stopped | RunState::Skipped)
+    }
+}
+
+impl fmt::Display for RunState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunState::Pending => "pending",
+            RunState::Running => "running",
+            RunState::Paused => "paused",
+            RunState::Completed => "completed",
+            RunState::Failed => "failed",
+            RunState::Stopped => "stopped",
+            RunState::Skipped => "skipped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `FlowStatusQuery` document body (Figure 2's alternative payload):
+/// ask about a transaction, optionally narrowed to one node of the flow
+/// tree by its hierarchical path (e.g. `/0/3/1` = second child of the
+/// fourth child of the first child of the root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStatusQuery {
+    /// The transaction id returned in the request acknowledgement.
+    pub transaction: String,
+    /// Node path within the flow tree; `None` or `"/"` = the root.
+    pub node: Option<String>,
+}
+
+impl FlowStatusQuery {
+    /// Query the whole transaction.
+    pub fn whole(transaction: impl Into<String>) -> Self {
+        FlowStatusQuery { transaction: transaction.into(), node: None }
+    }
+
+    /// Query one node.
+    pub fn node(transaction: impl Into<String>, node: impl Into<String>) -> Self {
+        FlowStatusQuery { transaction: transaction.into(), node: Some(node.into()) }
+    }
+}
+
+/// A status report for one node of a running (or finished) flow tree,
+/// with child summaries — what a `FlowStatusQuery` returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReport {
+    /// Transaction id.
+    pub transaction: String,
+    /// Node path within the flow tree (`/` = root).
+    pub node: String,
+    /// The node's DGL name (flow or step name).
+    pub name: String,
+    /// Current state.
+    pub state: RunState,
+    /// Steps completed in this subtree.
+    pub steps_completed: usize,
+    /// Total steps known in this subtree (grows as loops unroll).
+    pub steps_total: usize,
+    /// Optional failure/diagnostic message.
+    pub message: Option<String>,
+    /// One-line summaries of direct children: (path, name, state).
+    pub children: Vec<(String, String, RunState)>,
+}
+
+impl fmt::Display for StatusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} ({}/{} steps)",
+            self.transaction, self.node, self.state, self.steps_completed, self.steps_total
+        )?;
+        if let Some(msg) = &self.message {
+            write!(f, ": {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(RunState::Completed.is_terminal());
+        assert!(RunState::Failed.is_terminal());
+        assert!(RunState::Stopped.is_terminal());
+        assert!(RunState::Skipped.is_terminal());
+        assert!(!RunState::Running.is_terminal());
+        assert!(!RunState::Paused.is_terminal());
+        assert!(!RunState::Pending.is_terminal());
+    }
+
+    #[test]
+    fn query_constructors() {
+        let q = FlowStatusQuery::whole("t42");
+        assert_eq!(q.node, None);
+        let q = FlowStatusQuery::node("t42", "/0/1");
+        assert_eq!(q.node.as_deref(), Some("/0/1"));
+    }
+
+    #[test]
+    fn report_displays_progress() {
+        let r = StatusReport {
+            transaction: "t7".into(),
+            node: "/0".into(),
+            name: "ingest".into(),
+            state: RunState::Running,
+            steps_completed: 3,
+            steps_total: 10,
+            message: None,
+            children: vec![],
+        };
+        let line = r.to_string();
+        assert!(line.contains("t7") && line.contains("3/10") && line.contains("running"), "{line}");
+    }
+}

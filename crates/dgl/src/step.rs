@@ -1,0 +1,183 @@
+//! [`Step`]: the concrete actions a gridflow performs.
+
+use crate::expr::Expr;
+use crate::flow::{UserDefinedRule, VarDecl};
+use std::fmt;
+
+/// What to do when a step's operation fails.
+///
+/// "Fault handling information for the processes could also be provided
+/// in the execution logic" (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Fail the step (and, under sequential logic, the enclosing flow).
+    #[default]
+    Fail,
+    /// Record the failure but keep going.
+    Ignore,
+    /// Retry up to N additional times (possibly on a different resource —
+    /// the engine re-plans each attempt), then fail.
+    Retry(u32),
+}
+
+/// The atomic operation a [`Step`] executes.
+///
+/// Appendix A: "DGL supports a number of DataGrid related operations for
+/// SDSC's Storage Resource Broker (SRB) or execution of business logic
+/// (code) by the DfMS server." Every string field is a template —
+/// `${var}` references resolve against the enclosing flow scopes at
+/// execution time, which is how a for-each flow applies one step to many
+/// files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DglOperation {
+    /// Create a collection.
+    CreateCollection { path: String },
+    /// Ingest an external file onto a logical resource.
+    Ingest { path: String, size: String, resource: String },
+    /// Add a replica (src = explicit source resource, or best replica).
+    Replicate { path: String, src: Option<String>, dst: String },
+    /// Move between resources.
+    Migrate { path: String, from: String, to: String },
+    /// Drop one replica.
+    Trim { path: String, resource: String },
+    /// Remove the object everywhere.
+    Delete { path: String },
+    /// Rename the object's logical path (catalog-only; replicas stay put).
+    Rename { path: String, to: String },
+    /// MD5 a replica; `register` stores the digest, otherwise verify.
+    Checksum { path: String, resource: Option<String>, register: bool },
+    /// Attach a metadata triple.
+    SetMetadata { path: String, attribute: String, value: String },
+    /// Grant a permission level ("read" | "write" | "own").
+    SetPermission { path: String, grantee: String, level: String },
+    /// Run a metadata query under `collection` for objects where
+    /// `attribute == value`, binding the resulting path list to variable
+    /// `into` in the enclosing scope.
+    Query { collection: String, attribute: String, value: String, into: String },
+    /// Execute business logic (a binary) on a compute resource chosen by
+    /// the scheduler. `nominal_secs` is its reference-machine duration;
+    /// `inputs` are logical paths staged to the execution site; each
+    /// output is created at the site and registered at the given logical
+    /// path with the given size.
+    Execute {
+        /// Name of the business-logic code (for provenance and the
+        /// virtual-data catalog).
+        code: String,
+        /// Nominal duration expression, in seconds on the reference CPU.
+        nominal_secs: String,
+        /// Abstract resource requirement the scheduler matchmakes on
+        /// (e.g. "compute", "compute:16" for ≥16 slots). `None` = any.
+        resource_type: Option<String>,
+        /// Logical input paths.
+        inputs: Vec<String>,
+        /// (logical path, size-in-bytes template) outputs.
+        outputs: Vec<(String, String)>,
+    },
+    /// Evaluate an expression and assign it to a variable (loop counters,
+    /// accumulators).
+    Assign { variable: String, expr: Expr },
+    /// Emit a notification message (the §2.2 trigger use-case "sending
+    /// notifications when specific types of files are ingested").
+    Notify { message: String },
+}
+
+impl DglOperation {
+    /// Short verb for provenance records and logs.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            DglOperation::CreateCollection { .. } => "create-collection",
+            DglOperation::Ingest { .. } => "ingest",
+            DglOperation::Replicate { .. } => "replicate",
+            DglOperation::Migrate { .. } => "migrate",
+            DglOperation::Trim { .. } => "trim",
+            DglOperation::Delete { .. } => "delete",
+            DglOperation::Rename { .. } => "rename",
+            DglOperation::Checksum { .. } => "checksum",
+            DglOperation::SetMetadata { .. } => "set-metadata",
+            DglOperation::SetPermission { .. } => "set-permission",
+            DglOperation::Query { .. } => "query",
+            DglOperation::Execute { .. } => "execute",
+            DglOperation::Assign { .. } => "assign",
+            DglOperation::Notify { .. } => "notify",
+        }
+    }
+
+    /// True for operations that only touch engine state (no DGMS call).
+    pub fn is_local(&self) -> bool {
+        matches!(self, DglOperation::Assign { .. } | DglOperation::Notify { .. })
+    }
+}
+
+impl fmt::Display for DglOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.verb())
+    }
+}
+
+/// A concrete action in a gridflow: "a Step can declare variables and
+/// userDefinedRules just like a Flow, but contains a single element
+/// called an Operation" (Appendix A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Step name, unique within its parent flow.
+    pub name: String,
+    /// Step-local variable declarations.
+    pub variables: Vec<VarDecl>,
+    /// beforeEntry / afterExit / custom ECA rules.
+    pub rules: Vec<UserDefinedRule>,
+    /// The operation.
+    pub operation: DglOperation,
+    /// Fault handling.
+    pub on_error: ErrorPolicy,
+}
+
+impl Step {
+    /// A step with no extra variables or rules and fail-fast errors.
+    pub fn new(name: impl Into<String>, operation: DglOperation) -> Self {
+        Step {
+            name: name.into(),
+            variables: Vec::new(),
+            rules: Vec::new(),
+            operation,
+            on_error: ErrorPolicy::Fail,
+        }
+    }
+
+    /// Builder-style error policy.
+    #[must_use]
+    pub fn with_error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.on_error = policy;
+        self
+    }
+
+    /// Builder-style rule attachment.
+    #[must_use]
+    pub fn with_rule(mut self, rule: UserDefinedRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_are_stable_identifiers() {
+        let op = DglOperation::Checksum { path: "/x".into(), resource: None, register: false };
+        assert_eq!(op.verb(), "checksum");
+        assert_eq!(op.to_string(), "checksum");
+        assert!(!op.is_local());
+        assert!(DglOperation::Notify { message: "hi".into() }.is_local());
+        assert!(DglOperation::Assign { variable: "i".into(), expr: Expr::always() }.is_local());
+    }
+
+    #[test]
+    fn step_builders() {
+        let s = Step::new("verify", DglOperation::Delete { path: "/x".into() })
+            .with_error_policy(ErrorPolicy::Retry(3));
+        assert_eq!(s.name, "verify");
+        assert_eq!(s.on_error, ErrorPolicy::Retry(3));
+        assert_eq!(ErrorPolicy::default(), ErrorPolicy::Fail);
+    }
+}

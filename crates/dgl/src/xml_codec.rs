@@ -1,0 +1,829 @@
+//! XML encoding and decoding of DGL documents.
+//!
+//! The element vocabulary reproduces the schema diagrams of the paper:
+//! Figure 1 (`flow` = variables + flowLogic + children), Figure 2
+//! (`dataGridRequest`), Figure 3 (`flowLogic` = control choice +
+//! userDefinedRules), Figure 4 (`dataGridResponse`).
+
+use crate::error::DglError;
+use crate::expr::Expr;
+use crate::flow::{Case, Children, ControlPattern, Flow, FlowLogic, IterSource, RuleAction, UserDefinedRule, VarDecl};
+use crate::request::{DataGridRequest, RequestBody, RequestMode};
+use crate::response::{DataGridResponse, RequestAck, ResponseBody};
+use crate::status::{FlowStatusQuery, RunState, StatusReport};
+use crate::step::{DglOperation, ErrorPolicy, Step};
+use dgf_xml::Element;
+
+/// Parse a complete `<dataGridRequest>` document.
+pub fn parse_request(xml: &str) -> Result<DataGridRequest, DglError> {
+    let root = dgf_xml::parse(xml)?;
+    DataGridRequest::from_element(&root)
+}
+
+/// Parse a complete `<dataGridResponse>` document.
+pub fn parse_response(xml: &str) -> Result<DataGridResponse, DglError> {
+    let root = dgf_xml::parse(xml)?;
+    DataGridResponse::from_element(&root)
+}
+
+fn require_attr<'a>(e: &'a Element, name: &str) -> Result<&'a str, DglError> {
+    e.attr(name).ok_or_else(|| DglError::schema(&e.name, format!("missing attribute {name:?}")))
+}
+
+fn require_child<'a>(e: &'a Element, name: &str) -> Result<&'a Element, DglError> {
+    e.child(name).ok_or_else(|| DglError::schema(&e.name, format!("missing child <{name}>")))
+}
+
+fn parse_expr_child(e: &Element, name: &str) -> Result<Expr, DglError> {
+    let node = require_child(e, name)?;
+    Expr::parse(&node.text())
+}
+
+// ----------------------------------------------------------------------
+// DataGridRequest (Figure 2)
+// ----------------------------------------------------------------------
+
+impl DataGridRequest {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut root = Element::new("dataGridRequest").with_attr("id", &self.id);
+        root.set_attr(
+            "mode",
+            match self.mode {
+                RequestMode::Synchronous => "synchronous",
+                RequestMode::Asynchronous => "asynchronous",
+            },
+        );
+        if !self.description.is_empty() {
+            root.push_element(
+                Element::new("documentMetadata")
+                    .with_child(Element::new("description").with_text(&self.description)),
+            );
+        }
+        let mut user = Element::new("gridUser").with_attr("name", &self.user);
+        if let Some(vo) = &self.vo {
+            user.set_attr("vo", vo);
+        }
+        root.push_element(user);
+        match &self.body {
+            RequestBody::Flow(flow) => root.push_element(flow.to_element()),
+            RequestBody::StatusQuery(q) => root.push_element(q.to_element()),
+        }
+        root
+    }
+
+    /// Encode as a pretty-printed XML document.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml_pretty()
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        if e.name != "dataGridRequest" {
+            return Err(DglError::schema(&e.name, "expected <dataGridRequest>"));
+        }
+        let id = require_attr(e, "id")?.to_owned();
+        let mode = match e.attr("mode").unwrap_or("synchronous") {
+            "synchronous" => RequestMode::Synchronous,
+            "asynchronous" => RequestMode::Asynchronous,
+            other => return Err(DglError::schema(&e.name, format!("unknown mode {other:?}"))),
+        };
+        let description = e
+            .child("documentMetadata")
+            .and_then(|m| m.child("description"))
+            .map(|d| d.text())
+            .unwrap_or_default();
+        let user_el = require_child(e, "gridUser")?;
+        let user = require_attr(user_el, "name")?.to_owned();
+        let vo = user_el.attr("vo").map(str::to_owned);
+        let body = if let Some(flow_el) = e.child("flow") {
+            RequestBody::Flow(Flow::from_element(flow_el)?)
+        } else if let Some(q_el) = e.child("flowStatusQuery") {
+            RequestBody::StatusQuery(FlowStatusQuery::from_element(q_el)?)
+        } else {
+            return Err(DglError::schema(&e.name, "needs a <flow> or <flowStatusQuery>"));
+        };
+        Ok(DataGridRequest { id, description, user, vo, mode, body })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Flow (Figure 1) and FlowLogic (Figure 3)
+// ----------------------------------------------------------------------
+
+impl Flow {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("flow").with_attr("name", &self.name);
+        if !self.variables.is_empty() {
+            el.push_element(variables_element(&self.variables));
+        }
+        el.push_element(self.logic.to_element());
+        let mut children = Element::new("children");
+        match &self.children {
+            Children::Flows(flows) => {
+                for f in flows {
+                    children.push_element(f.to_element());
+                }
+            }
+            Children::Steps(steps) => {
+                for s in steps {
+                    children.push_element(s.to_element());
+                }
+            }
+        }
+        el.push_element(children);
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        if e.name != "flow" {
+            return Err(DglError::schema(&e.name, "expected <flow>"));
+        }
+        let name = require_attr(e, "name")?.to_owned();
+        let variables = e.child("variables").map(parse_variables).transpose()?.unwrap_or_default();
+        let logic = FlowLogic::from_element(require_child(e, "flowLogic")?)?;
+        let children_el = require_child(e, "children")?;
+        let flow_children: Vec<&Element> = children_el.children_named("flow").collect();
+        let step_children: Vec<&Element> = children_el.children_named("step").collect();
+        if !flow_children.is_empty() && !step_children.is_empty() {
+            return Err(DglError::schema("children", "a flow contains sub-flows or steps, not both"));
+        }
+        let children = if !flow_children.is_empty() {
+            Children::Flows(flow_children.into_iter().map(Flow::from_element).collect::<Result<_, _>>()?)
+        } else {
+            Children::Steps(step_children.into_iter().map(Step::from_element).collect::<Result<_, _>>()?)
+        };
+        Ok(Flow { name, variables, logic, children })
+    }
+}
+
+fn variables_element(vars: &[VarDecl]) -> Element {
+    let mut el = Element::new("variables");
+    for v in vars {
+        el.push_element(Element::new("variable").with_attr("name", &v.name).with_attr("value", &v.initial));
+    }
+    el
+}
+
+fn parse_variables(e: &Element) -> Result<Vec<VarDecl>, DglError> {
+    e.children_named("variable")
+        .map(|v| Ok(VarDecl { name: require_attr(v, "name")?.to_owned(), initial: v.attr("value").unwrap_or("").to_owned() }))
+        .collect()
+}
+
+impl FlowLogic {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("flowLogic");
+        let control = match &self.pattern {
+            ControlPattern::Sequential => Element::new("sequential"),
+            ControlPattern::Parallel => Element::new("parallel"),
+            ControlPattern::While(cond) => {
+                Element::new("while").with_child(Element::new("tcondition").with_text(cond.source()))
+            }
+            ControlPattern::ForEach { var, source, parallel } => {
+                let mut fe = Element::new("forEach")
+                    .with_attr("var", var)
+                    .with_attr("parallel", if *parallel { "true" } else { "false" });
+                match source {
+                    IterSource::Items(items) => {
+                        let mut list = Element::new("items");
+                        for item in items {
+                            list.push_element(Element::new("item").with_text(item));
+                        }
+                        fe.push_element(list);
+                    }
+                    IterSource::Collection(c) => {
+                        fe.push_element(Element::new("collection").with_text(c));
+                    }
+                    IterSource::Query { collection, attribute, value } => {
+                        fe.push_element(
+                            Element::new("query")
+                                .with_attr("collection", collection)
+                                .with_attr("attribute", attribute)
+                                .with_attr("value", value),
+                        );
+                    }
+                    IterSource::Variable(name) => {
+                        fe.push_element(Element::new("variableSource").with_attr("name", name));
+                    }
+                }
+                fe
+            }
+            ControlPattern::Switch { on, cases } => {
+                let mut sw = Element::new("switch").with_child(Element::new("on").with_text(on.source()));
+                for case in cases {
+                    let mut c = Element::new("case");
+                    if let Some(v) = &case.value {
+                        c.set_attr("value", v);
+                    }
+                    sw.push_element(c);
+                }
+                sw
+            }
+        };
+        el.push_element(control);
+        for rule in &self.rules {
+            el.push_element(rule.to_element());
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        if e.name != "flowLogic" {
+            return Err(DglError::schema(&e.name, "expected <flowLogic>"));
+        }
+        let control = e
+            .child_elements()
+            .find(|c| matches!(c.name.as_str(), "sequential" | "parallel" | "while" | "forEach" | "switch"))
+            .ok_or_else(|| DglError::schema("flowLogic", "missing control pattern element"))?;
+        let pattern = match control.name.as_str() {
+            "sequential" => ControlPattern::Sequential,
+            "parallel" => ControlPattern::Parallel,
+            "while" => ControlPattern::While(parse_expr_child(control, "tcondition")?),
+            "forEach" => {
+                let var = require_attr(control, "var")?.to_owned();
+                let parallel = control.attr("parallel") == Some("true");
+                let source = if let Some(items) = control.child("items") {
+                    IterSource::Items(items.children_named("item").map(|i| i.text()).collect())
+                } else if let Some(c) = control.child("collection") {
+                    IterSource::Collection(c.text())
+                } else if let Some(q) = control.child("query") {
+                    IterSource::Query {
+                        collection: require_attr(q, "collection")?.to_owned(),
+                        attribute: require_attr(q, "attribute")?.to_owned(),
+                        value: require_attr(q, "value")?.to_owned(),
+                    }
+                } else if let Some(v) = control.child("variableSource") {
+                    IterSource::Variable(require_attr(v, "name")?.to_owned())
+                } else {
+                    return Err(DglError::schema("forEach", "missing iteration source"));
+                };
+                ControlPattern::ForEach { var, source, parallel }
+            }
+            "switch" => {
+                let on = parse_expr_child(control, "on")?;
+                let cases = control
+                    .children_named("case")
+                    .map(|c| Case { value: c.attr("value").map(str::to_owned) })
+                    .collect();
+                ControlPattern::Switch { on, cases }
+            }
+            _ => unreachable!("filtered above"),
+        };
+        let rules = e
+            .children_named("userDefinedRule")
+            .map(UserDefinedRule::from_element)
+            .collect::<Result<_, _>>()?;
+        Ok(FlowLogic { pattern, rules })
+    }
+}
+
+impl UserDefinedRule {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("userDefinedRule").with_attr("name", &self.name);
+        el.push_element(Element::new("tcondition").with_text(self.condition.source()));
+        for action in &self.actions {
+            let mut a = Element::new("action").with_attr("name", &action.name);
+            for step in &action.steps {
+                a.push_element(step.to_element());
+            }
+            el.push_element(a);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let name = require_attr(e, "name")?.to_owned();
+        let condition = parse_expr_child(e, "tcondition")?;
+        let actions = e
+            .children_named("action")
+            .map(|a| {
+                Ok::<RuleAction, DglError>(RuleAction {
+                    name: require_attr(a, "name")?.to_owned(),
+                    steps: a.children_named("step").map(Step::from_element).collect::<Result<_, _>>()?,
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        Ok(UserDefinedRule { name, condition, actions })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Step and operations
+// ----------------------------------------------------------------------
+
+impl Step {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("step").with_attr("name", &self.name);
+        match self.on_error {
+            ErrorPolicy::Fail => {}
+            ErrorPolicy::Ignore => el.set_attr("onError", "ignore"),
+            ErrorPolicy::Retry(n) => el.set_attr("onError", format!("retry:{n}")),
+        }
+        if !self.variables.is_empty() {
+            el.push_element(variables_element(&self.variables));
+        }
+        for rule in &self.rules {
+            el.push_element(rule.to_element());
+        }
+        el.push_element(Element::new("operation").with_child(self.operation.to_element()));
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        if e.name != "step" {
+            return Err(DglError::schema(&e.name, "expected <step>"));
+        }
+        let name = require_attr(e, "name")?.to_owned();
+        let on_error = match e.attr("onError") {
+            None | Some("fail") => ErrorPolicy::Fail,
+            Some("ignore") => ErrorPolicy::Ignore,
+            Some(retry) if retry.starts_with("retry:") => {
+                let n = retry["retry:".len()..]
+                    .parse()
+                    .map_err(|_| DglError::schema("step", format!("bad onError {retry:?}")))?;
+                ErrorPolicy::Retry(n)
+            }
+            Some(other) => return Err(DglError::schema("step", format!("unknown onError {other:?}"))),
+        };
+        let variables = e.child("variables").map(parse_variables).transpose()?.unwrap_or_default();
+        let rules = e
+            .children_named("userDefinedRule")
+            .map(UserDefinedRule::from_element)
+            .collect::<Result<_, _>>()?;
+        let op_el = require_child(e, "operation")?;
+        let inner = op_el
+            .child_elements()
+            .next()
+            .ok_or_else(|| DglError::schema("operation", "empty operation"))?;
+        let operation = DglOperation::from_element(inner)?;
+        Ok(Step { name, variables, rules, operation, on_error })
+    }
+}
+
+impl DglOperation {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        match self {
+            DglOperation::CreateCollection { path } => Element::new("createCollection").with_attr("path", path),
+            DglOperation::Ingest { path, size, resource } => Element::new("ingest")
+                .with_attr("path", path)
+                .with_attr("size", size)
+                .with_attr("resource", resource),
+            DglOperation::Replicate { path, src, dst } => {
+                let mut el = Element::new("replicate").with_attr("path", path).with_attr("dst", dst);
+                if let Some(src) = src {
+                    el.set_attr("src", src);
+                }
+                el
+            }
+            DglOperation::Migrate { path, from, to } => Element::new("migrate")
+                .with_attr("path", path)
+                .with_attr("from", from)
+                .with_attr("to", to),
+            DglOperation::Trim { path, resource } => {
+                Element::new("trim").with_attr("path", path).with_attr("resource", resource)
+            }
+            DglOperation::Delete { path } => Element::new("delete").with_attr("path", path),
+            DglOperation::Rename { path, to } => {
+                Element::new("rename").with_attr("path", path).with_attr("to", to)
+            }
+            DglOperation::Checksum { path, resource, register } => {
+                let mut el = Element::new("checksum")
+                    .with_attr("path", path)
+                    .with_attr("register", if *register { "true" } else { "false" });
+                if let Some(r) = resource {
+                    el.set_attr("resource", r);
+                }
+                el
+            }
+            DglOperation::SetMetadata { path, attribute, value } => Element::new("setMetadata")
+                .with_attr("path", path)
+                .with_attr("attribute", attribute)
+                .with_attr("value", value),
+            DglOperation::SetPermission { path, grantee, level } => Element::new("setPermission")
+                .with_attr("path", path)
+                .with_attr("grantee", grantee)
+                .with_attr("level", level),
+            DglOperation::Query { collection, attribute, value, into } => Element::new("query")
+                .with_attr("collection", collection)
+                .with_attr("attribute", attribute)
+                .with_attr("value", value)
+                .with_attr("into", into),
+            DglOperation::Execute { code, nominal_secs, resource_type, inputs, outputs } => {
+                let mut el = Element::new("execute")
+                    .with_attr("code", code)
+                    .with_attr("nominalSecs", nominal_secs);
+                if let Some(rt) = resource_type {
+                    el.set_attr("resourceType", rt);
+                }
+                for input in inputs {
+                    el.push_element(Element::new("input").with_attr("path", input));
+                }
+                for (path, size) in outputs {
+                    el.push_element(Element::new("output").with_attr("path", path).with_attr("size", size));
+                }
+                el
+            }
+            DglOperation::Assign { variable, expr } => Element::new("assign")
+                .with_attr("variable", variable)
+                .with_child(Element::new("expr").with_text(expr.source())),
+            DglOperation::Notify { message } => {
+                // As an attribute: element text would lose surrounding
+                // whitespace to the parser's whitespace-run dropping.
+                Element::new("notify").with_attr("message", message)
+            }
+        }
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let op = match e.name.as_str() {
+            "createCollection" => DglOperation::CreateCollection { path: require_attr(e, "path")?.to_owned() },
+            "ingest" => DglOperation::Ingest {
+                path: require_attr(e, "path")?.to_owned(),
+                size: require_attr(e, "size")?.to_owned(),
+                resource: require_attr(e, "resource")?.to_owned(),
+            },
+            "replicate" => DglOperation::Replicate {
+                path: require_attr(e, "path")?.to_owned(),
+                src: e.attr("src").map(str::to_owned),
+                dst: require_attr(e, "dst")?.to_owned(),
+            },
+            "migrate" => DglOperation::Migrate {
+                path: require_attr(e, "path")?.to_owned(),
+                from: require_attr(e, "from")?.to_owned(),
+                to: require_attr(e, "to")?.to_owned(),
+            },
+            "trim" => DglOperation::Trim {
+                path: require_attr(e, "path")?.to_owned(),
+                resource: require_attr(e, "resource")?.to_owned(),
+            },
+            "delete" => DglOperation::Delete { path: require_attr(e, "path")?.to_owned() },
+            "rename" => DglOperation::Rename {
+                path: require_attr(e, "path")?.to_owned(),
+                to: require_attr(e, "to")?.to_owned(),
+            },
+            "checksum" => DglOperation::Checksum {
+                path: require_attr(e, "path")?.to_owned(),
+                resource: e.attr("resource").map(str::to_owned),
+                register: e.attr("register") == Some("true"),
+            },
+            "setMetadata" => DglOperation::SetMetadata {
+                path: require_attr(e, "path")?.to_owned(),
+                attribute: require_attr(e, "attribute")?.to_owned(),
+                value: require_attr(e, "value")?.to_owned(),
+            },
+            "setPermission" => DglOperation::SetPermission {
+                path: require_attr(e, "path")?.to_owned(),
+                grantee: require_attr(e, "grantee")?.to_owned(),
+                level: require_attr(e, "level")?.to_owned(),
+            },
+            "query" => DglOperation::Query {
+                collection: require_attr(e, "collection")?.to_owned(),
+                attribute: require_attr(e, "attribute")?.to_owned(),
+                value: require_attr(e, "value")?.to_owned(),
+                into: require_attr(e, "into")?.to_owned(),
+            },
+            "execute" => DglOperation::Execute {
+                code: require_attr(e, "code")?.to_owned(),
+                nominal_secs: require_attr(e, "nominalSecs")?.to_owned(),
+                resource_type: e.attr("resourceType").map(str::to_owned),
+                inputs: e
+                    .children_named("input")
+                    .map(|i| Ok(require_attr(i, "path")?.to_owned()))
+                    .collect::<Result<_, DglError>>()?,
+                outputs: e
+                    .children_named("output")
+                    .map(|o| Ok((require_attr(o, "path")?.to_owned(), require_attr(o, "size")?.to_owned())))
+                    .collect::<Result<_, DglError>>()?,
+            },
+            "assign" => DglOperation::Assign {
+                variable: require_attr(e, "variable")?.to_owned(),
+                expr: parse_expr_child(e, "expr")?,
+            },
+            // Attribute form is canonical; hand-written documents may
+            // use element text instead.
+            "notify" => DglOperation::Notify {
+                message: e.attr("message").map(str::to_owned).unwrap_or_else(|| e.text()),
+            },
+            other => return Err(DglError::schema(other, "unknown DGL operation")),
+        };
+        Ok(op)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Status query / report, response (Figure 4)
+// ----------------------------------------------------------------------
+
+impl FlowStatusQuery {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("flowStatusQuery").with_attr("transaction", &self.transaction);
+        if let Some(node) = &self.node {
+            el.set_attr("node", node);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        Ok(FlowStatusQuery {
+            transaction: require_attr(e, "transaction")?.to_owned(),
+            node: e.attr("node").map(str::to_owned),
+        })
+    }
+}
+
+fn state_to_str(s: RunState) -> &'static str {
+    match s {
+        RunState::Pending => "pending",
+        RunState::Running => "running",
+        RunState::Paused => "paused",
+        RunState::Completed => "completed",
+        RunState::Failed => "failed",
+        RunState::Stopped => "stopped",
+        RunState::Skipped => "skipped",
+    }
+}
+
+fn state_from_str(s: &str) -> Result<RunState, DglError> {
+    Ok(match s {
+        "pending" => RunState::Pending,
+        "running" => RunState::Running,
+        "paused" => RunState::Paused,
+        "completed" => RunState::Completed,
+        "failed" => RunState::Failed,
+        "stopped" => RunState::Stopped,
+        "skipped" => RunState::Skipped,
+        other => return Err(DglError::schema("state", format!("unknown run state {other:?}"))),
+    })
+}
+
+impl DataGridResponse {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut root = Element::new("dataGridResponse").with_attr("requestId", &self.request_id);
+        match &self.body {
+            ResponseBody::Ack(ack) => {
+                let mut a = Element::new("requestAcknowledgement")
+                    .with_attr("transaction", &ack.transaction)
+                    .with_attr("state", state_to_str(ack.state))
+                    .with_attr("valid", if ack.valid { "true" } else { "false" });
+                if let Some(msg) = &ack.message {
+                    a.push_element(Element::new("message").with_text(msg));
+                }
+                root.push_element(a);
+            }
+            ResponseBody::Status(report) => {
+                let mut s = Element::new("statusReport")
+                    .with_attr("transaction", &report.transaction)
+                    .with_attr("node", &report.node)
+                    .with_attr("name", &report.name)
+                    .with_attr("state", state_to_str(report.state))
+                    .with_attr("stepsCompleted", report.steps_completed.to_string())
+                    .with_attr("stepsTotal", report.steps_total.to_string());
+                if let Some(msg) = &report.message {
+                    s.push_element(Element::new("message").with_text(msg));
+                }
+                for (node, name, state) in &report.children {
+                    s.push_element(
+                        Element::new("child")
+                            .with_attr("node", node)
+                            .with_attr("name", name)
+                            .with_attr("state", state_to_str(*state)),
+                    );
+                }
+                root.push_element(s);
+            }
+        }
+        root
+    }
+
+    /// Encode as a pretty-printed XML document.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml_pretty()
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        if e.name != "dataGridResponse" {
+            return Err(DglError::schema(&e.name, "expected <dataGridResponse>"));
+        }
+        let request_id = require_attr(e, "requestId")?.to_owned();
+        if let Some(a) = e.child("requestAcknowledgement") {
+            let ack = RequestAck {
+                transaction: require_attr(a, "transaction")?.to_owned(),
+                state: state_from_str(require_attr(a, "state")?)?,
+                valid: a.attr("valid") == Some("true"),
+                message: a.child("message").map(|m| m.text()),
+            };
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Ack(ack) });
+        }
+        if let Some(s) = e.child("statusReport") {
+            let parse_count = |attr: &str| -> Result<usize, DglError> {
+                require_attr(s, attr)?
+                    .parse()
+                    .map_err(|_| DglError::schema("statusReport", format!("bad {attr}")))
+            };
+            let report = StatusReport {
+                transaction: require_attr(s, "transaction")?.to_owned(),
+                node: require_attr(s, "node")?.to_owned(),
+                name: require_attr(s, "name")?.to_owned(),
+                state: state_from_str(require_attr(s, "state")?)?,
+                steps_completed: parse_count("stepsCompleted")?,
+                steps_total: parse_count("stepsTotal")?,
+                message: s.child("message").map(|m| m.text()),
+                children: s
+                    .children_named("child")
+                    .map(|c| {
+                        Ok((
+                            require_attr(c, "node")?.to_owned(),
+                            require_attr(c, "name")?.to_owned(),
+                            state_from_str(require_attr(c, "state")?)?,
+                        ))
+                    })
+                    .collect::<Result<_, DglError>>()?,
+            };
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Status(report) });
+        }
+        Err(DglError::schema("dataGridResponse", "needs <requestAcknowledgement> or <statusReport>"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(name: &str, op: DglOperation) -> Step {
+        Step::new(name, op)
+    }
+
+    fn sample_flow() -> Flow {
+        Flow {
+            name: "md5-pipeline".into(),
+            variables: vec![VarDecl::new("collection", "/home/ucsd/library")],
+            logic: FlowLogic {
+                pattern: ControlPattern::ForEach {
+                    var: "file".into(),
+                    source: IterSource::Collection("${collection}".into()),
+                    parallel: false,
+                },
+                rules: vec![UserDefinedRule::new(
+                    "afterExit",
+                    Expr::parse("'log'").unwrap(),
+                    vec![RuleAction {
+                        name: "log".into(),
+                        steps: vec![step("note", DglOperation::Notify { message: "done".into() })],
+                    }],
+                )],
+            },
+            children: Children::Steps(vec![
+                step("verify", DglOperation::Checksum { path: "${file}".into(), resource: None, register: false })
+                    .with_error_policy(crate::step::ErrorPolicy::Retry(2)),
+                step(
+                    "tag",
+                    DglOperation::SetMetadata { path: "${file}".into(), attribute: "verified".into(), value: "true".into() },
+                ),
+            ]),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_xml() {
+        let req = DataGridRequest::flow("req-7", "jonw", sample_flow())
+            .asynchronous()
+            .with_description("UCSD library integrity sweep")
+            .with_vo("ucsd-lib");
+        let xml = req.to_xml();
+        let parsed = parse_request(&xml).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn status_query_request_round_trips() {
+        let req = DataGridRequest::status("req-8", "jonw", FlowStatusQuery::node("t42", "/0/1"));
+        let parsed = parse_request(&req.to_xml()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn every_operation_round_trips() {
+        let ops = vec![
+            DglOperation::CreateCollection { path: "/a".into() },
+            DglOperation::Ingest { path: "/a/x".into(), size: "100".into(), resource: "r1".into() },
+            DglOperation::Replicate { path: "/a/x".into(), src: Some("r1".into()), dst: "r2".into() },
+            DglOperation::Replicate { path: "/a/x".into(), src: None, dst: "r2".into() },
+            DglOperation::Migrate { path: "/a/x".into(), from: "r1".into(), to: "r2".into() },
+            DglOperation::Trim { path: "/a/x".into(), resource: "r1".into() },
+            DglOperation::Delete { path: "/a/x".into() },
+            DglOperation::Rename { path: "/a/x".into(), to: "/a/y".into() },
+            DglOperation::Checksum { path: "/a/x".into(), resource: Some("r1".into()), register: true },
+            DglOperation::SetMetadata { path: "/a/x".into(), attribute: "k".into(), value: "v".into() },
+            DglOperation::SetPermission { path: "/a".into(), grantee: "reena".into(), level: "write".into() },
+            DglOperation::Query { collection: "/a".into(), attribute: "k".into(), value: "v".into(), into: "hits".into() },
+            DglOperation::Execute {
+                code: "anelastic-wave".into(),
+                nominal_secs: "3600".into(),
+                resource_type: Some("compute:16".into()),
+                inputs: vec!["/a/x".into(), "/a/y".into()],
+                outputs: vec![("/a/out".into(), "1000000".into())],
+            },
+            DglOperation::Assign { variable: "i".into(), expr: Expr::parse("i + 1").unwrap() },
+            DglOperation::Notify { message: "ingested a new file".into() },
+        ];
+        for op in ops {
+            let el = op.to_element();
+            let back = DglOperation::from_element(&el).unwrap();
+            assert_eq!(back, op, "op {}", op.verb());
+        }
+    }
+
+    #[test]
+    fn every_control_pattern_round_trips() {
+        let patterns = vec![
+            ControlPattern::Sequential,
+            ControlPattern::Parallel,
+            ControlPattern::While(Expr::parse("i < 10").unwrap()),
+            ControlPattern::ForEach { var: "f".into(), source: IterSource::Items(vec!["a".into(), "b".into()]), parallel: true },
+            ControlPattern::ForEach {
+                var: "f".into(),
+                source: IterSource::Query { collection: "/c".into(), attribute: "type".into(), value: "pdf".into() },
+                parallel: false,
+            },
+            ControlPattern::ForEach { var: "f".into(), source: IterSource::Variable("hits".into()), parallel: false },
+            ControlPattern::Switch {
+                on: Expr::parse("kind").unwrap(),
+                cases: vec![Case { value: Some("a".into()) }, Case { value: None }],
+            },
+        ];
+        for pattern in patterns {
+            let logic = FlowLogic { pattern: pattern.clone(), rules: vec![] };
+            let back = FlowLogic::from_element(&logic.to_element()).unwrap();
+            assert_eq!(back.pattern, pattern, "pattern {}", pattern.tag());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ack = DataGridResponse::ack(
+            "r1",
+            RequestAck { transaction: "t1".into(), state: RunState::Pending, valid: true, message: Some("queued".into()) },
+        );
+        assert_eq!(parse_response(&ack.to_xml()).unwrap(), ack);
+
+        let status = DataGridResponse::status(
+            "r2",
+            StatusReport {
+                transaction: "t1".into(),
+                node: "/".into(),
+                name: "md5-pipeline".into(),
+                state: RunState::Running,
+                steps_completed: 5,
+                steps_total: 20,
+                message: None,
+                children: vec![("/0".into(), "verify".into(), RunState::Completed), ("/1".into(), "tag".into(), RunState::Running)],
+            },
+        );
+        assert_eq!(parse_response(&status.to_xml()).unwrap(), status);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_schema_errors() {
+        assert!(matches!(parse_request("<notARequest/>"), Err(DglError::Schema { .. })));
+        assert!(matches!(parse_request("<dataGridRequest/>"), Err(DglError::Schema { .. })));
+        assert!(matches!(
+            parse_request(r#"<dataGridRequest id="x"><gridUser name="u"/></dataGridRequest>"#),
+            Err(DglError::Schema { .. })
+        ));
+        // Mixed children are a schema violation (Figure 1: "but not both").
+        let mixed = r#"<dataGridRequest id="x"><gridUser name="u"/><flow name="f"><flowLogic><sequential/></flowLogic><children><flow name="g"><flowLogic><sequential/></flowLogic><children/></flow><step name="s"><operation><delete path="/x"/></operation></step></children></flow></dataGridRequest>"#;
+        assert!(matches!(parse_request(mixed), Err(DglError::Schema { .. })));
+        // Unknown operation.
+        let bad_op = Element::new("frobnicate");
+        assert!(DglOperation::from_element(&bad_op).is_err());
+        // Bad XML bubbles up as Xml.
+        assert!(matches!(parse_request("<a"), Err(DglError::Xml(_))));
+    }
+
+    #[test]
+    fn flow_xml_matches_figure_1_structure() {
+        // The serialized flow has exactly the three Figure-1 sections, in
+        // order: variables?, flowLogic, children.
+        let el = sample_flow().to_element();
+        let names: Vec<_> = el.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["variables", "flowLogic", "children"]);
+        let logic = el.child("flowLogic").unwrap();
+        let logic_parts: Vec<_> = logic.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(logic_parts, ["forEach", "userDefinedRule"], "Figure 3: control choice + rules");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the Tcondition expression language.
+
+use dgf_dgl::{Expr, Scope, Value};
+use proptest::prelude::*;
+
+/// Random small integer arithmetic ASTs rendered to source text.
+#[derive(Debug, Clone)]
+enum Ast {
+    Lit(i32),
+    Add(Box<Ast>, Box<Ast>),
+    Sub(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+}
+
+impl Ast {
+    fn render(&self) -> String {
+        match self {
+            Ast::Lit(n) => {
+                if *n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            Ast::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            Ast::Sub(l, r) => format!("({} - {})", l.render(), r.render()),
+            Ast::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Ast::Lit(n) => *n as i64,
+            Ast::Add(l, r) => l.eval().wrapping_add(r.eval()),
+            Ast::Sub(l, r) => l.eval().wrapping_sub(r.eval()),
+            Ast::Mul(l, r) => l.eval().wrapping_mul(r.eval()),
+        }
+    }
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = (-100i32..100).prop_map(Ast::Lit);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Ast::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Ast::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Ast::Mul(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The evaluator agrees with a reference interpreter on integer
+    /// arithmetic (with explicit parentheses: the grammar oracle).
+    #[test]
+    fn arithmetic_matches_reference(ast in ast_strategy()) {
+        let expr = Expr::parse(&ast.render()).unwrap();
+        let v = expr.eval(&Scope::root()).unwrap();
+        prop_assert_eq!(v, Value::Int(ast.eval()));
+    }
+
+    /// Comparison operators form a total order consistent with i64.
+    #[test]
+    fn comparisons_are_consistent(a in -1000i64..1000, b in -1000i64..1000) {
+        let scope = Scope::root();
+        let eval = |src: String| Expr::parse(&src).unwrap().eval_bool(&scope).unwrap();
+        prop_assert_eq!(eval(format!("({a}) < ({b})")), a < b);
+        prop_assert_eq!(eval(format!("({a}) <= ({b})")), a <= b);
+        prop_assert_eq!(eval(format!("({a}) == ({b})")), a == b);
+        prop_assert_eq!(eval(format!("({a}) != ({b})")), a != b);
+        prop_assert_eq!(eval(format!("({a}) > ({b})")), a > b);
+        prop_assert_eq!(eval(format!("({a}) >= ({b})")), a >= b);
+    }
+
+    /// Boolean operators satisfy De Morgan's laws.
+    #[test]
+    fn de_morgan(a in any::<bool>(), b in any::<bool>()) {
+        let scope = Scope::root();
+        let eval = |src: String| Expr::parse(&src).unwrap().eval_bool(&scope).unwrap();
+        prop_assert_eq!(eval(format!("!({a} && {b})")), eval(format!("!{a} || !{b}")));
+        prop_assert_eq!(eval(format!("!({a} || {b})")), eval(format!("!{a} && !{b}")));
+    }
+
+    /// Parsing is total (never panics) on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = Expr::parse(&input);
+    }
+
+    /// source() is a faithful re-parseable rendering.
+    #[test]
+    fn source_reparses_to_equal_ast(ast in ast_strategy()) {
+        let expr = Expr::parse(&ast.render()).unwrap();
+        let again = Expr::parse(expr.source()).unwrap();
+        prop_assert_eq!(again, expr);
+    }
+
+    /// Variables: an expression over declared variables equals the same
+    /// expression with values inlined.
+    #[test]
+    fn variable_substitution(x in -50i64..50, y in -50i64..50) {
+        let mut scope = Scope::root();
+        scope.declare("x", Value::Int(x));
+        scope.declare("y", Value::Int(y));
+        let with_vars = Expr::parse("x * 2 + y").unwrap().eval(&scope).unwrap();
+        let inlined = Expr::parse(&format!("({x}) * 2 + ({y})")).unwrap().eval(&Scope::root()).unwrap();
+        prop_assert_eq!(with_vars, inlined);
+    }
+
+    /// String concatenation with + is associative at the value level.
+    #[test]
+    fn concat_associativity(a in "[a-z]{0,6}", b in "[a-z]{0,6}", c in "[a-z]{0,6}") {
+        let scope = Scope::root();
+        let left = Expr::parse(&format!("('{a}' + '{b}') + '{c}'")).unwrap().eval(&scope).unwrap();
+        let right = Expr::parse(&format!("'{a}' + ('{b}' + '{c}')")).unwrap().eval(&scope).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Interpolation never drops or duplicates literal text around a
+    /// single variable reference.
+    #[test]
+    fn interpolation_preserves_surroundings(
+        prefix in "[a-zA-Z0-9 /._-]{0,12}",
+        suffix in "[a-zA-Z0-9 /._-]{0,12}",
+        value in "[a-zA-Z0-9]{0,8}",
+    ) {
+        let mut scope = Scope::root();
+        scope.declare("v", Value::Str(value.clone()));
+        let template = format!("{prefix}${{v}}{suffix}");
+        let rendered = dgf_dgl::interpolate(&template, &scope).unwrap();
+        prop_assert_eq!(rendered, format!("{prefix}{value}{suffix}"));
+    }
+}

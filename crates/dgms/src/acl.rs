@@ -1,0 +1,222 @@
+//! Users, virtual organizations, and access control across autonomous
+//! administrative domains.
+
+use crate::error::DgmsError;
+use dgf_simgrid::DomainId;
+use std::collections::HashMap;
+
+/// Access levels on a namespace entry, ordered weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Permission {
+    /// No access.
+    None,
+    /// Read object content / list collection.
+    Read,
+    /// Modify content, ingest into a collection, set metadata.
+    Write,
+    /// Everything, including permission changes and deletion.
+    Own,
+}
+
+/// An authenticated grid user: `user@home_domain`, optionally acting
+/// within a virtual organization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Principal {
+    /// Account name, unique grid-wide.
+    pub user: String,
+    /// The user's home administrative domain.
+    pub home: DomainId,
+    /// Virtual organization, e.g. "cms" or "scec".
+    pub vo: Option<String>,
+}
+
+impl Principal {
+    /// A user with no VO affiliation.
+    pub fn new(user: impl Into<String>, home: DomainId) -> Self {
+        Principal { user: user.into(), home, vo: None }
+    }
+
+    /// Builder-style VO affiliation.
+    #[must_use]
+    pub fn with_vo(mut self, vo: impl Into<String>) -> Self {
+        self.vo = Some(vo.into());
+        self
+    }
+}
+
+/// The grid-wide user registry.
+///
+/// SRB authenticated users per zone; here registration is explicit and
+/// operations that name unknown users fail with [`DgmsError::UnknownUser`].
+#[derive(Debug, Default, Clone)]
+pub struct UserRegistry {
+    users: HashMap<String, Principal>,
+    admins: Vec<String>,
+}
+
+impl UserRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a user; replaces any previous registration of the same name.
+    pub fn register(&mut self, principal: Principal) {
+        self.users.insert(principal.user.clone(), principal);
+    }
+
+    /// Mark a registered user as a grid administrator (bypasses ACLs,
+    /// like an SRB zone admin).
+    pub fn make_admin(&mut self, user: &str) -> Result<(), DgmsError> {
+        if !self.users.contains_key(user) {
+            return Err(DgmsError::UnknownUser(user.to_owned()));
+        }
+        if !self.admins.iter().any(|a| a == user) {
+            self.admins.push(user.to_owned());
+        }
+        Ok(())
+    }
+
+    /// Look up a registered principal.
+    pub fn get(&self, user: &str) -> Result<&Principal, DgmsError> {
+        self.users.get(user).ok_or_else(|| DgmsError::UnknownUser(user.to_owned()))
+    }
+
+    /// Whether the user is a grid administrator.
+    pub fn is_admin(&self, user: &str) -> bool {
+        self.admins.iter().any(|a| a == user)
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when nobody is registered.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// An access-control list: per-user grants plus an optional VO-wide grant.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Acl {
+    user_grants: Vec<(String, Permission)>,
+    vo_grants: Vec<(String, Permission)>,
+}
+
+impl Acl {
+    /// ACL granting `owner` ownership.
+    pub fn owned_by(owner: &str) -> Self {
+        Acl { user_grants: vec![(owner.to_owned(), Permission::Own)], vo_grants: Vec::new() }
+    }
+
+    /// Grant (or change) a user's permission.
+    pub fn grant_user(&mut self, user: &str, permission: Permission) {
+        if let Some(slot) = self.user_grants.iter_mut().find(|(u, _)| u == user) {
+            slot.1 = permission;
+        } else {
+            self.user_grants.push((user.to_owned(), permission));
+        }
+    }
+
+    /// Grant (or change) a VO-wide permission.
+    pub fn grant_vo(&mut self, vo: &str, permission: Permission) {
+        if let Some(slot) = self.vo_grants.iter_mut().find(|(v, _)| v == vo) {
+            slot.1 = permission;
+        } else {
+            self.vo_grants.push((vo.to_owned(), permission));
+        }
+    }
+
+    /// The effective permission for a principal: the strongest of the
+    /// user grant and any VO grant.
+    pub fn effective(&self, principal: &Principal) -> Permission {
+        let user_level = self
+            .user_grants
+            .iter()
+            .find(|(u, _)| *u == principal.user)
+            .map(|(_, p)| *p)
+            .unwrap_or(Permission::None);
+        let vo_level = principal
+            .vo
+            .as_deref()
+            .and_then(|vo| self.vo_grants.iter().find(|(v, _)| v == vo))
+            .map(|(_, p)| *p)
+            .unwrap_or(Permission::None);
+        user_level.max(vo_level)
+    }
+
+    /// Does the principal meet or exceed `needed`?
+    pub fn allows(&self, principal: &Principal, needed: Permission) -> bool {
+        self.effective(principal) >= needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(name: &str) -> Principal {
+        Principal::new(name, DomainId(0))
+    }
+
+    #[test]
+    fn permissions_are_ordered() {
+        assert!(Permission::Own > Permission::Write);
+        assert!(Permission::Write > Permission::Read);
+        assert!(Permission::Read > Permission::None);
+    }
+
+    #[test]
+    fn owner_has_everything_others_nothing() {
+        let acl = Acl::owned_by("arun");
+        assert!(acl.allows(&user("arun"), Permission::Own));
+        assert!(!acl.allows(&user("jon"), Permission::Read));
+    }
+
+    #[test]
+    fn vo_grants_apply_to_members_only() {
+        let mut acl = Acl::owned_by("arun");
+        acl.grant_vo("scec", Permission::Read);
+        let member = user("marcio").with_vo("scec");
+        let outsider = user("jon").with_vo("cms");
+        let no_vo = user("jeff");
+        assert!(acl.allows(&member, Permission::Read));
+        assert!(!acl.allows(&member, Permission::Write));
+        assert!(!acl.allows(&outsider, Permission::Read));
+        assert!(!acl.allows(&no_vo, Permission::Read));
+    }
+
+    #[test]
+    fn strongest_grant_wins() {
+        let mut acl = Acl::owned_by("arun");
+        acl.grant_vo("scec", Permission::Write);
+        acl.grant_user("marcio", Permission::Read);
+        let marcio = user("marcio").with_vo("scec");
+        assert_eq!(acl.effective(&marcio), Permission::Write, "VO write beats user read");
+        acl.grant_user("marcio", Permission::Own);
+        assert_eq!(acl.effective(&marcio), Permission::Own);
+    }
+
+    #[test]
+    fn grants_replace_not_stack() {
+        let mut acl = Acl::default();
+        acl.grant_user("x", Permission::Write);
+        acl.grant_user("x", Permission::Read);
+        assert_eq!(acl.effective(&user("x")), Permission::Read, "downgrade is possible");
+    }
+
+    #[test]
+    fn registry_tracks_admins() {
+        let mut reg = UserRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(Principal::new("moore", DomainId(0)));
+        reg.make_admin("moore").unwrap();
+        assert!(reg.is_admin("moore"));
+        assert!(!reg.is_admin("nobody"));
+        assert!(matches!(reg.make_admin("nobody"), Err(DgmsError::UnknownUser(_))));
+        assert_eq!(reg.get("moore").unwrap().user, "moore");
+        assert_eq!(reg.len(), 1);
+    }
+}

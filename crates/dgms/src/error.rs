@@ -1,0 +1,86 @@
+//! The DGMS error type.
+
+use crate::path::LogicalPath;
+use std::fmt;
+
+/// Errors surfaced by datagrid operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DgmsError {
+    /// A malformed logical path.
+    InvalidPath { path: String, reason: &'static str },
+    /// Path does not exist in the namespace.
+    NotFound(LogicalPath),
+    /// Path already exists.
+    AlreadyExists(LogicalPath),
+    /// Expected a collection, found a data object (or vice versa).
+    WrongKind { path: LogicalPath, expected: &'static str },
+    /// Parent collection is missing.
+    NoParent(LogicalPath),
+    /// The principal lacks the required permission.
+    AccessDenied { path: LogicalPath, user: String, needed: &'static str },
+    /// Unknown user.
+    UnknownUser(String),
+    /// Unknown logical resource name.
+    UnknownResource(String),
+    /// The target storage resource is full.
+    InsufficientSpace { resource: String, needed: u64, free: u64 },
+    /// The target storage resource (or route to it) is offline.
+    ResourceUnavailable(String),
+    /// No online replica of the object is reachable.
+    NoUsableReplica(LogicalPath),
+    /// A replica already exists on the target resource.
+    ReplicaExists { path: LogicalPath, resource: String },
+    /// The collection still has children.
+    NotEmpty(LogicalPath),
+    /// Trimming this replica would leave the object with none.
+    LastReplica(LogicalPath),
+    /// Checksums disagree — data integrity violation (UCSD scenario).
+    IntegrityViolation { path: LogicalPath, expected: String, actual: String },
+}
+
+impl fmt::Display for DgmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgmsError::InvalidPath { path, reason } => write!(f, "invalid path {path:?}: {reason}"),
+            DgmsError::NotFound(p) => write!(f, "{p}: not found"),
+            DgmsError::AlreadyExists(p) => write!(f, "{p}: already exists"),
+            DgmsError::WrongKind { path, expected } => write!(f, "{path}: not a {expected}"),
+            DgmsError::NoParent(p) => write!(f, "{p}: parent collection does not exist"),
+            DgmsError::AccessDenied { path, user, needed } => {
+                write!(f, "{path}: user {user:?} lacks {needed} permission")
+            }
+            DgmsError::UnknownUser(u) => write!(f, "unknown user {u:?}"),
+            DgmsError::UnknownResource(r) => write!(f, "unknown logical resource {r:?}"),
+            DgmsError::InsufficientSpace { resource, needed, free } => {
+                write!(f, "resource {resource:?} full: need {needed} bytes, {free} free")
+            }
+            DgmsError::ResourceUnavailable(r) => write!(f, "resource {r:?} is offline or unreachable"),
+            DgmsError::NoUsableReplica(p) => write!(f, "{p}: no online replica reachable"),
+            DgmsError::ReplicaExists { path, resource } => {
+                write!(f, "{path}: replica already on {resource:?}")
+            }
+            DgmsError::NotEmpty(p) => write!(f, "{p}: collection not empty"),
+            DgmsError::LastReplica(p) => {
+                write!(f, "{p}: refusing to trim the last replica (delete the object instead)")
+            }
+            DgmsError::IntegrityViolation { path, expected, actual } => {
+                write!(f, "{path}: checksum mismatch (expected {expected}, got {actual})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DgmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_path_and_cause() {
+        let p = LogicalPath::parse("/home/x").unwrap();
+        let e = DgmsError::AccessDenied { path: p, user: "reena".into(), needed: "write" };
+        let msg = e.to_string();
+        assert!(msg.contains("/home/x") && msg.contains("reena") && msg.contains("write"), "{msg}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # dgf-dgms — an SRB-style Data Grid Management System
+//!
+//! The paper's DfMS runs "on top of the datagrid server (DGMS)" — in the
+//! SRB Matrix project, the SDSC Storage Resource Broker. This crate is
+//! that substrate, re-implemented against the simulated infrastructure of
+//! [`dgf_simgrid`]:
+//!
+//! * a **logical data namespace**: collections aggregating digital
+//!   entities whose replicas live on physical storage in many domains
+//!   ([`DataGrid`], [`LogicalPath`]),
+//! * a **logical resource namespace**: physical stores appear as named
+//!   logical resources; applications never see physical organization
+//!   (data virtualization, §1 of the paper),
+//! * **replica management**: ingest, replicate, migrate, trim — with the
+//!   two-phase begin/complete protocol the simulation clock needs,
+//! * **user-defined metadata** and metadata queries (§2.2),
+//! * **users, domains and ACLs** across autonomous administrative
+//!   domains,
+//! * a **namespace event feed** for datagrid triggers (§2.2) and a
+//!   persistent **audit trail** for provenance (§2.1),
+//! * real **MD5** checksums (from scratch) over deterministic synthetic
+//!   content — the UCSD Libraries data-integrity scenario of §4.
+//!
+//! Operations are *non-transactional*, faithfully to §2.2: a multi-object
+//! operation that fails midway leaves earlier effects in place.
+
+mod acl;
+mod content;
+mod error;
+mod grid;
+pub mod md5;
+mod meta;
+mod namespace;
+mod ops;
+mod path;
+
+pub use acl::{Acl, Permission, Principal, UserRegistry};
+pub use content::ContentStore;
+pub use error::DgmsError;
+pub use grid::{DataGrid, GridStats};
+pub use meta::{MetaQuery, MetaTriple};
+pub use namespace::{CollectionInfo, EventKind, NamespaceEvent, ObjectInfo, Replica};
+pub use ops::{Operation, PendingOp};
+pub use path::LogicalPath;

@@ -1,0 +1,91 @@
+//! Recurring, window-constrained ILM jobs.
+
+use dgf_dgl::Flow;
+use dgf_simgrid::{Duration, ScheduleWindow, SimTime};
+
+/// A long-run ILM process: a DGL flow to run repeatedly, but only inside
+/// a schedule window ("an ILM process could only be run at some domains
+/// during non-working hours or on weekends", §2.1).
+///
+/// The DfMS consumes these: at each period boundary it computes the next
+/// permitted start with [`IlmJob::next_start`] and submits the flow.
+#[derive(Debug, Clone)]
+pub struct IlmJob {
+    /// Job name (stable across runs; provenance groups by it).
+    pub name: String,
+    /// Grid user the job's flows run as.
+    pub run_as: String,
+    /// The flow each run executes.
+    pub flow: Flow,
+    /// When the job may run.
+    pub window: ScheduleWindow,
+    /// Desired period between run *starts* (e.g. daily).
+    pub period: Duration,
+}
+
+impl IlmJob {
+    /// A job runnable at any time.
+    pub fn unconstrained(name: impl Into<String>, run_as: impl Into<String>, flow: Flow, period: Duration) -> Self {
+        IlmJob { name: name.into(), run_as: run_as.into(), flow, window: ScheduleWindow::always(), period }
+    }
+
+    /// A job constrained to a window.
+    pub fn windowed(
+        name: impl Into<String>,
+        run_as: impl Into<String>,
+        flow: Flow,
+        window: ScheduleWindow,
+        period: Duration,
+    ) -> Self {
+        IlmJob { name: name.into(), run_as: run_as.into(), flow, window, period }
+    }
+
+    /// The earliest permitted start at or after `now`.
+    pub fn next_start(&self, now: SimTime) -> SimTime {
+        self.window.next_open(now)
+    }
+
+    /// The start of the run after one that started at `started`: one
+    /// period later, shifted into the window.
+    pub fn start_after(&self, started: SimTime) -> SimTime {
+        self.next_start(started + self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgl::Flow as DglFlow;
+
+    fn flow() -> DglFlow {
+        DglFlow::sequence("noop", vec![])
+    }
+
+    #[test]
+    fn unconstrained_jobs_start_immediately() {
+        let j = IlmJob::unconstrained("j", "ilm", flow(), Duration::from_days(1));
+        let t = SimTime::from_hours(5);
+        assert_eq!(j.next_start(t), t);
+        assert_eq!(j.start_after(t), t + Duration::from_days(1));
+    }
+
+    #[test]
+    fn weekend_jobs_wait_for_saturday() {
+        let j = IlmJob::windowed("archive", "ilm", flow(), ScheduleWindow::weekends(), Duration::from_days(7));
+        // Wednesday (day 2) noon → Saturday (day 5) midnight.
+        let wednesday_noon = SimTime::from_hours(2 * 24 + 12);
+        assert_eq!(j.next_start(wednesday_noon), SimTime::from_days(5));
+        // A run started Saturday recurs the following Saturday.
+        let started = SimTime::from_days(5);
+        assert_eq!(j.start_after(started), SimTime::from_days(12));
+    }
+
+    #[test]
+    fn nightly_jobs_respect_off_hours() {
+        let j = IlmJob::windowed("nightly", "ilm", flow(), ScheduleWindow::off_hours(20, 6), Duration::from_days(1));
+        // Monday 10:00 → Monday 20:00.
+        assert_eq!(j.next_start(SimTime::from_hours(10)), SimTime::from_hours(20));
+        // Already inside the window: start now.
+        assert_eq!(j.next_start(SimTime::from_hours(22)), SimTime::from_hours(22));
+    }
+}

@@ -1,0 +1,34 @@
+//! # dgf-ilm — datagrid Information Lifecycle Management (paper §2.1)
+//!
+//! "ILM solutions use data value and business policies to determine data
+//! placement and retention. ... Information in the grid would have
+//! different business values for different domains participating in the
+//! datagrid."
+//!
+//! This crate implements:
+//!
+//! * the **domain value model** ([`DomainValueModel`]): per-domain,
+//!   per-subtree business value that decays over time as users lose
+//!   interest,
+//! * **placement and retention policies** ([`PlacementPolicy`],
+//!   [`PolicyEngine`]): value bands → storage tiers, low-value data
+//!   migrated down-tier or deleted, with the decisions **compiled to DGL
+//!   flows** — one language for every long-run process, exactly as §4
+//!   argues,
+//! * the two canonical topologies: the **imploding star** (BBSRC:
+//!   hospital data pulled into an archiver domain) and the **exploding
+//!   star** (CMS: CERN data staged out through tiers) as flow builders
+//!   ([`imploding_star_flow`], [`exploding_star_flow`]),
+//! * recurring, window-constrained **ILM jobs** ([`IlmJob`]): "an ILM
+//!   process could only be run at some domains during non-working hours
+//!   or on weekends".
+
+mod job;
+mod policy;
+mod star;
+mod value;
+
+pub use job::IlmJob;
+pub use policy::{IlmAction, PlacementPolicy, PolicyBand, PolicyEngine, RetentionPolicy};
+pub use star::{exploding_star_flow, imploding_star_flow, StarError, TierSpec};
+pub use value::{DomainValueModel, ValueEntry};

@@ -1,0 +1,309 @@
+//! Placement and retention policies, and the engine compiling them to
+//! DGL flows.
+
+use crate::value::DomainValueModel;
+use dgf_dgl::{DglOperation, Flow, FlowBuilder};
+use dgf_dgms::{DataGrid, LogicalPath};
+use dgf_simgrid::{DomainId, SimTime, StorageTier};
+
+/// One value band: objects whose domain value is at least `min_value`
+/// belong on `tier` (bands are checked highest-first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyBand {
+    /// Inclusive lower bound of the band.
+    pub min_value: f64,
+    /// Target storage tier for the band.
+    pub tier: StorageTier,
+}
+
+/// A placement policy: ordered value bands. Values below every band fall
+/// through to the retention policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPolicy {
+    bands: Vec<PolicyBand>,
+}
+
+impl PlacementPolicy {
+    /// A policy from bands (sorted highest `min_value` first internally).
+    pub fn new(mut bands: Vec<PolicyBand>) -> Self {
+        bands.sort_by(|a, b| b.min_value.partial_cmp(&a.min_value).expect("finite"));
+        PlacementPolicy { bands }
+    }
+
+    /// The classic four-tier ILM ladder.
+    pub fn standard() -> Self {
+        Self::new(vec![
+            PolicyBand { min_value: 0.8, tier: StorageTier::ParallelFs },
+            PolicyBand { min_value: 0.4, tier: StorageTier::Disk },
+            PolicyBand { min_value: 0.05, tier: StorageTier::Archive },
+            PolicyBand { min_value: 0.0, tier: StorageTier::Tape },
+        ])
+    }
+
+    /// The tier a value maps to, if any band covers it.
+    pub fn tier_for(&self, value: f64) -> Option<StorageTier> {
+        self.bands.iter().find(|b| value >= b.min_value).map(|b| b.tier)
+    }
+}
+
+/// Retention: when is data allowed to leave the grid entirely?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionPolicy {
+    /// Delete when the grid-wide peak value drops below this.
+    pub delete_below_value: f64,
+    /// Never delete data younger than this many days, regardless of value.
+    pub min_age_days: f64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy { delete_below_value: 0.01, min_age_days: 30.0 }
+    }
+}
+
+/// One decision the policy engine produced for one object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlmAction {
+    /// Move the domain's replica from `from` to `to` (resource names).
+    Migrate { path: LogicalPath, from: String, to: String },
+    /// Delete the object grid-wide (fell below retention).
+    Delete { path: LogicalPath },
+}
+
+impl IlmAction {
+    /// The affected path.
+    pub fn path(&self) -> &LogicalPath {
+        match self {
+            IlmAction::Migrate { path, .. } | IlmAction::Delete { path } => path,
+        }
+    }
+}
+
+/// The ILM policy engine: evaluates one domain's holdings against the
+/// value model and produces actions (and DGL flows).
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    /// The placement ladder.
+    pub placement: PlacementPolicy,
+    /// The retention rule.
+    pub retention: RetentionPolicy,
+}
+
+impl PolicyEngine {
+    /// An engine with [`PlacementPolicy::standard`] and default retention.
+    pub fn standard() -> Self {
+        PolicyEngine { placement: PlacementPolicy::standard(), retention: RetentionPolicy::default() }
+    }
+
+    /// Evaluate every object with a replica in `domain` at time `now`.
+    ///
+    /// For each object: compute the domain value; if retention says
+    /// delete (grid-wide peak below threshold and old enough), emit
+    /// [`IlmAction::Delete`]; else if the object's replica in this domain
+    /// sits on a different tier than the placement ladder demands — and
+    /// the domain has a resource of the target tier with space — emit
+    /// [`IlmAction::Migrate`].
+    pub fn evaluate(
+        &self,
+        grid: &DataGrid,
+        model: &DomainValueModel,
+        domain: DomainId,
+        now: SimTime,
+    ) -> Vec<IlmAction> {
+        let topo = grid.topology();
+        let mut actions = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for storage in topo.domain(domain).storage.clone() {
+            for path in grid.objects_on(storage) {
+                if !seen.insert(path.clone()) {
+                    continue;
+                }
+                let Ok(obj) = grid.stat_object(&path) else { continue };
+                // Retention first: grid-wide signal.
+                let age_days = now.since(obj.created).as_secs_f64() / 86_400.0;
+                if model.peak_value(&path, now) < self.retention.delete_below_value
+                    && age_days >= self.retention.min_age_days
+                {
+                    actions.push(IlmAction::Delete { path });
+                    continue;
+                }
+                let value = model.value(domain, &path, now);
+                let Some(target_tier) = self.placement.tier_for(value) else { continue };
+                // Where does this domain hold the object now?
+                let Some(current) = obj
+                    .replicas
+                    .iter()
+                    .find(|r| topo.storage_domain(r.storage) == domain && r.valid)
+                else {
+                    continue;
+                };
+                let current_tier = topo.storage(current.storage).tier;
+                if current_tier == target_tier {
+                    continue;
+                }
+                // Find a target resource of the right tier with room.
+                let Some(target) = topo
+                    .domain(domain)
+                    .storage
+                    .iter()
+                    .copied()
+                    .find(|s| {
+                        let r = topo.storage(*s);
+                        r.tier == target_tier && r.online && r.free() >= obj.size
+                    })
+                else {
+                    continue;
+                };
+                actions.push(IlmAction::Migrate {
+                    path,
+                    from: topo.storage(current.storage).name.clone(),
+                    to: topo.storage(target).name.clone(),
+                });
+            }
+        }
+        actions
+    }
+
+    /// Compile a batch of actions into a single sequential DGL flow —
+    /// the §2.1 requirement that ILM processes be expressible in the
+    /// same interoperable language as everything else.
+    pub fn compile_flow(&self, name: &str, actions: &[IlmAction]) -> Flow {
+        let mut b = FlowBuilder::sequential(name);
+        for (i, action) in actions.iter().enumerate() {
+            let op = match action {
+                IlmAction::Migrate { path, from, to } => {
+                    DglOperation::Migrate { path: path.to_string(), from: from.clone(), to: to.clone() }
+                }
+                IlmAction::Delete { path } => DglOperation::Delete { path: path.to_string() },
+            };
+            b = b.step(format!("ilm-{i}"), op);
+        }
+        b.build().expect("generated flows are structurally valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgms::{Operation, Principal, UserRegistry};
+    use dgf_simgrid::{GridBuilder, GridPreset};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn grid() -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+        users.make_admin("u").unwrap();
+        DataGrid::new(topology, users)
+    }
+
+    #[test]
+    fn placement_bands_map_values_to_tiers() {
+        let p = PlacementPolicy::standard();
+        assert_eq!(p.tier_for(0.9), Some(StorageTier::ParallelFs));
+        assert_eq!(p.tier_for(0.5), Some(StorageTier::Disk));
+        assert_eq!(p.tier_for(0.1), Some(StorageTier::Archive));
+        assert_eq!(p.tier_for(0.0), Some(StorageTier::Tape));
+    }
+
+    #[test]
+    fn cooling_data_migrates_down_tier() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/hot.dat"), size: 100, resource: "site0-pfs".into() }, SimTime::ZERO)
+            .unwrap();
+        let mut model = DomainValueModel::new();
+        let d0 = g.topology().domain_by_name("site0").unwrap();
+        // Hot now, decaying with a 10-day half-life.
+        model.assert_value(crate::value::ValueEntry {
+            domain: d0,
+            scope: path("/hot.dat"),
+            value: 1.0,
+            asserted_at: SimTime::ZERO,
+            half_life_days: 10.0,
+        });
+        let engine = PolicyEngine::standard();
+        // Day 0: already on the right tier, nothing to do.
+        assert!(engine.evaluate(&g, &model, d0, SimTime::ZERO).is_empty());
+        // Day 20: value = 0.25 → Archive.
+        let actions = engine.evaluate(&g, &model, d0, SimTime::from_days(20));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            IlmAction::Migrate { from, to, .. } => {
+                assert_eq!(from, "site0-pfs");
+                assert_eq!(to, "site0-archive");
+            }
+            other => panic!("expected migrate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retention_deletes_old_worthless_data_only() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/junk.dat"), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let model = DomainValueModel::new(); // nobody values anything
+        let engine = PolicyEngine::standard();
+        let d0 = g.topology().domain_by_name("site0").unwrap();
+        // Too young to delete: falls through to placement → tape migrate.
+        let actions = engine.evaluate(&g, &model, d0, SimTime::from_days(1));
+        assert!(actions.iter().all(|a| matches!(a, IlmAction::Migrate { .. })), "{actions:?}");
+        // Old enough: delete.
+        let actions = engine.evaluate(&g, &model, d0, SimTime::from_days(40));
+        assert_eq!(actions, vec![IlmAction::Delete { path: path("/junk.dat") }]);
+    }
+
+    #[test]
+    fn other_domains_holdings_are_untouched() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/x"), size: 1, resource: "site1-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let model = DomainValueModel::new();
+        let engine = PolicyEngine::standard();
+        let d0 = g.topology().domain_by_name("site0").unwrap();
+        assert!(engine.evaluate(&g, &model, d0, SimTime::from_days(100)).is_empty());
+    }
+
+    #[test]
+    fn actions_compile_to_a_valid_dgl_flow() {
+        let engine = PolicyEngine::standard();
+        let actions = vec![
+            IlmAction::Migrate { path: path("/a"), from: "x-disk".into(), to: "x-tape".into() },
+            IlmAction::Delete { path: path("/b") },
+        ];
+        let flow = engine.compile_flow("nightly-ilm", &actions);
+        assert_eq!(flow.step_count(), 2);
+        flow.validate().unwrap();
+        // Round-trips through DGL XML like any other flow.
+        let req = dgf_dgl::DataGridRequest::flow("r", "ilm-daemon", flow.clone());
+        let parsed = dgf_dgl::parse_request(&req.to_xml()).unwrap();
+        match parsed.body {
+            dgf_dgl::RequestBody::Flow(f) => assert_eq!(f, flow),
+            _ => panic!("flow body expected"),
+        }
+    }
+
+    #[test]
+    fn full_disks_block_migration_gracefully() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/x"), size: 100, resource: "site0-pfs".into() }, SimTime::ZERO)
+            .unwrap();
+        // Fill the would-be archive target completely.
+        let archive = g.resolve_resource("site0-archive").unwrap();
+        let free = g.topology().storage(archive).free();
+        assert!(g.topology_mut().storage_mut(archive).allocate(free));
+        // Also fill tape so nothing fits.
+        let tape_like: Vec<_> = g.topology().domain(g.topology().domain_by_name("site0").unwrap()).storage.clone();
+        for s in tape_like {
+            let free = g.topology().storage(s).free();
+            let _ = g.topology_mut().storage_mut(s).allocate(free);
+        }
+        let model = DomainValueModel::new();
+        let engine = PolicyEngine::standard();
+        let d0 = g.topology().domain_by_name("site0").unwrap();
+        let actions = engine.evaluate(&g, &model, d0, SimTime::from_days(1));
+        assert!(actions.is_empty(), "no capacity → no actions, not a panic");
+    }
+}

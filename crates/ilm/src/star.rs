@@ -1,0 +1,290 @@
+//! The §2.1 star topologies as DGL flow builders.
+
+use dgf_dgl::{DglError, DglOperation, Flow, FlowBuilder};
+use dgf_dgms::{DataGrid, LogicalPath};
+use std::fmt;
+
+/// Errors while assembling star flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StarError {
+    /// A named domain does not exist in the topology.
+    UnknownDomain(String),
+    /// A domain has no storage resource suitable for the role.
+    NoSuitableStorage(String),
+    /// A source collection holds no objects.
+    EmptySource(LogicalPath),
+    /// DGL-level assembly failed.
+    Dgl(DglError),
+}
+
+impl fmt::Display for StarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarError::UnknownDomain(d) => write!(f, "unknown domain {d:?}"),
+            StarError::NoSuitableStorage(d) => write!(f, "domain {d:?} has no suitable storage"),
+            StarError::EmptySource(p) => write!(f, "source collection {p} is empty"),
+            StarError::Dgl(e) => write!(f, "DGL error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StarError {}
+
+impl From<DglError> for StarError {
+    fn from(e: DglError) -> Self {
+        StarError::Dgl(e)
+    }
+}
+
+/// The **imploding star** (BBSRC-CCLRC): every object under each source
+/// collection is replicated to the archiver's staging resource, verified
+/// by checksum, then migrated to the archiver's deep store; finally the
+/// source replica is trimmed.
+///
+/// "Information from all the domains in the datagrid is finally pulled
+/// towards this domain. This certainly involves a very well planned
+/// archival schedule." (§2.1)
+///
+/// Per-source work is wrapped in a parallel flow (sources are
+/// independent hospitals); per-object steps are sequential (copy →
+/// verify → deep-store → trim).
+pub fn imploding_star_flow(
+    grid: &DataGrid,
+    sources: &[(LogicalPath, String)], // (collection, source resource name)
+    staging_resource: &str,
+    deep_resource: &str,
+) -> Result<Flow, StarError> {
+    // Resolve early so bad configuration fails at build time, not mid-run.
+    for name in [staging_resource, deep_resource] {
+        grid.resolve_resource(name).map_err(|_| StarError::NoSuitableStorage(name.to_owned()))?;
+    }
+    let mut outer = FlowBuilder::parallel("imploding-star");
+    for (i, (collection, source_resource)) in sources.iter().enumerate() {
+        grid.resolve_resource(source_resource)
+            .map_err(|_| StarError::NoSuitableStorage(source_resource.clone()))?;
+        let per_object = FlowBuilder::for_each_in_collection(
+            format!("archive-src{i}"),
+            "file",
+            collection.to_string(),
+        )
+        .step(
+            "stage",
+            DglOperation::Replicate { path: "${file}".into(), src: Some(source_resource.clone()), dst: staging_resource.to_owned() },
+        )
+        .step(
+            "verify",
+            DglOperation::Checksum { path: "${file}".into(), resource: Some(staging_resource.to_owned()), register: false },
+        )
+        .step(
+            "deep-store",
+            DglOperation::Migrate { path: "${file}".into(), from: staging_resource.to_owned(), to: deep_resource.to_owned() },
+        )
+        .step(
+            "release-source",
+            DglOperation::Trim { path: "${file}".into(), resource: source_resource.clone() },
+        )
+        .build()?;
+        outer = outer.flow(per_object);
+    }
+    Ok(outer.build()?)
+}
+
+/// One tier of an exploding star: the destination resource names at each
+/// site of the tier, paired with the resource the tier reads *from*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Human label ("tier1").
+    pub label: String,
+    /// (source resource at the parent site, destination resource at this
+    /// site) pairs — one per site in this tier.
+    pub fanout: Vec<(String, String)>,
+}
+
+/// The **exploding star** (CMS/CERN): data created at the center is
+/// "replicated in stages at different tiers across the globe" — tier N+1
+/// reads from its tier-N parent, never from the center, so the center's
+/// uplink is traversed once per tier-1 site only.
+pub fn exploding_star_flow(
+    grid: &DataGrid,
+    dataset: &LogicalPath,
+    tiers: &[TierSpec],
+) -> Result<Flow, StarError> {
+    if grid.list(dataset).map(|l| l.is_empty()).unwrap_or(true) {
+        return Err(StarError::EmptySource(dataset.clone()));
+    }
+    for tier in tiers {
+        for (src, dst) in &tier.fanout {
+            for name in [src, dst] {
+                grid.resolve_resource(name).map_err(|_| StarError::NoSuitableStorage(name.clone()))?;
+            }
+        }
+    }
+    // Tiers propagate sequentially; within a tier, sites replicate in
+    // parallel; per site, every object in the dataset is copied.
+    let mut stages = FlowBuilder::sequential("exploding-star");
+    for tier in tiers {
+        let mut tier_flow = FlowBuilder::parallel(format!("stage-{}", tier.label));
+        for (site_idx, (src, dst)) in tier.fanout.iter().enumerate() {
+            let per_site = FlowBuilder::for_each_in_collection(
+                format!("{}-site{site_idx}", tier.label),
+                "file",
+                dataset.to_string(),
+            )
+            .step(
+                "replicate",
+                DglOperation::Replicate { path: "${file}".into(), src: Some(src.clone()), dst: dst.clone() },
+            )
+            .build()?;
+            tier_flow = tier_flow.flow(per_site);
+        }
+        stages = stages.flow(tier_flow.build()?);
+    }
+    Ok(stages.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgl::{Children, ControlPattern};
+    use dgf_dgms::{Operation, Principal, UserRegistry};
+    use dgf_simgrid::{GridBuilder, GridPreset, SimTime};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn bbsrc_grid(sources: u32) -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::ImplodingStar { sources });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("archivist", topology.domain_by_name("archiver").unwrap()));
+        users.make_admin("archivist").unwrap();
+        let mut g = DataGrid::new(topology, users);
+        for i in 0..sources {
+            let coll = format!("/hospital{i:02}");
+            g.execute("archivist", Operation::CreateCollection { path: path(&coll) }, SimTime::ZERO).unwrap();
+            for j in 0..3 {
+                g.execute(
+                    "archivist",
+                    Operation::Ingest {
+                        path: path(&format!("{coll}/scan{j}.dat")),
+                        size: 1_000_000,
+                        resource: format!("hospital{i:02}-disk"),
+                    },
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn imploding_star_builds_per_source_pipelines() {
+        let g = bbsrc_grid(4);
+        let sources: Vec<_> = (0..4)
+            .map(|i| (path(&format!("/hospital{i:02}")), format!("hospital{i:02}-disk")))
+            .collect();
+        let flow = imploding_star_flow(&g, &sources, "archiver-disk", "archiver-tape").unwrap();
+        flow.validate().unwrap();
+        match &flow.children {
+            Children::Flows(fs) => {
+                assert_eq!(fs.len(), 4, "one pipeline per hospital");
+                for f in fs {
+                    assert!(matches!(f.logic.pattern, ControlPattern::ForEach { .. }));
+                    assert_eq!(f.children.len(), 4, "stage/verify/deep-store/release");
+                }
+            }
+            _ => panic!("expected sub-flows"),
+        }
+        assert!(matches!(flow.logic.pattern, ControlPattern::Parallel));
+    }
+
+    #[test]
+    fn imploding_star_rejects_unknown_resources() {
+        let g = bbsrc_grid(1);
+        let sources = vec![(path("/hospital00"), "hospital00-disk".to_owned())];
+        assert!(matches!(
+            imploding_star_flow(&g, &sources, "no-such", "archiver-tape"),
+            Err(StarError::NoSuitableStorage(_))
+        ));
+        let bad_sources = vec![(path("/hospital00"), "nope".to_owned())];
+        assert!(imploding_star_flow(&g, &bad_sources, "archiver-disk", "archiver-tape").is_err());
+    }
+
+    fn cms_grid() -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::Tiered { tier1: 2, tier2_per_tier1: 2 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("cms", topology.domain_by_name("tier0").unwrap()));
+        users.make_admin("cms").unwrap();
+        let mut g = DataGrid::new(topology, users);
+        g.execute("cms", Operation::CreateCollection { path: path("/run2005A") }, SimTime::ZERO).unwrap();
+        for i in 0..5 {
+            g.execute(
+                "cms",
+                Operation::Ingest { path: path(&format!("/run2005A/evt{i}.dat")), size: 2_000_000, resource: "tier0-pfs".into() },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn exploding_star_stages_through_tiers() {
+        let g = cms_grid();
+        let tiers = vec![
+            TierSpec {
+                label: "tier1".into(),
+                fanout: vec![
+                    ("tier0-pfs".into(), "tier1-0-disk".into()),
+                    ("tier0-pfs".into(), "tier1-1-disk".into()),
+                ],
+            },
+            TierSpec {
+                label: "tier2".into(),
+                fanout: vec![
+                    ("tier1-0-disk".into(), "tier2-0-0-disk".into()),
+                    ("tier1-0-disk".into(), "tier2-0-1-disk".into()),
+                    ("tier1-1-disk".into(), "tier2-1-0-disk".into()),
+                    ("tier1-1-disk".into(), "tier2-1-1-disk".into()),
+                ],
+            },
+        ];
+        let flow = exploding_star_flow(&g, &path("/run2005A"), &tiers).unwrap();
+        flow.validate().unwrap();
+        assert!(matches!(flow.logic.pattern, ControlPattern::Sequential), "tiers are staged");
+        match &flow.children {
+            Children::Flows(stages) => {
+                assert_eq!(stages.len(), 2);
+                assert!(matches!(stages[0].logic.pattern, ControlPattern::Parallel));
+                assert_eq!(stages[0].children.len(), 2, "two tier-1 sites");
+                assert_eq!(stages[1].children.len(), 4, "four tier-2 sites");
+            }
+            _ => panic!("expected staged sub-flows"),
+        }
+    }
+
+    #[test]
+    fn exploding_star_requires_a_nonempty_dataset() {
+        let g = cms_grid();
+        assert!(matches!(
+            exploding_star_flow(&g, &path("/missing"), &[]),
+            Err(StarError::EmptySource(_))
+        ));
+    }
+
+    #[test]
+    fn star_flows_serialize_to_dgl_documents() {
+        let g = bbsrc_grid(2);
+        let sources: Vec<_> = (0..2)
+            .map(|i| (path(&format!("/hospital{i:02}")), format!("hospital{i:02}-disk")))
+            .collect();
+        let flow = imploding_star_flow(&g, &sources, "archiver-disk", "archiver-tape").unwrap();
+        let req = dgf_dgl::DataGridRequest::flow("bbsrc-nightly", "archivist", flow.clone()).asynchronous();
+        let parsed = dgf_dgl::parse_request(&req.to_xml()).unwrap();
+        match parsed.body {
+            dgf_dgl::RequestBody::Flow(f) => assert_eq!(f, flow),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The Infrastructure Description Language (§3.2): what each domain is
+//! willing to share, and at what service level.
+
+use dgf_simgrid::ComputeId;
+use std::collections::HashMap;
+
+/// The service-level agreement a domain publishes for one compute
+/// resource. "The system administrators could change the infrastructure
+/// logic based on their own domain requirements, assuring them full
+/// autonomous control over what resources are shared with other grid
+/// users and at what SLAs." (§2.3)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sla {
+    /// Fraction of the resource's slots grid users may occupy (0.0–1.0).
+    pub grid_share: f64,
+    /// VOs allowed to use the resource; `None` = any.
+    pub allowed_vos: Option<Vec<String>>,
+}
+
+impl Default for Sla {
+    fn default() -> Self {
+        Sla { grid_share: 1.0, allowed_vos: None }
+    }
+}
+
+impl Sla {
+    /// An SLA sharing only a fraction of slots.
+    pub fn shared(grid_share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&grid_share), "share must be in [0,1]");
+        Sla { grid_share, allowed_vos: None }
+    }
+
+    /// An SLA restricted to specific VOs.
+    pub fn for_vos(vos: &[&str]) -> Self {
+        Sla { grid_share: 1.0, allowed_vos: Some(vos.iter().map(|v| (*v).to_owned()).collect()) }
+    }
+
+    /// May `vo` use this resource at all?
+    pub fn admits_vo(&self, vo: Option<&str>) -> bool {
+        match &self.allowed_vos {
+            None => true,
+            Some(list) => vo.map(|v| list.iter().any(|a| a == v)).unwrap_or(false),
+        }
+    }
+
+    /// How many of `total` slots grid tasks may use.
+    pub fn usable_slots(&self, total: u32) -> u32 {
+        ((total as f64) * self.grid_share).floor() as u32
+    }
+}
+
+/// The grid-wide infrastructure description: SLAs per compute resource.
+/// Resources without an entry get [`Sla::default`] (fully shared).
+#[derive(Debug, Clone, Default)]
+pub struct InfraDescription {
+    slas: HashMap<ComputeId, Sla>,
+}
+
+impl InfraDescription {
+    /// Everything fully shared.
+    pub fn open() -> Self {
+        Self::default()
+    }
+
+    /// Publish (or replace) an SLA for a resource.
+    pub fn publish(&mut self, resource: ComputeId, sla: Sla) {
+        self.slas.insert(resource, sla);
+    }
+
+    /// The effective SLA for a resource.
+    pub fn sla(&self, resource: ComputeId) -> Sla {
+        self.slas.get(&resource).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sla_is_open() {
+        let infra = InfraDescription::open();
+        let sla = infra.sla(ComputeId(0));
+        assert!(sla.admits_vo(None));
+        assert!(sla.admits_vo(Some("cms")));
+        assert_eq!(sla.usable_slots(64), 64);
+    }
+
+    #[test]
+    fn shares_limit_slots() {
+        let sla = Sla::shared(0.25);
+        assert_eq!(sla.usable_slots(64), 16);
+        assert_eq!(sla.usable_slots(3), 0, "floors");
+    }
+
+    #[test]
+    fn vo_restrictions() {
+        let sla = Sla::for_vos(&["scec", "cms"]);
+        assert!(sla.admits_vo(Some("scec")));
+        assert!(!sla.admits_vo(Some("atlas")));
+        assert!(!sla.admits_vo(None), "VO-restricted resources refuse anonymous tasks");
+    }
+
+    #[test]
+    fn published_slas_override_default() {
+        let mut infra = InfraDescription::open();
+        infra.publish(ComputeId(3), Sla::shared(0.5));
+        assert_eq!(infra.sla(ComputeId(3)).grid_share, 0.5);
+        assert_eq!(infra.sla(ComputeId(4)).grid_share, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share")]
+    fn invalid_share_rejected() {
+        let _ = Sla::shared(1.5);
+    }
+}

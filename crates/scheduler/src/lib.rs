@@ -1,0 +1,40 @@
+//! # dgf-scheduler — grid schedulers and brokers
+//!
+//! "Grid schedulers and brokers act as intermediaries, that do the
+//! planning and matchmaking between the appropriate tasks in a workflow
+//! with the resources that are available. They are used to convert the
+//! abstract execution logic into concrete infrastructure-based execution
+//! logic." (paper, §3.2)
+//!
+//! This crate implements:
+//!
+//! * the **abstract task** model ([`AbstractTask`]) — what a DGL
+//!   `execute` step describes before binding,
+//! * the **Infrastructure Description** ([`InfraDescription`]) — per-
+//!   resource SLAs giving domains "full autonomous control over what
+//!   resources are shared with other grid users" (§2.3),
+//! * the §2.3 **cost model** ([`CostWeights`], [`CostBreakdown`]): data
+//!   moved, idle CPU, clock time, bandwidth,
+//! * four **planners** ([`PlannerKind`]): `Random`, `RoundRobin`,
+//!   `GreedyLocal` (data locality only), and `CostBased` (full cost
+//!   model) — the baselines and the paper's preferred approach,
+//! * **late vs. early binding** ([`BindingMode`], [`BindingCache`]) — the
+//!   §2.3 "infrastructure-based execution logic" conversion either ahead
+//!   of time or per-execution,
+//! * a **virtual-data catalog** ([`VirtualDataCatalog`]) in the style of
+//!   GriPhyN Chimera: "if the required output data is already available
+//!   (virtual data), it need not be derived again."
+
+mod binding;
+mod cost;
+mod infra;
+mod planner;
+mod task;
+mod virtual_data;
+
+pub use binding::{BindingCache, BindingMode};
+pub use cost::{CostBreakdown, CostWeights};
+pub use infra::{InfraDescription, Sla};
+pub use planner::{Placement, PlannerError, PlannerKind, Scheduler, StagePlan};
+pub use task::{AbstractTask, ResourceReq};
+pub use virtual_data::{Derivation, VirtualDataCatalog};

@@ -1,0 +1,95 @@
+//! The abstract task: execution logic before infrastructure binding.
+
+use dgf_dgms::LogicalPath;
+use dgf_simgrid::Duration;
+
+/// An abstract resource requirement — "the description might be just a
+/// logical or abstract specification of the type of resource required
+/// rather than a specific physical system" (§2.3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResourceReq {
+    /// Minimum free execution slots at the site.
+    pub min_slots: u32,
+    /// Pin to a named domain (rare; defeats late binding).
+    pub domain: Option<String>,
+}
+
+impl ResourceReq {
+    /// Parse the DGL `resourceType` attribute: `"compute"`,
+    /// `"compute:16"` (≥16 slots), or `"compute@sdsc"` (pinned domain).
+    pub fn parse(spec: &str) -> Option<ResourceReq> {
+        let rest = spec.strip_prefix("compute")?;
+        if rest.is_empty() {
+            return Some(ResourceReq::default());
+        }
+        if let Some(n) = rest.strip_prefix(':') {
+            return n.parse().ok().map(|min_slots| ResourceReq { min_slots, domain: None });
+        }
+        if let Some(d) = rest.strip_prefix('@') {
+            return Some(ResourceReq { min_slots: 0, domain: Some(d.to_owned()) });
+        }
+        None
+    }
+}
+
+/// One business-logic task awaiting placement: the scheduler's input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbstractTask {
+    /// Business-logic code name (provenance + virtual-data key).
+    pub code: String,
+    /// Nominal duration on the reference machine.
+    pub nominal: Duration,
+    /// Logical input paths (must exist in the DGMS at planning time).
+    pub inputs: Vec<LogicalPath>,
+    /// Logical outputs with their sizes.
+    pub outputs: Vec<(LogicalPath, u64)>,
+    /// Resource requirement.
+    pub requirement: ResourceReq,
+    /// Submitting VO (SLA matchmaking).
+    pub vo: Option<String>,
+}
+
+impl AbstractTask {
+    /// A task with no inputs or outputs (pure compute).
+    pub fn compute_only(code: impl Into<String>, nominal: Duration) -> Self {
+        AbstractTask {
+            code: code.into(),
+            nominal,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            requirement: ResourceReq::default(),
+            vo: None,
+        }
+    }
+
+    /// Total bytes this task will write.
+    pub fn output_bytes(&self) -> u64 {
+        self.outputs.iter().map(|(_, b)| b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_req_parsing() {
+        assert_eq!(ResourceReq::parse("compute"), Some(ResourceReq::default()));
+        assert_eq!(ResourceReq::parse("compute:16"), Some(ResourceReq { min_slots: 16, domain: None }));
+        assert_eq!(
+            ResourceReq::parse("compute@sdsc"),
+            Some(ResourceReq { min_slots: 0, domain: Some("sdsc".into()) })
+        );
+        assert_eq!(ResourceReq::parse("storage"), None);
+        assert_eq!(ResourceReq::parse("compute:x"), None);
+    }
+
+    #[test]
+    fn output_accounting() {
+        let mut t = AbstractTask::compute_only("sum", Duration::from_secs(10));
+        assert_eq!(t.output_bytes(), 0);
+        t.outputs.push((LogicalPath::parse("/o1").unwrap(), 100));
+        t.outputs.push((LogicalPath::parse("/o2").unwrap(), 50));
+        assert_eq!(t.output_bytes(), 150);
+    }
+}

@@ -1,0 +1,155 @@
+//! The virtual-data catalog (GriPhyN Chimera substitute).
+//!
+//! "If the required output data is already available (virtual data), it
+//! need not be derived again." (§2.3) The catalog records which outputs
+//! each (code, inputs) derivation produced; a later identical derivation
+//! whose outputs still exist is skipped.
+
+use dgf_dgms::{DataGrid, LogicalPath};
+use std::collections::HashMap;
+
+/// One recorded derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// Business-logic code name.
+    pub code: String,
+    /// Input logical paths (order-normalized).
+    pub inputs: Vec<LogicalPath>,
+    /// Output logical paths the derivation produced.
+    pub outputs: Vec<LogicalPath>,
+}
+
+/// Key: code + sorted inputs.
+fn key(code: &str, inputs: &[LogicalPath]) -> String {
+    let mut sorted: Vec<String> = inputs.iter().map(|p| p.to_string()).collect();
+    sorted.sort_unstable();
+    format!("{code}|{}", sorted.join(","))
+}
+
+/// The catalog itself.
+#[derive(Debug, Default)]
+pub struct VirtualDataCatalog {
+    derivations: HashMap<String, Derivation>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VirtualDataCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed derivation.
+    pub fn register(&mut self, code: &str, inputs: &[LogicalPath], outputs: &[LogicalPath]) {
+        let mut sorted_inputs = inputs.to_vec();
+        sorted_inputs.sort();
+        self.derivations.insert(
+            key(code, inputs),
+            Derivation { code: code.to_owned(), inputs: sorted_inputs, outputs: outputs.to_vec() },
+        );
+    }
+
+    /// Check whether this derivation can be skipped: it was registered
+    /// before **and** every recorded output still exists in the grid.
+    /// Updates hit/miss statistics.
+    pub fn lookup(&mut self, grid: &DataGrid, code: &str, inputs: &[LogicalPath]) -> Option<&Derivation> {
+        let k = key(code, inputs);
+        let usable = match self.derivations.get(&k) {
+            Some(d) => d.outputs.iter().all(|o| grid.exists(o)),
+            None => false,
+        };
+        if usable {
+            self.hits += 1;
+            self.derivations.get(&k)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of recorded derivations.
+    pub fn len(&self) -> usize {
+        self.derivations.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.derivations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_dgms::{Operation, Principal, UserRegistry};
+    use dgf_simgrid::{GridBuilder, GridPreset, SimTime};
+
+    fn path(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    fn grid() -> DataGrid {
+        let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+        let mut users = UserRegistry::new();
+        users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+        users.make_admin("u").unwrap();
+        DataGrid::new(topology, users)
+    }
+
+    #[test]
+    fn hit_requires_outputs_to_exist() {
+        let mut g = grid();
+        let mut cat = VirtualDataCatalog::new();
+        let inputs = vec![path("/in1"), path("/in2")];
+        let outputs = vec![path("/out")];
+        assert!(cat.lookup(&g, "transform", &inputs).is_none(), "unknown derivation");
+        cat.register("transform", &inputs, &outputs);
+        assert!(cat.lookup(&g, "transform", &inputs).is_none(), "output not in the grid yet");
+        g.execute("u", Operation::Ingest { path: path("/out"), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let hit = cat.lookup(&g, "transform", &inputs).unwrap();
+        assert_eq!(hit.outputs, outputs);
+        assert_eq!(cat.stats(), (1, 2));
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/out"), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let mut cat = VirtualDataCatalog::new();
+        cat.register("t", &[path("/a"), path("/b")], &[path("/out")]);
+        assert!(cat.lookup(&g, "t", &[path("/b"), path("/a")]).is_some());
+    }
+
+    #[test]
+    fn different_code_or_inputs_miss() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/out"), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let mut cat = VirtualDataCatalog::new();
+        cat.register("t", &[path("/a")], &[path("/out")]);
+        assert!(cat.lookup(&g, "other", &[path("/a")]).is_none());
+        assert!(cat.lookup(&g, "t", &[path("/a"), path("/b")]).is_none());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn deleted_outputs_force_rederivation() {
+        let mut g = grid();
+        g.execute("u", Operation::Ingest { path: path("/out"), size: 1, resource: "site0-disk".into() }, SimTime::ZERO)
+            .unwrap();
+        let mut cat = VirtualDataCatalog::new();
+        cat.register("t", &[path("/a")], &[path("/out")]);
+        assert!(cat.lookup(&g, "t", &[path("/a")]).is_some());
+        g.execute("u", Operation::Delete { path: path("/out") }, SimTime::ZERO).unwrap();
+        assert!(cat.lookup(&g, "t", &[path("/a")]).is_none(), "stale derivation rejected");
+    }
+}

@@ -1,0 +1,171 @@
+//! Convenience construction of the grid topologies the paper's scenarios
+//! run on.
+
+use crate::compute::ComputeResource;
+use crate::storage::{StorageResource, StorageTier};
+use crate::time::Duration;
+use crate::topology::{DomainId, Topology};
+
+const MB: u64 = 1_000_000;
+const GB: u64 = 1_000_000_000;
+const TB: u64 = 1_000 * GB;
+
+/// Pre-canned topology shapes used by the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridPreset {
+    /// `n` peer domains fully meshed with identical WAN links — the
+    /// generic multi-organization datagrid of §1.
+    UniformMesh { domains: u32 },
+    /// One central archiver domain plus `sources` leaf domains (BBSRC
+    /// hospitals → CCLRC archive, §2.1 "imploding star").
+    ImplodingStar { sources: u32 },
+    /// CMS-style tiered distribution: one Tier-0, `tier1` Tier-1 centers,
+    /// `tier2_per_tier1` Tier-2 sites under each (§2.1 "exploding star").
+    Tiered { tier1: u32, tier2_per_tier1: u32 },
+}
+
+/// Builder producing [`Topology`] instances with realistic tiering.
+#[derive(Debug, Default)]
+pub struct GridBuilder {
+    topology: Topology,
+}
+
+impl GridBuilder {
+    /// Start from an empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fully-equipped domain: parallel-fs + disk + archive storage
+    /// and one cluster. Returns the new domain id.
+    pub fn add_site(&mut self, name: &str, cluster_slots: u32) -> DomainId {
+        let d = self.topology.add_domain(name);
+        self.topology.add_storage(d, StorageResource::with_tier_defaults(format!("{name}-pfs"), StorageTier::ParallelFs, 10 * TB));
+        self.topology.add_storage(d, StorageResource::with_tier_defaults(format!("{name}-disk"), StorageTier::Disk, 50 * TB));
+        self.topology.add_storage(d, StorageResource::with_tier_defaults(format!("{name}-archive"), StorageTier::Archive, 500 * TB));
+        self.topology.add_compute(d, ComputeResource::new(format!("{name}-cluster"), cluster_slots));
+        d
+    }
+
+    /// Add a minimal domain with a single disk store and no compute (a
+    /// small data-producing site such as a hospital).
+    pub fn add_leaf_site(&mut self, name: &str) -> DomainId {
+        let d = self.topology.add_domain(name);
+        self.topology.add_storage(d, StorageResource::with_tier_defaults(format!("{name}-disk"), StorageTier::Disk, 10 * TB));
+        d
+    }
+
+    /// Connect two domains with a WAN link (default: 50 ms, 100 MB/s).
+    pub fn wan_link(&mut self, a: DomainId, b: DomainId) {
+        self.topology.add_link(a, b, Duration::from_millis(50), 100 * MB);
+    }
+
+    /// Connect two domains with a custom link.
+    pub fn link(&mut self, a: DomainId, b: DomainId, latency: Duration, bandwidth: u64) {
+        self.topology.add_link(a, b, latency, bandwidth);
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Topology {
+        self.topology
+    }
+
+    /// Materialize a preset.
+    pub fn preset(preset: GridPreset) -> Topology {
+        let mut b = GridBuilder::new();
+        match preset {
+            GridPreset::UniformMesh { domains } => {
+                assert!(domains >= 1);
+                let ids: Vec<_> = (0..domains).map(|i| b.add_site(&format!("site{i}"), 32)).collect();
+                for i in 0..ids.len() {
+                    for j in (i + 1)..ids.len() {
+                        b.wan_link(ids[i], ids[j]);
+                    }
+                }
+            }
+            GridPreset::ImplodingStar { sources } => {
+                assert!(sources >= 1);
+                let archive = b.topology.add_domain("archiver");
+                // The archiver gets deep archive + tape, plus staging disk.
+                b.topology.add_storage(archive, StorageResource::with_tier_defaults("archiver-disk", StorageTier::Disk, 100 * TB));
+                b.topology.add_storage(archive, StorageResource::with_tier_defaults("archiver-archive", StorageTier::Archive, 1_000 * TB));
+                b.topology.add_storage(archive, StorageResource::with_tier_defaults("archiver-tape", StorageTier::Tape, 10_000 * TB));
+                b.topology.add_compute(archive, ComputeResource::new("archiver-ingest", 16));
+                for i in 0..sources {
+                    let s = b.add_leaf_site(&format!("hospital{i:02}"));
+                    // Hospitals have modest uplinks.
+                    b.link(s, archive, Duration::from_millis(30), 20 * MB);
+                }
+            }
+            GridPreset::Tiered { tier1, tier2_per_tier1 } => {
+                assert!(tier1 >= 1);
+                let t0 = b.add_site("tier0", 128);
+                for i in 0..tier1 {
+                    let t1 = b.add_site(&format!("tier1-{i}"), 64);
+                    // T0→T1: fat transatlantic pipes.
+                    b.link(t0, t1, Duration::from_millis(80), 250 * MB);
+                    for j in 0..tier2_per_tier1 {
+                        let t2 = b.add_site(&format!("tier2-{i}-{j}"), 32);
+                        b.link(t1, t2, Duration::from_millis(25), 50 * MB);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_is_fully_connected() {
+        let t = GridBuilder::preset(GridPreset::UniformMesh { domains: 4 });
+        assert_eq!(t.domain_count(), 4);
+        assert_eq!(t.link_count(), 6, "4 choose 2");
+        for a in t.domain_ids() {
+            for b in t.domain_ids() {
+                let r = t.route(a, b).unwrap();
+                assert!(r.links.len() <= 1, "mesh routes are direct");
+            }
+        }
+    }
+
+    #[test]
+    fn imploding_star_centers_on_the_archiver() {
+        let t = GridBuilder::preset(GridPreset::ImplodingStar { sources: 8 });
+        assert_eq!(t.domain_count(), 9);
+        let archiver = t.domain_by_name("archiver").unwrap();
+        assert_eq!(t.domain(archiver).storage.len(), 3, "disk + archive + tape");
+        let hospital = t.domain_by_name("hospital03").unwrap();
+        let r = t.route(hospital, archiver).unwrap();
+        assert_eq!(r.links.len(), 1);
+        // Hospital-to-hospital traffic relays through the archiver hub.
+        let other = t.domain_by_name("hospital05").unwrap();
+        assert_eq!(t.route(hospital, other).unwrap().links.len(), 2);
+    }
+
+    #[test]
+    fn tiered_preset_matches_cms_shape() {
+        let t = GridBuilder::preset(GridPreset::Tiered { tier1: 4, tier2_per_tier1: 3 });
+        assert_eq!(t.domain_count(), 1 + 4 + 12);
+        let t0 = t.domain_by_name("tier0").unwrap();
+        let t2 = t.domain_by_name("tier2-2-1").unwrap();
+        let r = t.route(t0, t2).unwrap();
+        assert_eq!(r.links.len(), 2, "T0 → T1 → T2");
+        assert_eq!(r.bottleneck_bandwidth, 50 * MB, "last hop is the bottleneck");
+    }
+
+    #[test]
+    fn sites_are_fully_equipped() {
+        let mut b = GridBuilder::new();
+        let d = b.add_site("sdsc", 64);
+        let t = b.build();
+        assert_eq!(t.domain(d).storage.len(), 3);
+        assert_eq!(t.domain(d).compute.len(), 1);
+        assert!(t.storage_by_name("sdsc-archive").is_some());
+        let tiers: Vec<_> = t.domain(d).storage.iter().map(|s| t.storage(*s).tier).collect();
+        assert!(tiers.contains(&StorageTier::ParallelFs) && tiers.contains(&StorageTier::Archive));
+    }
+}

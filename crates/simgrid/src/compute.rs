@@ -1,0 +1,117 @@
+//! Compute resources: where grid-workflow business logic executes.
+
+use crate::time::Duration;
+use std::fmt;
+
+/// Identifier of a compute resource within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComputeId(pub u32);
+
+impl fmt::Display for ComputeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cr{}", self.0)
+    }
+}
+
+/// A cluster / node pool at one domain.
+///
+/// The paper's §2.3 cost model charges schedulers for "the number of CPU
+/// cycles that would be left idle in the grid", so the resource tracks
+/// busy slots explicitly.
+#[derive(Debug, Clone)]
+pub struct ComputeResource {
+    /// Logical name ("sdsc-datastar", "scec-cluster", ...).
+    pub name: String,
+    /// Number of parallel execution slots (cores or nodes).
+    pub slots: u32,
+    /// Slots currently running tasks.
+    pub busy: u32,
+    /// Relative speed factor: a task's nominal duration is divided by
+    /// this. 1.0 = reference machine.
+    pub speed: f64,
+    /// Whether the resource is currently reachable (failure injection).
+    pub online: bool,
+}
+
+impl ComputeResource {
+    /// A resource with `slots` slots at reference speed.
+    pub fn new(name: impl Into<String>, slots: u32) -> Self {
+        ComputeResource { name: name.into(), slots, busy: 0, speed: 1.0, online: true }
+    }
+
+    /// Builder-style speed override.
+    #[must_use]
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.speed = speed;
+        self
+    }
+
+    /// Free execution slots.
+    pub fn free_slots(&self) -> u32 {
+        self.slots.saturating_sub(self.busy)
+    }
+
+    /// Try to claim one slot; false if saturated or offline.
+    #[must_use]
+    pub fn claim_slot(&mut self) -> bool {
+        if !self.online || self.free_slots() == 0 {
+            return false;
+        }
+        self.busy += 1;
+        true
+    }
+
+    /// Release a claimed slot (saturating).
+    pub fn release_slot(&mut self) {
+        self.busy = self.busy.saturating_sub(1);
+    }
+
+    /// Wall time to execute a task whose nominal duration (on the
+    /// reference machine) is `nominal`.
+    pub fn execution_time(&self, nominal: Duration) -> Duration {
+        Duration::from_secs_f64(nominal.as_secs_f64() / self.speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_accounting() {
+        let mut c = ComputeResource::new("c", 2);
+        assert!(c.claim_slot());
+        assert!(c.claim_slot());
+        assert!(!c.claim_slot(), "saturated");
+        c.release_slot();
+        assert!(c.claim_slot());
+        assert_eq!(c.free_slots(), 0);
+        c.release_slot();
+        c.release_slot();
+        c.release_slot(); // saturating
+        assert_eq!(c.busy, 0);
+    }
+
+    #[test]
+    fn offline_resources_refuse_work() {
+        let mut c = ComputeResource::new("c", 4);
+        c.online = false;
+        assert!(!c.claim_slot());
+    }
+
+    #[test]
+    fn speed_scales_execution_time() {
+        let fast = ComputeResource::new("fast", 1).with_speed(2.0);
+        let slow = ComputeResource::new("slow", 1).with_speed(0.5);
+        let nominal = Duration::from_secs(100);
+        assert_eq!(fast.execution_time(nominal).as_secs(), 50);
+        assert_eq!(slow.execution_time(nominal).as_secs(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = ComputeResource::new("x", 1).with_speed(0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The deterministic discrete-event queue driving every simulation.
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are ordered by scheduled time; ties break by insertion sequence,
+/// so two runs that schedule the same events in the same order pop them in
+/// the same order — the property every experiment in `EXPERIMENTS.md`
+/// relies on.
+///
+/// The queue owns the clock: popping an event advances `now` to the
+/// event's timestamp. Scheduling in the past is a logic error and panics
+/// in debug builds (it silently clamps to `now` in release, matching how
+/// a real scheduler would treat an already-due timer).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedule `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Peek at the timestamp of the next event without popping.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Advance the clock directly (used when external work — e.g. the
+    /// threaded DfMS front-end — injects time passage between events).
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now);
+        self.now = self.now.max(at);
+    }
+
+    /// Drain every event in timestamp order, applying `f`. Events that
+    /// `f` schedules during the drain are also processed. Returns the
+    /// number of events processed.
+    pub fn run_to_completion(&mut self, mut f: impl FnMut(&mut Self, SimTime, E)) -> usize {
+        let mut n = 0;
+        while let Some((at, event)) = self.pop() {
+            n += 1;
+            f(self, at, event);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "late");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(1), "b");
+        q.schedule_at(SimTime::from_secs(5), "mid");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "mid", "late"]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_secs(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop().unwrap();
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_current_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_secs(2), 1u32);
+        q.pop().unwrap();
+        q.schedule_in(Duration::from_secs(2), 2u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_to_completion_handles_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_secs(1), 3u32);
+        let mut seen = Vec::new();
+        let n = q.run_to_completion(|q, _, remaining| {
+            seen.push(remaining);
+            if remaining > 0 {
+                q.schedule_in(Duration::from_secs(1), remaining - 1);
+            }
+        });
+        assert_eq!(n, 4);
+        assert_eq!(seen, [3, 2, 1, 0]);
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn next_time_peeks_without_advancing() {
+        let mut q = EventQueue::new();
+        assert!(q.next_time().is_none());
+        q.schedule_at(SimTime::from_secs(9), ());
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic failure injection for resource-churn experiments (E6).
+
+use crate::compute::ComputeId;
+use crate::storage::StorageId;
+use crate::time::{Duration, SimTime};
+use crate::topology::{LinkId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One state change of one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// A storage resource goes down / comes back.
+    Storage(StorageId, bool),
+    /// A compute resource goes down / comes back.
+    Compute(ComputeId, bool),
+    /// A link goes down / comes back.
+    Link(LinkId, bool),
+}
+
+impl FailureEvent {
+    /// Apply this event to a topology.
+    pub fn apply(self, topology: &mut Topology) {
+        match self {
+            FailureEvent::Storage(id, online) => topology.storage_mut(id).online = online,
+            FailureEvent::Compute(id, online) => topology.compute_mut(id).online = online,
+            FailureEvent::Link(id, online) => topology.link_mut(id).online = online,
+        }
+    }
+}
+
+/// A pre-computed, seed-deterministic schedule of failures and repairs.
+///
+/// Churn is parameterized by mean-time-between-failures across the whole
+/// grid and a fixed repair time; exponential inter-arrival times come
+/// from the seeded RNG so the same seed replays the same outages.
+#[derive(Debug, Clone)]
+pub struct FailurePlan {
+    events: Vec<(SimTime, FailureEvent)>,
+}
+
+impl FailurePlan {
+    /// No failures at all.
+    pub fn none() -> Self {
+        FailurePlan { events: Vec::new() }
+    }
+
+    /// Generate a plan over `horizon` where some grid resource fails on
+    /// average every `mtbf` and recovers after `repair`.
+    ///
+    /// Only compute resources and links fail (storage outages would strand
+    /// replicas and are a different experiment); targets are drawn
+    /// uniformly.
+    pub fn generate(
+        topology: &Topology,
+        horizon: Duration,
+        mtbf: Duration,
+        repair: Duration,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let compute: Vec<_> = topology.compute_ids().collect();
+        let links: Vec<_> = (0..topology.link_count() as u32).map(LinkId).collect();
+        if (compute.is_empty() && links.is_empty()) || mtbf == Duration::ZERO {
+            return Self::none();
+        }
+        let mut t = SimTime::ZERO;
+        loop {
+            // Exponential inter-arrival with mean `mtbf`.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap = Duration::from_secs_f64(-u.ln() * mtbf.as_secs_f64());
+            t += gap.max(Duration::from_secs(1));
+            if t.since(SimTime::ZERO) > horizon {
+                break;
+            }
+            let pick_compute = !compute.is_empty() && (links.is_empty() || rng.gen_bool(0.5));
+            let (down, up) = if pick_compute {
+                let id = compute[rng.gen_range(0..compute.len())];
+                (FailureEvent::Compute(id, false), FailureEvent::Compute(id, true))
+            } else {
+                let id = links[rng.gen_range(0..links.len())];
+                (FailureEvent::Link(id, false), FailureEvent::Link(id, true))
+            };
+            events.push((t, down));
+            events.push((t + repair, up));
+        }
+        events.sort_by_key(|(t, _)| *t);
+        FailurePlan { events }
+    }
+
+    /// All scheduled events in time order.
+    pub fn events(&self) -> &[(SimTime, FailureEvent)] {
+        &self.events
+    }
+
+    /// Apply every event scheduled in `(from, to]` to the topology,
+    /// returning how many fired.
+    pub fn apply_between(&self, topology: &mut Topology, from: SimTime, to: SimTime) -> usize {
+        let mut fired = 0;
+        for (t, event) in &self.events {
+            if *t > from && *t <= to {
+                event.apply(topology);
+                fired += 1;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeResource;
+    use crate::storage::{StorageResource, StorageTier};
+
+    fn grid() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_domain("a");
+        let b = t.add_domain("b");
+        t.add_link(a, b, Duration::from_millis(10), 1_000_000);
+        t.add_compute(a, ComputeResource::new("ca", 4));
+        t.add_compute(b, ComputeResource::new("cb", 4));
+        t.add_storage(a, StorageResource::with_tier_defaults("sa", StorageTier::Disk, 1 << 30));
+        t
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let t = grid();
+        let p1 = FailurePlan::generate(&t, Duration::from_days(7), Duration::from_hours(6), Duration::from_hours(1), 42);
+        let p2 = FailurePlan::generate(&t, Duration::from_days(7), Duration::from_hours(6), Duration::from_hours(1), 42);
+        assert_eq!(p1.events(), p2.events());
+        assert!(!p1.events().is_empty());
+        let p3 = FailurePlan::generate(&t, Duration::from_days(7), Duration::from_hours(6), Duration::from_hours(1), 43);
+        assert_ne!(p1.events(), p3.events(), "different seed, different outages");
+    }
+
+    #[test]
+    fn every_failure_has_a_matching_repair() {
+        let t = grid();
+        let p = FailurePlan::generate(&t, Duration::from_days(30), Duration::from_hours(12), Duration::from_hours(2), 7);
+        let downs = p.events().iter().filter(|(_, e)| matches!(e, FailureEvent::Compute(_, false) | FailureEvent::Link(_, false))).count();
+        let ups = p.events().iter().filter(|(_, e)| matches!(e, FailureEvent::Compute(_, true) | FailureEvent::Link(_, true))).count();
+        assert_eq!(downs, ups);
+    }
+
+    #[test]
+    fn apply_between_flips_topology_state() {
+        let mut t = grid();
+        let p = FailurePlan::generate(&t, Duration::from_days(30), Duration::from_hours(4), Duration::from_hours(1), 1);
+        let (first_t, first_e) = p.events()[0];
+        assert!(matches!(first_e, FailureEvent::Compute(_, false) | FailureEvent::Link(_, false)));
+        let fired = p.apply_between(&mut t, SimTime::ZERO, first_t);
+        assert_eq!(fired, 1);
+        let all_up = t.compute_ids().all(|c| t.compute(c).online) && (0..t.link_count() as u32).all(|l| t.link(LinkId(l)).online);
+        assert!(!all_up, "something is down after the first event");
+    }
+
+    #[test]
+    fn empty_grid_and_zero_mtbf_yield_no_failures() {
+        let empty = Topology::new();
+        assert!(FailurePlan::generate(&empty, Duration::from_days(1), Duration::from_hours(1), Duration::from_hours(1), 0).events().is_empty());
+        let t = grid();
+        assert!(FailurePlan::generate(&t, Duration::from_days(1), Duration::ZERO, Duration::from_hours(1), 0).events().is_empty());
+        assert!(FailurePlan::none().events().is_empty());
+    }
+
+    #[test]
+    fn mean_rate_roughly_matches_mtbf() {
+        let t = grid();
+        let horizon = Duration::from_days(100);
+        let mtbf = Duration::from_hours(10);
+        let p = FailurePlan::generate(&t, horizon, mtbf, Duration::from_hours(1), 99);
+        let failures = p.events().len() / 2;
+        let expected = (horizon.as_secs() / mtbf.as_secs()) as usize;
+        assert!(failures > expected / 2 && failures < expected * 2, "{failures} vs expected ~{expected}");
+    }
+}

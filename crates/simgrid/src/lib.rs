@@ -1,0 +1,42 @@
+//! # dgf-simgrid — deterministic discrete-event datagrid infrastructure
+//!
+//! The Datagridflows paper (Jagatheesan et al., VLDB DMG 2005) evaluates
+//! its ideas on production grids: SRB deployments federating storage at
+//! SDSC, UK hospitals (BBSRC), CERN tiers (CMS), and SCEC sites. None of
+//! that hardware exists here, so this crate simulates the *physical* layer
+//! those systems ran on:
+//!
+//! * a virtual clock and deterministic event queue ([`EventQueue`]),
+//! * administrative **domains** holding **storage resources** (tape →
+//!   memory tiers, each with latency / bandwidth / cost) and **compute
+//!   resources** ([`Topology`]),
+//! * a **network** of inter-domain links with latency and shared
+//!   bandwidth, plus routing ([`Route`], [`TransferModel`]),
+//! * **schedule windows** ("run only on weekends / off-hours", §2.1 of the
+//!   paper) ([`ScheduleWindow`]),
+//! * a **failure injector** for resource churn experiments ([`FailurePlan`]).
+//!
+//! Everything above this crate (the DGMS, scheduler, DfMS) is the paper's
+//! actual contribution; everything in this crate is the simulated
+//! substitute for hardware, and is deliberately deterministic: the same
+//! seed always yields the same trajectory.
+
+mod builder;
+mod compute;
+mod event;
+mod failure;
+mod storage;
+mod time;
+mod topology;
+mod transfer;
+mod window;
+
+pub use builder::{GridBuilder, GridPreset};
+pub use compute::{ComputeId, ComputeResource};
+pub use event::EventQueue;
+pub use failure::{FailureEvent, FailurePlan};
+pub use storage::{StorageId, StorageResource, StorageTier};
+pub use time::{Duration, SimTime};
+pub use topology::{Domain, DomainId, Link, LinkId, Route, Topology};
+pub use transfer::{TransferHandle, TransferModel};
+pub use window::ScheduleWindow;

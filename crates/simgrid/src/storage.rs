@@ -1,0 +1,209 @@
+//! Physical storage resources: the systems an SRB server would broker.
+
+use crate::time::Duration;
+use std::fmt;
+
+/// Identifier of a storage resource within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StorageId(pub u32);
+
+impl fmt::Display for StorageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sr{}", self.0)
+    }
+}
+
+/// Storage technology tiers, ordered cheapest-and-slowest first.
+///
+/// Parameters below are era-appropriate magnitudes (2005 hardware); the
+/// experiments only depend on their *relative* ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageTier {
+    /// Tape silo (e.g. HPSS backend): huge, cheap, minutes of mount latency.
+    Tape,
+    /// Disk-fronted archive (e.g. SAM-FS): cheap, seconds of latency.
+    Archive,
+    /// Commodity disk array.
+    Disk,
+    /// Parallel filesystem (e.g. GPFS on a cluster).
+    ParallelFs,
+    /// RAM-backed cache.
+    Memory,
+}
+
+impl StorageTier {
+    /// All tiers, cheapest first.
+    pub const ALL: [StorageTier; 5] = [
+        StorageTier::Tape,
+        StorageTier::Archive,
+        StorageTier::Disk,
+        StorageTier::ParallelFs,
+        StorageTier::Memory,
+    ];
+
+    /// Default access latency before the first byte moves.
+    pub fn default_latency(self) -> Duration {
+        match self {
+            StorageTier::Tape => Duration::from_secs(60),
+            StorageTier::Archive => Duration::from_secs(5),
+            StorageTier::Disk => Duration::from_millis(10),
+            StorageTier::ParallelFs => Duration::from_millis(5),
+            StorageTier::Memory => Duration::from_micros(100),
+        }
+    }
+
+    /// Default sequential bandwidth in bytes/second.
+    pub fn default_bandwidth(self) -> u64 {
+        const MB: u64 = 1_000_000;
+        match self {
+            StorageTier::Tape => 30 * MB,
+            StorageTier::Archive => 60 * MB,
+            StorageTier::Disk => 80 * MB,
+            StorageTier::ParallelFs => 400 * MB,
+            StorageTier::Memory => 2_000 * MB,
+        }
+    }
+
+    /// Default monthly cost per gigabyte, in milli-dollars (the ILM
+    /// optimizer minimizes this; only ratios matter).
+    pub fn default_cost_per_gb_month(self) -> u64 {
+        match self {
+            StorageTier::Tape => 1,
+            StorageTier::Archive => 5,
+            StorageTier::Disk => 40,
+            StorageTier::ParallelFs => 120,
+            StorageTier::Memory => 4_000,
+        }
+    }
+}
+
+impl fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageTier::Tape => "tape",
+            StorageTier::Archive => "archive",
+            StorageTier::Disk => "disk",
+            StorageTier::ParallelFs => "parallel-fs",
+            StorageTier::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A physical storage system mapped into the datagrid's logical resource
+/// namespace by an SRB-style server.
+#[derive(Debug, Clone)]
+pub struct StorageResource {
+    /// Logical resource name ("sdsc-hpss", "ucsd-gpfs", ...).
+    pub name: String,
+    /// Technology tier.
+    pub tier: StorageTier,
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Bytes currently allocated.
+    pub used: u64,
+    /// First-byte latency.
+    pub latency: Duration,
+    /// Sequential bandwidth, bytes/second.
+    pub bandwidth: u64,
+    /// Monthly cost per GB in milli-dollars.
+    pub cost_per_gb_month: u64,
+    /// Whether the resource is currently reachable (failure injection).
+    pub online: bool,
+}
+
+impl StorageResource {
+    /// A resource with tier-default performance characteristics.
+    pub fn with_tier_defaults(name: impl Into<String>, tier: StorageTier, capacity: u64) -> Self {
+        StorageResource {
+            name: name.into(),
+            tier,
+            capacity,
+            used: 0,
+            latency: tier.default_latency(),
+            bandwidth: tier.default_bandwidth(),
+            cost_per_gb_month: tier.default_cost_per_gb_month(),
+            online: true,
+        }
+    }
+
+    /// Remaining free bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Try to allocate `bytes`; false if capacity would be exceeded.
+    #[must_use]
+    pub fn allocate(&mut self, bytes: u64) -> bool {
+        if self.free() < bytes {
+            return false;
+        }
+        self.used += bytes;
+        true
+    }
+
+    /// Release previously allocated bytes (saturating).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Time to read `bytes` sequentially from this resource alone
+    /// (latency + size/bandwidth), ignoring network effects.
+    pub fn access_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth as f64)
+    }
+
+    /// Monthly cost in milli-dollars of holding `bytes` here.
+    pub fn holding_cost(&self, bytes: u64) -> u64 {
+        // Round up to whole GB like storage billing does.
+        let gb = bytes.div_ceil(1_000_000_000).max(1);
+        gb * self.cost_per_gb_month
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_order_cheap_to_fast() {
+        let costs: Vec<_> = StorageTier::ALL.iter().map(|t| t.default_cost_per_gb_month()).collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "cost increases along ALL: {costs:?}");
+        let bws: Vec<_> = StorageTier::ALL.iter().map(|t| t.default_bandwidth()).collect();
+        assert!(bws.windows(2).all(|w| w[0] < w[1]), "bandwidth increases along ALL");
+        let lats: Vec<_> = StorageTier::ALL.iter().map(|t| t.default_latency()).collect();
+        assert!(lats.windows(2).all(|w| w[0] > w[1]), "latency decreases along ALL");
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut r = StorageResource::with_tier_defaults("d", StorageTier::Disk, 100);
+        assert!(r.allocate(60));
+        assert!(r.allocate(40));
+        assert!(!r.allocate(1), "full");
+        assert_eq!(r.free(), 0);
+        r.release(50);
+        assert_eq!(r.free(), 50);
+        r.release(1_000);
+        assert_eq!(r.used, 0, "release saturates");
+    }
+
+    #[test]
+    fn access_time_includes_latency_and_bandwidth() {
+        let r = StorageResource::with_tier_defaults("t", StorageTier::Tape, u64::MAX);
+        let t = r.access_time(300_000_000); // 300 MB at 30 MB/s = 10 s + 60 s mount
+        assert_eq!(t.as_secs(), 70);
+        // Memory: dominated by transfer, tiny latency.
+        let m = StorageResource::with_tier_defaults("m", StorageTier::Memory, u64::MAX);
+        assert!(m.access_time(2_000_000_000).as_secs() <= 1);
+    }
+
+    #[test]
+    fn holding_cost_rounds_up_to_gb() {
+        let r = StorageResource::with_tier_defaults("d", StorageTier::Disk, u64::MAX);
+        assert_eq!(r.holding_cost(1), 40, "1 byte bills as 1 GB");
+        assert_eq!(r.holding_cost(1_500_000_000), 80, "1.5 GB bills as 2 GB");
+        let tape = StorageResource::with_tier_defaults("t", StorageTier::Tape, u64::MAX);
+        assert!(tape.holding_cost(10_000_000_000) < r.holding_cost(10_000_000_000));
+    }
+}

@@ -1,0 +1,241 @@
+//! Virtual time: [`SimTime`] instants and [`Duration`] spans.
+//!
+//! Resolution is one microsecond; ranges comfortably cover the "years
+//! later" provenance-query horizon the paper requires (u64 µs ≈ 584k
+//! years).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation clock, in microseconds since epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+pub(crate) const MICROS_PER_SEC: u64 = 1_000_000;
+pub(crate) const SECS_PER_HOUR: u64 = 3_600;
+pub(crate) const SECS_PER_DAY: u64 = 86_400;
+
+impl SimTime {
+    /// The simulation epoch. By convention this is **midnight on a
+    /// Monday**, which is what [`crate::ScheduleWindow`] assumes when
+    /// mapping instants to days-of-week.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build an instant from whole seconds since epoch.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Build an instant from whole hours since epoch.
+    pub fn from_hours(hours: u64) -> Self {
+        Self::from_secs(hours * SECS_PER_HOUR)
+    }
+
+    /// Build an instant from whole days since epoch.
+    pub fn from_days(days: u64) -> Self {
+        Self::from_secs(days * SECS_PER_DAY)
+    }
+
+    /// Whole seconds since epoch (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds since epoch as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Day index since epoch (day 0 = the epoch Monday).
+    pub fn day(self) -> u64 {
+        self.as_secs() / SECS_PER_DAY
+    }
+
+    /// Day of week, 0 = Monday .. 6 = Sunday.
+    pub fn day_of_week(self) -> u8 {
+        (self.day() % 7) as u8
+    }
+
+    /// Hour of day, 0..=23.
+    pub fn hour_of_day(self) -> u8 {
+        ((self.as_secs() % SECS_PER_DAY) / SECS_PER_HOUR) as u8
+    }
+
+    /// The span from `earlier` to `self`; saturates at zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The start (midnight) of the day containing this instant.
+    pub fn start_of_day(self) -> SimTime {
+        SimTime::from_secs(self.day() * SECS_PER_DAY)
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Build from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Duration(micros)
+    }
+
+    /// Build from milliseconds.
+    pub fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000)
+    }
+
+    /// Build from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Duration(secs * MICROS_PER_SEC)
+    }
+
+    /// Build from fractional seconds; negative or non-finite values clamp
+    /// to zero (transfer models can produce tiny negative rounding).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Build from whole hours.
+    pub fn from_hours(hours: u64) -> Self {
+        Self::from_secs(hours * SECS_PER_HOUR)
+    }
+
+    /// Build from whole days.
+    pub fn from_days(days: u64) -> Self {
+        Self::from_secs(days * SECS_PER_DAY)
+    }
+
+    /// Whole seconds (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs_f64();
+        if secs >= SECS_PER_DAY as f64 {
+            write!(f, "{:.2}d", secs / SECS_PER_DAY as f64)
+        } else if secs >= SECS_PER_HOUR as f64 {
+            write!(f, "{:.2}h", secs / SECS_PER_HOUR as f64)
+        } else {
+            write!(f, "{secs:.3}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_mapping_starts_monday_midnight() {
+        assert_eq!(SimTime::ZERO.day_of_week(), 0);
+        assert_eq!(SimTime::ZERO.hour_of_day(), 0);
+        assert_eq!(SimTime::from_days(5).day_of_week(), 5, "Saturday");
+        assert_eq!(SimTime::from_days(7).day_of_week(), 0, "next Monday");
+        assert_eq!(SimTime::from_hours(26).hour_of_day(), 2);
+        assert_eq!(SimTime::from_hours(26).day(), 1);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_secs(100) + Duration::from_millis(250);
+        assert_eq!(t.0, 100_250_000);
+        assert_eq!(t - SimTime::from_secs(100), Duration::from_millis(250));
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), Duration::ZERO, "saturating");
+    }
+
+    #[test]
+    fn float_construction_clamps() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(1.5), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn display_is_scaled_for_humans() {
+        assert_eq!(Duration::from_secs(30).to_string(), "30.000s");
+        assert_eq!(Duration::from_hours(2).to_string(), "2.00h");
+        assert_eq!(Duration::from_days(3).to_string(), "3.00d");
+    }
+
+    #[test]
+    fn start_of_day_truncates() {
+        let t = SimTime::from_hours(50); // day 2, 02:00
+        assert_eq!(t.start_of_day(), SimTime::from_days(2));
+    }
+}

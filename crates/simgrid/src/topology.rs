@@ -1,0 +1,328 @@
+//! The grid topology: autonomous administrative domains, their resources,
+//! and the wide-area links between them.
+
+use crate::compute::{ComputeId, ComputeResource};
+use crate::storage::{StorageId, StorageResource};
+use crate::time::Duration;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifier of an administrative domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Identifier of an inter-domain network link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// An autonomous administrative domain: one organization's slice of the
+/// grid (a university, a hospital, a tier-1 center).
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Human name ("sdsc", "cern", "hospital-07").
+    pub name: String,
+    /// Storage resources owned by this domain.
+    pub storage: Vec<StorageId>,
+    /// Compute resources owned by this domain.
+    pub compute: Vec<ComputeId>,
+}
+
+/// A bidirectional wide-area link between two domains.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Endpoint domains (unordered pair).
+    pub endpoints: (DomainId, DomainId),
+    /// One-way latency.
+    pub latency: Duration,
+    /// Capacity in bytes/second, shared by concurrent transfers.
+    pub bandwidth: u64,
+    /// Whether the link is up (failure injection).
+    pub online: bool,
+}
+
+/// A routed path between two domains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Links traversed, in order. Empty for intra-domain routes.
+    pub links: Vec<LinkId>,
+    /// Total one-way latency (zero intra-domain).
+    pub latency: Duration,
+    /// Bottleneck link capacity in bytes/second ([`u64::MAX`] intra-domain,
+    /// meaning "limited only by the endpoints").
+    pub bottleneck_bandwidth: u64,
+}
+
+impl Route {
+    /// The degenerate route from a domain to itself.
+    pub fn local() -> Self {
+        Route { links: Vec::new(), latency: Duration::ZERO, bottleneck_bandwidth: u64::MAX }
+    }
+
+    /// True if the route stays inside one domain.
+    pub fn is_local(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// The whole physical grid: domains, resources, links.
+///
+/// Identifier types index into the internal vectors; identifiers are
+/// only ever created by `add_*` methods, so lookups are infallible by
+/// construction (out-of-range indices panic, which indicates a logic
+/// error such as mixing topologies).
+#[derive(Debug, Default, Clone)]
+pub struct Topology {
+    domains: Vec<Domain>,
+    storage: Vec<(DomainId, StorageResource)>,
+    compute: Vec<(DomainId, ComputeResource)>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new, empty domain.
+    pub fn add_domain(&mut self, name: impl Into<String>) -> DomainId {
+        let id = DomainId(self.domains.len() as u32);
+        self.domains.push(Domain { name: name.into(), storage: Vec::new(), compute: Vec::new() });
+        id
+    }
+
+    /// Place a storage resource inside `domain`.
+    pub fn add_storage(&mut self, domain: DomainId, resource: StorageResource) -> StorageId {
+        let id = StorageId(self.storage.len() as u32);
+        self.storage.push((domain, resource));
+        self.domains[domain.0 as usize].storage.push(id);
+        id
+    }
+
+    /// Place a compute resource inside `domain`.
+    pub fn add_compute(&mut self, domain: DomainId, resource: ComputeResource) -> ComputeId {
+        let id = ComputeId(self.compute.len() as u32);
+        self.compute.push((domain, resource));
+        self.domains[domain.0 as usize].compute.push(id);
+        id
+    }
+
+    /// Connect two domains with a bidirectional link.
+    pub fn add_link(&mut self, a: DomainId, b: DomainId, latency: Duration, bandwidth: u64) -> LinkId {
+        assert_ne!(a, b, "links connect distinct domains");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { endpoints: (a, b), latency, bandwidth, online: true });
+        id
+    }
+
+    /// Number of domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// All domain ids.
+    pub fn domain_ids(&self) -> impl Iterator<Item = DomainId> {
+        (0..self.domains.len() as u32).map(DomainId)
+    }
+
+    /// Immutable access to a domain.
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.0 as usize]
+    }
+
+    /// Find a domain by name.
+    pub fn domain_by_name(&self, name: &str) -> Option<DomainId> {
+        self.domains.iter().position(|d| d.name == name).map(|i| DomainId(i as u32))
+    }
+
+    /// The domain owning a storage resource.
+    pub fn storage_domain(&self, id: StorageId) -> DomainId {
+        self.storage[id.0 as usize].0
+    }
+
+    /// Immutable access to a storage resource.
+    pub fn storage(&self, id: StorageId) -> &StorageResource {
+        &self.storage[id.0 as usize].1
+    }
+
+    /// Mutable access to a storage resource.
+    pub fn storage_mut(&mut self, id: StorageId) -> &mut StorageResource {
+        &mut self.storage[id.0 as usize].1
+    }
+
+    /// All storage ids.
+    pub fn storage_ids(&self) -> impl Iterator<Item = StorageId> {
+        (0..self.storage.len() as u32).map(StorageId)
+    }
+
+    /// Find a storage resource by logical name.
+    pub fn storage_by_name(&self, name: &str) -> Option<StorageId> {
+        self.storage.iter().position(|(_, r)| r.name == name).map(|i| StorageId(i as u32))
+    }
+
+    /// The domain owning a compute resource.
+    pub fn compute_domain(&self, id: ComputeId) -> DomainId {
+        self.compute[id.0 as usize].0
+    }
+
+    /// Immutable access to a compute resource.
+    pub fn compute(&self, id: ComputeId) -> &ComputeResource {
+        &self.compute[id.0 as usize].1
+    }
+
+    /// Mutable access to a compute resource.
+    pub fn compute_mut(&mut self, id: ComputeId) -> &mut ComputeResource {
+        &mut self.compute[id.0 as usize].1
+    }
+
+    /// All compute ids.
+    pub fn compute_ids(&self) -> impl Iterator<Item = ComputeId> {
+        (0..self.compute.len() as u32).map(ComputeId)
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable access to a link.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Lowest-latency route between two domains over online links.
+    ///
+    /// Returns `None` when the domains are disconnected (e.g. by failure
+    /// injection). Intra-domain routes are [`Route::local`].
+    pub fn route(&self, from: DomainId, to: DomainId) -> Option<Route> {
+        if from == to {
+            return Some(Route::local());
+        }
+        // Dijkstra over link latency in microseconds.
+        let n = self.domains.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.0 as usize] = 0;
+        heap.push(std::cmp::Reverse((0u64, from)));
+        while let Some(std::cmp::Reverse((d, at))) = heap.pop() {
+            if d > dist[at.0 as usize] {
+                continue;
+            }
+            if at == to {
+                break;
+            }
+            for (idx, link) in self.links.iter().enumerate() {
+                if !link.online {
+                    continue;
+                }
+                let next = if link.endpoints.0 == at {
+                    link.endpoints.1
+                } else if link.endpoints.1 == at {
+                    link.endpoints.0
+                } else {
+                    continue;
+                };
+                let nd = d + link.latency.0;
+                if nd < dist[next.0 as usize] {
+                    dist[next.0 as usize] = nd;
+                    prev[next.0 as usize] = Some(LinkId(idx as u32));
+                    heap.push(std::cmp::Reverse((nd, next)));
+                }
+            }
+        }
+        if dist[to.0 as usize] == u64::MAX {
+            return None;
+        }
+        // Reconstruct the path backwards.
+        let mut links = Vec::new();
+        let mut at = to;
+        while at != from {
+            let lid = prev[at.0 as usize].expect("reachable node has a predecessor");
+            let link = &self.links[lid.0 as usize];
+            links.push(lid);
+            at = if link.endpoints.0 == at { link.endpoints.1 } else { link.endpoints.0 };
+        }
+        links.reverse();
+        let bottleneck = links.iter().map(|l| self.link(*l).bandwidth).min().unwrap_or(u64::MAX);
+        Some(Route { links, latency: Duration(dist[to.0 as usize]), bottleneck_bandwidth: bottleneck })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::StorageTier;
+
+    fn line_grid() -> (Topology, Vec<DomainId>) {
+        // d0 -- d1 -- d2, plus a slow shortcut d0 -- d2.
+        let mut t = Topology::new();
+        let d: Vec<_> = (0..3).map(|i| t.add_domain(format!("d{i}"))).collect();
+        t.add_link(d[0], d[1], Duration::from_millis(10), 100);
+        t.add_link(d[1], d[2], Duration::from_millis(10), 50);
+        t.add_link(d[0], d[2], Duration::from_millis(100), 200);
+        (t, d)
+    }
+
+    #[test]
+    fn routes_choose_lowest_latency() {
+        let (t, d) = line_grid();
+        let r = t.route(d[0], d[2]).unwrap();
+        assert_eq!(r.links.len(), 2, "two 10ms hops beat one 100ms hop");
+        assert_eq!(r.latency, Duration::from_millis(20));
+        assert_eq!(r.bottleneck_bandwidth, 50, "bottleneck is the slower hop");
+    }
+
+    #[test]
+    fn local_route_is_free() {
+        let (t, d) = line_grid();
+        let r = t.route(d[1], d[1]).unwrap();
+        assert!(r.is_local());
+        assert_eq!(r.latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn failed_links_reroute_or_disconnect() {
+        let (mut t, d) = line_grid();
+        t.link_mut(LinkId(0)).online = false; // kill d0--d1
+        let r = t.route(d[0], d[2]).unwrap();
+        assert_eq!(r.links.len(), 1, "falls back to the direct slow link");
+        assert_eq!(r.latency, Duration::from_millis(100));
+        t.link_mut(LinkId(2)).online = false; // kill d0--d2 too
+        assert!(t.route(d[0], d[2]).is_none(), "d0 now disconnected");
+        assert!(t.route(d[1], d[2]).is_some(), "others unaffected");
+    }
+
+    #[test]
+    fn resources_belong_to_domains() {
+        let (mut t, d) = line_grid();
+        let s = t.add_storage(d[1], StorageResource::with_tier_defaults("gpfs", StorageTier::ParallelFs, 1 << 40));
+        let c = t.add_compute(d[1], ComputeResource::new("cluster", 64));
+        assert_eq!(t.storage_domain(s), d[1]);
+        assert_eq!(t.compute_domain(c), d[1]);
+        assert_eq!(t.domain(d[1]).storage, vec![s]);
+        assert_eq!(t.domain(d[1]).compute, vec![c]);
+        assert_eq!(t.storage_by_name("gpfs"), Some(s));
+        assert_eq!(t.storage_by_name("nope"), None);
+        assert_eq!(t.domain_by_name("d2"), Some(d[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_links_rejected() {
+        let mut t = Topology::new();
+        let d = t.add_domain("a");
+        t.add_link(d, d, Duration::ZERO, 1);
+    }
+}

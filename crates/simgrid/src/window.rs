@@ -1,0 +1,188 @@
+//! Schedule windows: "an ILM process could only be run at some domains
+//! during non-working hours or on weekends" (paper, §2.1).
+
+use crate::time::{Duration, SimTime};
+
+/// A weekly recurring availability window.
+///
+/// A window is defined by a set of permitted days-of-week (0 = Monday)
+/// and a permitted hour range within those days. The hour range may wrap
+/// midnight (`start_hour > end_hour`), in which case the window runs from
+/// `start_hour` to midnight and from midnight to `end_hour` *of days whose
+/// preceding day is permitted* — i.e. the night shift belongs to the day
+/// it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleWindow {
+    days: [bool; 7],
+    start_hour: u8,
+    end_hour: u8, // exclusive; == 24 means "to midnight"
+}
+
+impl ScheduleWindow {
+    /// A window that is always open.
+    pub fn always() -> Self {
+        ScheduleWindow { days: [true; 7], start_hour: 0, end_hour: 24 }
+    }
+
+    /// Open on the given days (0 = Monday .. 6 = Sunday) between
+    /// `start_hour` (inclusive) and `end_hour` (exclusive, max 24).
+    ///
+    /// # Panics
+    /// If `end_hour > 24`, `start_hour >= 24`, or no day is permitted.
+    pub fn new(days: &[u8], start_hour: u8, end_hour: u8) -> Self {
+        assert!(start_hour < 24, "start_hour out of range");
+        assert!(end_hour <= 24, "end_hour out of range");
+        assert!(!days.is_empty(), "a window needs at least one day");
+        let mut mask = [false; 7];
+        for &d in days {
+            assert!(d < 7, "day of week out of range");
+            mask[d as usize] = true;
+        }
+        ScheduleWindow { days: mask, start_hour, end_hour }
+    }
+
+    /// Weekends, all day — the classic archival window.
+    pub fn weekends() -> Self {
+        Self::new(&[5, 6], 0, 24)
+    }
+
+    /// Weekday nights from `start` to `end` (wrapping midnight when
+    /// `end <= start`), e.g. `off_hours(20, 6)`.
+    pub fn off_hours(start: u8, end: u8) -> Self {
+        let mut w = Self::new(&[0, 1, 2, 3, 4], start, end.max(1));
+        w.end_hour = end; // allow wrap encoding (end <= start)
+        w
+    }
+
+    fn day_open(&self, dow: u8) -> bool {
+        self.days[dow as usize]
+    }
+
+    fn wraps(&self) -> bool {
+        self.end_hour <= self.start_hour
+    }
+
+    /// Is the window open at instant `t`?
+    pub fn is_open(&self, t: SimTime) -> bool {
+        let dow = t.day_of_week();
+        let hour = t.hour_of_day();
+        if !self.wraps() {
+            return self.day_open(dow) && hour >= self.start_hour && hour < self.end_hour;
+        }
+        // Wrapping: [start, 24) on a permitted day, or [0, end) on the day
+        // after a permitted day.
+        if self.day_open(dow) && hour >= self.start_hour {
+            return true;
+        }
+        let prev = (dow + 6) % 7;
+        self.day_open(prev) && hour < self.end_hour
+    }
+
+    /// The earliest instant `>= t` at which the window is open.
+    ///
+    /// Always terminates: a window permits at least one day, so scanning
+    /// hour starts for at most 8 days finds an opening.
+    pub fn next_open(&self, t: SimTime) -> SimTime {
+        if self.is_open(t) {
+            return t;
+        }
+        // Advance to the next whole hour, then scan hour boundaries.
+        let hour_micros = 3_600 * 1_000_000u64;
+        let mut probe = SimTime((t.0 / hour_micros + 1) * hour_micros);
+        for _ in 0..(24 * 8) {
+            if self.is_open(probe) {
+                return probe;
+            }
+            probe += Duration::from_hours(1);
+        }
+        unreachable!("a ScheduleWindow always opens within 8 days");
+    }
+
+    /// How long from `t` until the window closes, assuming it is open at
+    /// `t`. Returns [`Duration::ZERO`] if it is closed.
+    pub fn remaining_open(&self, t: SimTime) -> Duration {
+        if !self.is_open(t) {
+            return Duration::ZERO;
+        }
+        let hour_micros = 3_600 * 1_000_000u64;
+        let mut probe = SimTime((t.0 / hour_micros + 1) * hour_micros);
+        while self.is_open(probe) {
+            probe += Duration::from_hours(1);
+        }
+        // The window closes at the start of the first closed hour.
+        probe.since(t)
+    }
+}
+
+impl Default for ScheduleWindow {
+    fn default() -> Self {
+        Self::always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Epoch (t=0) is Monday 00:00.
+    fn at(day: u64, hour: u64) -> SimTime {
+        SimTime::from_hours(day * 24 + hour)
+    }
+
+    #[test]
+    fn always_open() {
+        let w = ScheduleWindow::always();
+        assert!(w.is_open(SimTime::ZERO));
+        assert!(w.is_open(at(6, 23)));
+        assert_eq!(w.next_open(at(3, 3)), at(3, 3));
+    }
+
+    #[test]
+    fn weekend_window() {
+        let w = ScheduleWindow::weekends();
+        assert!(!w.is_open(at(0, 12)), "Monday noon closed");
+        assert!(!w.is_open(at(4, 23)), "Friday night closed");
+        assert!(w.is_open(at(5, 0)), "Saturday midnight open");
+        assert!(w.is_open(at(6, 23)), "Sunday 23:00 open");
+        assert!(!w.is_open(at(7, 0)), "next Monday closed");
+        assert_eq!(w.next_open(at(0, 12)), at(5, 0));
+        assert_eq!(w.next_open(at(5, 10)), at(5, 10), "already open");
+    }
+
+    #[test]
+    fn business_hours_window() {
+        let w = ScheduleWindow::new(&[0, 1, 2, 3, 4], 9, 17);
+        assert!(w.is_open(at(0, 9)));
+        assert!(w.is_open(at(0, 16)));
+        assert!(!w.is_open(at(0, 17)), "end is exclusive");
+        assert!(!w.is_open(at(5, 12)), "Saturday closed");
+        assert_eq!(w.next_open(at(0, 18)), at(1, 9), "opens Tuesday morning");
+    }
+
+    #[test]
+    fn off_hours_wraps_midnight() {
+        let w = ScheduleWindow::off_hours(20, 6);
+        assert!(w.is_open(at(0, 21)), "Monday 21:00");
+        assert!(w.is_open(at(1, 3)), "Tuesday 03:00 belongs to Monday's night");
+        assert!(!w.is_open(at(1, 12)), "Tuesday noon closed");
+        assert!(w.is_open(at(5, 4)), "Saturday 04:00 belongs to Friday's shift");
+        assert!(!w.is_open(at(5, 23)), "Saturday evening closed (weekday window)");
+        assert!(!w.is_open(at(6, 3)), "Sunday 03:00 closed: Saturday not a window day");
+    }
+
+    #[test]
+    fn remaining_open_measures_to_the_boundary() {
+        let w = ScheduleWindow::new(&[0], 9, 12);
+        assert_eq!(w.remaining_open(at(0, 10)), Duration::from_hours(2));
+        assert_eq!(w.remaining_open(at(0, 13)), Duration::ZERO);
+        // Mid-hour: from 10:30 to 12:00 is 1.5 hours.
+        let t = at(0, 10) + Duration::from_secs(1800);
+        assert_eq!(w.remaining_open(t), Duration::from_secs(5400));
+    }
+
+    #[test]
+    #[should_panic(expected = "day of week")]
+    fn invalid_day_panics() {
+        let _ = ScheduleWindow::new(&[7], 0, 4);
+    }
+}

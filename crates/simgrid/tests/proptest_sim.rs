@@ -1,0 +1,148 @@
+//! Property tests over the simulation substrate: routing, windows,
+//! transfers, and the event queue.
+
+use dgf_simgrid::{
+    Duration, EventQueue, GridBuilder, GridPreset, ScheduleWindow, SimTime, TransferModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Routing is symmetric in latency and bottleneck on undirected links.
+    #[test]
+    fn routes_are_symmetric(domains in 2u32..10, a in 0u32..10, b in 0u32..10) {
+        let a = a % domains;
+        let b = b % domains;
+        let t = GridBuilder::preset(GridPreset::UniformMesh { domains });
+        let fwd = t.route(dgf_simgrid::DomainId(a), dgf_simgrid::DomainId(b)).unwrap();
+        let rev = t.route(dgf_simgrid::DomainId(b), dgf_simgrid::DomainId(a)).unwrap();
+        prop_assert_eq!(fwd.latency, rev.latency);
+        prop_assert_eq!(fwd.bottleneck_bandwidth, rev.bottleneck_bandwidth);
+        prop_assert_eq!(fwd.links.len(), rev.links.len());
+        if a == b {
+            prop_assert!(fwd.is_local());
+        }
+    }
+
+    /// In a tiered grid, every pair of domains is connected, and hop
+    /// counts never exceed the tree diameter (4: T2→T1→T0→T1→T2).
+    #[test]
+    fn tiered_grids_are_connected(t1 in 1u32..5, t2 in 1u32..4) {
+        let t = GridBuilder::preset(GridPreset::Tiered { tier1: t1, tier2_per_tier1: t2 });
+        for a in t.domain_ids() {
+            for b in t.domain_ids() {
+                let route = t.route(a, b);
+                prop_assert!(route.is_some(), "{a} -> {b} disconnected");
+                prop_assert!(route.unwrap().links.len() <= 4);
+            }
+        }
+    }
+
+    /// next_open always lands inside the window, at or after the probe.
+    #[test]
+    fn next_open_is_sound(
+        days in proptest::collection::vec(0u8..7, 1..7),
+        start in 0u8..24,
+        len in 1u8..24,
+        probe_hours in 0u64..(24 * 21),
+    ) {
+        let end = (start + len).min(24);
+        prop_assume!(end > start);
+        let w = ScheduleWindow::new(&days, start, end);
+        let probe = SimTime::from_hours(probe_hours);
+        let open = w.next_open(probe);
+        prop_assert!(open >= probe);
+        prop_assert!(w.is_open(open), "next_open({probe}) = {open} is closed");
+        // Nothing earlier (on hour boundaries) is open after the probe.
+        let mut check = probe;
+        while check < open {
+            // only check hour boundaries after probe
+            let next_hour = SimTime::from_hours(check.as_secs() / 3600 + 1);
+            if next_hour >= open { break; }
+            prop_assert!(!w.is_open(next_hour), "{next_hour} open before {open}");
+            check = next_hour;
+        }
+    }
+
+    /// remaining_open never exceeds the window's nominal length and is
+    /// zero exactly when closed.
+    #[test]
+    fn remaining_open_is_bounded(
+        days in proptest::collection::vec(0u8..7, 1..7),
+        start in 0u8..23,
+        len in 1u8..12,
+        probe_hours in 0u64..(24 * 14),
+    ) {
+        let end = (start + len).min(24);
+        prop_assume!(end > start);
+        let w = ScheduleWindow::new(&days, start, end);
+        let probe = SimTime::from_hours(probe_hours);
+        let remaining = w.remaining_open(probe);
+        if w.is_open(probe) {
+            prop_assert!(remaining > Duration::ZERO);
+            // Bounded by consecutive permitted days: at most 7 days.
+            prop_assert!(remaining <= Duration::from_days(7));
+        } else {
+            prop_assert_eq!(remaining, Duration::ZERO);
+        }
+    }
+
+    /// Transfers only slow down as contention rises, and all shares are
+    /// released after finish.
+    #[test]
+    fn contention_monotonicity(concurrent in 1usize..12, gb in 1u64..8) {
+        let t = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+        let src = t.storage_by_name("site0-pfs").unwrap();
+        let dst = t.storage_by_name("site1-pfs").unwrap();
+        let route = t.route(t.storage_domain(src), t.storage_domain(dst)).unwrap();
+        let mut model = TransferModel::new();
+        let bytes = gb * 1_000_000_000;
+        let mut handles = Vec::new();
+        let mut last = Duration::ZERO;
+        for _ in 0..concurrent {
+            let (d, h) = model.begin(&t, src, dst, &route, bytes);
+            prop_assert!(d >= last, "duration decreased under added contention");
+            last = d;
+            handles.push(h);
+        }
+        for h in handles {
+            model.finish(h);
+        }
+        prop_assert_eq!(model.total_active_shares(), 0);
+    }
+
+    /// The event queue is a stable priority queue: pops are ordered by
+    /// (time, insertion sequence).
+    #[test]
+    fn event_queue_is_stable(times in proptest::collection::vec(0u64..1_000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_secs(*t), (*t, i));
+        }
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_by_key(|(t, i)| (*t, *i));
+        let popped: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The failure generator is deterministic per seed and balanced.
+    #[test]
+    fn failure_plans_are_deterministic(seed in 0u64..1_000, mtbf_h in 1u64..24) {
+        let t = GridBuilder::preset(GridPreset::UniformMesh { domains: 3 });
+        let mk = || dgf_simgrid::FailurePlan::generate(
+            &t,
+            Duration::from_days(10),
+            Duration::from_hours(mtbf_h),
+            Duration::from_hours(1),
+            seed,
+        );
+        let p1 = mk();
+        let p2 = mk();
+        prop_assert_eq!(p1.events(), p2.events());
+        let downs = p1.events().iter().filter(|(_, e)| matches!(e,
+            dgf_simgrid::FailureEvent::Compute(_, false) | dgf_simgrid::FailureEvent::Link(_, false))).count();
+        let ups = p1.events().len() - downs;
+        prop_assert_eq!(downs, ups);
+    }
+}

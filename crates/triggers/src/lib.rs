@@ -1,0 +1,28 @@
+//! # dgf-triggers — datagrid triggers (paper §2.2)
+//!
+//! "A datagrid trigger is a mapping from any event in the logical data
+//! storage namespace to a process initiated in the datagrid in response
+//! to such an event." Triggers are Event–Condition–Action rules:
+//!
+//! * **Event** — a [`dgf_dgms::NamespaceEvent`] (insert/update/delete in
+//!   the namespace), optionally filtered by kind and path scope; BEFORE
+//!   triggers fire on the *intent* (the operation about to run), AFTER
+//!   triggers on the completed event.
+//! * **Condition** — a DGL Tcondition ([`dgf_dgl::Expr`]) evaluated with
+//!   the event's fields and the target object's metadata bound as
+//!   variables.
+//! * **Action** — a DGL [`dgf_dgl::Flow`] submitted back to the DfMS, or
+//!   a plain notification.
+//!
+//! The crate also implements the two §2.2 research hazards:
+//! multi-user **ordering policies** ("different results might be produced
+//! based on the order in which triggers defined by multiple users are
+//! processed for the same event") and **cascade control** for triggers
+//! that fire flows that emit events that fire triggers, under
+//! non-transactional semantics.
+
+mod engine;
+mod trigger;
+
+pub use engine::{EngineStats, OrderingPolicy, TriggerEngine};
+pub use trigger::{Firing, Timing, Trigger, TriggerAction};

@@ -1,0 +1,135 @@
+//! Escaping and entity expansion for XML character data.
+
+use crate::{Position, XmlError};
+
+/// Escape a string for use as XML text content.
+///
+/// Escapes `&`, `<` and `>` (the latter for `]]>` safety and symmetry).
+pub fn escape_text(s: &str) -> String {
+    escape(s, false)
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    escape(s, true)
+}
+
+fn escape(s: &str, attr: bool) -> String {
+    // Fast path: nothing to escape (the common case for DGL names/ids).
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Expand the five predefined entities and numeric character references.
+///
+/// `pos` is the position reported on error (the caller tracks precise
+/// per-entity positions during parsing; this standalone helper reports the
+/// start of the string).
+pub fn unescape(s: &str) -> Result<String, XmlError> {
+    unescape_at(s, Position::START)
+}
+
+pub(crate) fn unescape_at(s: &str, pos: Position) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        let after = &rest[idx + 1..];
+        let semi = after.find(';').ok_or(XmlError::UnexpectedEof {
+            pos,
+            context: "entity reference",
+        })?;
+        let entity = &after[..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with('#') => {
+                let raw = &entity[1..];
+                let value = if let Some(hex) = raw.strip_prefix('x').or_else(|| raw.strip_prefix('X')) {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    raw.parse::<u32>()
+                };
+                let c = value
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError::InvalidCharRef { pos, raw: raw.to_owned() })?;
+                out.push(c);
+            }
+            _ => {
+                return Err(XmlError::UnknownEntity { pos, entity: entity.to_owned() });
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_round_trips() {
+        let raw = r#"a < b && c > "d" 'e'"#;
+        let esc = escape_text(raw);
+        assert!(!esc.contains('<'));
+        assert_eq!(unescape(&esc).unwrap(), raw);
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes() {
+        let esc = escape_attr(r#"say "hi" & 'bye'"#);
+        assert!(esc.contains("&quot;"));
+        assert!(esc.contains("&apos;"));
+        assert_eq!(unescape(&esc).unwrap(), r#"say "hi" & 'bye'"#);
+    }
+
+    #[test]
+    fn fast_path_allocates_copy_only() {
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(unescape("plain").unwrap(), "plain");
+    }
+
+    #[test]
+    fn numeric_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("snow&#x2603;man").unwrap(), "snow\u{2603}man");
+    }
+
+    #[test]
+    fn invalid_char_ref_rejected() {
+        assert!(matches!(unescape("&#x110000;"), Err(XmlError::InvalidCharRef { .. })));
+        assert!(matches!(unescape("&#zz;"), Err(XmlError::InvalidCharRef { .. })));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(matches!(unescape("&nbsp;"), Err(XmlError::UnknownEntity { .. })));
+    }
+
+    #[test]
+    fn unterminated_entity_rejected() {
+        assert!(matches!(unescape("x &amp y"), Err(XmlError::UnexpectedEof { .. })));
+    }
+}

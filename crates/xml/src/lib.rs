@@ -1,0 +1,43 @@
+//! # dgf-xml — a minimal, dependency-free XML 1.0 subset
+//!
+//! The Data Grid Language (DGL) of the Datagridflows system is an
+//! XML-Schema-described language (Jagatheesan et al., VLDB DMG 2005,
+//! Appendix A). This crate provides the small, strict XML layer that the
+//! `dgf-dgl` crate parses and emits: a tokenizer, a document tree, an
+//! escaping module and a writer with both compact and pretty output.
+//!
+//! Supported subset (everything a DGL document uses):
+//! * the XML declaration (`<?xml version="1.0" ... ?>`), accepted and ignored
+//! * elements with attributes (single- or double-quoted)
+//! * character data, including the five predefined entities and numeric
+//!   character references (`&#38;`, `&#x26;`)
+//! * comments and CDATA sections
+//! * well-formedness checks: tag balance, attribute uniqueness, single root
+//!
+//! Deliberately unsupported (rejected with a clear error, never silently
+//! mis-parsed): DOCTYPE/DTDs, processing instructions other than the XML
+//! declaration, and external entities. DGL never uses them, and rejecting
+//! them removes the classic XML attack surface.
+//!
+//! ```
+//! use dgf_xml::{parse, Element};
+//!
+//! let doc = parse("<flow name='f1'><step/><step/></flow>").unwrap();
+//! assert_eq!(doc.name, "flow");
+//! assert_eq!(doc.attr("name"), Some("f1"));
+//! assert_eq!(doc.child_elements().count(), 2);
+//! let round = dgf_xml::parse(&doc.to_xml_pretty()).unwrap();
+//! assert_eq!(doc, round);
+//! ```
+
+mod error;
+mod escape;
+mod parser;
+mod tree;
+mod writer;
+
+pub use error::{Position, XmlError};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::{parse, parse_all};
+pub use tree::{Element, Node};
+pub use writer::{write_compact, write_pretty, WriteOptions};

@@ -1,0 +1,217 @@
+//! The XML document tree: [`Element`] and [`Node`].
+
+use crate::writer::{write_compact, write_pretty, WriteOptions};
+
+/// A child of an [`Element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (already entity-expanded).
+    Text(String),
+    /// A comment (`<!-- ... -->`). Preserved so DGL documents keep their
+    /// human annotations across round-trips.
+    Comment(String),
+}
+
+impl Node {
+    /// Returns the element inside this node, if it is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns the text inside this node, if it is a text node.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: a name, ordered attributes, and ordered children.
+///
+/// Attribute order is preserved (DGL documents are diffed by humans), and
+/// lookups are linear — elements in DGL have a handful of attributes, so a
+/// map would cost more than it saves.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name (may contain a namespace prefix, kept verbatim).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Children in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: add an attribute.
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder-style: add a child element.
+    #[must_use]
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: add a text child.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Set (or replace) an attribute value.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Append a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Append a text child.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Iterate over child elements only (skipping text and comments).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// The first child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated text content of this element's *direct* text children,
+    /// with surrounding whitespace trimmed.
+    ///
+    /// This matches how DGL reads scalar values (`<tcondition>x == 1</tcondition>`).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for child in &self.children {
+            if let Node::Text(t) = child {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_owned()
+    }
+
+    /// True if the element has no element or non-whitespace text children.
+    pub fn is_empty(&self) -> bool {
+        self.children.iter().all(|c| match c {
+            Node::Element(_) => false,
+            Node::Text(t) => t.trim().is_empty(),
+            Node::Comment(_) => true,
+        })
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// Maximum element nesting depth of this subtree (a lone element is 1).
+    pub fn depth(&self) -> usize {
+        1 + self.child_elements().map(Element::depth).max().unwrap_or(0)
+    }
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        write_compact(self)
+    }
+
+    /// Serialize with two-space indentation and an XML declaration.
+    pub fn to_xml_pretty(&self) -> String {
+        write_pretty(self, &WriteOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("flow")
+            .with_attr("name", "f")
+            .with_child(Element::new("step").with_attr("name", "a"))
+            .with_child(Element::new("step").with_attr("name", "b"))
+            .with_text("  tail  ")
+    }
+
+    #[test]
+    fn attribute_set_replaces_in_place() {
+        let mut e = Element::new("x").with_attr("a", "1").with_attr("b", "2");
+        e.set_attr("a", "3");
+        assert_eq!(e.attr("a"), Some("3"));
+        assert_eq!(e.attributes.len(), 2);
+        assert_eq!(e.attributes[0].0, "a", "order preserved");
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.child("step").unwrap().attr("name"), Some("a"));
+        assert_eq!(e.children_named("step").count(), 2);
+        assert!(e.child("missing").is_none());
+    }
+
+    #[test]
+    fn text_trims_and_concatenates() {
+        let e = sample();
+        assert_eq!(e.text(), "tail");
+        let two = Element::new("t").with_text("a ").with_text(" b");
+        assert_eq!(two.text(), "a  b");
+    }
+
+    #[test]
+    fn emptiness_ignores_whitespace_and_comments() {
+        let mut e = Element::new("e");
+        e.push_text("   \n ");
+        e.children.push(Node::Comment("note".into()));
+        assert!(e.is_empty());
+        e.push_element(Element::new("x"));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = sample();
+        assert_eq!(e.subtree_size(), 3);
+        assert_eq!(e.depth(), 2);
+        assert_eq!(Element::new("leaf").depth(), 1);
+    }
+}

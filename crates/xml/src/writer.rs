@@ -1,0 +1,187 @@
+//! Serialization of the document tree back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Element, Node};
+use std::fmt::Write as _;
+
+/// Options controlling pretty-printed output.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indentation unit (default: two spaces).
+    pub indent: String,
+    /// Whether to emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: "  ".to_owned(), declaration: true }
+    }
+}
+
+/// Serialize an element with no inserted whitespace.
+///
+/// `parse(write_compact(e))` reproduces `e` exactly for any tree that does
+/// not contain whitespace-only text nodes (the parser drops those).
+pub fn write_compact(root: &Element) -> String {
+    let mut out = String::with_capacity(128);
+    write_element_compact(root, &mut out);
+    out
+}
+
+fn write_element_compact(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (name, value) in &e.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &e.children {
+        match child {
+            Node::Element(c) => write_element_compact(c, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                let _ = write!(out, "<!--{c}-->");
+            }
+        }
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+/// Serialize with indentation.
+///
+/// Elements whose content is pure text are kept on one line so scalar DGL
+/// values (`<tcondition>i &lt; 10</tcondition>`) stay readable; elements
+/// with element children get one line per child.
+pub fn write_pretty(root: &Element, options: &WriteOptions) -> String {
+    let mut out = String::with_capacity(256);
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+    write_element_pretty(root, options, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_element_pretty(e: &Element, options: &WriteOptions, level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str(&options.indent);
+    }
+    out.push('<');
+    out.push_str(&e.name);
+    for (name, value) in &e.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    // Any element with text content (scalar or mixed) is emitted inline:
+    // inserting indentation inside it would change the character data.
+    let has_text = e.children.iter().any(|c| matches!(c, Node::Text(_)));
+    if has_text {
+        out.push('>');
+        for child in &e.children {
+            match child {
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Element(c) => write_element_compact(c, out),
+                Node::Comment(c) => {
+                    let _ = write!(out, "<!--{c}-->");
+                }
+            }
+        }
+        let _ = write!(out, "</{}>", e.name);
+        return;
+    }
+    out.push('>');
+    for child in &e.children {
+        out.push('\n');
+        match child {
+            Node::Element(c) => write_element_pretty(c, options, level + 1, out),
+            Node::Text(_) => unreachable!("handled by the inline branch above"),
+            Node::Comment(c) => {
+                for _ in 0..=level {
+                    out.push_str(&options.indent);
+                }
+                let _ = write!(out, "<!--{c}-->");
+            }
+        }
+    }
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str(&options.indent);
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sample() -> Element {
+        Element::new("flow")
+            .with_attr("name", "f&1")
+            .with_child(
+                Element::new("step")
+                    .with_attr("name", "a")
+                    .with_child(Element::new("operation").with_text("md5 < x")),
+            )
+            .with_child(Element::new("step").with_attr("name", "b"))
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let e = sample();
+        assert_eq!(parse(&write_compact(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let e = sample();
+        let text = write_pretty(&e, &WriteOptions::default());
+        assert!(text.starts_with("<?xml"));
+        assert_eq!(parse(&text).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_keeps_scalar_elements_on_one_line() {
+        let e = Element::new("v").with_child(Element::new("tcondition").with_text("i < 10"));
+        let text = write_pretty(&e, &WriteOptions::default());
+        assert!(text.contains("<tcondition>i &lt; 10</tcondition>"), "{text}");
+    }
+
+    #[test]
+    fn empty_element_is_self_closing() {
+        assert_eq!(write_compact(&Element::new("x")), "<x/>");
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let e = Element::new("x").with_attr("a", "\"quoted\" & <angled>");
+        let text = write_compact(&e);
+        assert!(text.contains("&quot;quoted&quot; &amp; &lt;angled&gt;"));
+        assert_eq!(parse(&text).unwrap(), e);
+    }
+
+    #[test]
+    fn comments_round_trip() {
+        let mut e = Element::new("x");
+        e.children.push(Node::Comment(" provenance note ".into()));
+        e.push_element(Element::new("y"));
+        assert_eq!(parse(&write_compact(&e)).unwrap(), e);
+        assert_eq!(parse(&write_pretty(&e, &WriteOptions::default())).unwrap(), e);
+    }
+
+    #[test]
+    fn custom_indent_and_no_declaration() {
+        let options = WriteOptions { indent: "\t".into(), declaration: false };
+        let text = write_pretty(&sample(), &options);
+        assert!(!text.starts_with("<?xml"));
+        assert!(text.contains("\n\t<step"));
+    }
+}

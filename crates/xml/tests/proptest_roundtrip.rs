@@ -1,0 +1,86 @@
+//! Property tests: any tree the API can build survives a serialize/parse
+//! round trip, in both compact and pretty form.
+
+use dgf_xml::{parse, Element, WriteOptions};
+use proptest::prelude::*;
+
+/// Strategy for XML names (a safe subset; DGL names are all like this).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,12}"
+}
+
+/// Strategy for arbitrary text content, including characters that need
+/// escaping and non-ASCII.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~äöü❄&<>'\"]{1,24}").unwrap()
+}
+
+fn leaf_strategy() -> impl Strategy<Value = Element> {
+    (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (an, av) in attrs {
+                // set_attr dedupes names, keeping the tree well-formed.
+                e.set_attr(an, av);
+            }
+            if let Some(t) = text {
+                // The parser drops whitespace-only text and the pretty
+                // writer trims mixed-content text, so push pre-trimmed
+                // text: that is what any round trip preserves exactly.
+                let t = t.trim();
+                if !t.is_empty() {
+                    e.push_text(t);
+                }
+            }
+            e
+        })
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    leaf_strategy().prop_recursive(4, 64, 5, |inner| {
+        (leaf_strategy(), proptest::collection::vec(inner, 0..5)).prop_map(|(mut base, children)| {
+            for c in children {
+                base.push_element(c);
+            }
+            base
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_round_trip(e in element_strategy()) {
+        let text = e.to_xml();
+        let parsed = parse(&text).expect("compact output must reparse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_round_trip(e in element_strategy()) {
+        let text = dgf_xml::write_pretty(&e, &WriteOptions::default());
+        let parsed = parse(&text).expect("pretty output must reparse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn escape_unescape_identity(s in text_strategy()) {
+        prop_assert_eq!(dgf_xml::unescape(&dgf_xml::escape_text(&s)).unwrap(), s.clone());
+        prop_assert_eq!(dgf_xml::unescape(&dgf_xml::escape_attr(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn subtree_size_ge_depth(e in element_strategy()) {
+        prop_assert!(e.subtree_size() >= e.depth());
+    }
+}

@@ -1,0 +1,95 @@
+//! The BBSRC-CCLRC imploding star (paper §2.1): "information from
+//! multiple hospitals in United Kingdom are finally archived into an
+//! archiver site."
+//!
+//! Eight hospital domains each hold scan collections; a weekend-windowed
+//! ILM flow pulls everything into the archiver's staging disk, verifies
+//! integrity, migrates it to tape, and releases hospital space.
+//!
+//! ```sh
+//! cargo run --example bbsrc_imploding_star
+//! ```
+
+use datagridflows::prelude::*;
+
+fn main() {
+    let hospitals = 8;
+    let scans_per_hospital = 5;
+    let topology = GridBuilder::preset(GridPreset::ImplodingStar { sources: hospitals });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("archivist", topology.domain_by_name("archiver").unwrap()));
+    users.make_admin("archivist").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 3));
+
+    // Seed hospital collections (Monday morning).
+    let seed = {
+        let mut b = FlowBuilder::sequential("seed");
+        for h in 0..hospitals {
+            let coll = format!("/hospital{h:02}");
+            b = b.step(format!("mk{h}"), DglOperation::CreateCollection { path: coll.clone() });
+            for s in 0..scans_per_hospital {
+                b = b.step(
+                    format!("put{h}-{s}"),
+                    DglOperation::Ingest {
+                        path: format!("{coll}/scan{s}.dcm"),
+                        size: "400000000".into(), // 400 MB MRI series
+                        resource: format!("hospital{h:02}-disk"),
+                    },
+                );
+            }
+        }
+        b.build().unwrap()
+    };
+    let txn = dfms.submit_flow("archivist", seed).unwrap();
+    dfms.pump();
+    assert_eq!(dfms.status(&txn, None).unwrap().state, RunState::Completed);
+    println!(
+        "seeded {} scans across {hospitals} hospitals ({:.1} GB logical)",
+        hospitals * scans_per_hospital,
+        dfms.grid().stats().logical_bytes as f64 / 1e9
+    );
+
+    // Build the imploding-star flow from the grid's current contents.
+    let sources: Vec<(LogicalPath, String)> = (0..hospitals)
+        .map(|h| (LogicalPath::parse(&format!("/hospital{h:02}")).unwrap(), format!("hospital{h:02}-disk")))
+        .collect();
+    let star = imploding_star_flow(dfms.grid(), &sources, "archiver-disk", "archiver-tape").unwrap();
+    println!("imploding-star flow: {} per-object pipelines", star.children.len());
+
+    // Run it in the weekend window only.
+    let options = RunOptions { window: Some(ScheduleWindow::weekends()), ..Default::default() };
+    let txn = dfms.submit_flow_with("archivist", star, options).unwrap();
+
+    // Pump through the work week: nothing may move.
+    dfms.pump_until(SimTime::from_days(4)); // through Thursday
+    let moved_midweek = dfms
+        .grid()
+        .objects_on(dfms.grid().resolve_resource("archiver-tape").unwrap())
+        .len();
+    println!("by Friday: {moved_midweek} scans on tape (window closed — expected 0)");
+    assert_eq!(moved_midweek, 0);
+
+    // Pump through the weekend.
+    dfms.pump_until(SimTime::from_days(7));
+    let report = dfms.status(&txn, None).unwrap();
+    let on_tape = dfms
+        .grid()
+        .objects_on(dfms.grid().resolve_resource("archiver-tape").unwrap())
+        .len();
+    println!("after the weekend: state={}, {on_tape} scans on tape", report.state);
+
+    // Hospital disks were released.
+    let mut remaining = 0;
+    for h in 0..hospitals {
+        let sid = dfms.grid().resolve_resource(&format!("hospital{h:02}-disk")).unwrap();
+        remaining += dfms.grid().objects_on(sid).len();
+    }
+    println!("scans still occupying hospital disks: {remaining}");
+
+    let m = dfms.metrics();
+    println!("\nmetrics: {} DGMS ops, {:.1} GB moved, clock {}", m.dgms_ops, m.bytes_moved as f64 / 1e9, dfms.now());
+    println!("provenance records for the archival run: {}", dfms.provenance().query(&ProvenanceQuery::transaction(&txn)).len());
+    assert_eq!(report.state, RunState::Completed);
+    assert_eq!(on_tape, (hospitals * scans_per_hospital) as usize);
+    assert_eq!(remaining, 0);
+}

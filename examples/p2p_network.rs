@@ -1,0 +1,92 @@
+//! The peer-to-peer datagridflow network (paper §3.2 and §5: "multiple
+//! DfMS servers can form a peer-to-peer datagridflow network with one or
+//! more lookup servers" — listed as future work; here it runs).
+//!
+//! Three DfMS servers own three zones of one federated namespace; a
+//! lookup service routes DGL requests by path prefix, and status queries
+//! follow the transaction home.
+//!
+//! ```sh
+//! cargo run --example p2p_network
+//! ```
+
+use datagridflows::prelude::*;
+
+fn make_server(admin: &str) -> Dfms {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    let d0 = topology.domain_ids().next().unwrap();
+    users.register(Principal::new(admin, d0));
+    users.make_admin(admin).unwrap();
+    Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 17))
+}
+
+fn main() {
+    // --- Build the network: SDSC, CCLRC (UK), and SCEC each run a DfMS. --
+    let mut net = DfmsNetwork::new();
+    net.add_server("sdsc", make_server("arun"));
+    net.add_server("cclrc", make_server("peter"));
+    net.add_server("scec", make_server("marcio"));
+    net.lookup_mut().register(LogicalPath::parse("/sdsc").unwrap(), "sdsc");
+    net.lookup_mut().register(LogicalPath::parse("/cclrc").unwrap(), "cclrc");
+    net.lookup_mut().register(LogicalPath::parse("/scec").unwrap(), "scec");
+    println!("network: {:?}, {} lookup routes", net.server_names(), 3);
+
+    // --- Each community submits work; the lookup service routes it. -----
+    let jobs = [
+        ("arun", "/sdsc", "site0-disk"),
+        ("peter", "/cclrc", "site1-disk"),
+        ("marcio", "/scec", "site0-pfs"),
+    ];
+    let mut txns = Vec::new();
+    for (user, zone, resource) in jobs {
+        let flow = FlowBuilder::sequential(format!("{user}-ingest"))
+            .step("mk", DglOperation::CreateCollection { path: zone.into() })
+            .step("put", DglOperation::Ingest { path: format!("{zone}/dataset.dat"), size: "250000000".into(), resource: resource.into() })
+            .step("sum", DglOperation::Checksum { path: format!("{zone}/dataset.dat"), resource: None, register: true })
+            .build()
+            .unwrap();
+        let request = DataGridRequest::flow(format!("req-{user}"), user, flow).asynchronous();
+        let (routed_to, response) = net.route(request).expect("routable");
+        let txn = response.transaction().to_owned();
+        println!("{user}'s request for {zone} routed to {routed_to:8} (txn {txn})");
+        txns.push((user.to_owned(), txn));
+    }
+
+    // --- Pump every server; then poll status through the network. -------
+    net.pump_all();
+    for (user, txn) in &txns {
+        let query = DataGridRequest::status(format!("poll-{user}"), user, FlowStatusQuery::whole(txn));
+        let (home, response) = net.route(query).expect("status routes home");
+        match response.body {
+            ResponseBody::Status(s) => {
+                println!("status of {txn} (answered by {home:8}): {} ({}/{} steps)", s.state, s.steps_completed, s.steps_total);
+                assert_eq!(s.state, RunState::Completed);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+    }
+
+    // --- Zones stay autonomous: data lives only where it was routed. ----
+    for (name, zone) in [("sdsc", "/sdsc"), ("cclrc", "/cclrc"), ("scec", "/scec")] {
+        let p = LogicalPath::parse(&format!("{zone}/dataset.dat")).unwrap();
+        for other in ["sdsc", "cclrc", "scec"] {
+            let has = net.server(other).unwrap().grid().exists(&p);
+            assert_eq!(has, other == name, "{other} vs {zone}");
+        }
+        let server = net.server(name).unwrap();
+        println!(
+            "{name:8} zone: {} objects, {} provenance records",
+            server.grid().stats().objects,
+            server.provenance().len()
+        );
+    }
+
+    // --- Unroutable requests are refused, not misdelivered. -------------
+    let stray = FlowBuilder::sequential("stray")
+        .step("mk", DglOperation::CreateCollection { path: "/nowhere".into() })
+        .build()
+        .unwrap();
+    let err = net.route(DataGridRequest::flow("stray", "arun", stray)).unwrap_err();
+    println!("stray request correctly refused: {err}");
+}

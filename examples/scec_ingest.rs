@@ -1,0 +1,116 @@
+//! The SCEC ingestion scenario (paper §4): "SCEC workflow for ingesting
+//! files into the SRB datagrid was also performed using DGL."
+//!
+//! Earthquake-simulation outputs arrive at the SCEC site, are ingested
+//! with seismology metadata, post-processed on whichever cluster the
+//! scheduler picks (staging data as needed), and the derived products
+//! are archived. A datagrid trigger auto-tags every new seismogram.
+//!
+//! ```sh
+//! cargo run --example scec_ingest
+//! ```
+
+use datagridflows::prelude::*;
+
+fn main() {
+    // SCEC + SDSC + USC: three sites; SDSC has the big cluster.
+    let mut builder = GridBuilder::new();
+    let scec = builder.add_site("scec", 8);
+    let sdsc = builder.add_site("sdsc", 128);
+    let usc = builder.add_site("usc", 16);
+    builder.wan_link(scec, sdsc);
+    builder.wan_link(scec, usc);
+    builder.wan_link(sdsc, usc);
+    let topology = builder.build();
+
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("marcio", scec).with_vo("scec"));
+    users.make_admin("marcio").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 11));
+
+    // Trigger: every ingested object under /scec gets provenance metadata
+    // — the §2.2 "creating metadata when a file is created" automation.
+    let tag_flow = FlowBuilder::sequential("auto-tag")
+        .step(
+            "tag",
+            DglOperation::SetMetadata { path: "${event.path}".into(), attribute: "pipeline".into(), value: "scec-2005".into() },
+        )
+        .build()
+        .unwrap();
+    dfms.triggers_mut().register(
+        Trigger::new("scec-auto-tag", "marcio", LogicalPath::parse("/scec").unwrap(), TriggerAction::Flow(tag_flow))
+            .on(&[EventKind::ObjectIngested]),
+    );
+
+    // The ingest + process workflow, one DGL document.
+    let runs = 4;
+    let mut b = FlowBuilder::sequential("scec-ingest")
+        .step("mk", DglOperation::CreateCollection { path: "/scec".into() })
+        .step("mk2", DglOperation::CreateCollection { path: "/scec/run2005".into() })
+        .step("mk3", DglOperation::CreateCollection { path: "/scec/derived".into() });
+    for i in 0..runs {
+        let raw = format!("/scec/run2005/wave{i}.dat");
+        b = b
+            .step(
+                format!("ingest{i}"),
+                DglOperation::Ingest { path: raw.clone(), size: "2000000000".into(), resource: "scec-pfs".into() },
+            )
+            .step(
+                format!("meta{i}"),
+                DglOperation::SetMetadata { path: raw.clone(), attribute: "type".into(), value: "seismogram".into() },
+            )
+            .step(
+                format!("derive{i}"),
+                DglOperation::Execute {
+                    code: "peak-ground-motion".into(),
+                    nominal_secs: "1800".into(),
+                    resource_type: Some("compute:16".into()),
+                    inputs: vec![raw],
+                    outputs: vec![(format!("/scec/derived/pgm{i}.dat"), "50000000".into())],
+                },
+            )
+            .step(
+                format!("archive{i}"),
+                DglOperation::Replicate { path: format!("/scec/derived/pgm{i}.dat"), src: None, dst: "sdsc-archive".into() },
+            );
+    }
+    let flow = b.build().unwrap();
+
+    println!("submitting the SCEC ingest workflow ({} steps)...", flow.step_count());
+    let txn = dfms.submit_flow("marcio", flow).unwrap();
+    dfms.pump();
+
+    let report = dfms.status(&txn, None).unwrap();
+    println!("workflow: {report}");
+    assert_eq!(report.state, RunState::Completed);
+
+    // Where did the processing actually run? The 16-slot requirement
+    // excluded SCEC's own 8-slot cluster; cost-based planning weighed
+    // 2 GB stage-in against cluster speed.
+    println!("\nderived products and their homes:");
+    for i in 0..runs {
+        let p = LogicalPath::parse(&format!("/scec/derived/pgm{i}.dat")).unwrap();
+        let obj = dfms.grid().stat_object(&p).unwrap();
+        let homes: Vec<String> = obj
+            .replicas
+            .iter()
+            .map(|r| dfms.grid().topology().storage(r.storage).name.clone())
+            .collect();
+        println!("  {p}: {}", homes.join(", "));
+    }
+
+    // The trigger tagged every ingested file (raw + derived).
+    let tagged = dfms
+        .grid()
+        .query(&LogicalPath::parse("/scec").unwrap(), &MetaQuery::Eq("pipeline".into(), "scec-2005".into()));
+    println!("\nauto-tagged objects: {}", tagged.len());
+    assert!(tagged.len() >= runs, "every raw file tagged by the trigger");
+
+    let m = dfms.metrics();
+    println!("\nengine metrics:");
+    println!("  dgms ops        {}", m.dgms_ops);
+    println!("  bytes moved     {:.1} GB", m.bytes_moved as f64 / 1e9);
+    println!("  exec tasks      {}", m.exec_tasks);
+    println!("  trigger firings {}", m.trigger_firings);
+    println!("  simulated time  {}", dfms.now());
+}

@@ -1,0 +1,112 @@
+//! Datagrid triggers (paper §2.2): metadata on ingest, notification on
+//! specific file types, metadata-driven auto-replication, and the
+//! multi-user ordering question.
+//!
+//! ```sh
+//! cargo run --example trigger_automation
+//! ```
+
+use datagridflows::prelude::*;
+
+fn main() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    let d0 = topology.domain_ids().next().unwrap();
+    users.register(Principal::new("curator", d0));
+    users.register(Principal::new("alice", d0));
+    users.register(Principal::new("bob", d0));
+    users.make_admin("curator").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let scope = LogicalPath::parse("/archive").unwrap();
+
+    // §2.2 use case 1: "creating metadata when a file is created".
+    let stamp = FlowBuilder::sequential("stamp")
+        .step("meta", DglOperation::SetMetadata { path: "${event.path}".into(), attribute: "curated".into(), value: "true".into() })
+        .build()
+        .unwrap();
+    dfms.triggers_mut().register(
+        Trigger::new("stamp-on-ingest", "curator", scope.clone(), TriggerAction::Flow(stamp))
+            .on(&[EventKind::ObjectIngested]),
+    );
+
+    // §2.2 use case 2: "sending notifications when specific types of
+    // files are ingested" — big files only, via a Tcondition.
+    dfms.triggers_mut().register(
+        Trigger::new("big-file-alert", "curator", scope.clone(), TriggerAction::Notify("large object ${event.path} arrived".into()))
+            .on(&[EventKind::ObjectIngested])
+            .when(Expr::parse("object.size > 1000000000").unwrap()),
+    );
+
+    // §2.2 use case 3: "automating replication of certain data based on
+    // their meta-data" — anything tagged class=master gets an off-site
+    // copy, automatically.
+    let auto_rep = FlowBuilder::sequential("auto-replicate")
+        .add_step(
+            Step::new(
+                "cp",
+                DglOperation::Replicate { path: "${event.path}".into(), src: None, dst: "site1-archive".into() },
+            )
+            .with_error_policy(ErrorPolicy::Ignore), // replica may already exist
+        )
+        .build()
+        .unwrap();
+    dfms.triggers_mut().register(
+        Trigger::new("replicate-masters", "curator", scope.clone(), TriggerAction::Flow(auto_rep))
+            .on(&[EventKind::MetadataSet])
+            .when(Expr::parse("meta.class == 'master'").unwrap()),
+    );
+
+    // The §2.2 ordering question: alice and bob both trigger on the same
+    // event; priority ordering decides who observes whose effects.
+    *dfms.triggers_mut() = std::mem::take(dfms.triggers_mut()).with_policy(OrderingPolicy::Priority);
+    dfms.triggers_mut().register(
+        Trigger::new("alice-watch", "alice", scope.clone(), TriggerAction::Notify("alice saw ${event.path}".into()))
+            .on(&[EventKind::ObjectIngested])
+            .with_priority(1),
+    );
+    dfms.triggers_mut().register(
+        Trigger::new("bob-watch", "bob", scope.clone(), TriggerAction::Notify("bob saw ${event.path}".into()))
+            .on(&[EventKind::ObjectIngested])
+            .with_priority(10),
+    );
+
+    // Drive the grid: ingest a small file, a big file, and tag a master.
+    let work = FlowBuilder::sequential("ingest-day")
+        .step("mk", DglOperation::CreateCollection { path: "/archive".into() })
+        .step("small", DglOperation::Ingest { path: "/archive/notes.txt".into(), size: "1000".into(), resource: "site0-disk".into() })
+        .step("big", DglOperation::Ingest { path: "/archive/film.mov".into(), size: "4000000000".into(), resource: "site0-disk".into() })
+        .step("tag", DglOperation::SetMetadata { path: "/archive/film.mov".into(), attribute: "class".into(), value: "master".into() })
+        .build()
+        .unwrap();
+    let txn = dfms.submit_flow("curator", work).unwrap();
+    dfms.pump();
+    assert_eq!(dfms.status(&txn, None).unwrap().state, RunState::Completed);
+
+    println!("--- notifications (in firing order) ---");
+    for n in dfms.notifications() {
+        println!("  [{}] {} :: {}", n.time, n.source, n.message);
+    }
+
+    // The stamp trigger tagged both files.
+    let curated = dfms.grid().query(&scope, &MetaQuery::Eq("curated".into(), "true".into()));
+    println!("\ncurated objects: {curated:?}");
+    assert_eq!(curated.len(), 2);
+
+    // The auto-replication trigger copied the master off-site.
+    let film = dfms.grid().stat_object(&LogicalPath::parse("/archive/film.mov").unwrap()).unwrap();
+    println!("film.mov replicas: {}", film.replicas.len());
+    assert_eq!(film.replicas.len(), 2);
+
+    // Priority ordering put bob (priority 10) before alice (priority 1).
+    let order: Vec<&str> = dfms
+        .notifications()
+        .iter()
+        .filter(|n| n.message.contains("saw /archive/notes.txt"))
+        .map(|n| n.source.as_str())
+        .collect();
+    println!("\nordering for the same event: {order:?}");
+    assert_eq!(order, ["trigger:bob-watch", "trigger:alice-watch"]);
+
+    let stats = dfms.triggers().stats();
+    println!("\ntrigger engine: {} events seen, {} fired, {} suppressed", stats.events_seen, stats.fired, stats.suppressed_by_depth);
+}

@@ -1,0 +1,203 @@
+//! Failure-injection (chaos) tests: the engine under deterministic
+//! resource churn. The point is not that every run completes — with
+//! enough churn and bounded retries some cannot — but that the system
+//! *degrades cleanly*: terminal states, honest reports, no leaked slots
+//! or transfer shares, consistent storage accounting.
+
+use datagridflows::prelude::*;
+
+fn dfms(domains: u32, seed: u64) -> Dfms {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, seed))
+}
+
+/// Pump the engine while applying a failure plan minute by minute.
+fn pump_with_chaos(d: &mut Dfms, plan: &FailurePlan, txn: &str, horizon: SimTime) -> RunState {
+    let mut cursor = d.now();
+    loop {
+        let next = cursor + Duration::from_secs(60);
+        d.pump_until(next);
+        plan.apply_between(d.grid_mut().topology_mut(), cursor, next);
+        cursor = next;
+        let state = d.status(txn, None).unwrap().state;
+        if state.is_terminal() || cursor > horizon {
+            // Bring everything back up so queued work can drain.
+            for (_, event) in plan.events() {
+                match event {
+                    FailureEvent::Compute(id, _) => d.grid_mut().topology_mut().compute_mut(*id).online = true,
+                    FailureEvent::Link(id, _) => d.grid_mut().topology_mut().link_mut(*id).online = true,
+                    FailureEvent::Storage(id, _) => d.grid_mut().topology_mut().storage_mut(*id).online = true,
+                }
+            }
+            d.pump();
+            return d.status(txn, None).unwrap().state;
+        }
+    }
+}
+
+use datagridflows::simgrid::FailureEvent;
+
+fn assert_no_leaks(d: &Dfms) {
+    let topo = d.grid().topology();
+    for c in topo.compute_ids() {
+        assert_eq!(topo.compute(c).busy, 0, "leaked slot on {}", topo.compute(c).name);
+    }
+    assert_eq!(d.grid().transfer_model().total_active_shares(), 0, "leaked transfer shares");
+}
+
+#[test]
+fn compute_churn_with_retries_completes_or_fails_cleanly() {
+    let mut completed = 0;
+    for seed in 0..6u64 {
+        let mut d = dfms(4, seed);
+        let mut b = FlowBuilder::sequential("chaos-exec");
+        for i in 0..12 {
+            b = b.add_step(
+                Step::new(
+                    format!("t{i}"),
+                    DglOperation::Execute {
+                        code: format!("job{i}"),
+                        nominal_secs: "180".into(),
+                        resource_type: None,
+                        inputs: vec![],
+                        outputs: vec![],
+                    },
+                )
+                .with_error_policy(ErrorPolicy::Retry(2)),
+            );
+        }
+        let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
+        let plan = FailurePlan::generate(
+            d.grid().topology(),
+            Duration::from_hours(6),
+            Duration::from_secs(1200), // aggressive: MTBF 20 min
+            Duration::from_secs(600),
+            seed,
+        );
+        let state = pump_with_chaos(&mut d, &plan, &txn, SimTime::from_hours(12));
+        assert!(state.is_terminal(), "seed {seed} wedged in {state}");
+        if state == RunState::Completed {
+            completed += 1;
+        } else {
+            // Failed runs must say why.
+            let report = d.status(&txn, None).unwrap();
+            assert!(report.message.is_some(), "failure without a message: {report}");
+        }
+        assert_no_leaks(&d);
+    }
+    assert!(completed >= 3, "retry+late-binding should save most runs: {completed}/6");
+}
+
+#[test]
+fn transfer_flows_survive_link_churn() {
+    for seed in 0..4u64 {
+        let mut d = dfms(3, seed);
+        // Seed objects at site0.
+        let mut b = FlowBuilder::sequential("seed")
+            .step("mk", DglOperation::CreateCollection { path: "/data".into() });
+        for i in 0..6 {
+            b = b.step(
+                format!("p{i}"),
+                DglOperation::Ingest { path: format!("/data/f{i}"), size: "500000000".into(), resource: "site0-disk".into() },
+            );
+        }
+        d.submit_flow("u", b.build().unwrap()).unwrap();
+        d.pump();
+
+        // Replicate everything off-site with retries, under link churn.
+        let mut b = FlowBuilder::sequential("spread");
+        for i in 0..6 {
+            b = b.add_step(
+                Step::new(
+                    format!("cp{i}"),
+                    DglOperation::Replicate { path: format!("/data/f{i}"), src: None, dst: "site1-disk".into() },
+                )
+                .with_error_policy(ErrorPolicy::Retry(3)),
+            );
+        }
+        let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
+        let plan = FailurePlan::generate(
+            d.grid().topology(),
+            Duration::from_hours(2),
+            Duration::from_secs(900),
+            Duration::from_secs(300),
+            seed + 100,
+        );
+        let state = pump_with_chaos(&mut d, &plan, &txn, SimTime::from_hours(6));
+        assert!(state.is_terminal());
+        assert_no_leaks(&d);
+        // Storage accounting stays exact regardless of outcome.
+        let catalog_bytes: u64 = d.grid().stats().physical_bytes;
+        let used: u64 = {
+            let topo = d.grid().topology();
+            topo.storage_ids().map(|s| topo.storage(s).used).sum()
+        };
+        assert_eq!(used, catalog_bytes, "seed {seed}: storage accounting drifted");
+    }
+}
+
+#[test]
+fn storage_outage_mid_flow_is_a_clean_failure() {
+    let mut d = dfms(2, 9);
+    let flow = FlowBuilder::sequential("doomed")
+        .step("a", DglOperation::Ingest { path: "/a".into(), size: "80000000".into(), resource: "site1-disk".into() })
+        .step("b", DglOperation::Ingest { path: "/b".into(), size: "80000000".into(), resource: "site1-disk".into() })
+        .step("c", DglOperation::Ingest { path: "/c".into(), size: "80000000".into(), resource: "site1-disk".into() })
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    // Step a finishes (~1s); kill the destination store before b begins.
+    d.pump_until(SimTime::ZERO + Duration::from_millis(1_500));
+    let sid = d.grid().resolve_resource("site1-disk").unwrap();
+    d.grid_mut().topology_mut().storage_mut(sid).online = false;
+    d.pump();
+    let report = d.status(&txn, None).unwrap();
+    assert_eq!(report.state, RunState::Failed);
+    assert!(report.message.as_deref().unwrap().contains("offline"), "{report}");
+    assert!(d.grid().exists(&LogicalPath::parse("/a").unwrap()), "completed work persists");
+    assert_no_leaks(&d);
+    // The run is restartable once the resource returns.
+    d.grid_mut().topology_mut().storage_mut(sid).online = true;
+    let txn2 = d.restart(&txn).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn2, None).unwrap().state, RunState::Completed);
+    // Steps a (and possibly the in-flight b, which completes before the
+    // outage is observed) are skipped on restart.
+    assert!(d.metrics().steps_skipped_restart >= 1);
+}
+
+#[test]
+fn disconnected_grid_heals_and_work_resumes() {
+    let mut d = dfms(2, 5);
+    d.grid_mut()
+        .execute(
+            "u",
+            Operation::Ingest { path: LogicalPath::parse("/big").unwrap(), size: 1_000_000_000, resource: "site0-disk".into() },
+            SimTime::ZERO,
+        )
+        .unwrap();
+    // Sever the only link, then submit a cross-site replicate with retries.
+    let link = datagridflows::simgrid::LinkId(0);
+    d.grid_mut().topology_mut().link_mut(link).online = false;
+    let flow = FlowBuilder::sequential("cross")
+        .add_step(
+            Step::new("cp", DglOperation::Replicate { path: "/big".into(), src: None, dst: "site1-disk".into() })
+                .with_error_policy(ErrorPolicy::Retry(5)),
+        )
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    // Retries exhausted while the island persists → failed...
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Failed);
+    // ...but healing the link and restarting succeeds.
+    d.grid_mut().topology_mut().link_mut(link).online = true;
+    let txn2 = d.restart(&txn).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn2, None).unwrap().state, RunState::Completed);
+    let obj = d.grid().stat_object(&LogicalPath::parse("/big").unwrap()).unwrap();
+    assert_eq!(obj.replicas.len(), 2);
+}

@@ -1,0 +1,163 @@
+//! Provenance across the whole stack: DGMS audit events, DfMS records,
+//! snapshot/restore "years later", and restart-from-provenance.
+
+use datagridflows::prelude::*;
+
+fn path(s: &str) -> LogicalPath {
+    LogicalPath::parse(s).unwrap()
+}
+
+fn dfms() -> Dfms {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("nara", topology.domain_ids().next().unwrap()));
+    users.make_admin("nara").unwrap();
+    Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 13))
+}
+
+/// §2.1 (NARA PAT): "storing of provenance information for not only the
+/// DGMS operations performed by the system, but also the operations that
+/// are performed as part of the archival pipeline."
+#[test]
+fn provenance_covers_both_dgms_and_pipeline_levels() {
+    let mut d = dfms();
+    let flow = FlowBuilder::sequential("accession")
+        .step("mk", DglOperation::CreateCollection { path: "/nara".into() })
+        .step("put", DglOperation::Ingest { path: "/nara/doc1".into(), size: "1000".into(), resource: "site0-disk".into() })
+        .step("fix", DglOperation::Checksum { path: "/nara/doc1".into(), resource: None, register: true })
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("nara", flow).unwrap();
+    d.pump();
+
+    // Pipeline level: one record per step plus the flow record.
+    let records = d.provenance().query(&ProvenanceQuery::transaction(&txn));
+    assert_eq!(records.len(), 4, "3 steps + the flow itself");
+    let verbs: Vec<_> = records.iter().map(|r| r.verb.as_str()).collect();
+    assert!(verbs.contains(&"create-collection") && verbs.contains(&"ingest") && verbs.contains(&"checksum") && verbs.contains(&"flow"));
+
+    // DGMS level: the namespace audit trail has matching events.
+    let events = d.grid().events();
+    assert!(events.iter().any(|e| e.kind == EventKind::ObjectIngested && e.path == path("/nara/doc1")));
+    assert!(events.iter().any(|e| e.kind == EventKind::ChecksumVerified));
+
+    // Records carry timing consistent with the simulation clock.
+    for r in &records {
+        assert!(r.finished >= r.started, "{r:?}");
+    }
+}
+
+/// The full archival loop: snapshot → new process → restore → query —
+/// and the restart memo still works after restore.
+#[test]
+fn provenance_survives_process_boundaries_and_drives_restart() {
+    let snapshot;
+    let txn;
+    {
+        let mut d = dfms();
+        let flow = FlowBuilder::sequential("archive")
+            .step("a", DglOperation::Ingest { path: "/a".into(), size: "80000000".into(), resource: "site0-disk".into() })
+            .step("b", DglOperation::Ingest { path: "/b".into(), size: "80000000".into(), resource: "site0-disk".into() })
+            .step("c", DglOperation::Ingest { path: "/c".into(), size: "80000000".into(), resource: "site0-disk".into() })
+            .build()
+            .unwrap();
+        txn = d.submit_flow("nara", flow).unwrap();
+        d.pump_until(SimTime::ZERO + Duration::from_millis(1_200)); // step a done
+        d.stop(&txn).unwrap();
+        d.pump();
+        snapshot = d.provenance().snapshot();
+    } // the first "process" exits
+
+    // Years later, a new process restores the store.
+    let restored = ProvenanceStore::restore(&snapshot).unwrap();
+    assert!(restored.step_completed(&txn, "/0"), "step a is on record");
+    assert!(!restored.step_completed(&txn, "/2"), "step c never ran");
+
+    // A fresh engine (fresh grid!) adopts the store; resubmitting the
+    // lineage skips the completed step.
+    let mut d2 = dfms();
+    d2.restore_provenance(restored);
+    let flow = FlowBuilder::sequential("archive")
+        .step("a", DglOperation::Ingest { path: "/a".into(), size: "80000000".into(), resource: "site0-disk".into() })
+        .step("b", DglOperation::Ingest { path: "/b".into(), size: "80000000".into(), resource: "site0-disk".into() })
+        .step("c", DglOperation::Ingest { path: "/c".into(), size: "80000000".into(), resource: "site0-disk".into() })
+        .build()
+        .unwrap();
+    let options = RunOptions { lineage: Some(txn.clone()), ..Default::default() };
+    let txn2 = d2.submit_flow_with("nara", flow, options).unwrap();
+    d2.pump();
+    assert_eq!(d2.status(&txn2, None).unwrap().state, RunState::Completed);
+    assert_eq!(d2.metrics().steps_skipped_restart, 1, "step a skipped via restored memo");
+    // The grid is fresh, so /a does NOT exist — the memo is trusted.
+    // (This mirrors real archival restarts where the catalog, not the
+    // filesystem, is authoritative.)
+    assert!(!d2.grid().exists(&path("/a")));
+    assert!(d2.grid().exists(&path("/c")));
+}
+
+/// Provenance queries slice by node prefix, outcome, and time.
+#[test]
+fn provenance_query_dimensions() {
+    let mut d = dfms();
+    let flow = FlowBuilder::sequential("mixed")
+        .step("ok", DglOperation::CreateCollection { path: "/ok".into() })
+        .add_step(
+            Step::new("bad", DglOperation::Delete { path: "/missing".into() })
+                .with_error_policy(ErrorPolicy::Ignore),
+        )
+        .step("late", DglOperation::CreateCollection { path: "/late".into() })
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("nara", flow).unwrap();
+    d.pump();
+    let all = d.provenance().query(&ProvenanceQuery::transaction(&txn));
+    assert_eq!(all.len(), 4);
+    let completed_only = d.provenance().query(&ProvenanceQuery {
+        transaction: Some(txn.clone()),
+        outcome: Some(StepOutcome::Completed),
+        ..Default::default()
+    });
+    assert_eq!(completed_only.len(), 4, "ignored failures record as completed-with-note");
+    assert!(completed_only.iter().any(|r| r.detail.contains("ignored failure")));
+    // Node prefix narrows to one step.
+    let only_first = d.provenance().query(&ProvenanceQuery {
+        transaction: Some(txn),
+        node_prefix: Some("/0".into()),
+        ..Default::default()
+    });
+    assert_eq!(only_first.len(), 1);
+    assert_eq!(only_first[0].name, "ok");
+}
+
+/// The trigger pathway also leaves provenance: flows fired by triggers
+/// are first-class transactions.
+#[test]
+fn trigger_flows_are_provenanced_transactions() {
+    let mut d = dfms();
+    let action = FlowBuilder::sequential("auto")
+        .step("tag", DglOperation::SetMetadata { path: "${event.path}".into(), attribute: "auto".into(), value: "1".into() })
+        .build()
+        .unwrap();
+    d.triggers_mut().register(
+        Trigger::new("auto-tag", "nara", path("/"), TriggerAction::Flow(action)).on(&[EventKind::ObjectIngested]),
+    );
+    let flow = FlowBuilder::sequential("producer")
+        .step("put", DglOperation::Ingest { path: "/x".into(), size: "10".into(), resource: "site0-disk".into() })
+        .build()
+        .unwrap();
+    let user_txn = d.submit_flow("nara", flow).unwrap();
+    d.pump();
+    // Two transactions on record: the user's and the trigger's.
+    let flows: Vec<_> = d
+        .provenance()
+        .records()
+        .iter()
+        .filter(|r| r.verb == "flow")
+        .map(|r| r.transaction.clone())
+        .collect();
+    assert_eq!(flows.len(), 2);
+    assert!(flows.contains(&user_txn));
+    let trigger_txn = flows.iter().find(|t| **t != user_txn).unwrap().clone();
+    let trigger_records = d.provenance().query(&ProvenanceQuery::transaction(&trigger_txn));
+    assert!(trigger_records.iter().any(|r| r.verb == "set-metadata"));
+}

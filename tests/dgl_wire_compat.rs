@@ -1,0 +1,163 @@
+//! Wire-format conformance for the schema structures of Figures 1–4:
+//! hand-written DGL documents (as the paper's IDE would emit) parse,
+//! execute, and round-trip; property tests fuzz the document layer.
+
+use datagridflows::dgl::{self, parse_request, DataGridRequest, RequestBody};
+use datagridflows::prelude::*;
+use proptest::prelude::*;
+
+/// Figure 1 + Figure 3: a hand-authored flow using every section —
+/// variables, flowLogic with control choice and userDefinedRules,
+/// children.
+#[test]
+fn hand_written_figure1_document_parses_and_runs() {
+    let doc = r#"<?xml version="1.0"?>
+<dataGridRequest id="fig1" mode="synchronous">
+  <gridUser name="arun"/>
+  <flow name="figure-one">
+    <variables>
+      <variable name="base" value="/demo"/>
+      <variable name="i" value="0"/>
+    </variables>
+    <flowLogic>
+      <while><tcondition>i &lt; 2</tcondition></while>
+      <userDefinedRule name="beforeEntry">
+        <tcondition>'go'</tcondition>
+        <action name="go">
+          <step name="announce"><operation><notify>starting over ${base}</notify></operation></step>
+        </action>
+      </userDefinedRule>
+    </flowLogic>
+    <children>
+      <step name="mk"><operation><createCollection path="${base}-${i}"/></operation></step>
+      <step name="advance"><operation><assign variable="i"><expr>i + 1</expr></assign></operation></step>
+    </children>
+  </flow>
+</dataGridRequest>"#;
+    let request = parse_request(doc).unwrap();
+    match &request.body {
+        RequestBody::Flow(flow) => {
+            assert_eq!(flow.name, "figure-one");
+            assert_eq!(flow.variables.len(), 2);
+            assert_eq!(flow.logic.rules.len(), 1);
+            flow.validate().unwrap();
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // And it executes.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 1 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("arun", topology.domain_ids().next().unwrap()));
+    users.make_admin("arun").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 1));
+    let response = dfms.handle(request);
+    match response.body {
+        ResponseBody::Status(s) => assert_eq!(s.state, RunState::Completed),
+        other => panic!("{other:?}"),
+    }
+    assert!(dfms.grid().exists(&LogicalPath::parse("/demo-0").unwrap()));
+    assert!(dfms.grid().exists(&LogicalPath::parse("/demo-1").unwrap()));
+    assert_eq!(dfms.notifications().len(), 1, "beforeEntry rule fired once, at flow entry");
+}
+
+/// Figure 2: both request payload kinds.
+#[test]
+fn figure2_request_variants() {
+    let flow_doc = r#"<dataGridRequest id="a"><gridUser name="u"/><flow name="f"><flowLogic><sequential/></flowLogic><children/></flow></dataGridRequest>"#;
+    let request = parse_request(flow_doc).unwrap();
+    assert!(matches!(request.body, RequestBody::Flow(_)));
+
+    let query_doc = r#"<dataGridRequest id="b" mode="asynchronous"><gridUser name="u" vo="cms"/><flowStatusQuery transaction="t7" node="/0/3/1"/></dataGridRequest>"#;
+    let request = parse_request(query_doc).unwrap();
+    assert_eq!(request.vo.as_deref(), Some("cms"));
+    match request.body {
+        RequestBody::StatusQuery(q) => {
+            assert_eq!(q.transaction, "t7");
+            assert_eq!(q.node.as_deref(), Some("/0/3/1"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Figure 4: both response payload kinds, round-tripped.
+#[test]
+fn figure4_response_variants_round_trip() {
+    let ack = dgl::DataGridResponse::ack(
+        "r1",
+        dgl::RequestAck { transaction: "t1".into(), state: RunState::Pending, valid: true, message: None },
+    );
+    assert_eq!(dgl::parse_response(&ack.to_xml()).unwrap(), ack);
+    let status = dgl::DataGridResponse::status(
+        "r2",
+        dgl::StatusReport {
+            transaction: "t1".into(),
+            node: "/0".into(),
+            name: "stage".into(),
+            state: RunState::Running,
+            steps_completed: 2,
+            steps_total: 8,
+            message: Some("staging tier-1".into()),
+            children: vec![("/0/0".into(), "cp".into(), RunState::Completed)],
+        },
+    );
+    assert_eq!(dgl::parse_response(&status.to_xml()).unwrap(), status);
+}
+
+// ----------------------------------------------------------------------
+// Property tests over the wire format
+// ----------------------------------------------------------------------
+
+fn op_strategy() -> impl Strategy<Value = DglOperation> {
+    let name = "[a-z][a-z0-9-]{0,10}";
+    let path = "/[a-z][a-z0-9/]{0,14}";
+    prop_oneof![
+        path.prop_map(|p: String| DglOperation::CreateCollection { path: p }),
+        (path, 1u64..1_000_000, name).prop_map(|(p, s, r)| DglOperation::Ingest { path: p, size: s.to_string(), resource: r }),
+        (path, name).prop_map(|(p, r)| DglOperation::Replicate { path: p, src: None, dst: r }),
+        (path, name, name).prop_map(|(p, a, b)| DglOperation::Migrate { path: p, from: a, to: b }),
+        path.prop_map(|p: String| DglOperation::Delete { path: p }),
+        (path, any::<bool>()).prop_map(|(p, r)| DglOperation::Checksum { path: p, resource: None, register: r }),
+        (path, name, name).prop_map(|(p, a, v)| DglOperation::SetMetadata { path: p, attribute: a, value: v }),
+        "[ -~]{0,30}".prop_map(|m| DglOperation::Notify { message: m.replace("${", "$ {") }),
+    ]
+}
+
+fn flow_strategy() -> impl Strategy<Value = Flow> {
+    let step = ("[a-z][a-z0-9]{0,8}", op_strategy()).prop_map(|(n, op)| Step::new(n, op));
+    let leaf = ("[a-z][a-z0-9]{0,8}", proptest::collection::vec(step, 0..5)).prop_map(|(name, mut steps)| {
+        // Deduplicate sibling names to keep the flow valid.
+        for (i, s) in steps.iter_mut().enumerate() {
+            s.name = format!("{}{i}", s.name);
+        }
+        Flow::sequence(name, steps)
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        ("[a-z][a-z0-9]{0,8}", proptest::collection::vec(inner, 1..4)).prop_map(|(name, mut flows)| {
+            for (i, f) in flows.iter_mut().enumerate() {
+                f.name = format!("{}{i}", f.name);
+            }
+            Flow::parallel_flows(name, flows)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any structurally valid flow survives request XML round-trips.
+    #[test]
+    fn arbitrary_flows_round_trip_the_wire(flow in flow_strategy()) {
+        prop_assume!(flow.validate().is_ok());
+        let request = DataGridRequest::flow("prop", "user", flow.clone()).asynchronous();
+        let xml = request.to_xml();
+        let parsed = parse_request(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, request);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn request_parser_is_panic_free(input in "\\PC{0,300}") {
+        let _ = parse_request(&input);
+    }
+}
