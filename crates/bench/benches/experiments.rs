@@ -4,7 +4,9 @@
 //! in `EXPERIMENTS.md`.
 
 use datagridflows::prelude::*;
-use dgf_bench::{analysis_flow, mesh_dfms, notify_flow, print_table, seed_inputs, star_dfms};
+use dgf_bench::{
+    analysis_flow, maybe_dump_metrics, mesh_dfms, notify_flow, print_table, seed_inputs, star_dfms,
+};
 use std::time::Instant;
 
 fn main() {
@@ -86,6 +88,7 @@ fn e1_scalability() {
         let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E1c domains={domains}"), &d);
         rows.push(vec![
             format!("domains={domains} (slots={})", domains * 32),
             format!("{}", d.now()),
@@ -137,6 +140,7 @@ fn e2_imploding_star() {
                     && !matches!(e.time.day_of_week(), 5 | 6)
             })
             .count();
+        maybe_dump_metrics(&format!("E2 sources={sources} (DfMS)"), &d);
         rows.push(vec![
             format!("{sources}"),
             "DfMS (weekend window)".into(),
@@ -257,6 +261,7 @@ fn e3_exploding_star() {
             }
         }
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E3 shape=T1:{t1},T2:{t2}"), &d);
         let moved = (d.metrics().bytes_moved - seeded_bytes) as f64 / 1e9;
         let replicas = d.grid().stats().replicas / d.grid().stats().objects;
         rows.push(vec![
@@ -304,6 +309,7 @@ fn e4_triggers() {
         d.pump();
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         let stats = d.triggers().stats();
+        maybe_dump_metrics(&format!("E4a events={events} triggers={trigger_count}"), &d);
         rows.push(vec![
             format!("{events}"),
             format!("{trigger_count}"),
@@ -434,6 +440,7 @@ fn e5_planners() {
         let txn = d.submit_flow("u", analysis_flow("e5", 8, 300)).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E5a planner={planner}"), &d);
         let moved = (d.metrics().bytes_moved - seeded) as f64 / 1e9;
         (moved, d.now().since(start))
     };
@@ -536,7 +543,7 @@ fn e6_binding() {
         let txn = d.submit_flow("u", flow).unwrap();
         // Interleave failure events with engine pumping.
         let mut cursor = SimTime::ZERO;
-        loop {
+        let state = loop {
             let next = cursor + Duration::from_secs(60);
             d.pump_until(next);
             let events = plan.apply_between(d.grid_mut().topology_mut(), cursor, next);
@@ -549,7 +556,9 @@ fn e6_binding() {
             if cursor > SimTime::from_days(2) {
                 break d.status(&txn, None).unwrap().state;
             }
-        }
+        };
+        maybe_dump_metrics(&format!("E6 {mode:?} mtbf={mtbf_hours}h seed={seed}"), &d);
+        state
     };
     let mut rows = Vec::new();
     for (label, mtbf) in [("no churn", 0u64), ("MTBF 8h", 8), ("MTBF 1h", 1)] {
@@ -615,6 +624,7 @@ fn e7_virtual_data() {
         let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E7 reuse={reuse_pct}%"), &d);
         let (hits, _misses) = d.catalog().stats();
         rows.push(vec![
             format!("{reuse_pct}%"),
@@ -667,6 +677,7 @@ fn e8_replicas() {
         let txn = d.submit_flow("u", consume).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E8 replicas={replicas}"), &d);
         rows.push(vec![replicas.to_string(), format!("{}", d.now().since(start))]);
     }
     print_table(
@@ -684,6 +695,7 @@ fn e9_provenance() {
         let txn = d.submit_flow("u", notify_flow("p", steps)).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E9 steps={steps}"), &d);
         let records = d.provenance().len();
         let wall = Instant::now();
         let hits = d.provenance().query(&ProvenanceQuery::transaction(&txn)).len();
@@ -740,6 +752,7 @@ fn e10_lifecycle() {
         let executed_before = d.metrics().steps_executed;
         d.pump();
         assert_eq!(d.status(&txn2, None).unwrap().state, RunState::Completed);
+        maybe_dump_metrics(&format!("E10 stop={stop_frac}%"), &d);
         let re_executed = d.metrics().steps_executed - executed_before;
         let skipped = d.metrics().steps_skipped_restart;
         rows.push(vec![
@@ -804,6 +817,7 @@ fn e11_prototypes() {
         let txn = d.submit_flow("u", sweep).unwrap();
         d.pump();
         let mismatches = d.grid().events().iter().filter(|e| e.kind == EventKind::ChecksumMismatch).count();
+        maybe_dump_metrics("E11 ucsd-md5", &d);
         rows.push(vec![
             "UCSD MD5 integrity".into(),
             d.status(&txn, None).unwrap().state.to_string(),

@@ -36,6 +36,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Dump an experiment's metrics snapshot when `DGF_METRICS` is set.
+///
+/// `DGF_METRICS=text` (or `1`) prints the plain-text exporter,
+/// `DGF_METRICS=json` prints the JSON exporter; unset prints nothing,
+/// so the default experiment tables stay byte-identical.
+pub fn maybe_dump_metrics(label: &str, d: &Dfms) {
+    let Ok(mode) = std::env::var("DGF_METRICS") else { return };
+    let snap = d.metrics_snapshot();
+    match mode.as_str() {
+        "json" => println!("\n--- metrics {label} (json) ---\n{}", snap.to_json()),
+        _ => println!("\n--- metrics {label} ---\n{}", snap.to_text()),
+    }
+}
+
 /// A mesh-grid DfMS with one admin user `u` and the given planner.
 pub fn mesh_dfms(domains: u32, planner: PlannerKind, seed: u64) -> Dfms {
     let topology = GridBuilder::preset(GridPreset::UniformMesh { domains });

@@ -14,6 +14,7 @@ use dgf_dgms::{
     PendingOp, Permission,
 };
 use dgf_ilm::IlmJob;
+use dgf_obs::{EventKind as ObsKind, Obs};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
 use dgf_simgrid::{ComputeId, Duration, EventQueue, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
@@ -40,6 +41,11 @@ pub struct Notification {
 }
 
 /// Engine-level counters (observability + experiments).
+///
+/// This is the legacy counter shape, kept for existing callers; it is
+/// now *derived* from the [`Obs`] metrics registry by [`Dfms::metrics`]
+/// rather than maintained as a separate struct. New code should prefer
+/// [`Dfms::metrics_snapshot`], which exposes every scope and histogram.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineMetrics {
     /// Flows accepted.
@@ -97,7 +103,7 @@ pub struct Dfms {
     pending_ops: HashMap<(RunId, usize), PendingOp>,
     provenance: ProvenanceStore,
     notifications: Vec<Notification>,
-    metrics: EngineMetrics,
+    obs: Obs,
     ilm_jobs: Vec<IlmJob>,
     procedures: HashMap<String, Flow>,
     next_txn: u64,
@@ -105,12 +111,20 @@ pub struct Dfms {
 
 impl Dfms {
     /// A DfMS over a grid, with the given scheduler.
-    pub fn new(grid: DataGrid, scheduler: Scheduler) -> Self {
+    ///
+    /// The engine owns the master [`Obs`] handle; clones are pushed into
+    /// the scheduler and the trigger engine so every layer records into
+    /// one shared flight recorder and metrics registry.
+    pub fn new(grid: DataGrid, mut scheduler: Scheduler) -> Self {
+        let obs = Obs::default();
+        scheduler.set_obs(obs.clone());
+        let mut triggers = TriggerEngine::new();
+        triggers.set_obs(obs.clone());
         Dfms {
             grid,
             scheduler,
             binding: BindingCache::new(BindingMode::Late),
-            triggers: TriggerEngine::new(),
+            triggers,
             catalog: VirtualDataCatalog::new(),
             queue: EventQueue::new(),
             runs: Vec::new(),
@@ -118,7 +132,7 @@ impl Dfms {
             pending_ops: HashMap::new(),
             provenance: ProvenanceStore::new(),
             notifications: Vec::new(),
-            metrics: EngineMetrics::default(),
+            obs,
             ilm_jobs: Vec::new(),
             procedures: HashMap::new(),
             next_txn: 1,
@@ -169,9 +183,42 @@ impl Dfms {
         &self.notifications
     }
 
-    /// Engine counters.
+    /// Engine counters, derived from the `engine` scope of the metrics
+    /// registry (the legacy shape; see [`Dfms::metrics_snapshot`] for
+    /// the full registry).
     pub fn metrics(&self) -> EngineMetrics {
-        self.metrics
+        let s = self.obs.snapshot();
+        let c = |name: &str| s.counter("engine", name);
+        EngineMetrics {
+            runs_submitted: c("runs.submitted"),
+            runs_completed: c("runs.completed"),
+            runs_failed: c("runs.failed"),
+            steps_executed: c("steps.executed"),
+            steps_skipped_virtual: c("steps.skipped.virtual"),
+            steps_skipped_restart: c("steps.skipped.restart"),
+            dgms_ops: c("dgms.ops"),
+            bytes_moved: c("bytes.moved"),
+            exec_tasks: c("exec.tasks"),
+            trigger_firings: c("trigger.firings"),
+            retries: c("step.retries"),
+        }
+    }
+
+    /// The observability handle: flight recorder + metrics registry.
+    /// Clones share state with the engine, so a handle taken before a
+    /// run observes everything the run records.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A full metrics snapshot across every scope, with the `grid`
+    /// scope scraped live from the transfer model's lifetime totals.
+    pub fn metrics_snapshot(&self) -> dgf_obs::MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        let totals = self.grid.transfer_model().totals();
+        snap.insert("grid", "transfers.started", dgf_obs::MetricValue::Counter(totals.started));
+        snap.insert("grid", "transfers.bytes", dgf_obs::MetricValue::Counter(totals.bytes));
+        snap
     }
 
     /// The virtual-data catalog.
@@ -306,9 +353,12 @@ impl Dfms {
                 }
             }
         }
+        let flow_name = run.nodes[0].name.clone();
         self.runs.push(run);
         self.txn_index.insert(txn.clone(), id);
-        self.metrics.runs_submitted += 1;
+        self.obs.set_now(self.now());
+        self.obs.inc("engine", "runs.submitted");
+        self.obs.record(ObsKind::RunSubmitted { txn: txn.clone(), flow: flow_name, user: user.to_owned() });
         self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
         Ok(txn)
     }
@@ -470,7 +520,7 @@ impl Dfms {
         let txn_s = run.txn.clone();
         self.provenance.record(ProvenanceRecord {
             lineage,
-            transaction: txn_s,
+            transaction: txn_s.clone(),
             node: "/".into(),
             name: run.nodes[0].name.clone(),
             verb: "flow".into(),
@@ -480,6 +530,14 @@ impl Dfms {
             outcome: StepOutcome::Stopped,
             detail: "stopped by lifecycle request".into(),
         });
+        self.obs.set_now(now);
+        self.obs.record(ObsKind::ProvenanceWrite {
+            txn: txn_s.clone(),
+            node: "/".into(),
+            verb: "flow".into(),
+            outcome: "stopped".into(),
+        });
+        self.obs.record(ObsKind::RunFinished { txn: txn_s, state: "stopped".into() });
         Ok(())
     }
 
@@ -521,7 +579,61 @@ impl Dfms {
     }
 
     fn status_query(&self, q: &FlowStatusQuery) -> Result<StatusReport, DfmsError> {
-        self.status(&q.transaction, q.node.as_deref())
+        let mut report = self.status(&q.transaction, q.node.as_deref())?;
+        if let Some(limit) = q.events {
+            report.events = self.report_events(&q.transaction, q.node.as_deref(), limit);
+        }
+        if q.metrics {
+            report.metrics = self.report_metrics(&q.transaction);
+        }
+        Ok(report)
+    }
+
+    /// The flight-recorder events attributable to `txn` (optionally
+    /// narrowed to the subtree under `node`), oldest first, capped to
+    /// the most recent `limit`.
+    fn report_events(&self, txn: &str, node: Option<&str>, limit: usize) -> Vec<dgf_dgl::ReportEvent> {
+        let mut events: Vec<_> = self
+            .obs
+            .events()
+            .into_iter()
+            .filter(|e| e.kind.transaction() == Some(txn))
+            .filter(|e| match (node, e.kind.node()) {
+                (None, _) | (Some("/"), _) => true,
+                (Some(prefix), Some(n)) => n == prefix || n.starts_with(&format!("{prefix}/")),
+                (Some(_), None) => false,
+            })
+            .collect();
+        if events.len() > limit {
+            events.drain(..events.len() - limit);
+        }
+        events
+            .into_iter()
+            .map(|e| dgf_dgl::ReportEvent {
+                time_us: e.time.0,
+                seq: e.seq,
+                kind: e.kind.name().to_owned(),
+                detail: e.kind.detail(),
+            })
+            .collect()
+    }
+
+    /// All metric samples visible to a status query on `txn`: every
+    /// subsystem scope, plus `txn`'s own per-run scope — but not other
+    /// transactions' per-run scopes.
+    fn report_metrics(&self, txn: &str) -> Vec<dgf_dgl::ReportMetric> {
+        let own_run_scope = format!("run:{txn}");
+        self.metrics_snapshot()
+            .samples
+            .iter()
+            .filter(|s| !s.scope.starts_with("run:") || s.scope == own_run_scope)
+            .map(|s| dgf_dgl::ReportMetric {
+                scope: s.scope.clone(),
+                name: s.name.clone(),
+                kind: s.value.kind().to_owned(),
+                value: s.value.render(),
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -529,6 +641,9 @@ impl Dfms {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, work: Work) {
+        // Stamp the shared observability clock so every event recorded
+        // while handling this work item carries the simulation time.
+        self.obs.set_now(self.now());
         match work {
             Work::Start { run, node } => self.start_node(run, node),
             Work::OpDone { run, node } => self.op_done(run, node),
@@ -562,6 +677,12 @@ impl Dfms {
             if let Some(window) = &run.options.window {
                 if !window.is_open(now) {
                     let reopen = window.next_open(now);
+                    let wait = window.wait_until_open(now);
+                    let txn = run.txn.clone();
+                    let path = run.path_of(node_id);
+                    self.obs.inc("engine", "window.waits");
+                    self.obs.observe("engine", "window.wait", wait);
+                    self.obs.record(ObsKind::WindowWait { txn, node: path, resume_us: reopen.0 });
                     self.queue.schedule_at(reopen, Work::Start { run: run_id, node: node_id });
                     return;
                 }
@@ -609,6 +730,14 @@ impl Dfms {
         }
         let is_step = self.run_ref(run_id).node(node_id).is_step();
         if is_step {
+            {
+                let run = self.run_ref(run_id);
+                self.obs.record(ObsKind::StepStarted {
+                    txn: run.txn.clone(),
+                    node: run.path_of(node_id),
+                    name: run.node(node_id).name.clone(),
+                });
+            }
             self.start_step(run_id, node_id);
         } else {
             self.start_flow(run_id, node_id);
@@ -908,7 +1037,7 @@ impl Dfms {
             (run.lineage.clone(), run.path_of(node_id), run.options.lineage.is_some())
         };
         if is_restart && self.provenance.step_completed(&lineage, &path) {
-            self.metrics.steps_skipped_restart += 1;
+            self.obs.inc("engine", "steps.skipped.restart");
             self.skip_node(run_id, node_id, "restart: completed in an earlier transaction");
             return;
         }
@@ -924,7 +1053,7 @@ impl Dfms {
             DglOperation::Assign { variable, expr } => match expr.eval(&scope) {
                 Ok(value) => {
                     self.run_mut(run_id).node_mut(node_id).scope.assign(&variable, value);
-                    self.metrics.steps_executed += 1;
+                    self.obs.inc("engine", "steps.executed");
                     self.complete_node(run_id, node_id, Ok(()));
                 }
                 Err(e) => self.step_failed(run_id, node_id, format!("assign: {e}")),
@@ -933,7 +1062,7 @@ impl Dfms {
                 Ok(rendered) => {
                     let txn = self.run_ref(run_id).txn.clone();
                     self.notifications.push(Notification { time: self.now(), source: txn, message: rendered });
-                    self.metrics.steps_executed += 1;
+                    self.obs.inc("engine", "steps.executed");
                     self.complete_node(run_id, node_id, Ok(()));
                 }
                 Err(e) => self.step_failed(run_id, node_id, format!("notify: {e}")),
@@ -953,7 +1082,7 @@ impl Dfms {
                 match result {
                     Ok(items) => {
                         self.run_mut(run_id).node_mut(node_id).scope.assign(&into, Value::List(items));
-                        self.metrics.steps_executed += 1;
+                        self.obs.inc("engine", "steps.executed");
                         self.complete_node(run_id, node_id, Ok(()));
                     }
                     Err(e) => self.step_failed(run_id, node_id, format!("query: {e}")),
@@ -1042,8 +1171,8 @@ impl Dfms {
         match self.grid.begin(&user, op, now) {
             Ok(pending) => {
                 let duration = pending.duration;
-                self.metrics.bytes_moved += pending.bytes_moved;
-                self.metrics.dgms_ops += 1;
+                self.obs.add("engine", "bytes.moved", pending.bytes_moved);
+                self.obs.inc("engine", "dgms.ops");
                 self.pending_ops.insert((run_id, node_id.0), pending);
                 self.queue.schedule_in(duration, Work::OpDone { run: run_id, node: node_id });
             }
@@ -1073,7 +1202,7 @@ impl Dfms {
                         .unwrap_or_default();
                     self.step_failed(run_id, node_id, format!("integrity violation: {detail}"));
                 } else {
-                    self.metrics.steps_executed += 1;
+                    self.obs.inc("engine", "steps.executed");
                     self.complete_node(run_id, node_id, Ok(()));
                 }
             }
@@ -1090,7 +1219,14 @@ impl Dfms {
 
     fn handle_firings(&mut self, firings: Vec<Firing>) {
         for firing in firings {
-            self.metrics.trigger_firings += 1;
+            self.obs.inc("engine", "trigger.firings");
+            self.obs.record(ObsKind::TriggerFired {
+                trigger: firing.trigger.clone(),
+                action: match &firing.action {
+                    TriggerAction::Notify(_) => "notify".into(),
+                    TriggerAction::Flow(_) => "flow".into(),
+                },
+            });
             match firing.action {
                 TriggerAction::Notify(template) => {
                     let message = interpolate(&template, &firing.bindings)
@@ -1179,7 +1315,7 @@ impl Dfms {
         };
         // Virtual data: skip the derivation if its products exist.
         if self.catalog.lookup(&self.grid, &task.code, &task.inputs).is_some() {
-            self.metrics.steps_skipped_virtual += 1;
+            self.obs.inc("engine", "steps.skipped.virtual");
             self.skip_node(run_id, node_id, "virtual data: outputs already derived");
             return;
         }
@@ -1193,6 +1329,7 @@ impl Dfms {
                 // The grid is saturated, not unsuitable: queue like a
                 // batch system and retry when capacity frees up.
                 let _ = e;
+                self.obs.inc("engine", "exec.queue.retries");
                 self.queue.schedule_in(QUEUE_RETRY_INTERVAL, Work::Start { run: run_id, node: node_id });
                 return;
             }
@@ -1201,6 +1338,18 @@ impl Dfms {
                 return;
             }
         };
+        {
+            let txn = self.run_ref(run_id).txn.clone();
+            let topology = self.grid.topology();
+            self.obs.record(ObsKind::PlannerDecision {
+                txn,
+                node: path_id.clone(),
+                code: task.code.clone(),
+                compute: topology.compute(placement.compute).name.clone(),
+                domain: topology.domain(placement.domain).name.clone(),
+                est_us: (placement.estimate.stage_in + placement.estimate.exec).0,
+            });
+        }
         // Claim the slot (early-bound placements may be stale).
         if !self.grid.topology_mut().compute_mut(placement.compute).claim_slot() {
             self.step_failed(
@@ -1219,12 +1368,23 @@ impl Dfms {
             }
             let dst_name = self.grid.topology().storage(plan.dst).name.clone();
             let src_name = self.grid.topology().storage(plan.src).name.clone();
+            {
+                let txn = self.run_ref(run_id).txn.clone();
+                self.obs.record(ObsKind::TransferScheduled {
+                    txn,
+                    node: path_id.clone(),
+                    path: plan.path.to_string(),
+                    src: src_name.clone(),
+                    dst: dst_name.clone(),
+                    bytes: plan.bytes,
+                });
+            }
             let op = Operation::Replicate { path: plan.path.clone(), src: Some(src_name), dst: dst_name };
             match self.grid.execute(&user, op, now + stage_total) {
                 Ok((d, events)) => {
                     stage_total += d;
-                    self.metrics.dgms_ops += 1;
-                    self.metrics.bytes_moved += plan.bytes;
+                    self.obs.inc("engine", "dgms.ops");
+                    self.obs.add("engine", "bytes.moved", plan.bytes);
                     self.after_events(&events, run_id);
                 }
                 Err(dgf_dgms::DgmsError::ReplicaExists { .. }) => {
@@ -1243,7 +1403,7 @@ impl Dfms {
             output_total += self.grid.topology().storage(*storage).access_time(*bytes);
         }
         let exec = placement.estimate.exec;
-        self.metrics.exec_tasks += 1;
+        self.obs.inc("engine", "exec.tasks");
         self.queue.schedule_in(
             stage_total + exec + output_total,
             Work::ExecDone {
@@ -1278,7 +1438,7 @@ impl Dfms {
             let resource = self.grid.topology().storage(storage).name.clone();
             match self.grid.execute(&user, Operation::Ingest { path: path.clone(), size: bytes, resource }, now) {
                 Ok((_, events)) => {
-                    self.metrics.dgms_ops += 1;
+                    self.obs.inc("engine", "dgms.ops");
                     self.after_events(&events, run_id);
                     output_paths.push(path);
                 }
@@ -1292,7 +1452,7 @@ impl Dfms {
             }
         }
         self.catalog.register(&code, &inputs, &output_paths);
-        self.metrics.steps_executed += 1;
+        self.obs.inc("engine", "steps.executed");
         self.complete_node(run_id, node_id, Ok(()));
     }
 
@@ -1325,7 +1485,8 @@ impl Dfms {
         let _ = self.run_rules(run_id, node_id, dgf_dgl::RULE_AFTER_EXIT);
         self.record_node(run_id, node_id, StepOutcome::Failed);
         if self.run_ref(run_id).node(node_id).parent.is_none() {
-            self.metrics.runs_failed += 1;
+            self.obs.inc("engine", "runs.failed");
+            self.finish_run_obs(run_id, node_id, "failed");
         }
         self.child_finished(run_id, node_id, false);
     }
@@ -1353,7 +1514,15 @@ impl Dfms {
                     }
                 };
                 if attempts <= max {
-                    self.metrics.retries += 1;
+                    self.obs.inc("engine", "step.retries");
+                    {
+                        let run = self.run_ref(run_id);
+                        self.obs.record(ObsKind::FaultRetry {
+                            txn: run.txn.clone(),
+                            node: run.path_of(node_id),
+                            attempt: attempts,
+                        });
+                    }
                     // Re-plan from scratch (late binding may choose a
                     // different resource this time).
                     self.queue.schedule_in(Duration::ZERO, Work::Start { run: run_id, node: node_id });
@@ -1391,7 +1560,8 @@ impl Dfms {
                 let _ = self.run_rules(run_id, node_id, dgf_dgl::RULE_AFTER_EXIT);
                 self.record_node(run_id, node_id, StepOutcome::Completed);
                 if self.run_ref(run_id).node(node_id).parent.is_none() {
-                    self.metrics.runs_completed += 1;
+                    self.obs.inc("engine", "runs.completed");
+                    self.finish_run_obs(run_id, node_id, "completed");
                 }
                 self.child_finished(run_id, node_id, true);
             }
@@ -1515,7 +1685,39 @@ impl Dfms {
             outcome,
             detail: node.message.clone().unwrap_or_default(),
         };
+        let is_step = node.is_step();
+        let duration = record.finished.since(record.started);
+        self.obs.record(ObsKind::ProvenanceWrite {
+            txn: record.transaction.clone(),
+            node: record.node.clone(),
+            verb: record.verb.clone(),
+            outcome: outcome.as_str().into(),
+        });
+        self.obs.inc("engine", "provenance.writes");
+        if is_step {
+            self.obs.record(ObsKind::StepFinished {
+                txn: record.transaction.clone(),
+                node: record.node.clone(),
+                name: record.name.clone(),
+                outcome: outcome.as_str().into(),
+            });
+            self.obs.observe("engine", "step.duration", duration);
+            let run_scope = format!("run:{}", record.transaction);
+            self.obs.inc(&run_scope, &format!("steps.{}", outcome.as_str()));
+            self.obs.observe(&run_scope, "step.duration", duration);
+        }
         self.provenance.record(record);
+    }
+
+    /// Record the terminal flight-recorder event and run-duration sample
+    /// for a root node reaching a terminal state.
+    fn finish_run_obs(&mut self, run_id: RunId, node_id: NodeId, state: &str) {
+        let run = self.run_ref(run_id);
+        let node = run.node(node_id);
+        let duration = node.finished.since(node.started);
+        let txn = run.txn.clone();
+        self.obs.observe("engine", "run.duration", duration);
+        self.obs.record(ObsKind::RunFinished { txn, state: state.into() });
     }
 
     /// Run a node's user-defined rule with the given reserved name.
@@ -1582,7 +1784,7 @@ impl Dfms {
                 let user = self.run_ref(run_id).user.clone();
                 let op = self.build_dgms_op(other, &scope)?;
                 let (_, events) = self.grid.execute(&user, op, now)?;
-                self.metrics.dgms_ops += 1;
+                self.obs.inc("engine", "dgms.ops");
                 self.after_events(&events, run_id);
             }
         }

@@ -25,7 +25,11 @@
 //! * a threaded **server front-end** ([`DfmsServer`]) speaking DGL XML
 //!   over channels — the request/response protocol of Appendix A;
 //! * a **peer-to-peer DfMS network** ([`DfmsNetwork`]) with a lookup
-//!   service, as sketched in §3.2.
+//!   service, as sketched in §3.2;
+//! * a shared **observability layer** ([`dgf_obs`]): every engine owns a
+//!   flight recorder and metrics registry ([`Dfms::obs`]), and status
+//!   queries can return recent events and metric snapshots
+//!   (see `docs/OBSERVABILITY.md`).
 
 mod engine;
 mod error;
@@ -34,6 +38,7 @@ mod provenance;
 mod run;
 mod server;
 
+pub use dgf_obs::{EventKind as ObsEventKind, MetricsSnapshot, Obs, ObsEvent};
 pub use engine::{Dfms, EngineMetrics, Notification};
 pub use error::DfmsError;
 pub use network::{DfmsNetwork, LookupService};

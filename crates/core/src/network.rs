@@ -122,6 +122,7 @@ impl DfmsNetwork {
             .servers
             .get_mut(&server_name)
             .ok_or_else(|| DfmsError::NoRoute(server_name.clone()))?;
+        server.obs().inc("network", "requests.routed");
         let response = server.handle(request);
         if !response.transaction().is_empty() {
             self.txn_home.insert(response.transaction().to_owned(), server_name.clone());

@@ -24,7 +24,10 @@ pub enum StepOutcome {
 }
 
 impl StepOutcome {
-    fn as_str(self) -> &'static str {
+    /// Stable lower-case name ("completed", "failed", "skipped",
+    /// "stopped") — the same token used in provenance XML and in
+    /// flight-recorder events.
+    pub fn as_str(self) -> &'static str {
         match self {
             StepOutcome::Completed => "completed",
             StepOutcome::Failed => "failed",

@@ -190,6 +190,8 @@ impl Run {
             steps_total,
             message: node.message.clone(),
             children,
+            events: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 

@@ -48,7 +48,11 @@ impl DfmsServer {
                 while let Ok(message) = receiver.recv() {
                     match message {
                         ClientMessage::Request { xml, reply } => {
-                            let response = worker_engine.lock().handle_xml(&xml);
+                            let response = {
+                                let mut engine = worker_engine.lock();
+                                engine.obs().inc("server", "requests.served");
+                                engine.handle_xml(&xml)
+                            };
                             served += 1;
                             // A dropped client is not a server error.
                             let _ = reply.send(response);

@@ -90,6 +90,11 @@ pub mod dfms {
     pub use dgf_dfms::*;
 }
 
+/// Flight recorder and metrics registry (re-export of `dgf-obs`).
+pub mod obs {
+    pub use dgf_obs::*;
+}
+
 /// Baseline systems for comparison (re-export of `dgf-baselines`).
 pub mod baselines {
     pub use dgf_baselines::*;
@@ -104,8 +109,10 @@ pub mod prelude {
     };
     pub use crate::dgl::{
         DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
-        FlowStatusQuery, RequestBody, ResponseBody, RunState, Step, Value,
+        FlowStatusQuery, ReportEvent, ReportMetric, RequestBody, ResponseBody, RunState,
+        StatusReport, Step, Value,
     };
+    pub use crate::obs::{MetricsSnapshot, Obs, ObsEvent};
     pub use crate::dgms::{
         DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, Operation, Permission, Principal,
         UserRegistry,

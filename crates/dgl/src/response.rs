@@ -80,6 +80,8 @@ mod tests {
                 steps_total: 1,
                 message: None,
                 children: vec![],
+                events: vec![],
+                metrics: vec![],
             },
         );
         assert_eq!(st.transaction(), "t6");

@@ -57,18 +57,72 @@ pub struct FlowStatusQuery {
     pub transaction: String,
     /// Node path within the flow tree; `None` or `"/"` = the root.
     pub node: Option<String>,
+    /// Ask for up to this many recent flight-recorder events for the
+    /// transaction (scoped to `node` when one is given). `None` = no
+    /// events in the report (the wire-compatible default).
+    pub events: Option<usize>,
+    /// Ask for a metrics snapshot alongside the status.
+    pub metrics: bool,
 }
 
 impl FlowStatusQuery {
     /// Query the whole transaction.
     pub fn whole(transaction: impl Into<String>) -> Self {
-        FlowStatusQuery { transaction: transaction.into(), node: None }
+        FlowStatusQuery { transaction: transaction.into(), node: None, events: None, metrics: false }
     }
 
     /// Query one node.
     pub fn node(transaction: impl Into<String>, node: impl Into<String>) -> Self {
-        FlowStatusQuery { transaction: transaction.into(), node: Some(node.into()) }
+        FlowStatusQuery { transaction: transaction.into(), node: Some(node.into()), events: None, metrics: false }
     }
+
+    /// Also return up to `n` recent flight-recorder events.
+    ///
+    /// ```
+    /// use dgf_dgl::FlowStatusQuery;
+    /// let q = FlowStatusQuery::whole("t1").with_events(50).with_metrics();
+    /// assert_eq!(q.events, Some(50));
+    /// assert!(q.metrics);
+    /// ```
+    #[must_use]
+    pub fn with_events(mut self, n: usize) -> Self {
+        self.events = Some(n);
+        self
+    }
+
+    /// Also return a metrics snapshot.
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+}
+
+/// One flight-recorder event carried in a [`StatusReport`] — plain data
+/// so the DGL layer stays independent of the observability crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEvent {
+    /// Simulation time of the event, in microseconds.
+    pub time_us: u64,
+    /// Monotonic sequence number within the recorder.
+    pub seq: u64,
+    /// Stable dotted event name, e.g. `step.finished`.
+    pub kind: String,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+/// One metric sample carried in a [`StatusReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportMetric {
+    /// Metric scope (`engine`, `scheduler`, `run:t1`, ...).
+    pub scope: String,
+    /// Dotted metric name within the scope.
+    pub name: String,
+    /// Value kind: `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Rendered value (histograms render as `count:sum_us:min_us:max_us`).
+    pub value: String,
 }
 
 /// A status report for one node of a running (or finished) flow tree,
@@ -91,6 +145,12 @@ pub struct StatusReport {
     pub message: Option<String>,
     /// One-line summaries of direct children: (path, name, state).
     pub children: Vec<(String, String, RunState)>,
+    /// Recent flight-recorder events, oldest first. Populated only when
+    /// the query asked for them ([`FlowStatusQuery::with_events`]).
+    pub events: Vec<ReportEvent>,
+    /// Metric samples. Populated only when the query asked for them
+    /// ([`FlowStatusQuery::with_metrics`]).
+    pub metrics: Vec<ReportMetric>,
 }
 
 impl fmt::Display for StatusReport {
@@ -141,6 +201,8 @@ mod tests {
             steps_total: 10,
             message: None,
             children: vec![],
+            events: vec![],
+            metrics: vec![],
         };
         let line = r.to_string();
         assert!(line.contains("t7") && line.contains("3/10") && line.contains("running"), "{line}");

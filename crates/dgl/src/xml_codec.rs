@@ -532,14 +532,31 @@ impl FlowStatusQuery {
         if let Some(node) = &self.node {
             el.set_attr("node", node);
         }
+        // Observability attrs are emitted only when set, so documents
+        // from older peers round-trip byte-identically.
+        if let Some(n) = self.events {
+            el.set_attr("events", n.to_string());
+        }
+        if self.metrics {
+            el.set_attr("metrics", "true");
+        }
         el
     }
 
     /// Decode from an XML element.
     pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let events = match e.attr("events") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<usize>()
+                    .map_err(|_| DglError::schema("flowStatusQuery", format!("bad events count {raw:?}")))?,
+            ),
+        };
         Ok(FlowStatusQuery {
             transaction: require_attr(e, "transaction")?.to_owned(),
             node: e.attr("node").map(str::to_owned),
+            events,
+            metrics: e.attr("metrics") == Some("true"),
         })
     }
 }
@@ -603,6 +620,24 @@ impl DataGridResponse {
                             .with_attr("state", state_to_str(*state)),
                     );
                 }
+                for ev in &report.events {
+                    s.push_element(
+                        Element::new("event")
+                            .with_attr("time", ev.time_us.to_string())
+                            .with_attr("seq", ev.seq.to_string())
+                            .with_attr("kind", &ev.kind)
+                            .with_attr("detail", &ev.detail),
+                    );
+                }
+                for m in &report.metrics {
+                    s.push_element(
+                        Element::new("metric")
+                            .with_attr("scope", &m.scope)
+                            .with_attr("name", &m.name)
+                            .with_attr("kind", &m.kind)
+                            .with_attr("value", &m.value),
+                    );
+                }
                 root.push_element(s);
             }
         }
@@ -651,6 +686,33 @@ impl DataGridResponse {
                             require_attr(c, "name")?.to_owned(),
                             state_from_str(require_attr(c, "state")?)?,
                         ))
+                    })
+                    .collect::<Result<_, DglError>>()?,
+                events: s
+                    .children_named("event")
+                    .map(|ev| {
+                        let num = |attr: &str| -> Result<u64, DglError> {
+                            require_attr(ev, attr)?
+                                .parse()
+                                .map_err(|_| DglError::schema("event", format!("bad {attr}")))
+                        };
+                        Ok(crate::ReportEvent {
+                            time_us: num("time")?,
+                            seq: num("seq")?,
+                            kind: require_attr(ev, "kind")?.to_owned(),
+                            detail: ev.attr("detail").unwrap_or_default().to_owned(),
+                        })
+                    })
+                    .collect::<Result<_, DglError>>()?,
+                metrics: s
+                    .children_named("metric")
+                    .map(|m| {
+                        Ok(crate::ReportMetric {
+                            scope: require_attr(m, "scope")?.to_owned(),
+                            name: require_attr(m, "name")?.to_owned(),
+                            kind: require_attr(m, "kind")?.to_owned(),
+                            value: require_attr(m, "value")?.to_owned(),
+                        })
                     })
                     .collect::<Result<_, DglError>>()?,
             };
@@ -792,6 +854,8 @@ mod tests {
                 steps_total: 20,
                 message: None,
                 children: vec![("/0".into(), "verify".into(), RunState::Completed), ("/1".into(), "tag".into(), RunState::Running)],
+                events: vec![crate::ReportEvent { time_us: 42, seq: 0, kind: "step.finished".into(), detail: "t1 /0 verify completed".into() }],
+                metrics: vec![crate::ReportMetric { scope: "engine".into(), name: "steps.executed".into(), kind: "counter".into(), value: "5".into() }],
             },
         );
         assert_eq!(parse_response(&status.to_xml()).unwrap(), status);

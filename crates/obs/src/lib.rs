@@ -1,0 +1,193 @@
+//! `dgf-obs` — the observability layer of the Datagridflow Management
+//! System.
+//!
+//! The paper requires a DfMS whose state "can be queried at any time"
+//! at any granularity (§3.1) and provenance that stays inspectable
+//! "even (years) after the execution" (§2.1). This crate supplies the
+//! runtime half of that promise:
+//!
+//! * a **flight recorder** ([`FlightRecorder`]): a bounded ring buffer
+//!   of typed [`ObsEvent`]s stamped with the *simulation* clock, so a
+//!   recording of a seeded scenario is bit-for-bit deterministic;
+//! * a **metrics registry** ([`MetricsRegistry`]): counters, gauges,
+//!   and sim-time histograms under per-subsystem and per-run scopes,
+//!   with plain-text and JSON exporters ([`MetricsSnapshot`]);
+//! * a cheap, clonable, thread-safe handle ([`Obs`]) that every
+//!   subsystem (engine, scheduler, triggers, server, network) holds to
+//!   write into one shared recorder + registry.
+//!
+//! The engine advances the handle's notion of "now" ([`Obs::set_now`])
+//! once per dispatched work item; subsystems below the engine record
+//! events without threading a clock through their signatures.
+//!
+//! ```
+//! use dgf_obs::{EventKind, Obs};
+//! use dgf_simgrid::SimTime;
+//!
+//! let obs = Obs::new(1024);
+//! obs.set_now(SimTime(5));
+//! obs.record(EventKind::TriggerFired { trigger: "t".into(), action: "notify".into() });
+//! obs.inc("triggers", "fired");
+//! assert_eq!(obs.events().len(), 1);
+//! assert_eq!(obs.events()[0].time, SimTime(5));
+//! assert_eq!(obs.snapshot().counter("triggers", "fired"), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod ring;
+
+pub use event::{EventKind, ObsEvent};
+pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
+pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
+pub use ring::RingBuffer;
+
+use dgf_simgrid::{Duration, SimTime};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug)]
+struct Inner {
+    now: SimTime,
+    recorder: FlightRecorder,
+    metrics: MetricsRegistry,
+}
+
+/// The shared observability handle: one flight recorder plus one
+/// metrics registry behind a mutex, cloned into every subsystem.
+///
+/// All writes are cheap (a lock, a push or a map update). The handle is
+/// `Send + Sync`; the threaded server front-end shares it with client
+/// threads safely. Lock poisoning is ignored — observability data is
+/// advisory and a panicking writer must not take readers down.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Obs {
+    /// A fresh recorder + registry; the ring retains `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Obs {
+            inner: Arc::new(Mutex::new(Inner {
+                now: SimTime::ZERO,
+                recorder: FlightRecorder::new(capacity),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Advance the recorder's simulation clock. The engine calls this
+    /// once per dispatched work item; everything recorded until the next
+    /// call is stamped with this instant.
+    pub fn set_now(&self, now: SimTime) {
+        self.lock().now = now;
+    }
+
+    /// The recorder's current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.lock().now
+    }
+
+    /// Record an event stamped with the current simulation clock.
+    pub fn record(&self, kind: EventKind) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.recorder.record(now, kind);
+    }
+
+    /// Record an event at an explicit simulation time (the engine uses
+    /// this to stamp precisely even before `set_now` has caught up).
+    pub fn record_at(&self, time: SimTime, kind: EventKind) {
+        self.lock().recorder.record(time, kind);
+    }
+
+    /// Increment the counter `scope/name` by one.
+    pub fn inc(&self, scope: &str, name: &str) {
+        self.lock().metrics.inc(scope, name);
+    }
+
+    /// Increment the counter `scope/name` by `n`.
+    pub fn add(&self, scope: &str, name: &str, n: u64) {
+        self.lock().metrics.add(scope, name, n);
+    }
+
+    /// Set the gauge `scope/name`.
+    pub fn gauge_set(&self, scope: &str, name: &str, value: i64) {
+        self.lock().metrics.gauge_set(scope, name, value);
+    }
+
+    /// Fold a duration into the histogram `scope/name`.
+    pub fn observe(&self, scope: &str, name: &str, d: Duration) {
+        self.lock().metrics.observe(scope, name, d);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.lock().recorder.events()
+    }
+
+    /// The `n` most recent retained events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<ObsEvent> {
+        self.lock().recorder.recent(n)
+    }
+
+    /// Count of events ever recorded (including evicted ones).
+    pub fn events_total(&self) -> u64 {
+        self.lock().recorder.total()
+    }
+
+    /// Count of events evicted by the bounded ring.
+    pub fn events_dropped(&self) -> u64 {
+        self.lock().recorder.dropped()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().metrics.snapshot()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let a = Obs::new(16);
+        let b = a.clone();
+        a.set_now(SimTime(7));
+        b.record(EventKind::TriggerFired { trigger: "x".into(), action: "flow".into() });
+        b.inc("triggers", "fired");
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(a.events()[0].time, SimTime(7));
+        assert_eq!(a.snapshot().counter("triggers", "fired"), 1);
+    }
+
+    #[test]
+    fn record_at_overrides_the_shared_clock() {
+        let obs = Obs::new(16);
+        obs.set_now(SimTime(100));
+        obs.record_at(SimTime(42), EventKind::TriggerFired { trigger: "t".into(), action: "notify".into() });
+        assert_eq!(obs.events()[0].time, SimTime(42));
+        assert_eq!(obs.now(), SimTime(100));
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+}

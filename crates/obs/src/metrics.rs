@@ -1,0 +1,403 @@
+//! The metrics registry: counters, gauges, and sim-time histograms,
+//! organized into scopes.
+//!
+//! A *scope* names the subsystem (or run) a metric belongs to:
+//! `engine`, `scheduler`, `triggers`, `server`, `network`, `grid`, and
+//! one `run:<txn>` scope per transaction. Metric names are dotted
+//! (`steps.executed`, `bytes.moved`); `docs/OBSERVABILITY.md` lists
+//! every name with its unit. Storage is `BTreeMap`-backed so snapshots
+//! and exports are deterministically ordered.
+
+use dgf_simgrid::Duration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary statistics of a simulation-time histogram. All values are in
+/// microseconds of *simulation* time (never wall-clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimHistogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Smallest observation, µs (0 when empty).
+    pub min_us: u64,
+    /// Largest observation, µs (0 when empty).
+    pub max_us: u64,
+}
+
+impl SimHistogram {
+    /// Fold one observation in.
+    pub fn observe(&mut self, d: Duration) {
+        let us = d.0;
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Mean observation in µs (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level (may go down).
+    Gauge(i64),
+    /// A simulation-time distribution summary.
+    Histogram(SimHistogram),
+}
+
+impl MetricValue {
+    /// The value's kind as a lowercase string (`counter`, `gauge`,
+    /// `histogram`) — used by the exporters and the DGL status surface.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// A compact single-token rendering: the count/level for counters
+    /// and gauges, `count:sum_us:min_us:max_us` for histograms.
+    pub fn render(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Histogram(h) => {
+                format!("{}:{}:{}:{}", h.count, h.sum_us, h.min_us, h.max_us)
+            }
+        }
+    }
+}
+
+/// The writable registry. Subsystems hold a shared handle
+/// ([`crate::Obs`]) and call `inc`/`add`/`gauge_set`/`observe`; readers
+/// take a [`MetricsSnapshot`].
+///
+/// ```
+/// use dgf_obs::MetricsRegistry;
+/// use dgf_simgrid::Duration;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.inc("engine", "steps.executed");
+/// reg.add("engine", "bytes.moved", 1024);
+/// reg.observe("engine", "step.duration", Duration::from_secs(2));
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("engine", "steps.executed"), 1);
+/// assert_eq!(snap.counter("engine", "bytes.moved"), 1024);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    values: BTreeMap<(String, String), MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the counter `scope/name` by one.
+    pub fn inc(&mut self, scope: &str, name: &str) {
+        self.add(scope, name, 1);
+    }
+
+    /// Increment the counter `scope/name` by `n`.
+    pub fn add(&mut self, scope: &str, name: &str, n: u64) {
+        let entry = self
+            .values
+            .entry((scope.to_owned(), name.to_owned()))
+            .or_insert(MetricValue::Counter(0));
+        if let MetricValue::Counter(v) = entry {
+            *v += n;
+        } else {
+            debug_assert!(false, "metric {scope}/{name} is not a counter");
+        }
+    }
+
+    /// Set the gauge `scope/name` to `value`.
+    pub fn gauge_set(&mut self, scope: &str, name: &str, value: i64) {
+        self.values.insert((scope.to_owned(), name.to_owned()), MetricValue::Gauge(value));
+    }
+
+    /// Fold a duration into the histogram `scope/name`.
+    pub fn observe(&mut self, scope: &str, name: &str, d: Duration) {
+        let entry = self
+            .values
+            .entry((scope.to_owned(), name.to_owned()))
+            .or_insert(MetricValue::Histogram(SimHistogram::default()));
+        if let MetricValue::Histogram(h) = entry {
+            h.observe(d);
+        } else {
+            debug_assert!(false, "metric {scope}/{name} is not a histogram");
+        }
+    }
+
+    /// A point-in-time copy of every metric, deterministically ordered
+    /// by `(scope, name)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            samples: self
+                .values
+                .iter()
+                .map(|((scope, name), value)| MetricSample {
+                    scope: scope.clone(),
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `(scope, name, value)` triple of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Owning scope (`engine`, `scheduler`, `run:<txn>`, ...).
+    pub scope: String,
+    /// Dotted metric name.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// An immutable, ordered copy of the registry, with plain-text and JSON
+/// exporters and cross-scope aggregation helpers.
+///
+/// ```
+/// use dgf_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.inc("run:t1", "steps.completed");
+/// reg.inc("run:t2", "steps.completed");
+/// let snap = reg.snapshot();
+/// // Aggregate one metric name across every `run:` scope:
+/// assert_eq!(snap.total_counter("steps.completed"), 2);
+/// let text = snap.to_text();
+/// assert!(text.contains("run:t1/steps.completed counter 1"));
+/// let json = snap.to_json();
+/// assert!(json.starts_with('[') && json.ends_with(']'));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All samples, sorted by `(scope, name)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one metric.
+    pub fn get(&self, scope: &str, name: &str) -> Option<&MetricValue> {
+        self.samples
+            .iter()
+            .find(|s| s.scope == scope && s.name == name)
+            .map(|s| &s.value)
+    }
+
+    /// The counter `scope/name`, or 0 when absent.
+    pub fn counter(&self, scope: &str, name: &str) -> u64 {
+        match self.get(scope, name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge `scope/name`, or 0 when absent.
+    pub fn gauge(&self, scope: &str, name: &str) -> i64 {
+        match self.get(scope, name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram `scope/name`, or an empty summary when absent.
+    pub fn histogram(&self, scope: &str, name: &str) -> SimHistogram {
+        match self.get(scope, name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => SimHistogram::default(),
+        }
+    }
+
+    /// Sum the counter `name` across *all* scopes (e.g. total
+    /// `steps.completed` over every `run:<txn>` scope).
+    pub fn total_counter(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match s.value {
+                MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All samples of one scope.
+    pub fn scoped(&self, scope: &str) -> Vec<&MetricSample> {
+        self.samples.iter().filter(|s| s.scope == scope).collect()
+    }
+
+    /// Insert (or replace) a sample, keeping `(scope, name)` order.
+    pub fn insert(&mut self, scope: &str, name: &str, value: MetricValue) {
+        let key = (scope.to_owned(), name.to_owned());
+        match self
+            .samples
+            .binary_search_by(|s| (s.scope.clone(), s.name.clone()).cmp(&key))
+        {
+            Ok(i) => self.samples[i].value = value,
+            Err(i) => self.samples.insert(
+                i,
+                MetricSample { scope: key.0, name: key.1, value },
+            ),
+        }
+    }
+
+    /// Plain-text export: one `scope/name kind value` line per sample,
+    /// sorted, newline-terminated. Histograms render as
+    /// `count:sum_us:min_us:max_us`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let _ = writeln!(out, "{}/{} {} {}", s.scope, s.name, s.value.kind(), s.value.render());
+        }
+        out
+    }
+
+    /// JSON export: an array of objects with `scope`, `name`, `kind`,
+    /// and a numeric `value` (histograms expand to `count`/`sum_us`/
+    /// `min_us`/`max_us` fields instead of `value`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scope\":\"{}\",\"name\":\"{}\",\"kind\":\"{}\",",
+                json_escape(&s.scope),
+                json_escape(&s.name),
+                s.value.kind()
+            );
+            match s.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"value\":{v}}}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{}}}",
+                        h.count, h.sum_us, h.min_us, h.max_us
+                    );
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_scopes_stay_separate() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("engine", "steps.executed");
+        reg.inc("engine", "steps.executed");
+        reg.add("run:t1", "steps.executed", 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("engine", "steps.executed"), 2);
+        assert_eq!(snap.counter("run:t1", "steps.executed"), 5);
+        assert_eq!(snap.counter("run:t2", "steps.executed"), 0);
+        assert_eq!(snap.total_counter("steps.executed"), 7);
+    }
+
+    #[test]
+    fn scope_aggregation_ignores_non_counters() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("run:t1", "retries");
+        reg.inc("run:t2", "retries");
+        reg.inc("run:t2", "retries");
+        reg.gauge_set("engine", "retries", 99); // same name, different kind
+        let snap = reg.snapshot();
+        assert_eq!(snap.total_counter("retries"), 3, "gauges are not summed");
+        assert_eq!(snap.scoped("run:t2").len(), 1);
+    }
+
+    #[test]
+    fn histograms_track_bounds_and_mean() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("engine", "step.duration", Duration::from_secs(2));
+        reg.observe("engine", "step.duration", Duration::from_secs(4));
+        let h = reg.snapshot().histogram("engine", "step.duration");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min_us, 2_000_000);
+        assert_eq!(h.max_us, 4_000_000);
+        assert_eq!(h.mean_us(), 3_000_000.0);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_ordered() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("z", "last");
+        reg.inc("a", "first");
+        reg.gauge_set("m", "level", -3);
+        let snap = reg.snapshot();
+        let text = snap.to_text();
+        let a = text.find("a/first").unwrap();
+        let z = text.find("z/last").unwrap();
+        assert!(a < z, "sorted by scope");
+        assert!(text.contains("m/level gauge -3"));
+        assert_eq!(snap.to_text(), reg.snapshot().to_text());
+        let json = snap.to_json();
+        assert!(json.contains("\"scope\":\"m\",\"name\":\"level\",\"kind\":\"gauge\",\"value\":-3"));
+    }
+
+    #[test]
+    fn snapshot_insert_keeps_order_and_replaces() {
+        let mut snap = MetricsSnapshot::default();
+        snap.insert("grid", "b", MetricValue::Counter(1));
+        snap.insert("grid", "a", MetricValue::Counter(2));
+        snap.insert("grid", "b", MetricValue::Counter(3));
+        assert_eq!(snap.samples.len(), 2);
+        assert_eq!(snap.samples[0].name, "a");
+        assert_eq!(snap.counter("grid", "b"), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! The flight recorder: a bounded, deterministic event log.
+
+use crate::event::{EventKind, ObsEvent};
+use crate::ring::RingBuffer;
+use dgf_simgrid::SimTime;
+
+/// Default ring capacity — roomy enough to hold every event of the
+/// repository's example scenarios; see `docs/OBSERVABILITY.md` for
+/// sizing guidance on larger workloads.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A bounded log of [`ObsEvent`]s stamped with the simulation clock.
+///
+/// Sequence numbers are global and gap-free: when the ring wraps, old
+/// events are dropped but `seq` keeps counting, so an operator reading
+/// `events()` can tell exactly how much history was clipped
+/// ([`FlightRecorder::dropped`]).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: RingBuffer<ObsEvent>,
+    next_seq: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { ring: RingBuffer::new(capacity), next_seq: 0 }
+    }
+
+    /// Record one event at simulation time `time`.
+    pub fn record(&mut self, time: SimTime, kind: EventKind) -> &ObsEvent {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.ring.push(ObsEvent { seq, time, kind });
+        self.ring.iter().last().expect("just pushed")
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// The `n` most recent retained events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<ObsEvent> {
+        let events: Vec<_> = self.ring.iter().cloned().collect();
+        let skip = events.len().saturating_sub(n);
+        events.into_iter().skip(skip).collect()
+    }
+
+    /// Count of events ever recorded.
+    pub fn total(&self) -> u64 {
+        self.ring.total()
+    }
+
+    /// Count of events evicted by the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(n: u32) -> EventKind {
+        EventKind::TriggerFired { trigger: format!("t{n}"), action: "notify".into() }
+    }
+
+    #[test]
+    fn sequence_numbers_survive_wraparound() {
+        let mut r = FlightRecorder::new(2);
+        for i in 0..5 {
+            r.record(SimTime(i), fired(i as u32));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn recent_takes_the_tail() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..6 {
+            r.record(SimTime(i), fired(i as u32));
+        }
+        let tail = r.recent(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 4);
+        assert_eq!(tail[1].seq, 5);
+        assert_eq!(r.recent(100).len(), 6, "asking for more than retained is fine");
+    }
+}

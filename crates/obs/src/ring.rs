@@ -1,0 +1,150 @@
+//! Bounded ring buffer backing the flight recorder.
+//!
+//! The paper's §3.1 demands a DfMS whose state "can be queried at any
+//! time"; a *bounded* buffer keeps that query surface cheap on long-run
+//! processes (§1 measures flows in days-to-months) by retaining the most
+//! recent `capacity` entries and counting, rather than storing, the rest.
+
+/// A fixed-capacity FIFO that overwrites its oldest entry when full.
+///
+/// Every push is counted in [`RingBuffer::total`]; pushes that evicted an
+/// old entry are additionally counted in [`RingBuffer::dropped`], so an
+/// operator can always tell whether a recording window was clipped.
+///
+/// ```
+/// use dgf_obs::RingBuffer;
+///
+/// let mut ring = RingBuffer::new(2);
+/// ring.push('a');
+/// ring.push('b');
+/// ring.push('c'); // evicts 'a'
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec!['b', 'c']);
+/// assert_eq!(ring.total(), 3);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    slots: Vec<T>,
+    /// Index of the oldest element (only meaningful once full).
+    head: usize,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates an empty buffer holding at most `capacity` entries.
+    ///
+    /// A zero capacity is rounded up to one so `push` never has to
+    /// special-case an unstorable entry.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer { slots: Vec::with_capacity(capacity), head: 0, capacity, total: 0, dropped: 0 }
+    }
+
+    /// Appends `value`, evicting the oldest entry if the buffer is full.
+    pub fn push(&mut self, value: T) {
+        self.total += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(value);
+        } else {
+            self.slots[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no entry has ever been pushed (or all were cleared).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The fixed capacity this buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Count of all entries ever pushed, retained or not.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of entries evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (wrapped, straight) = self.slots.split_at(self.head);
+        straight.iter().chain(wrapped.iter())
+    }
+
+    /// Drops all retained entries; `total`/`dropped` keep their history.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(ring.dropped(), 0);
+
+        for i in 3..8 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!(ring.total(), 8);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn wrap_point_moves_one_slot_per_push() {
+        let mut ring = RingBuffer::new(4);
+        for i in 0..6 {
+            ring.push(i);
+        }
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        ring.push(6);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = RingBuffer::new(0);
+        ring.push("x");
+        ring.push("y");
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec!["y"]);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let mut ring = RingBuffer::new(2);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 3);
+        assert_eq!(ring.dropped(), 1);
+        ring.push(4);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![4]);
+    }
+}

@@ -46,6 +46,11 @@ impl BindingCache {
     }
 
     /// Resolve a placement for task instance `key`.
+    ///
+    /// When the scheduler carries an observability handle, each call is
+    /// counted into `scheduler/binding.plans` (a fresh plan was computed)
+    /// or `scheduler/binding.replays` (an early-bound placement was
+    /// replayed from the pin cache).
     pub fn resolve(
         &mut self,
         scheduler: &mut Scheduler,
@@ -54,10 +59,21 @@ impl BindingCache {
         task: &AbstractTask,
     ) -> Result<Placement, PlannerError> {
         match self.mode {
-            BindingMode::Late => scheduler.plan(grid, task),
+            BindingMode::Late => {
+                if let Some(obs) = scheduler.obs() {
+                    obs.inc("scheduler", "binding.plans");
+                }
+                scheduler.plan(grid, task)
+            }
             BindingMode::Early => {
                 if let Some(p) = self.pinned.get(key) {
+                    if let Some(obs) = scheduler.obs() {
+                        obs.inc("scheduler", "binding.replays");
+                    }
                     return Ok(p.clone());
+                }
+                if let Some(obs) = scheduler.obs() {
+                    obs.inc("scheduler", "binding.plans");
                 }
                 let p = scheduler.plan(grid, task)?;
                 self.pinned.insert(key.to_owned(), p.clone());

@@ -97,11 +97,23 @@ impl FailurePlan {
     /// Apply every event scheduled in `(from, to]` to the topology,
     /// returning how many fired.
     pub fn apply_between(&self, topology: &mut Topology, from: SimTime, to: SimTime) -> usize {
-        let mut fired = 0;
+        self.apply_between_logged(topology, from, to).len()
+    }
+
+    /// Like [`FailurePlan::apply_between`], but returns the fired events
+    /// themselves (with their timestamps) so callers can forward them to
+    /// an event log instead of just counting them.
+    pub fn apply_between_logged(
+        &self,
+        topology: &mut Topology,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(SimTime, FailureEvent)> {
+        let mut fired = Vec::new();
         for (t, event) in &self.events {
             if *t > from && *t <= to {
                 event.apply(topology);
-                fired += 1;
+                fired.push((*t, *event));
             }
         }
         fired

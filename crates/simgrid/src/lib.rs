@@ -38,5 +38,5 @@ pub use failure::{FailureEvent, FailurePlan};
 pub use storage::{StorageId, StorageResource, StorageTier};
 pub use time::{Duration, SimTime};
 pub use topology::{Domain, DomainId, Link, LinkId, Route, Topology};
-pub use transfer::{TransferHandle, TransferModel};
+pub use transfer::{TransferHandle, TransferModel, TransferTotals};
 pub use window::ScheduleWindow;

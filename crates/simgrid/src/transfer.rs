@@ -28,6 +28,18 @@ pub struct TransferHandle {
 #[derive(Debug, Default)]
 pub struct TransferModel {
     active: HashMap<LinkId, u32>,
+    started: u64,
+    bytes_started: u64,
+}
+
+/// Lifetime totals of a [`TransferModel`] — the passive observability
+/// surface scraped into the `grid` metric scope by higher layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferTotals {
+    /// Transfers ever begun.
+    pub started: u64,
+    /// Bytes across all begun transfers.
+    pub bytes: u64,
 }
 
 impl TransferModel {
@@ -77,6 +89,8 @@ impl TransferModel {
         for link in &route.links {
             *self.active.entry(*link).or_insert(0) += 1;
         }
+        self.started += 1;
+        self.bytes_started += bytes;
         (duration, TransferHandle { links: route.links.clone() })
     }
 
@@ -96,6 +110,11 @@ impl TransferModel {
     /// counts once per link).
     pub fn total_active_shares(&self) -> u32 {
         self.active.values().sum()
+    }
+
+    /// Lifetime counters: every transfer ever begun and its bytes.
+    pub fn totals(&self) -> TransferTotals {
+        TransferTotals { started: self.started, bytes: self.bytes_started }
     }
 }
 

@@ -98,6 +98,13 @@ impl ScheduleWindow {
         unreachable!("a ScheduleWindow always opens within 8 days");
     }
 
+    /// How long from `t` until the window next opens — the wait an
+    /// arriving task experiences. Returns [`Duration::ZERO`] if the
+    /// window is already open (observability layers histogram this).
+    pub fn wait_until_open(&self, t: SimTime) -> Duration {
+        self.next_open(t).since(t)
+    }
+
     /// How long from `t` until the window closes, assuming it is open at
     /// `t`. Returns [`Duration::ZERO`] if it is closed.
     pub fn remaining_open(&self, t: SimTime) -> Duration {

@@ -47,6 +47,7 @@ pub struct TriggerEngine {
     max_depth: u32,
     cursor: u64,
     stats: EngineStats,
+    obs: Option<dgf_obs::Obs>,
 }
 
 impl TriggerEngine {
@@ -107,6 +108,19 @@ impl TriggerEngine {
         self.stats
     }
 
+    /// Attach an observability handle. Every [`EngineStats`] increment is
+    /// mirrored into counters under the `triggers` metric scope
+    /// (`events.seen`, `fired`, `suppressed.depth`, `condition.errors`).
+    pub fn set_obs(&mut self, obs: dgf_obs::Obs) {
+        self.obs = Some(obs);
+    }
+
+    fn obs_inc(&self, name: &str) {
+        if let Some(obs) = &self.obs {
+            obs.inc("triggers", name);
+        }
+    }
+
     /// The cascade-depth limit.
     pub fn max_depth(&self) -> u32 {
         self.max_depth
@@ -125,6 +139,7 @@ impl TriggerEngine {
         let mut firings = Vec::new();
         for event in &events {
             self.stats.events_seen += 1;
+            self.obs_inc("events.seen");
             firings.extend(self.match_event(grid, event, depth, Timing::After));
         }
         firings
@@ -181,9 +196,11 @@ impl TriggerEngine {
                 Ok(true) => {
                     if depth + 1 > self.max_depth {
                         self.stats.suppressed_by_depth += 1;
+                        self.obs_inc("suppressed.depth");
                         continue;
                     }
                     self.stats.fired += 1;
+                    self.obs_inc("fired");
                     firings.push(Firing {
                         trigger: trigger.name.clone(),
                         owner: trigger.owner.clone(),
@@ -199,6 +216,7 @@ impl TriggerEngine {
                     // object lacks) must not take the engine down; §2.2's
                     // world is multi-user and non-transactional.
                     self.stats.condition_errors += 1;
+                    self.obs_inc("condition.errors");
                 }
             }
         }

@@ -1,0 +1,78 @@
+//! Observability: the flight recorder and metrics registry, inspected
+//! both in-process and over the DGL wire.
+//!
+//! ```sh
+//! cargo run --example observability
+//! ```
+//!
+//! See `docs/OBSERVABILITY.md` for the full event taxonomy and metric
+//! name reference.
+
+use datagridflows::prelude::*;
+
+fn main() {
+    // 1. A two-site grid and a DfMS with a cost-based scheduler. The
+    //    engine wires a shared `Obs` handle into the scheduler and the
+    //    trigger engine at construction, so one recorder sees them all.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("arun", topology.domain_ids().next().unwrap()));
+    users.make_admin("arun").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 42));
+
+    // 2. A flow that exercises several event sources: DGMS ops (ingest,
+    //    replicate), a compute task (planner decision + staging
+    //    transfer), and a notification.
+    let flow = FlowBuilder::sequential("observed")
+        .step("mk", DglOperation::CreateCollection { path: "/obs".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/obs/in.dat".into(), size: "200000000".into(), resource: "site0-pfs".into() },
+        )
+        .step(
+            "analyze",
+            DglOperation::Execute {
+                code: "analyze-v1".into(),
+                nominal_secs: "300".into(),
+                resource_type: None,
+                inputs: vec!["/obs/in.dat".into()],
+                outputs: vec![("/obs/out.dat".into(), "1000000".into())],
+            },
+        )
+        .step("archive", DglOperation::Replicate { path: "/obs/out.dat".into(), src: None, dst: "site1-archive".into() })
+        .step("done", DglOperation::Notify { message: "analysis archived".into() })
+        .build()
+        .expect("flow is structurally valid");
+    let txn = dfms.submit_flow("arun", flow).unwrap();
+    dfms.pump();
+    assert_eq!(dfms.status(&txn, None).unwrap().state, RunState::Completed);
+
+    // 3. The in-process view: every event the recorder holds, stamped
+    //    with the simulation clock (deterministic across reruns).
+    println!("--- flight recorder ({} events) ---", dfms.obs().events_total());
+    for e in dfms.obs().events() {
+        println!("  [{:>12}us #{:<3}] {:<20} {}", e.time.0, e.seq, e.kind.name(), e.kind.detail());
+    }
+
+    // 4. The same data over the DGL wire: a FlowStatusQuery asking for
+    //    the last 5 events plus a metrics snapshot, as XML in and out.
+    let query = FlowStatusQuery::whole(&txn).with_events(5).with_metrics();
+    let request = DataGridRequest::status("obs-query-1", "arun", query);
+    println!("\n--- DGL status query ---\n{}", request.to_xml());
+    let response_xml = dfms.handle_xml(&request.to_xml());
+    let response = datagridflows::dgl::parse_response(&response_xml).unwrap();
+    let ResponseBody::Status(report) = response.body else { panic!("expected a status report") };
+    println!("--- report: {report} ---");
+    println!("last {} events over the wire:", report.events.len());
+    for e in &report.events {
+        println!("  [{:>12}us #{:<3}] {:<20} {}", e.time_us, e.seq, e.kind, e.detail);
+    }
+    println!("metric samples over the wire: {}", report.metrics.len());
+    for m in report.metrics.iter().filter(|m| m.scope == "engine").take(5) {
+        println!("  {}/{} {} {}", m.scope, m.name, m.kind, m.value);
+    }
+
+    // 5. The full registry, via the text exporter (`to_json` is the
+    //    machine-readable sibling).
+    println!("\n--- metrics snapshot ---\n{}", dfms.metrics_snapshot().to_text());
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and a warnings-as-errors rustdoc
+# pass over the whole workspace. CI and pre-merge both run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

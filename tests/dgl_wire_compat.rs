@@ -99,6 +99,8 @@ fn figure4_response_variants_round_trip() {
             steps_total: 8,
             message: Some("staging tier-1".into()),
             children: vec![("/0/0".into(), "cp".into(), RunState::Completed)],
+            events: vec![],
+            metrics: vec![],
         },
     );
     assert_eq!(dgl::parse_response(&status.to_xml()).unwrap(), status);

@@ -1,0 +1,123 @@
+//! Cross-crate observability tests: flight-recorder determinism and the
+//! DGL-visible query surface (`docs/OBSERVABILITY.md`).
+
+use datagridflows::prelude::*;
+
+/// A grid + workload that exercises every subsystem the recorder hooks:
+/// DGMS ops, a compute placement (planner decision + staging), a trigger
+/// firing, and a replication.
+fn seeded_run(seed: u64) -> (Dfms, String) {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    let mut d = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, seed));
+    d.triggers_mut().register(
+        Trigger::new("audit", "u", LogicalPath::parse("/w").unwrap(), TriggerAction::Notify("saw ${event.path}".into()))
+            .on(&[EventKind::ObjectIngested]),
+    );
+    let flow = FlowBuilder::sequential("wf")
+        .step("mk", DglOperation::CreateCollection { path: "/w".into() })
+        .step("put", DglOperation::Ingest { path: "/w/in".into(), size: "100000000".into(), resource: "site0-pfs".into() })
+        .step(
+            "run",
+            DglOperation::Execute {
+                code: "job".into(),
+                nominal_secs: "60".into(),
+                resource_type: None,
+                inputs: vec!["/w/in".into()],
+                outputs: vec![("/w/out".into(), "5000".into())],
+            },
+        )
+        .step("cp", DglOperation::Replicate { path: "/w/out".into(), src: None, dst: "site1-disk".into() })
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+    (d, txn)
+}
+
+#[test]
+fn seeded_runs_record_identical_event_streams() {
+    let (a, _) = seeded_run(7);
+    let (b, _) = seeded_run(7);
+    let ea: Vec<ObsEvent> = a.obs().events();
+    let eb: Vec<ObsEvent> = b.obs().events();
+    assert!(!ea.is_empty(), "a seeded run must record events");
+    assert_eq!(ea, eb, "two identically-seeded runs must record identical streams");
+    // The stream covers the whole stack, not just the engine.
+    let names: Vec<&str> = ea.iter().map(|e| e.kind.name()).collect();
+    for expected in ["run.submitted", "step.started", "planner.decision", "trigger.fired", "provenance.write", "run.finished"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Sequence numbers are gap-free and times never go backwards.
+    for (i, w) in ea.windows(2).enumerate() {
+        assert_eq!(w[1].seq, w[0].seq + 1, "gap after event {i}");
+        assert!(w[1].time >= w[0].time, "clock went backwards at event {i}");
+    }
+}
+
+#[test]
+fn different_seeds_still_complete_and_record() {
+    let (a, _) = seeded_run(7);
+    let (b, _) = seeded_run(8);
+    assert!(!a.obs().events().is_empty());
+    assert!(!b.obs().events().is_empty());
+}
+
+#[test]
+fn status_query_returns_events_and_metrics_over_the_wire() {
+    let (mut d, txn) = seeded_run(7);
+    let query = FlowStatusQuery::whole(&txn).with_events(10).with_metrics();
+    let request = DataGridRequest::status("q1", "u", query);
+    let response = datagridflows::dgl::parse_response(&d.handle_xml(&request.to_xml())).unwrap();
+    let ResponseBody::Status(report) = response.body else { panic!("expected a status report") };
+    assert_eq!(report.state, RunState::Completed);
+    assert!(!report.events.is_empty() && report.events.len() <= 10);
+    assert!(report.events.windows(2).all(|w| w[0].seq < w[1].seq), "events arrive oldest-first");
+    // The metrics include engine counters and this run's scope, rendered.
+    let counter = |scope: &str, name: &str| {
+        report
+            .metrics
+            .iter()
+            .find(|m| m.scope == scope && m.name == name)
+            .unwrap_or_else(|| panic!("missing {scope}/{name}"))
+            .value
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert_eq!(counter("engine", "runs.completed"), 1);
+    assert_eq!(counter("engine", "steps.executed"), 4);
+    assert_eq!(counter(&format!("run:{txn}"), "steps.completed"), 4);
+    assert!(counter("triggers", "fired") >= 1);
+}
+
+#[test]
+fn node_scoped_event_queries_filter_to_the_subtree() {
+    let (mut d, txn) = seeded_run(7);
+    let query = FlowStatusQuery::node(&txn, "/2").with_events(100);
+    let request = DataGridRequest::status("q2", "u", query);
+    let response = datagridflows::dgl::parse_response(&d.handle_xml(&request.to_xml())).unwrap();
+    let ResponseBody::Status(report) = response.body else { panic!("expected a status report") };
+    assert!(!report.events.is_empty(), "the compute step has events");
+    for e in &report.events {
+        assert!(
+            e.detail.contains("/2") || e.kind == "planner.decision" || e.kind == "transfer.scheduled",
+            "event outside /2 subtree: {} {}",
+            e.kind,
+            e.detail
+        );
+    }
+}
+
+#[test]
+fn legacy_metrics_shape_agrees_with_the_registry() {
+    let (d, txn) = seeded_run(7);
+    let legacy = d.metrics();
+    let snap = d.metrics_snapshot();
+    assert_eq!(legacy.runs_completed, snap.counter("engine", "runs.completed"));
+    assert_eq!(legacy.steps_executed, snap.counter("engine", "steps.executed"));
+    assert_eq!(legacy.bytes_moved, snap.counter("engine", "bytes.moved"));
+    assert_eq!(snap.counter(&format!("run:{txn}"), "steps.completed"), legacy.steps_executed);
+}
