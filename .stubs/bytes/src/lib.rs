@@ -1,0 +1,77 @@
+//! Local offline stand-in for `bytes` (dev environment only).
+
+use std::ops::Deref;
+
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+pub trait BufMut {
+    fn put_u64_le(&mut self, v: u64);
+    fn put_u8(&mut self, v: u8);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.0.truncate(len)
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.0.extend_from_slice(s);
+    }
+}

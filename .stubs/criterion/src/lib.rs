@@ -1,0 +1,2 @@
+//! Empty offline stand-in for `criterion` (dev environment only); all
+//! workspace benches use `harness = false` plain `main` functions.

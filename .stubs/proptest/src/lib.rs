@@ -1,0 +1,2 @@
+//! Empty offline stand-in for `proptest` (dev environment only). The
+//! proptest-based test files are cfg-stripped while this stub is active.

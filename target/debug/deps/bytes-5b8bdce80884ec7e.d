@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5b8bdce80884ec7e.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-5b8bdce80884ec7e: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

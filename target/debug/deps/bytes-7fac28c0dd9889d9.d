@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-7fac28c0dd9889d9.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7fac28c0dd9889d9.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-a389f28c2daeee0e.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a389f28c2daeee0e.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a389f28c2daeee0e.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-274af548a747a4b2.d: crates/datagridflows/../../tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-274af548a747a4b2: crates/datagridflows/../../tests/chaos.rs
+
+crates/datagridflows/../../tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b5c4fde6c8f3409c.d: crates/datagridflows/../../tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b5c4fde6c8f3409c: crates/datagridflows/../../tests/chaos.rs
+
+crates/datagridflows/../../tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-333bccf73688e5b9.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-333bccf73688e5b9: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

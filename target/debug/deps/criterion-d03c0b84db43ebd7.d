@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d03c0b84db43ebd7.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d03c0b84db43ebd7.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d03c0b84db43ebd7.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

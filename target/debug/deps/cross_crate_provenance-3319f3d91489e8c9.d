@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_provenance-3319f3d91489e8c9.d: crates/datagridflows/../../tests/cross_crate_provenance.rs
+
+/root/repo/target/debug/deps/cross_crate_provenance-3319f3d91489e8c9: crates/datagridflows/../../tests/cross_crate_provenance.rs
+
+crates/datagridflows/../../tests/cross_crate_provenance.rs:

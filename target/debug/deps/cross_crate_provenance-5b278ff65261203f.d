@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_provenance-5b278ff65261203f.d: crates/datagridflows/../../tests/cross_crate_provenance.rs
+
+/root/repo/target/debug/deps/cross_crate_provenance-5b278ff65261203f: crates/datagridflows/../../tests/cross_crate_provenance.rs
+
+crates/datagridflows/../../tests/cross_crate_provenance.rs:

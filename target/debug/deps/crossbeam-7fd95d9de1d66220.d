@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-7fd95d9de1d66220.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7fd95d9de1d66220.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7fd95d9de1d66220.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-b789e069e945b904.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-b789e069e945b904: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

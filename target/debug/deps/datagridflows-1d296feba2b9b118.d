@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datagridflows-1d296feba2b9b118.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-1d296feba2b9b118.rlib: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-1d296feba2b9b118.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

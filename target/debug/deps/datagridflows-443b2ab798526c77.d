@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datagridflows-443b2ab798526c77.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/datagridflows-443b2ab798526c77: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datagridflows-8d7d0bd8e7fce7c7.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-8d7d0bd8e7fce7c7.rlib: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-8d7d0bd8e7fce7c7.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datagridflows-a2cd38754ea80021.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-a2cd38754ea80021.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

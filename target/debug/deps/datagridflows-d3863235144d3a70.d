@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datagridflows-d3863235144d3a70.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-d3863235144d3a70.rlib: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/libdatagridflows-d3863235144d3a70.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

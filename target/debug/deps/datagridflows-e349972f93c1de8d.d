@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datagridflows-e349972f93c1de8d.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/debug/deps/datagridflows-e349972f93c1de8d: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_baselines-4b8711c0752c48ee.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/dgf_baselines-4b8711c0752c48ee: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_baselines-72c73938e8ee7d78.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/dgf_baselines-72c73938e8ee7d78: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

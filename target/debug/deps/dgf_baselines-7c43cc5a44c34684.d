@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_baselines-7c43cc5a44c34684.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/libdgf_baselines-7c43cc5a44c34684.rlib: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/libdgf_baselines-7c43cc5a44c34684.rmeta: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_baselines-b4754459e3250a39.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/libdgf_baselines-b4754459e3250a39.rmeta: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

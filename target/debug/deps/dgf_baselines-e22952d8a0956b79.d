@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_baselines-e22952d8a0956b79.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/libdgf_baselines-e22952d8a0956b79.rlib: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/debug/deps/libdgf_baselines-e22952d8a0956b79.rmeta: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgf_bench-4ec97a46740d5ab6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dgf_bench-4ec97a46740d5ab6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_bench-6b4f4cd8c766176b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-6b4f4cd8c766176b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-6b4f4cd8c766176b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

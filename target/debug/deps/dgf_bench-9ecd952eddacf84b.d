@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_bench-9ecd952eddacf84b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-9ecd952eddacf84b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-9ecd952eddacf84b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

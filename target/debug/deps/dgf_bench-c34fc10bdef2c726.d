@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgf_bench-c34fc10bdef2c726.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dgf_bench-c34fc10bdef2c726: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_bench-d59f4804a291e442.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-d59f4804a291e442.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgf_bench-d59f4804a291e442.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_dfms-5bbb643794ee7e26.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libdgf_dfms-5bbb643794ee7e26.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/network.rs:
+crates/core/src/provenance.rs:
+crates/core/src/run.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_dfms-6b8e427415552925.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/dgf_dfms-6b8e427415552925: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/network.rs:
+crates/core/src/provenance.rs:
+crates/core/src/run.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgf_dfms-fdbe0a36e6c99e73.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libdgf_dfms-fdbe0a36e6c99e73.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libdgf_dfms-fdbe0a36e6c99e73.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/network.rs:
+crates/core/src/provenance.rs:
+crates/core/src/run.rs:
+crates/core/src/server.rs:

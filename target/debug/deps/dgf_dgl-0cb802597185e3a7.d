@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dgf_dgl-0cb802597185e3a7.d: crates/dgl/src/lib.rs crates/dgl/src/builder.rs crates/dgl/src/error.rs crates/dgl/src/expr.rs crates/dgl/src/flow.rs crates/dgl/src/request.rs crates/dgl/src/response.rs crates/dgl/src/scope.rs crates/dgl/src/status.rs crates/dgl/src/step.rs crates/dgl/src/value.rs crates/dgl/src/xml_codec.rs
+
+/root/repo/target/debug/deps/dgf_dgl-0cb802597185e3a7: crates/dgl/src/lib.rs crates/dgl/src/builder.rs crates/dgl/src/error.rs crates/dgl/src/expr.rs crates/dgl/src/flow.rs crates/dgl/src/request.rs crates/dgl/src/response.rs crates/dgl/src/scope.rs crates/dgl/src/status.rs crates/dgl/src/step.rs crates/dgl/src/value.rs crates/dgl/src/xml_codec.rs
+
+crates/dgl/src/lib.rs:
+crates/dgl/src/builder.rs:
+crates/dgl/src/error.rs:
+crates/dgl/src/expr.rs:
+crates/dgl/src/flow.rs:
+crates/dgl/src/request.rs:
+crates/dgl/src/response.rs:
+crates/dgl/src/scope.rs:
+crates/dgl/src/status.rs:
+crates/dgl/src/step.rs:
+crates/dgl/src/value.rs:
+crates/dgl/src/xml_codec.rs:

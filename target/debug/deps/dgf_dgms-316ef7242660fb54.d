@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgf_dgms-316ef7242660fb54.d: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/debug/deps/dgf_dgms-316ef7242660fb54: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+crates/dgms/src/lib.rs:
+crates/dgms/src/acl.rs:
+crates/dgms/src/content.rs:
+crates/dgms/src/error.rs:
+crates/dgms/src/grid.rs:
+crates/dgms/src/md5.rs:
+crates/dgms/src/meta.rs:
+crates/dgms/src/namespace.rs:
+crates/dgms/src/ops.rs:
+crates/dgms/src/path.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dgf_dgms-b98b82bf5a6431b8.d: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/debug/deps/libdgf_dgms-b98b82bf5a6431b8.rlib: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/debug/deps/libdgf_dgms-b98b82bf5a6431b8.rmeta: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+crates/dgms/src/lib.rs:
+crates/dgms/src/acl.rs:
+crates/dgms/src/content.rs:
+crates/dgms/src/error.rs:
+crates/dgms/src/grid.rs:
+crates/dgms/src/md5.rs:
+crates/dgms/src/meta.rs:
+crates/dgms/src/namespace.rs:
+crates/dgms/src/ops.rs:
+crates/dgms/src/path.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgf_dgms-da436c49846bab73.d: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/debug/deps/libdgf_dgms-da436c49846bab73.rmeta: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+crates/dgms/src/lib.rs:
+crates/dgms/src/acl.rs:
+crates/dgms/src/content.rs:
+crates/dgms/src/error.rs:
+crates/dgms/src/grid.rs:
+crates/dgms/src/md5.rs:
+crates/dgms/src/meta.rs:
+crates/dgms/src/namespace.rs:
+crates/dgms/src/ops.rs:
+crates/dgms/src/path.rs:

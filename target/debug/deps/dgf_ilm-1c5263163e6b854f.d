@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_ilm-1c5263163e6b854f.d: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/debug/deps/dgf_ilm-1c5263163e6b854f: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+crates/ilm/src/lib.rs:
+crates/ilm/src/job.rs:
+crates/ilm/src/policy.rs:
+crates/ilm/src/star.rs:
+crates/ilm/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_ilm-242035131589d0a5.d: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/debug/deps/libdgf_ilm-242035131589d0a5.rlib: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/debug/deps/libdgf_ilm-242035131589d0a5.rmeta: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+crates/ilm/src/lib.rs:
+crates/ilm/src/job.rs:
+crates/ilm/src/policy.rs:
+crates/ilm/src/star.rs:
+crates/ilm/src/value.rs:

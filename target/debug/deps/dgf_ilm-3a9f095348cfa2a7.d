@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_ilm-3a9f095348cfa2a7.d: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/debug/deps/libdgf_ilm-3a9f095348cfa2a7.rmeta: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+crates/ilm/src/lib.rs:
+crates/ilm/src/job.rs:
+crates/ilm/src/policy.rs:
+crates/ilm/src/star.rs:
+crates/ilm/src/value.rs:

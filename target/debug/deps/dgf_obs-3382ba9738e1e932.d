@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_obs-3382ba9738e1e932.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/libdgf_obs-3382ba9738e1e932.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/libdgf_obs-3382ba9738e1e932.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/ring.rs:

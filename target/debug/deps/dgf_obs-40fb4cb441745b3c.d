@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_obs-40fb4cb441745b3c.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/libdgf_obs-40fb4cb441745b3c.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/ring.rs:

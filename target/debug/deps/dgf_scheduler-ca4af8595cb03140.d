@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_scheduler-ca4af8595cb03140.d: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+/root/repo/target/debug/deps/dgf_scheduler-ca4af8595cb03140: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/binding.rs:
+crates/scheduler/src/cost.rs:
+crates/scheduler/src/infra.rs:
+crates/scheduler/src/planner.rs:
+crates/scheduler/src/task.rs:
+crates/scheduler/src/virtual_data.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgf_scheduler-fcf5c20e892be2b5.d: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+/root/repo/target/debug/deps/libdgf_scheduler-fcf5c20e892be2b5.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/binding.rs:
+crates/scheduler/src/cost.rs:
+crates/scheduler/src/infra.rs:
+crates/scheduler/src/planner.rs:
+crates/scheduler/src/task.rs:
+crates/scheduler/src/virtual_data.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgf_simgrid-5d0a27b176644759.d: crates/simgrid/src/lib.rs crates/simgrid/src/builder.rs crates/simgrid/src/compute.rs crates/simgrid/src/event.rs crates/simgrid/src/failure.rs crates/simgrid/src/storage.rs crates/simgrid/src/time.rs crates/simgrid/src/topology.rs crates/simgrid/src/transfer.rs crates/simgrid/src/window.rs
+
+/root/repo/target/debug/deps/dgf_simgrid-5d0a27b176644759: crates/simgrid/src/lib.rs crates/simgrid/src/builder.rs crates/simgrid/src/compute.rs crates/simgrid/src/event.rs crates/simgrid/src/failure.rs crates/simgrid/src/storage.rs crates/simgrid/src/time.rs crates/simgrid/src/topology.rs crates/simgrid/src/transfer.rs crates/simgrid/src/window.rs
+
+crates/simgrid/src/lib.rs:
+crates/simgrid/src/builder.rs:
+crates/simgrid/src/compute.rs:
+crates/simgrid/src/event.rs:
+crates/simgrid/src/failure.rs:
+crates/simgrid/src/storage.rs:
+crates/simgrid/src/time.rs:
+crates/simgrid/src/topology.rs:
+crates/simgrid/src/transfer.rs:
+crates/simgrid/src/window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_triggers-08d517b285b69b77.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/libdgf_triggers-08d517b285b69b77.rlib: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/libdgf_triggers-08d517b285b69b77.rmeta: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

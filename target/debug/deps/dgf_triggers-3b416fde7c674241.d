@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgf_triggers-3b416fde7c674241.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/libdgf_triggers-3b416fde7c674241.rlib: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/libdgf_triggers-3b416fde7c674241.rmeta: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

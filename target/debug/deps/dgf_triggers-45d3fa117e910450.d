@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_triggers-45d3fa117e910450.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/dgf_triggers-45d3fa117e910450: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_triggers-e8612f603c0a9f72.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/dgf_triggers-e8612f603c0a9f72: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

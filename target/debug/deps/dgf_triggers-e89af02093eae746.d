@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgf_triggers-e89af02093eae746.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/debug/deps/libdgf_triggers-e89af02093eae746.rmeta: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgf_xml-06dd3cba533bbc51.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libdgf_xml-06dd3cba533bbc51.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:

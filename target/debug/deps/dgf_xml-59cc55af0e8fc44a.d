@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgf_xml-59cc55af0e8fc44a.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libdgf_xml-59cc55af0e8fc44a.rlib: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libdgf_xml-59cc55af0e8fc44a.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:

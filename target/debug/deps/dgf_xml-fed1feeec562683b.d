@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgf_xml-fed1feeec562683b.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/dgf_xml-fed1feeec562683b: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:

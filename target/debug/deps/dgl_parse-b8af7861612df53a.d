@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgl_parse-b8af7861612df53a.d: crates/bench/benches/dgl_parse.rs
+
+/root/repo/target/debug/deps/dgl_parse-b8af7861612df53a: crates/bench/benches/dgl_parse.rs
+
+crates/bench/benches/dgl_parse.rs:

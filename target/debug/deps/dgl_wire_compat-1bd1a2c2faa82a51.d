@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgl_wire_compat-1bd1a2c2faa82a51.d: crates/datagridflows/../../tests/dgl_wire_compat.rs
+
+/root/repo/target/debug/deps/dgl_wire_compat-1bd1a2c2faa82a51: crates/datagridflows/../../tests/dgl_wire_compat.rs
+
+crates/datagridflows/../../tests/dgl_wire_compat.rs:

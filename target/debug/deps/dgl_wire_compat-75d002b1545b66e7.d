@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgl_wire_compat-75d002b1545b66e7.d: crates/datagridflows/../../tests/dgl_wire_compat.rs
+
+/root/repo/target/debug/deps/dgl_wire_compat-75d002b1545b66e7: crates/datagridflows/../../tests/dgl_wire_compat.rs
+
+crates/datagridflows/../../tests/dgl_wire_compat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-01f73baa91006cf1.d: crates/datagridflows/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-01f73baa91006cf1: crates/datagridflows/../../tests/end_to_end.rs
+
+crates/datagridflows/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9e7f12a7b86d060c.d: crates/datagridflows/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9e7f12a7b86d060c: crates/datagridflows/../../tests/end_to_end.rs
+
+crates/datagridflows/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behaviour-4434a81c8fbaaa67.d: crates/core/tests/engine_behaviour.rs
+
+/root/repo/target/debug/deps/engine_behaviour-4434a81c8fbaaa67: crates/core/tests/engine_behaviour.rs
+
+crates/core/tests/engine_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behaviour-f679f11bf2f26a80.d: crates/core/tests/engine_behaviour.rs
+
+/root/repo/target/debug/deps/engine_behaviour-f679f11bf2f26a80: crates/core/tests/engine_behaviour.rs
+
+crates/core/tests/engine_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_extras-18fab51ac11292e6.d: crates/core/tests/engine_extras.rs
+
+/root/repo/target/debug/deps/engine_extras-18fab51ac11292e6: crates/core/tests/engine_extras.rs
+
+crates/core/tests/engine_extras.rs:

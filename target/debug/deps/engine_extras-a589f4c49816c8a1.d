@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_extras-a589f4c49816c8a1.d: crates/core/tests/engine_extras.rs
+
+/root/repo/target/debug/deps/engine_extras-a589f4c49816c8a1: crates/core/tests/engine_extras.rs
+
+crates/core/tests/engine_extras.rs:

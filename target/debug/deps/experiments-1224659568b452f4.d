@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-1224659568b452f4.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-1224659568b452f4: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_operations-23014249499e9c10.d: crates/dgms/tests/grid_operations.rs
+
+/root/repo/target/debug/deps/grid_operations-23014249499e9c10: crates/dgms/tests/grid_operations.rs
+
+crates/dgms/tests/grid_operations.rs:

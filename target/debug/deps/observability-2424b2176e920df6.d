@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-2424b2176e920df6.d: crates/datagridflows/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-2424b2176e920df6: crates/datagridflows/../../tests/observability.rs
+
+crates/datagridflows/../../tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-00e857822faa787d.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-00e857822faa787d: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

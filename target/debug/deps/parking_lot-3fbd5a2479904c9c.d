@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-3fbd5a2479904c9c.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3fbd5a2479904c9c.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3fbd5a2479904c9c.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

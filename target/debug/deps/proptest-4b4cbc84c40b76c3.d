@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4b4cbc84c40b76c3.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4b4cbc84c40b76c3: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fa1667b40a33ab2f.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fa1667b40a33ab2f.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fa1667b40a33ab2f.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-20df87477006173c.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-20df87477006173c: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

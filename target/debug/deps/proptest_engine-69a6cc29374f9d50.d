@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-69a6cc29374f9d50.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-69a6cc29374f9d50: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

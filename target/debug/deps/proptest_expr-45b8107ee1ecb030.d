@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_expr-45b8107ee1ecb030.d: crates/dgl/tests/proptest_expr.rs
+
+/root/repo/target/debug/deps/proptest_expr-45b8107ee1ecb030: crates/dgl/tests/proptest_expr.rs
+
+crates/dgl/tests/proptest_expr.rs:

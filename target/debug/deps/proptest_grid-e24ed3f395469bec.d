@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_grid-e24ed3f395469bec.d: crates/dgms/tests/proptest_grid.rs
+
+/root/repo/target/debug/deps/proptest_grid-e24ed3f395469bec: crates/dgms/tests/proptest_grid.rs
+
+crates/dgms/tests/proptest_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-490fbf0344ab8e8b.d: crates/xml/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-490fbf0344ab8e8b: crates/xml/tests/proptest_roundtrip.rs
+
+crates/xml/tests/proptest_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-a22df5fad2addd4e.d: crates/simgrid/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-a22df5fad2addd4e: crates/simgrid/tests/proptest_sim.rs
+
+crates/simgrid/tests/proptest_sim.rs:

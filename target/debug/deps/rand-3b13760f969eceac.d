@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3b13760f969eceac.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-3b13760f969eceac: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3d07096db43bd98a.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3d07096db43bd98a.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

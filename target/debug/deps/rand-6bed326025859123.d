@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6bed326025859123.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6bed326025859123.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6bed326025859123.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

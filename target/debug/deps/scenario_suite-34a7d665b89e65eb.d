@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_suite-34a7d665b89e65eb.d: crates/datagridflows/../../tests/scenario_suite.rs
+
+/root/repo/target/debug/deps/scenario_suite-34a7d665b89e65eb: crates/datagridflows/../../tests/scenario_suite.rs
+
+crates/datagridflows/../../tests/scenario_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_suite-84f51286df730aca.d: crates/datagridflows/../../tests/scenario_suite.rs
+
+/root/repo/target/debug/deps/scenario_suite-84f51286df730aca: crates/datagridflows/../../tests/scenario_suite.rs
+
+crates/datagridflows/../../tests/scenario_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stored_procedures-43d0a935d0071983.d: crates/core/tests/stored_procedures.rs
+
+/root/repo/target/debug/deps/stored_procedures-43d0a935d0071983: crates/core/tests/stored_procedures.rs
+
+crates/core/tests/stored_procedures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stored_procedures-c5b5b25f93b98817.d: crates/core/tests/stored_procedures.rs
+
+/root/repo/target/debug/deps/stored_procedures-c5b5b25f93b98817: crates/core/tests/stored_procedures.rs
+
+crates/core/tests/stored_procedures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bbsrc_imploding_star-4c9f5194048980e0.d: crates/datagridflows/../../examples/bbsrc_imploding_star.rs
+
+/root/repo/target/debug/examples/bbsrc_imploding_star-4c9f5194048980e0: crates/datagridflows/../../examples/bbsrc_imploding_star.rs
+
+crates/datagridflows/../../examples/bbsrc_imploding_star.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bbsrc_imploding_star-f0f057c064efd08e.d: crates/datagridflows/../../examples/bbsrc_imploding_star.rs
+
+/root/repo/target/debug/examples/bbsrc_imploding_star-f0f057c064efd08e: crates/datagridflows/../../examples/bbsrc_imploding_star.rs
+
+crates/datagridflows/../../examples/bbsrc_imploding_star.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cms_exploding_star-896c8d19207295fa.d: crates/datagridflows/../../examples/cms_exploding_star.rs
+
+/root/repo/target/debug/examples/cms_exploding_star-896c8d19207295fa: crates/datagridflows/../../examples/cms_exploding_star.rs
+
+crates/datagridflows/../../examples/cms_exploding_star.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cms_exploding_star-f4c382d48e1dfaf1.d: crates/datagridflows/../../examples/cms_exploding_star.rs
+
+/root/repo/target/debug/examples/cms_exploding_star-f4c382d48e1dfaf1: crates/datagridflows/../../examples/cms_exploding_star.rs
+
+crates/datagridflows/../../examples/cms_exploding_star.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-2ece82dc2163ebbf.d: crates/datagridflows/../../examples/observability.rs
+
+/root/repo/target/debug/examples/observability-2ece82dc2163ebbf: crates/datagridflows/../../examples/observability.rs
+
+crates/datagridflows/../../examples/observability.rs:

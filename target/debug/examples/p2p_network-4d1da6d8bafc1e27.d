@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/p2p_network-4d1da6d8bafc1e27.d: crates/datagridflows/../../examples/p2p_network.rs
+
+/root/repo/target/debug/examples/p2p_network-4d1da6d8bafc1e27: crates/datagridflows/../../examples/p2p_network.rs
+
+crates/datagridflows/../../examples/p2p_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/p2p_network-7b3308be3760d8a1.d: crates/datagridflows/../../examples/p2p_network.rs
+
+/root/repo/target/debug/examples/p2p_network-7b3308be3760d8a1: crates/datagridflows/../../examples/p2p_network.rs
+
+crates/datagridflows/../../examples/p2p_network.rs:

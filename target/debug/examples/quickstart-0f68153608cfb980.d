@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0f68153608cfb980.d: crates/datagridflows/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0f68153608cfb980: crates/datagridflows/../../examples/quickstart.rs
+
+crates/datagridflows/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e222edb114451ba4.d: crates/datagridflows/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e222edb114451ba4: crates/datagridflows/../../examples/quickstart.rs
+
+crates/datagridflows/../../examples/quickstart.rs:

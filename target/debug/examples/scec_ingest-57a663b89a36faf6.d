@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scec_ingest-57a663b89a36faf6.d: crates/datagridflows/../../examples/scec_ingest.rs
+
+/root/repo/target/debug/examples/scec_ingest-57a663b89a36faf6: crates/datagridflows/../../examples/scec_ingest.rs
+
+crates/datagridflows/../../examples/scec_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scec_ingest-f53de34f1717dd00.d: crates/datagridflows/../../examples/scec_ingest.rs
+
+/root/repo/target/debug/examples/scec_ingest-f53de34f1717dd00: crates/datagridflows/../../examples/scec_ingest.rs
+
+crates/datagridflows/../../examples/scec_ingest.rs:

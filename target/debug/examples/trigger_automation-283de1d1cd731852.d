@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trigger_automation-283de1d1cd731852.d: crates/datagridflows/../../examples/trigger_automation.rs
+
+/root/repo/target/debug/examples/trigger_automation-283de1d1cd731852: crates/datagridflows/../../examples/trigger_automation.rs
+
+crates/datagridflows/../../examples/trigger_automation.rs:

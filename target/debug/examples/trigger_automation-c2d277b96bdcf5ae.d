@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trigger_automation-c2d277b96bdcf5ae.d: crates/datagridflows/../../examples/trigger_automation.rs
+
+/root/repo/target/debug/examples/trigger_automation-c2d277b96bdcf5ae: crates/datagridflows/../../examples/trigger_automation.rs
+
+crates/datagridflows/../../examples/trigger_automation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ucsd_md5_integrity-81a59a1c6c208190.d: crates/datagridflows/../../examples/ucsd_md5_integrity.rs
+
+/root/repo/target/debug/examples/ucsd_md5_integrity-81a59a1c6c208190: crates/datagridflows/../../examples/ucsd_md5_integrity.rs
+
+crates/datagridflows/../../examples/ucsd_md5_integrity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ucsd_md5_integrity-e0e005fc1afa3e90.d: crates/datagridflows/../../examples/ucsd_md5_integrity.rs
+
+/root/repo/target/debug/examples/ucsd_md5_integrity-e0e005fc1afa3e90: crates/datagridflows/../../examples/ucsd_md5_integrity.rs
+
+crates/datagridflows/../../examples/ucsd_md5_integrity.rs:

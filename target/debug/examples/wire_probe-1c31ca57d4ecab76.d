@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_probe-1c31ca57d4ecab76.d: crates/datagridflows/examples/wire_probe.rs
+
+/root/repo/target/debug/examples/wire_probe-1c31ca57d4ecab76: crates/datagridflows/examples/wire_probe.rs
+
+crates/datagridflows/examples/wire_probe.rs:

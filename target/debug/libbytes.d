@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbytes.rlib: /root/repo/.stubs/bytes/src/lib.rs

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dgf_dgms",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"struct\" href=\"dgf_dgms/struct.LogicalPath.html\" title=\"struct dgf_dgms::LogicalPath\">LogicalPath</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[297]}

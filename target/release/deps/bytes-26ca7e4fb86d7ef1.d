@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-26ca7e4fb86d7ef1.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-26ca7e4fb86d7ef1.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-26ca7e4fb86d7ef1.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

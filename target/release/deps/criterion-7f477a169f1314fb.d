@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7f477a169f1314fb.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7f477a169f1314fb.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7f477a169f1314fb.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-753d89a75dd370e4.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-753d89a75dd370e4.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-753d89a75dd370e4.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/datagridflows-650c9546c8b426f4.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/release/deps/libdatagridflows-650c9546c8b426f4.rlib: crates/datagridflows/src/lib.rs
+
+/root/repo/target/release/deps/libdatagridflows-650c9546c8b426f4.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

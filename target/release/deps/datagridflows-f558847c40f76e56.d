@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/datagridflows-f558847c40f76e56.d: crates/datagridflows/src/lib.rs
+
+/root/repo/target/release/deps/libdatagridflows-f558847c40f76e56.rlib: crates/datagridflows/src/lib.rs
+
+/root/repo/target/release/deps/libdatagridflows-f558847c40f76e56.rmeta: crates/datagridflows/src/lib.rs
+
+crates/datagridflows/src/lib.rs:

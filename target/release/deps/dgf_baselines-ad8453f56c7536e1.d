@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dgf_baselines-ad8453f56c7536e1.d: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/release/deps/libdgf_baselines-ad8453f56c7536e1.rlib: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+/root/repo/target/release/deps/libdgf_baselines-ad8453f56c7536e1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/client_engine.rs crates/baselines/src/cron.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/client_engine.rs:
+crates/baselines/src/cron.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dgf_bench-0ef5f952177d0ba5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdgf_bench-0ef5f952177d0ba5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdgf_bench-0ef5f952177d0ba5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

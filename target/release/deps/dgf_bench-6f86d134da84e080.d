@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dgf_bench-6f86d134da84e080.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdgf_bench-6f86d134da84e080.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdgf_bench-6f86d134da84e080.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

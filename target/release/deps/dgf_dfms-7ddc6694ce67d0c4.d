@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgf_dfms-7ddc6694ce67d0c4.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libdgf_dfms-7ddc6694ce67d0c4.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libdgf_dfms-7ddc6694ce67d0c4.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/network.rs crates/core/src/provenance.rs crates/core/src/run.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/network.rs:
+crates/core/src/provenance.rs:
+crates/core/src/run.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dgf_dgl-f90808bfd001efac.d: crates/dgl/src/lib.rs crates/dgl/src/builder.rs crates/dgl/src/error.rs crates/dgl/src/expr.rs crates/dgl/src/flow.rs crates/dgl/src/request.rs crates/dgl/src/response.rs crates/dgl/src/scope.rs crates/dgl/src/status.rs crates/dgl/src/step.rs crates/dgl/src/value.rs crates/dgl/src/xml_codec.rs
+
+/root/repo/target/release/deps/libdgf_dgl-f90808bfd001efac.rlib: crates/dgl/src/lib.rs crates/dgl/src/builder.rs crates/dgl/src/error.rs crates/dgl/src/expr.rs crates/dgl/src/flow.rs crates/dgl/src/request.rs crates/dgl/src/response.rs crates/dgl/src/scope.rs crates/dgl/src/status.rs crates/dgl/src/step.rs crates/dgl/src/value.rs crates/dgl/src/xml_codec.rs
+
+/root/repo/target/release/deps/libdgf_dgl-f90808bfd001efac.rmeta: crates/dgl/src/lib.rs crates/dgl/src/builder.rs crates/dgl/src/error.rs crates/dgl/src/expr.rs crates/dgl/src/flow.rs crates/dgl/src/request.rs crates/dgl/src/response.rs crates/dgl/src/scope.rs crates/dgl/src/status.rs crates/dgl/src/step.rs crates/dgl/src/value.rs crates/dgl/src/xml_codec.rs
+
+crates/dgl/src/lib.rs:
+crates/dgl/src/builder.rs:
+crates/dgl/src/error.rs:
+crates/dgl/src/expr.rs:
+crates/dgl/src/flow.rs:
+crates/dgl/src/request.rs:
+crates/dgl/src/response.rs:
+crates/dgl/src/scope.rs:
+crates/dgl/src/status.rs:
+crates/dgl/src/step.rs:
+crates/dgl/src/value.rs:
+crates/dgl/src/xml_codec.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dgf_dgms-4ffaa35f686aafeb.d: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/release/deps/libdgf_dgms-4ffaa35f686aafeb.rlib: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+/root/repo/target/release/deps/libdgf_dgms-4ffaa35f686aafeb.rmeta: crates/dgms/src/lib.rs crates/dgms/src/acl.rs crates/dgms/src/content.rs crates/dgms/src/error.rs crates/dgms/src/grid.rs crates/dgms/src/md5.rs crates/dgms/src/meta.rs crates/dgms/src/namespace.rs crates/dgms/src/ops.rs crates/dgms/src/path.rs
+
+crates/dgms/src/lib.rs:
+crates/dgms/src/acl.rs:
+crates/dgms/src/content.rs:
+crates/dgms/src/error.rs:
+crates/dgms/src/grid.rs:
+crates/dgms/src/md5.rs:
+crates/dgms/src/meta.rs:
+crates/dgms/src/namespace.rs:
+crates/dgms/src/ops.rs:
+crates/dgms/src/path.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dgf_ilm-0aa712ca3f54f777.d: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/release/deps/libdgf_ilm-0aa712ca3f54f777.rlib: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+/root/repo/target/release/deps/libdgf_ilm-0aa712ca3f54f777.rmeta: crates/ilm/src/lib.rs crates/ilm/src/job.rs crates/ilm/src/policy.rs crates/ilm/src/star.rs crates/ilm/src/value.rs
+
+crates/ilm/src/lib.rs:
+crates/ilm/src/job.rs:
+crates/ilm/src/policy.rs:
+crates/ilm/src/star.rs:
+crates/ilm/src/value.rs:

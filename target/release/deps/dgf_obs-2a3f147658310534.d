@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dgf_obs-2a3f147658310534.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+/root/repo/target/release/deps/libdgf_obs-2a3f147658310534.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+/root/repo/target/release/deps/libdgf_obs-2a3f147658310534.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/ring.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgf_scheduler-81c9be18b0f2b272.d: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+/root/repo/target/release/deps/libdgf_scheduler-81c9be18b0f2b272.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+/root/repo/target/release/deps/libdgf_scheduler-81c9be18b0f2b272.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/binding.rs crates/scheduler/src/cost.rs crates/scheduler/src/infra.rs crates/scheduler/src/planner.rs crates/scheduler/src/task.rs crates/scheduler/src/virtual_data.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/binding.rs:
+crates/scheduler/src/cost.rs:
+crates/scheduler/src/infra.rs:
+crates/scheduler/src/planner.rs:
+crates/scheduler/src/task.rs:
+crates/scheduler/src/virtual_data.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dgf_simgrid-3df41238175d8506.d: crates/simgrid/src/lib.rs crates/simgrid/src/builder.rs crates/simgrid/src/compute.rs crates/simgrid/src/event.rs crates/simgrid/src/failure.rs crates/simgrid/src/storage.rs crates/simgrid/src/time.rs crates/simgrid/src/topology.rs crates/simgrid/src/transfer.rs crates/simgrid/src/window.rs
+
+/root/repo/target/release/deps/libdgf_simgrid-3df41238175d8506.rlib: crates/simgrid/src/lib.rs crates/simgrid/src/builder.rs crates/simgrid/src/compute.rs crates/simgrid/src/event.rs crates/simgrid/src/failure.rs crates/simgrid/src/storage.rs crates/simgrid/src/time.rs crates/simgrid/src/topology.rs crates/simgrid/src/transfer.rs crates/simgrid/src/window.rs
+
+/root/repo/target/release/deps/libdgf_simgrid-3df41238175d8506.rmeta: crates/simgrid/src/lib.rs crates/simgrid/src/builder.rs crates/simgrid/src/compute.rs crates/simgrid/src/event.rs crates/simgrid/src/failure.rs crates/simgrid/src/storage.rs crates/simgrid/src/time.rs crates/simgrid/src/topology.rs crates/simgrid/src/transfer.rs crates/simgrid/src/window.rs
+
+crates/simgrid/src/lib.rs:
+crates/simgrid/src/builder.rs:
+crates/simgrid/src/compute.rs:
+crates/simgrid/src/event.rs:
+crates/simgrid/src/failure.rs:
+crates/simgrid/src/storage.rs:
+crates/simgrid/src/time.rs:
+crates/simgrid/src/topology.rs:
+crates/simgrid/src/transfer.rs:
+crates/simgrid/src/window.rs:

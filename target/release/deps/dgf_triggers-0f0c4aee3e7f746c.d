@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dgf_triggers-0f0c4aee3e7f746c.d: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/release/deps/libdgf_triggers-0f0c4aee3e7f746c.rlib: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+/root/repo/target/release/deps/libdgf_triggers-0f0c4aee3e7f746c.rmeta: crates/triggers/src/lib.rs crates/triggers/src/engine.rs crates/triggers/src/trigger.rs
+
+crates/triggers/src/lib.rs:
+crates/triggers/src/engine.rs:
+crates/triggers/src/trigger.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dgf_xml-e57911f8a27644c1.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libdgf_xml-e57911f8a27644c1.rlib: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libdgf_xml-e57911f8a27644c1.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-53e87c2aebb9afa8.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-53e87c2aebb9afa8: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

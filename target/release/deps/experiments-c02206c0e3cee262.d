@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c02206c0e3cee262.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-c02206c0e3cee262: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

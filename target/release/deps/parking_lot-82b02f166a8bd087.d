@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-82b02f166a8bd087.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-82b02f166a8bd087.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-82b02f166a8bd087.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

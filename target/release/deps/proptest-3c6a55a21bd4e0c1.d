@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3c6a55a21bd4e0c1.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3c6a55a21bd4e0c1.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3c6a55a21bd4e0c1.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

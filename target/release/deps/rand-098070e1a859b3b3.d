@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-098070e1a859b3b3.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-098070e1a859b3b3.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-098070e1a859b3b3.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:
