@@ -1,2 +1,639 @@
-//! Empty offline stand-in for `proptest` (dev environment only). The
-//! proptest-based test files are cfg-stripped while this stub is active.
+//! Offline stand-in for `proptest` (dev environment only).
+//!
+//! Implements the subset of the proptest API this repository's property
+//! tests use — `proptest!`, `prop_oneof!`, `prop_assert*`/`prop_assume!`,
+//! integer-range / regex-string / tuple / vec / option strategies,
+//! `prop_map` and `prop_recursive` — over a deterministic splitmix64
+//! generator seeded from the test name, so runs are reproducible and
+//! need no network, persistence files, or shrinking machinery.
+
+use std::rc::Rc;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is out of scope; retry.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n` is 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A value generator. Mirrors proptest's `Strategy` minus shrinking.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `f` receives a strategy for the
+    /// recursive positions and returns the composite level. `depth`
+    /// bounds nesting; the size/branch hints are accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            cur = union2(leaf.clone(), f(cur).boxed());
+        }
+        cur
+    }
+
+    /// Type-erase into a clonable box.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy { generate: Rc::new(move |rng: &mut TestRng| self.generate(rng)) }
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { generate: Rc::clone(&self.generate) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+fn union2<T: 'static>(a: BoxedStrategy<T>, b: BoxedStrategy<T>) -> BoxedStrategy<T> {
+    BoxedStrategy {
+        generate: Rc::new(move |rng: &mut TestRng| {
+            if rng.below(2) == 0 {
+                a.generate(rng)
+            } else {
+                b.generate(rng)
+            }
+        }),
+    }
+}
+
+/// Weighted choice among boxed arms — the `prop_oneof!` backend.
+pub fn one_of<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    OneOf { arms: Rc::new(arms) }
+}
+
+/// The strategy produced by [`one_of`] / `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Rc<Vec<(u32, BoxedStrategy<T>)>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { arms: Rc::clone(&self.arms) }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, arm) in self.arms.iter() {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().expect("prop_oneof! needs at least one arm").1.generate(rng)
+    }
+}
+
+/// The strategy produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O + Clone> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                if span <= 0 {
+                    return self.start;
+                }
+                ((self.start as i128) + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// String literals act as regex strategies, as in proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, G) }
+
+/// A strategy always yielding a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// [`any`] strategy for `bool`.
+#[derive(Clone)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 0
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty => $any:ident),* $(,)?) => {$(
+        /// [`any`] strategy for the corresponding integer type.
+        #[derive(Clone)]
+        pub struct $any;
+        impl Strategy for $any {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = $any;
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+int_arbitrary! {
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, usize => AnyUsize,
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A vector of `len in range` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, min: range.start, max: range.end }
+    }
+
+    /// The strategy produced by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.max.saturating_sub(self.min).max(1) as u64;
+            let n = self.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy produced by [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Regex-subset string strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`] (never produced — kept for API shape).
+    #[derive(Debug)]
+    pub struct Error;
+
+    /// A strategy generating strings matching a regex subset: literal
+    /// characters, `[...]` classes (ranges, escapes, trailing `-`),
+    /// `\PC` (printable), and `{m}` / `{m,n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        Ok(RegexStrategy { pattern: pattern.to_owned() })
+    }
+
+    /// The strategy produced by [`string_regex`].
+    #[derive(Clone)]
+    pub struct RegexStrategy {
+        pattern: String,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_matching(&self.pattern, rng)
+        }
+    }
+
+    const PRINTABLE: (char, char) = (' ', '~');
+
+    fn pick(set: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = set.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+        let mut idx = rng.below(total.max(1));
+        for (lo, hi) in set {
+            let width = (*hi as u64) - (*lo as u64) + 1;
+            if idx < width {
+                return char::from_u32(*lo as u32 + idx as u32).unwrap_or(*lo);
+            }
+            idx -= width;
+        }
+        set.first().map(|(lo, _)| *lo).unwrap_or('a')
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // `a-z` is a range unless the `-` is last before `]`.
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                set.push((c.min(hi), c.max(hi)));
+                i += 3;
+            } else {
+                set.push((c, c));
+                i += 1;
+            }
+        }
+        (set, i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        if chars.get(i) != Some(&'{') {
+            return (1, 1, i);
+        }
+        i += 1;
+        let mut digits = String::new();
+        let mut min = 0usize;
+        let mut saw_comma = false;
+        while let Some(&c) = chars.get(i) {
+            i += 1;
+            match c {
+                '0'..='9' => digits.push(c),
+                ',' => {
+                    min = digits.parse().unwrap_or(0);
+                    digits.clear();
+                    saw_comma = true;
+                }
+                '}' => {
+                    let n: usize = digits.parse().unwrap_or(min);
+                    let (lo, hi) = if saw_comma { (min, n.max(min)) } else { (n, n) };
+                    return (lo, hi, i);
+                }
+                _ => {}
+            }
+        }
+        (min, min, i)
+    }
+
+    pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<(char, char)> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        // `\PC` / `\pC`: printable stand-in.
+                        Some('P') | Some('p') => {
+                            i += 1;
+                            if chars.get(i) == Some(&'C') {
+                                i += 1;
+                            }
+                            vec![PRINTABLE]
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            vec![(c, c)]
+                        }
+                        None => break,
+                    }
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i);
+            i = next;
+            let n = min + rng.below((max.saturating_sub(min) + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(pick(&set, rng));
+            }
+        }
+        out
+    }
+}
+
+/// The case-loop driver used by the `proptest!` expansion.
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    fn fnv(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Run `cases` generated cases of `body`; rejections retry (with a
+    /// bounded budget) and failures panic with the case's message.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = fnv(name);
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        let budget = (config.cases as u64).saturating_mul(20).max(20);
+        while passed < config.cases && attempts < budget {
+            attempts += 1;
+            let mut rng = TestRng::new(seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed (case {attempts}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            <$crate::ProptestConfig as ::std::default::Default>::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_cfg: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(__proptest_cfg, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __proptest_result
+            });
+        }
+    )*};
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Assert a property; failing aborts the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality; failing aborts the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Reject the current case (it is regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}

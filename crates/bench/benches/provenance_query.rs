@@ -18,6 +18,8 @@ fn store_with(records: usize) -> ProvenanceStore {
             finished: SimTime::from_secs(i as u64 + 1),
             outcome: if i % 7 == 0 { StepOutcome::Failed } else { StepOutcome::Completed },
             detail: String::new(),
+            trace_id: None,
+            span_id: None,
         });
     }
     store

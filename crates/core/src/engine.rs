@@ -14,7 +14,7 @@ use dgf_dgms::{
     PendingOp, Permission,
 };
 use dgf_ilm::IlmJob;
-use dgf_obs::{EventKind as ObsKind, Obs};
+use dgf_obs::{EventKind as ObsKind, Obs, SpanContext, SpanKind};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
 use dgf_simgrid::{ComputeId, Duration, EventQueue, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
@@ -349,14 +349,23 @@ impl Dfms {
             for (path, step) in specs {
                 if let Some(task) = abstract_task_from_spec(&step, run.vo.clone()) {
                     let key = format!("{}:{}", run.lineage, path);
-                    let _ = self.binding.resolve(&mut self.scheduler, &self.grid, &key, &task);
+                    let _ = self.binding.resolve(&mut self.scheduler, &self.grid, &key, &task, None);
                 }
             }
         }
         let flow_name = run.nodes[0].name.clone();
+        let lineage = run.lineage.clone();
         self.runs.push(run);
         self.txn_index.insert(txn.clone(), id);
         self.obs.set_now(self.now());
+        // The root of the run's trace: every span below — requests,
+        // bindings, DGMS ops, transfers, trigger actions — parents back
+        // to this flow span.
+        let flow_span = self.obs.span_start(SpanKind::Flow, &flow_name, None);
+        self.obs.span_attr(flow_span, "txn", &txn);
+        self.obs.span_attr(flow_span, "user", user);
+        self.obs.span_attr(flow_span, "lineage", &lineage);
+        self.runs[id.0 as usize].nodes[0].span = Some(flow_span);
         self.obs.inc("engine", "runs.submitted");
         self.obs.record(ObsKind::RunSubmitted { txn: txn.clone(), flow: flow_name, user: user.to_owned() });
         self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
@@ -518,6 +527,10 @@ impl Dfms {
         let user = run.user.clone();
         let lineage = run.lineage.clone();
         let txn_s = run.txn.clone();
+        let root_span = run.nodes[0].span;
+        // Close every span the run still holds open (closing a closed
+        // span is a no-op), so the timeline shows where the stop landed.
+        let open_spans: Vec<SpanContext> = run.nodes.iter().filter_map(|n| n.span).collect();
         self.provenance.record(ProvenanceRecord {
             lineage,
             transaction: txn_s.clone(),
@@ -529,7 +542,12 @@ impl Dfms {
             finished: now,
             outcome: StepOutcome::Stopped,
             detail: "stopped by lifecycle request".into(),
+            trace_id: root_span.map(|s| s.trace.0),
+            span_id: root_span.map(|s| s.span.0),
         });
+        for ctx in open_spans {
+            self.obs.span_end_at(ctx, now);
+        }
         self.obs.set_now(now);
         self.obs.record(ObsKind::ProvenanceWrite {
             txn: txn_s.clone(),
@@ -586,7 +604,54 @@ impl Dfms {
         if q.metrics {
             report.metrics = self.report_metrics(&q.transaction);
         }
+        if q.trace {
+            report.spans = self.report_trace(&q.transaction, q.node.as_deref());
+        }
         Ok(report)
+    }
+
+    /// The span tree of `txn`'s trace, optionally narrowed to the
+    /// subtree under the span of the node at `node`. Creation order.
+    fn report_trace(&self, txn: &str, node: Option<&str>) -> Vec<dgf_dgl::ReportSpan> {
+        let Some(run_id) = self.txn_index.get(txn) else { return Vec::new() };
+        let run = self.run_ref(*run_id);
+        let Some(root_ctx) = run.nodes[0].span else { return Vec::new() };
+        let spans = self.obs.trace_spans(root_ctx.trace);
+        let subtree_root: Option<dgf_obs::SpanId> = match node {
+            None | Some("/") => None,
+            Some(p) => match run.find(p).and_then(|id| run.node(id).span) {
+                Some(ctx) => Some(ctx.span),
+                None => return Vec::new(), // node not started: nothing to show
+            },
+        };
+        let parents: HashMap<dgf_obs::SpanId, Option<dgf_obs::SpanId>> =
+            spans.iter().map(|s| (s.id, s.parent)).collect();
+        let in_subtree = |mut id: dgf_obs::SpanId| -> bool {
+            let Some(root) = subtree_root else { return true };
+            loop {
+                if id == root {
+                    return true;
+                }
+                match parents.get(&id).copied().flatten() {
+                    Some(parent) => id = parent,
+                    None => return false,
+                }
+            }
+        };
+        spans
+            .iter()
+            .filter(|s| in_subtree(s.id))
+            .map(|s| dgf_dgl::ReportSpan {
+                id: s.id.0,
+                parent: s.parent.map(|p| p.0),
+                trace: s.trace.0,
+                kind: s.kind.name().to_owned(),
+                name: s.name.clone(),
+                start_us: s.start.0,
+                end_us: s.end.map(|t| t.0),
+                attrs: s.attrs.clone(),
+            })
+            .collect()
     }
 
     /// The flight-recorder events attributable to `txn` (optionally
@@ -722,6 +787,20 @@ impl Dfms {
             node.state = RunState::Running;
             node.started = now;
             node.scope = scope;
+        }
+        // Open the node's request span under its parent's (the root's
+        // flow span was opened at submission). A retry keeps its first
+        // span: one span covers all attempts of the same node.
+        if self.run_ref(run_id).node(node_id).span.is_none() {
+            if let Some(parent) = self.run_ref(run_id).node(node_id).parent {
+                let (parent_span, name, path) = {
+                    let run = self.run_ref(run_id);
+                    (run.node(parent).span, run.node(node_id).name.clone(), run.path_of(node_id))
+                };
+                let ctx = self.obs.span_start(SpanKind::Request, &name, parent_span);
+                self.obs.span_attr(ctx, "node", &path);
+                self.run_mut(run_id).node_mut(node_id).span = Some(ctx);
+            }
         }
         // beforeEntry rules.
         if let Err(e) = self.run_rules(run_id, node_id, dgf_dgl::RULE_BEFORE_ENTRY) {
@@ -1165,12 +1244,19 @@ impl Dfms {
                 return;
             }
         };
+        let node_span = self.run_ref(run_id).node(node_id).span;
         // BEFORE triggers observe the intent.
-        let before_firings = self.triggers.before_op(&self.grid, &op, &user, now, depth);
+        let before_firings = self.triggers.before_op(&self.grid, &op, &user, now, depth, node_span);
         self.handle_firings(before_firings);
         match self.grid.begin(&user, op, now) {
-            Ok(pending) => {
+            Ok(mut pending) => {
                 let duration = pending.duration;
+                let ctx = self.obs.span_start(SpanKind::DgmsOp, pending.op.verb(), node_span);
+                self.obs.span_attr(ctx, "path", &pending.op.path().to_string());
+                if pending.bytes_moved > 0 {
+                    self.obs.span_attr(ctx, "bytes", &pending.bytes_moved.to_string());
+                }
+                pending.ctx = Some(ctx);
                 self.obs.add("engine", "bytes.moved", pending.bytes_moved);
                 self.obs.inc("engine", "dgms.ops");
                 self.pending_ops.insert((run_id, node_id.0), pending);
@@ -1185,15 +1271,23 @@ impl Dfms {
         let Some(pending) = self.pending_ops.remove(&(run_id, node_id.0)) else {
             return; // stopped runs may have had their pendings dropped
         };
+        let op_span = pending.ctx;
         if self.run_ref(run_id).stop_requested {
+            if let Some(ctx) = op_span {
+                self.obs.span_attr(ctx, "aborted", "stop requested");
+                self.obs.span_end_at(ctx, now);
+            }
             self.grid.abort(pending);
             return;
         }
         let was_verify = matches!(pending.op, Operation::Checksum { register: false, .. });
         match self.grid.complete(pending, now) {
             Ok(events) => {
+                if let Some(ctx) = op_span {
+                    self.obs.span_end_at(ctx, now);
+                }
                 let mismatch = events.iter().any(|e| e.kind == EventKind::ChecksumMismatch);
-                self.after_events(&events, run_id);
+                self.after_events(&events, run_id, op_span);
                 if was_verify && mismatch {
                     let detail = events
                         .iter()
@@ -1206,27 +1300,42 @@ impl Dfms {
                     self.complete_node(run_id, node_id, Ok(()));
                 }
             }
-            Err(e) => self.step_failed(run_id, node_id, e.to_string()),
+            Err(e) => {
+                if let Some(ctx) = op_span {
+                    self.obs.span_attr(ctx, "error", &e.to_string());
+                    self.obs.span_end_at(ctx, now);
+                }
+                self.step_failed(run_id, node_id, e.to_string());
+            }
         }
     }
 
-    /// Poll AFTER triggers for freshly emitted events.
-    fn after_events(&mut self, _events: &[NamespaceEvent], run_id: RunId) {
+    /// Poll AFTER triggers for freshly emitted events. `cause` is the
+    /// span of the activity that emitted them; firings parent their
+    /// action spans under it.
+    fn after_events(&mut self, _events: &[NamespaceEvent], run_id: RunId, cause: Option<SpanContext>) {
         let depth = self.run_ref(run_id).options.trigger_depth;
-        let firings = self.triggers.poll(&self.grid, depth);
+        let firings = self.triggers.poll(&self.grid, depth, cause);
         self.handle_firings(firings);
     }
 
     fn handle_firings(&mut self, firings: Vec<Firing>) {
         for firing in firings {
+            let action_name = match &firing.action {
+                TriggerAction::Notify(_) => "notify",
+                TriggerAction::Flow(_) => "flow",
+            };
             self.obs.inc("engine", "trigger.firings");
             self.obs.record(ObsKind::TriggerFired {
                 trigger: firing.trigger.clone(),
-                action: match &firing.action {
-                    TriggerAction::Notify(_) => "notify".into(),
-                    TriggerAction::Flow(_) => "flow".into(),
-                },
+                action: action_name.into(),
             });
+            // The action span parents under the span of the activity that
+            // emitted the matched event, chaining the firing back to its
+            // causing flow.
+            let span = self.obs.span_start(SpanKind::TriggerAction, &firing.trigger, firing.ctx);
+            self.obs.span_attr(span, "action", action_name);
+            self.obs.span_attr(span, "event", &firing.event.kind.to_string());
             match firing.action {
                 TriggerAction::Notify(template) => {
                     let message = interpolate(&template, &firing.bindings)
@@ -1247,9 +1356,21 @@ impl Dfms {
                     }
                     let options = RunOptions { trigger_depth: firing.depth, ..Default::default() };
                     // Trigger flows run as the trigger's owner.
-                    let _ = self.submit_flow_with(&firing.owner.clone(), flow, options);
+                    if let Ok(txn) = self.submit_flow_with(&firing.owner.clone(), flow, options) {
+                        self.obs.span_attr(span, "spawned.txn", &txn);
+                        // The spawned flow roots its own trace; cross-link
+                        // it back to the firing so causality survives the
+                        // trace boundary.
+                        if let Some(run_id) = self.txn_index.get(&txn).copied() {
+                            if let Some(flow_span) = self.run_ref(run_id).nodes[0].span {
+                                self.obs.span_attr(flow_span, "cause.trace", &span.trace.0.to_string());
+                                self.obs.span_attr(flow_span, "cause.span", &span.span.0.to_string());
+                            }
+                        }
+                    }
                 }
             }
+            self.obs.span_end(span);
         }
     }
 
@@ -1319,34 +1440,48 @@ impl Dfms {
             self.skip_node(run_id, node_id, "virtual data: outputs already derived");
             return;
         }
-        // Bind (late or early) to concrete infrastructure.
+        // Bind (late or early) to concrete infrastructure. The binding
+        // span brackets planning; it is instantaneous in sim-time, so its
+        // value is the parent chain and the plan/replay + placement attrs.
+        let node_span = self.run_ref(run_id).node(node_id).span;
+        let bind_span = self.obs.span_start(SpanKind::SchedulerBinding, &task.code, node_span);
         let binding_key = format!("{lineage}:{path_id}");
-        let placement = match self.binding.resolve(&mut self.scheduler, &self.grid, &binding_key, &task) {
-            Ok(p) => p,
-            Err(e @ dgf_scheduler::PlannerError::NoEligibleResource { .. })
-                if self.scheduler.feasible_ever(&self.grid, &task) =>
-            {
-                // The grid is saturated, not unsuitable: queue like a
-                // batch system and retry when capacity frees up.
-                let _ = e;
-                self.obs.inc("engine", "exec.queue.retries");
-                self.queue.schedule_in(QUEUE_RETRY_INTERVAL, Work::Start { run: run_id, node: node_id });
-                return;
-            }
-            Err(e) => {
-                self.step_failed(run_id, node_id, e.to_string());
-                return;
-            }
-        };
+        let placement =
+            match self.binding.resolve(&mut self.scheduler, &self.grid, &binding_key, &task, Some(bind_span)) {
+                Ok(p) => p,
+                Err(e @ dgf_scheduler::PlannerError::NoEligibleResource { .. })
+                    if self.scheduler.feasible_ever(&self.grid, &task) =>
+                {
+                    // The grid is saturated, not unsuitable: queue like a
+                    // batch system and retry when capacity frees up.
+                    let _ = e;
+                    self.obs.span_attr(bind_span, "result", "queued");
+                    self.obs.span_end(bind_span);
+                    self.obs.inc("engine", "exec.queue.retries");
+                    self.queue.schedule_in(QUEUE_RETRY_INTERVAL, Work::Start { run: run_id, node: node_id });
+                    return;
+                }
+                Err(e) => {
+                    self.obs.span_attr(bind_span, "error", &e.to_string());
+                    self.obs.span_end(bind_span);
+                    self.step_failed(run_id, node_id, e.to_string());
+                    return;
+                }
+            };
         {
             let txn = self.run_ref(run_id).txn.clone();
             let topology = self.grid.topology();
+            let compute = topology.compute(placement.compute).name.clone();
+            let domain = topology.domain(placement.domain).name.clone();
+            self.obs.span_attr(bind_span, "compute", &compute);
+            self.obs.span_attr(bind_span, "domain", &domain);
+            self.obs.span_end(bind_span);
             self.obs.record(ObsKind::PlannerDecision {
                 txn,
                 node: path_id.clone(),
                 code: task.code.clone(),
-                compute: topology.compute(placement.compute).name.clone(),
-                domain: topology.domain(placement.domain).name.clone(),
+                compute,
+                domain,
                 est_us: (placement.estimate.stage_in + placement.estimate.exec).0,
             });
         }
@@ -1379,18 +1514,31 @@ impl Dfms {
                     bytes: plan.bytes,
                 });
             }
+            // Transfers run sequentially: each span starts where the
+            // previous one ended, ahead of the shared clock.
+            let t_span =
+                self.obs.span_start_at(now + stage_total, SpanKind::NetworkTransfer, "stage-in", node_span);
+            self.obs.span_attr(t_span, "path", &plan.path.to_string());
+            self.obs.span_attr(t_span, "src", &src_name);
+            self.obs.span_attr(t_span, "dst", &dst_name);
+            self.obs.span_attr(t_span, "bytes", &plan.bytes.to_string());
             let op = Operation::Replicate { path: plan.path.clone(), src: Some(src_name), dst: dst_name };
             match self.grid.execute(&user, op, now + stage_total) {
                 Ok((d, events)) => {
                     stage_total += d;
+                    self.obs.span_end_at(t_span, now + stage_total);
                     self.obs.inc("engine", "dgms.ops");
                     self.obs.add("engine", "bytes.moved", plan.bytes);
-                    self.after_events(&events, run_id);
+                    self.after_events(&events, run_id, Some(t_span));
                 }
                 Err(dgf_dgms::DgmsError::ReplicaExists { .. }) => {
                     // Another task staged it meanwhile; fine.
+                    self.obs.span_attr(t_span, "result", "already staged");
+                    self.obs.span_end_at(t_span, now + stage_total);
                 }
                 Err(e) => {
+                    self.obs.span_attr(t_span, "error", &e.to_string());
+                    self.obs.span_end_at(t_span, now + stage_total);
                     self.grid.topology_mut().compute_mut(placement.compute).release_slot();
                     self.step_failed(run_id, node_id, format!("staging {}: {e}", plan.path));
                     return;
@@ -1432,20 +1580,30 @@ impl Dfms {
             return;
         }
         let user = self.run_ref(run_id).user.clone();
+        let node_span = self.run_ref(run_id).node(node_id).span;
         // Register outputs in the namespace.
         let mut output_paths = Vec::with_capacity(outputs.len());
         for (path, storage, bytes) in outputs {
             let resource = self.grid.topology().storage(storage).name.clone();
+            let t_span = self.obs.span_start_at(now, SpanKind::NetworkTransfer, "output", node_span);
+            self.obs.span_attr(t_span, "path", &path.to_string());
+            self.obs.span_attr(t_span, "dst", &resource);
+            self.obs.span_attr(t_span, "bytes", &bytes.to_string());
             match self.grid.execute(&user, Operation::Ingest { path: path.clone(), size: bytes, resource }, now) {
                 Ok((_, events)) => {
+                    self.obs.span_end_at(t_span, now);
                     self.obs.inc("engine", "dgms.ops");
-                    self.after_events(&events, run_id);
+                    self.after_events(&events, run_id, Some(t_span));
                     output_paths.push(path);
                 }
                 Err(dgf_dgms::DgmsError::AlreadyExists(_)) => {
+                    self.obs.span_attr(t_span, "result", "already registered");
+                    self.obs.span_end_at(t_span, now);
                     output_paths.push(path); // idempotent re-run
                 }
                 Err(e) => {
+                    self.obs.span_attr(t_span, "error", &e.to_string());
+                    self.obs.span_end_at(t_span, now);
                     self.step_failed(run_id, node_id, format!("registering output {path}: {e}"));
                     return;
                 }
@@ -1673,6 +1831,7 @@ impl Dfms {
             NodeBody::Flow { .. } => "flow".to_owned(),
             NodeBody::Step { spec, .. } => spec.operation.verb().to_owned(),
         };
+        let span = node.span;
         let record = ProvenanceRecord {
             lineage: run.lineage.clone(),
             transaction: run.txn.clone(),
@@ -1684,8 +1843,17 @@ impl Dfms {
             finished: node.finished,
             outcome,
             detail: node.message.clone().unwrap_or_default(),
+            trace_id: span.map(|s| s.trace.0),
+            span_id: span.map(|s| s.span.0),
         };
         let is_step = node.is_step();
+        let finished = node.finished;
+        // Close the node's span where the node finished; the provenance
+        // record above carries the (trace, span) join key.
+        if let Some(ctx) = span {
+            self.obs.span_attr(ctx, "outcome", outcome.as_str());
+            self.obs.span_end_at(ctx, finished);
+        }
         let duration = record.finished.since(record.started);
         self.obs.record(ObsKind::ProvenanceWrite {
             txn: record.transaction.clone(),
@@ -1785,7 +1953,8 @@ impl Dfms {
                 let op = self.build_dgms_op(other, &scope)?;
                 let (_, events) = self.grid.execute(&user, op, now)?;
                 self.obs.inc("engine", "dgms.ops");
-                self.after_events(&events, run_id);
+                let node_span = self.run_ref(run_id).node(node_id).span;
+                self.after_events(&events, run_id, node_span);
             }
         }
         Ok(())

@@ -123,7 +123,11 @@ impl DfmsNetwork {
             .get_mut(&server_name)
             .ok_or_else(|| DfmsError::NoRoute(server_name.clone()))?;
         server.obs().inc("network", "requests.routed");
+        let request_id = request.id.clone();
+        let span = server.obs().span_start(dgf_obs::SpanKind::Request, &request_id, None);
+        server.obs().span_attr(span, "server", &server_name);
         let response = server.handle(request);
+        server.obs().span_end(span);
         if !response.transaction().is_empty() {
             self.txn_home.insert(response.transaction().to_owned(), server_name.clone());
         }

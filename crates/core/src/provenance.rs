@@ -70,6 +70,11 @@ pub struct ProvenanceRecord {
     pub outcome: StepOutcome,
     /// Free-form detail (failure message, chosen resource, digest, ...).
     pub detail: String,
+    /// The trace this node's span belongs to, when the run was traced —
+    /// the join key between the provenance log and the span timeline.
+    pub trace_id: Option<u64>,
+    /// The node's span id within that trace.
+    pub span_id: Option<u64>,
 }
 
 /// A filter over the store. Empty fields match everything.
@@ -163,19 +168,26 @@ impl ProvenanceStore {
     pub fn snapshot(&self) -> String {
         let mut root = Element::new("provenance");
         for r in &self.records {
-            root.push_element(
-                Element::new("record")
-                    .with_attr("lineage", &r.lineage)
-                    .with_attr("transaction", &r.transaction)
-                    .with_attr("node", &r.node)
-                    .with_attr("name", &r.name)
-                    .with_attr("verb", &r.verb)
-                    .with_attr("user", &r.user)
-                    .with_attr("started", r.started.0.to_string())
-                    .with_attr("finished", r.finished.0.to_string())
-                    .with_attr("outcome", r.outcome.as_str())
-                    .with_attr("detail", &r.detail),
-            );
+            let mut el = Element::new("record")
+                .with_attr("lineage", &r.lineage)
+                .with_attr("transaction", &r.transaction)
+                .with_attr("node", &r.node)
+                .with_attr("name", &r.name)
+                .with_attr("verb", &r.verb)
+                .with_attr("user", &r.user)
+                .with_attr("started", r.started.0.to_string())
+                .with_attr("finished", r.finished.0.to_string())
+                .with_attr("outcome", r.outcome.as_str())
+                .with_attr("detail", &r.detail);
+            // Trace joins are omitted when unset so pre-tracing archives
+            // round-trip byte-identically.
+            if let Some(trace) = r.trace_id {
+                el.set_attr("trace", trace.to_string());
+            }
+            if let Some(span) = r.span_id {
+                el.set_attr("span", span.to_string());
+            }
+            root.push_element(el);
         }
         root.to_xml_pretty()
     }
@@ -194,6 +206,11 @@ impl ProvenanceStore {
             let time = |name: &str| -> Result<SimTime, String> {
                 attr(name)?.parse::<u64>().map(SimTime).map_err(|e| format!("bad {name}: {e}"))
             };
+            let opt_id = |name: &str| -> Result<Option<u64>, String> {
+                el.attr(name)
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("bad {name}: {e}")))
+                    .transpose()
+            };
             store.record(ProvenanceRecord {
                 lineage: attr("lineage")?,
                 transaction: attr("transaction")?,
@@ -206,6 +223,8 @@ impl ProvenanceStore {
                 outcome: StepOutcome::parse(&attr("outcome")?)
                     .ok_or_else(|| format!("bad outcome {:?}", el.attr("outcome")))?,
                 detail: attr("detail")?,
+                trace_id: opt_id("trace")?,
+                span_id: opt_id("span")?,
             });
         }
         Ok(store)
@@ -228,6 +247,8 @@ mod tests {
             finished: SimTime::from_secs(finished_s),
             outcome,
             detail: String::new(),
+            trace_id: None,
+            span_id: None,
         }
     }
 

@@ -48,6 +48,9 @@ pub(crate) struct Node {
     pub started: SimTime,
     pub finished: SimTime,
     pub message: Option<String>,
+    /// The tracing span covering this node's execution: the flow span
+    /// for the root, a request span per materialized node below it.
+    pub span: Option<dgf_obs::SpanContext>,
     pub body: NodeBody,
 }
 
@@ -109,6 +112,7 @@ impl Run {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             message: None,
+            span: None,
             body,
         });
         id
@@ -192,6 +196,7 @@ impl Run {
             children,
             events: Vec::new(),
             metrics: Vec::new(),
+            spans: Vec::new(),
         }
     }
 

@@ -109,10 +109,13 @@ pub mod prelude {
     };
     pub use crate::dgl::{
         DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
-        FlowStatusQuery, ReportEvent, ReportMetric, RequestBody, ResponseBody, RunState,
-        StatusReport, Step, Value,
+        FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RequestBody, ResponseBody,
+        RunState, StatusReport, Step, Value,
     };
-    pub use crate::obs::{MetricsSnapshot, Obs, ObsEvent};
+    pub use crate::obs::{
+        to_chrome_trace, MetricsSnapshot, Obs, ObsEvent, Span, SpanContext, SpanId, SpanKind,
+        TraceId,
+    };
     pub use crate::dgms::{
         DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, Operation, Permission, Principal,
         UserRegistry,

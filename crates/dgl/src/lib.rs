@@ -46,7 +46,7 @@ pub use step::ErrorPolicy;
 pub use request::{DataGridRequest, RequestBody, RequestMode};
 pub use response::{DataGridResponse, RequestAck, ResponseBody};
 pub use scope::Scope;
-pub use status::{FlowStatusQuery, ReportEvent, ReportMetric, RunState, StatusReport};
+pub use status::{FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RunState, StatusReport};
 pub use step::{DglOperation, Step};
 pub use value::Value;
 pub use xml_codec::{parse_request, parse_response};

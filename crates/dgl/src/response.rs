@@ -82,6 +82,7 @@ mod tests {
                 children: vec![],
                 events: vec![],
                 metrics: vec![],
+                spans: vec![],
             },
         );
         assert_eq!(st.transaction(), "t6");

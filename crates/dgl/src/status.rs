@@ -63,17 +63,20 @@ pub struct FlowStatusQuery {
     pub events: Option<usize>,
     /// Ask for a metrics snapshot alongside the status.
     pub metrics: bool,
+    /// Ask for the transaction's span tree (scoped to `node` when one
+    /// is given) alongside the status.
+    pub trace: bool,
 }
 
 impl FlowStatusQuery {
     /// Query the whole transaction.
     pub fn whole(transaction: impl Into<String>) -> Self {
-        FlowStatusQuery { transaction: transaction.into(), node: None, events: None, metrics: false }
+        FlowStatusQuery { transaction: transaction.into(), node: None, events: None, metrics: false, trace: false }
     }
 
     /// Query one node.
     pub fn node(transaction: impl Into<String>, node: impl Into<String>) -> Self {
-        FlowStatusQuery { transaction: transaction.into(), node: Some(node.into()), events: None, metrics: false }
+        FlowStatusQuery { transaction: transaction.into(), node: Some(node.into()), events: None, metrics: false, trace: false }
     }
 
     /// Also return up to `n` recent flight-recorder events.
@@ -94,6 +97,19 @@ impl FlowStatusQuery {
     #[must_use]
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
+        self
+    }
+
+    /// Also return the span tree of the queried flow (or node subtree).
+    ///
+    /// ```
+    /// use dgf_dgl::FlowStatusQuery;
+    /// let q = FlowStatusQuery::whole("t1").with_trace();
+    /// assert!(q.trace);
+    /// ```
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -125,6 +141,30 @@ pub struct ReportMetric {
     pub value: String,
 }
 
+/// One span carried in a [`StatusReport`] — plain data so the DGL
+/// layer stays independent of the observability crate. Parent links use
+/// span ids, so the report carries a whole tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSpan {
+    /// The span's id (unique within the reporting server).
+    pub id: u64,
+    /// Parent span id; `None` for the trace root.
+    pub parent: Option<u64>,
+    /// The owning trace id.
+    pub trace: u64,
+    /// Span kind token (`flow`, `request`, `scheduler-binding`,
+    /// `dgms-op`, `network-transfer`, `trigger-action`).
+    pub kind: String,
+    /// Human-readable span name.
+    pub name: String,
+    /// Simulation time the work started, µs.
+    pub start_us: u64,
+    /// Simulation time the work ended, µs; `None` while still open.
+    pub end_us: Option<u64>,
+    /// Structured attributes, in recording order.
+    pub attrs: Vec<(String, String)>,
+}
+
 /// A status report for one node of a running (or finished) flow tree,
 /// with child summaries — what a `FlowStatusQuery` returns.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +191,10 @@ pub struct StatusReport {
     /// Metric samples. Populated only when the query asked for them
     /// ([`FlowStatusQuery::with_metrics`]).
     pub metrics: Vec<ReportMetric>,
+    /// The queried flow's (or node subtree's) spans, in recording
+    /// order. Populated only when the query asked for them
+    /// ([`FlowStatusQuery::with_trace`]).
+    pub spans: Vec<ReportSpan>,
 }
 
 impl fmt::Display for StatusReport {
@@ -203,6 +247,7 @@ mod tests {
             children: vec![],
             events: vec![],
             metrics: vec![],
+            spans: vec![],
         };
         let line = r.to_string();
         assert!(line.contains("t7") && line.contains("3/10") && line.contains("running"), "{line}");

@@ -540,6 +540,9 @@ impl FlowStatusQuery {
         if self.metrics {
             el.set_attr("metrics", "true");
         }
+        if self.trace {
+            el.set_attr("trace", "true");
+        }
         el
     }
 
@@ -557,6 +560,7 @@ impl FlowStatusQuery {
             node: e.attr("node").map(str::to_owned),
             events,
             metrics: e.attr("metrics") == Some("true"),
+            trace: e.attr("trace") == Some("true"),
         })
     }
 }
@@ -638,6 +642,26 @@ impl DataGridResponse {
                             .with_attr("value", &m.value),
                     );
                 }
+                for sp in &report.spans {
+                    let mut el = Element::new("span")
+                        .with_attr("id", sp.id.to_string())
+                        .with_attr("trace", sp.trace.to_string())
+                        .with_attr("kind", &sp.kind)
+                        .with_attr("name", &sp.name)
+                        .with_attr("start", sp.start_us.to_string());
+                    // Optional attrs are omitted when unset so old
+                    // documents round-trip byte-identically.
+                    if let Some(parent) = sp.parent {
+                        el.set_attr("parent", parent.to_string());
+                    }
+                    if let Some(end) = sp.end_us {
+                        el.set_attr("end", end.to_string());
+                    }
+                    for (k, v) in &sp.attrs {
+                        el.push_element(Element::new("attr").with_attr("name", k).with_attr("value", v));
+                    }
+                    s.push_element(el);
+                }
                 root.push_element(s);
             }
         }
@@ -712,6 +736,42 @@ impl DataGridResponse {
                             name: require_attr(m, "name")?.to_owned(),
                             kind: require_attr(m, "kind")?.to_owned(),
                             value: require_attr(m, "value")?.to_owned(),
+                        })
+                    })
+                    .collect::<Result<_, DglError>>()?,
+                spans: s
+                    .children_named("span")
+                    .map(|sp| {
+                        let num = |attr: &str| -> Result<u64, DglError> {
+                            require_attr(sp, attr)?
+                                .parse()
+                                .map_err(|_| DglError::schema("span", format!("bad {attr}")))
+                        };
+                        let opt_num = |attr: &str| -> Result<Option<u64>, DglError> {
+                            sp.attr(attr)
+                                .map(|raw| {
+                                    raw.parse()
+                                        .map_err(|_| DglError::schema("span", format!("bad {attr}")))
+                                })
+                                .transpose()
+                        };
+                        Ok(crate::ReportSpan {
+                            id: num("id")?,
+                            parent: opt_num("parent")?,
+                            trace: num("trace")?,
+                            kind: require_attr(sp, "kind")?.to_owned(),
+                            name: require_attr(sp, "name")?.to_owned(),
+                            start_us: num("start")?,
+                            end_us: opt_num("end")?,
+                            attrs: sp
+                                .children_named("attr")
+                                .map(|a| {
+                                    Ok((
+                                        require_attr(a, "name")?.to_owned(),
+                                        require_attr(a, "value")?.to_owned(),
+                                    ))
+                                })
+                                .collect::<Result<_, DglError>>()?,
                         })
                     })
                     .collect::<Result<_, DglError>>()?,
@@ -856,6 +916,7 @@ mod tests {
                 children: vec![("/0".into(), "verify".into(), RunState::Completed), ("/1".into(), "tag".into(), RunState::Running)],
                 events: vec![crate::ReportEvent { time_us: 42, seq: 0, kind: "step.finished".into(), detail: "t1 /0 verify completed".into() }],
                 metrics: vec![crate::ReportMetric { scope: "engine".into(), name: "steps.executed".into(), kind: "counter".into(), value: "5".into() }],
+                spans: vec![],
             },
         );
         assert_eq!(parse_response(&status.to_xml()).unwrap(), status);

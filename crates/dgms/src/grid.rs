@@ -138,6 +138,7 @@ impl DataGrid {
                     duration,
                     bytes_moved: *size,
                     effect: PlannedEffect::Ingest { storage, seed },
+                    ctx: None,
                     transfer: None,
                     reserved: Some((storage, *size)),
                     op,
@@ -156,6 +157,7 @@ impl DataGrid {
                     duration,
                     bytes_moved: size,
                     effect: PlannedEffect::AddReplica { src: src_id, dst: dst_id, migrate_from: None },
+                    ctx: None,
                     transfer: Some(handle),
                     reserved: Some((dst_id, size)),
                     op,
@@ -174,6 +176,7 @@ impl DataGrid {
                     duration: duration + METADATA_LATENCY,
                     bytes_moved: size,
                     effect: PlannedEffect::AddReplica { src: src_id, dst: dst_id, migrate_from: Some(src_id) },
+                    ctx: None,
                     transfer: Some(handle),
                     reserved: Some((dst_id, size)),
                     op,
@@ -235,6 +238,7 @@ impl DataGrid {
                     duration,
                     bytes_moved: obj.size,
                     effect: PlannedEffect::Checksum { storage, digest, register: *register },
+                    ctx: None,
                     transfer: None,
                     reserved: None,
                     op,
@@ -612,6 +616,7 @@ impl DataGrid {
             duration: METADATA_LATENCY,
             bytes_moved: 0,
             effect,
+            ctx: None,
             transfer: None,
             reserved: None,
         }

@@ -39,11 +39,16 @@ mod event;
 mod metrics;
 mod recorder;
 mod ring;
+mod span;
+mod trace;
+mod trace_export;
 
 pub use event::{EventKind, ObsEvent};
-pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
+pub use metrics::{percentile, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
 pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use ring::RingBuffer;
+pub use span::{Span, SpanContext, SpanId, SpanKind, TraceId};
+pub use trace_export::to_chrome_trace;
 
 use dgf_simgrid::{Duration, SimTime};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -53,6 +58,7 @@ struct Inner {
     now: SimTime,
     recorder: FlightRecorder,
     metrics: MetricsRegistry,
+    traces: trace::TraceStore,
 }
 
 /// The shared observability handle: one flight recorder plus one
@@ -75,6 +81,7 @@ impl Obs {
                 now: SimTime::ZERO,
                 recorder: FlightRecorder::new(capacity),
                 metrics: MetricsRegistry::new(),
+                traces: trace::TraceStore::default(),
             })),
         }
     }
@@ -86,8 +93,16 @@ impl Obs {
     /// Advance the recorder's simulation clock. The engine calls this
     /// once per dispatched work item; everything recorded until the next
     /// call is stamped with this instant.
+    ///
+    /// The clock is monotonic: an attempt to move it backwards is
+    /// ignored (the recorder keeps the later time), so a misordered
+    /// caller can never make recordings non-replayable by stamping
+    /// events before ones already recorded.
     pub fn set_now(&self, now: SimTime) {
-        self.lock().now = now;
+        let mut inner = self.lock();
+        if now > inner.now {
+            inner.now = now;
+        }
     }
 
     /// The recorder's current simulation clock.
@@ -148,9 +163,87 @@ impl Obs {
         self.lock().recorder.dropped()
     }
 
-    /// A point-in-time copy of every metric.
+    /// A point-in-time copy of every metric, including the per-span-kind
+    /// latency percentiles (`trace/span.<kind>.p{50,95,99}_us` gauges,
+    /// nearest-rank over completed spans' sim-time durations).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.lock().metrics.snapshot()
+        let inner = self.lock();
+        let mut snap = inner.metrics.snapshot();
+        for (kind, durations) in inner.traces.durations() {
+            let mut sorted = durations.clone();
+            sorted.sort_unstable();
+            for (p, tag) in [(50.0, "p50_us"), (95.0, "p95_us"), (99.0, "p99_us")] {
+                snap.insert(
+                    "trace",
+                    &format!("span.{}.{}", kind.name(), tag),
+                    MetricValue::Gauge(percentile(&sorted, p) as i64),
+                );
+            }
+        }
+        snap
+    }
+
+    // ------------------------------------------------------------------
+    // Span tracing
+    // ------------------------------------------------------------------
+
+    /// Open a span at the current simulation clock. `parent = None`
+    /// roots a fresh trace; children inherit the parent's trace id.
+    pub fn span_start(&self, kind: SpanKind, name: &str, parent: Option<SpanContext>) -> SpanContext {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.traces.start(now, kind, name, parent)
+    }
+
+    /// Open a span at an explicit simulation time (for work whose start
+    /// is scheduled ahead of the shared clock, e.g. staged transfers).
+    pub fn span_start_at(
+        &self,
+        time: SimTime,
+        kind: SpanKind,
+        name: &str,
+        parent: Option<SpanContext>,
+    ) -> SpanContext {
+        self.lock().traces.start(time, kind, name, parent)
+    }
+
+    /// Close a span at the current simulation clock and fold its
+    /// duration into the `trace/span.<kind>` histogram. Closing twice is
+    /// a no-op.
+    pub fn span_end(&self, ctx: SpanContext) {
+        let now = self.now();
+        self.span_end_at(ctx, now);
+    }
+
+    /// Close a span at an explicit simulation time.
+    pub fn span_end_at(&self, ctx: SpanContext, time: SimTime) {
+        let mut inner = self.lock();
+        if let Some((kind, dur)) = inner.traces.end(ctx, time) {
+            inner
+                .metrics
+                .observe("trace", &format!("span.{}", kind.name()), Duration(dur));
+        }
+    }
+
+    /// Append a structured attribute to a span.
+    pub fn span_attr(&self, ctx: SpanContext, key: &str, value: &str) {
+        self.lock().traces.attr(ctx, key, value);
+    }
+
+    /// All recorded spans, in creation order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.lock().traces.spans().to_vec()
+    }
+
+    /// The spans of one trace, in creation order.
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<Span> {
+        self.lock().traces.trace_spans(trace)
+    }
+
+    /// Export every recorded span as Chrome trace-event JSON
+    /// (loadable in `chrome://tracing` / Perfetto).
+    pub fn export_chrome_trace(&self) -> String {
+        to_chrome_trace(self.lock().traces.spans())
     }
 }
 
@@ -183,6 +276,45 @@ mod tests {
         obs.record_at(SimTime(42), EventKind::TriggerFired { trigger: "t".into(), action: "notify".into() });
         assert_eq!(obs.events()[0].time, SimTime(42));
         assert_eq!(obs.now(), SimTime(100));
+    }
+
+    #[test]
+    fn set_now_never_moves_the_clock_backwards() {
+        let obs = Obs::new(16);
+        obs.set_now(SimTime(100));
+        obs.set_now(SimTime(40)); // regression: ignored
+        assert_eq!(obs.now(), SimTime(100));
+        obs.record(EventKind::TriggerFired { trigger: "t".into(), action: "notify".into() });
+        assert_eq!(obs.events()[0].time, SimTime(100), "events never time-travel");
+        obs.set_now(SimTime(200));
+        assert_eq!(obs.now(), SimTime(200));
+    }
+
+    #[test]
+    fn spans_nest_close_and_feed_percentile_gauges() {
+        let obs = Obs::new(16);
+        obs.set_now(SimTime(10));
+        let root = obs.span_start(SpanKind::Flow, "f", None);
+        let child = obs.span_start(SpanKind::DgmsOp, "ingest", Some(root));
+        obs.span_attr(child, "path", "/x");
+        obs.set_now(SimTime(30));
+        obs.span_end(child);
+        obs.span_end_at(root, SimTime(50));
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(root.span));
+        assert_eq!(spans[1].duration_us(), Some(20));
+        assert_eq!(obs.trace_spans(root.trace).len(), 2);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("trace", "span.dgms-op").count, 1);
+        assert_eq!(snap.gauge("trace", "span.dgms-op.p50_us"), 20);
+        assert_eq!(snap.gauge("trace", "span.flow.p99_us"), 40);
+
+        let json = obs.export_chrome_trace();
+        assert!(json.contains("\"name\":\"ingest\""));
+        assert!(json.contains("\"path\":\"/x\""));
     }
 
     #[test]

@@ -314,7 +314,19 @@ impl MetricsSnapshot {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element with at least `p`% of the samples at or below it. Returns 0
+/// for an empty slice; `p` is clamped to `(0, 100]`.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -335,6 +347,33 @@ fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_nearest_rank_at_tiny_sample_counts() {
+        // 0 samples: defined as 0 for every percentile.
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[], 99.0), 0);
+        // 1 sample: every percentile is that sample.
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 95.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        // 2 samples: p50 is the lower, p95/p99 the upper.
+        assert_eq!(percentile(&[3, 9], 50.0), 3);
+        assert_eq!(percentile(&[3, 9], 95.0), 9);
+        assert_eq!(percentile(&[3, 9], 99.0), 9);
+        // Degenerate p values clamp instead of panicking.
+        assert_eq!(percentile(&[3, 9], 0.0), 3);
+        assert_eq!(percentile(&[3, 9], 200.0), 9);
+    }
+
+    #[test]
+    fn percentile_matches_nearest_rank_on_a_larger_sample() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+    }
 
     #[test]
     fn counters_accumulate_and_scopes_stay_separate() {

@@ -92,6 +92,42 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_capacity_drops_nothing() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..3 {
+            r.record(SimTime(i), fired(i as u32));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn past_capacity_overwrites_oldest_first_and_stays_ordered() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..4 {
+            r.record(SimTime(i), fired(i as u32));
+        }
+        // One past capacity: the single oldest event (seq 0) is gone and
+        // events() is still oldest-first with gap-free seqs.
+        let events = r.events();
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(events.iter().map(|e| e.time.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.dropped(), 1);
+        // events() is stable: reading does not consume or reorder.
+        assert_eq!(r.events(), events);
+        // Keep wrapping a second full lap; order still holds.
+        for i in 4..9 {
+            r.record(SimTime(i), fired(i as u32));
+        }
+        assert_eq!(r.events().iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8]);
+        assert_eq!(r.total(), 9);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
     fn recent_takes_the_tail() {
         let mut r = FlightRecorder::new(8);
         for i in 0..6 {

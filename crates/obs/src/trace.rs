@@ -1,0 +1,139 @@
+//! The trace store: append-only span storage with deterministic id
+//! allocation and per-kind latency accounting.
+//!
+//! One [`TraceStore`] lives inside the shared [`crate::Obs`] handle,
+//! next to the flight recorder and the metrics registry, so every
+//! subsystem records spans through the same clock and the same
+//! counters. Spans are never evicted — the paper's provenance
+//! requirement ("inspectable even (years) after the execution", §2.1)
+//! wants the causal record whole; bound memory by scoping a store to a
+//! run, as the engine does per server.
+
+use crate::span::{Span, SpanContext, SpanId, SpanKind, TraceId};
+use dgf_simgrid::SimTime;
+use std::collections::BTreeMap;
+
+/// Append-only span storage. Ids come from monotonic counters so a
+/// seeded run records the identical trace every time.
+#[derive(Debug, Default)]
+pub(crate) struct TraceStore {
+    spans: Vec<Span>,
+    next_trace: u64,
+    /// Completed-span durations (µs) per kind, in completion order;
+    /// sorted copies feed the percentile gauges at snapshot time.
+    durations: BTreeMap<SpanKind, Vec<u64>>,
+}
+
+impl TraceStore {
+    /// Open a span at `time`. A span without a parent roots a fresh
+    /// trace; a child inherits its parent's trace id.
+    pub(crate) fn start(
+        &mut self,
+        time: SimTime,
+        kind: SpanKind,
+        name: &str,
+        parent: Option<SpanContext>,
+    ) -> SpanContext {
+        let trace = match parent {
+            Some(ctx) => ctx.trace,
+            None => {
+                self.next_trace += 1;
+                TraceId(self.next_trace)
+            }
+        };
+        let id = SpanId(self.spans.len() as u64 + 1);
+        self.spans.push(Span {
+            id,
+            trace,
+            parent: parent.map(|ctx| ctx.span),
+            kind,
+            name: name.to_owned(),
+            start: time,
+            end: None,
+            attrs: Vec::new(),
+        });
+        SpanContext { trace, span: id }
+    }
+
+    /// Close a span at `time`. Returns the span's kind and duration so
+    /// the caller can feed the metrics registry; `None` when the span is
+    /// unknown or already closed (closing twice is a no-op).
+    pub(crate) fn end(&mut self, ctx: SpanContext, time: SimTime) -> Option<(SpanKind, u64)> {
+        let span = self.get_mut(ctx.span)?;
+        if span.end.is_some() {
+            return None;
+        }
+        span.end = Some(time);
+        let kind = span.kind;
+        let dur = time.0.saturating_sub(span.start.0);
+        self.durations.entry(kind).or_default().push(dur);
+        Some((kind, dur))
+    }
+
+    /// Append an attribute to an open or closed span.
+    pub(crate) fn attr(&mut self, ctx: SpanContext, key: &str, value: &str) {
+        if let Some(span) = self.get_mut(ctx.span) {
+            span.attrs.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// All spans, in creation order.
+    pub(crate) fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The spans of one trace, in creation order.
+    pub(crate) fn trace_spans(&self, trace: TraceId) -> Vec<Span> {
+        self.spans.iter().filter(|s| s.trace == trace).cloned().collect()
+    }
+
+    /// Completed durations per kind (completion order, unsorted).
+    pub(crate) fn durations(&self) -> &BTreeMap<SpanKind, Vec<u64>> {
+        &self.durations
+    }
+
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut Span> {
+        // Ids are 1-based indexes into the append-only vector.
+        self.spans.get_mut(id.0.checked_sub(1)? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_children_inherit_the_trace() {
+        let mut store = TraceStore::default();
+        let root = store.start(SimTime(1), SpanKind::Flow, "f", None);
+        let child = store.start(SimTime(2), SpanKind::Request, "step", Some(root));
+        let other = store.start(SimTime(3), SpanKind::Flow, "g", None);
+        assert_eq!(root, SpanContext { trace: TraceId(1), span: SpanId(1) });
+        assert_eq!(child.trace, root.trace);
+        assert_eq!(child.span, SpanId(2));
+        assert_eq!(other.trace, TraceId(2));
+        assert_eq!(store.spans()[1].parent, Some(root.span));
+        assert_eq!(store.trace_spans(root.trace).len(), 2);
+    }
+
+    #[test]
+    fn end_is_idempotent_and_records_durations_per_kind() {
+        let mut store = TraceStore::default();
+        let ctx = store.start(SimTime(10), SpanKind::DgmsOp, "ingest", None);
+        assert_eq!(store.end(ctx, SimTime(35)), Some((SpanKind::DgmsOp, 25)));
+        assert_eq!(store.end(ctx, SimTime(99)), None, "second close is ignored");
+        assert_eq!(store.durations()[&SpanKind::DgmsOp], vec![25]);
+        assert_eq!(store.spans()[0].end, Some(SimTime(35)));
+    }
+
+    #[test]
+    fn attrs_append_in_order_and_unknown_ids_are_ignored() {
+        let mut store = TraceStore::default();
+        let ctx = store.start(SimTime(0), SpanKind::TriggerAction, "t", None);
+        store.attr(ctx, "a", "1");
+        store.attr(ctx, "b", "2");
+        store.attr(SpanContext { trace: ctx.trace, span: SpanId(99) }, "c", "3");
+        assert_eq!(store.spans()[0].attrs, vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+        assert_eq!(store.end(SpanContext { trace: ctx.trace, span: SpanId(99) }, SimTime(1)), None);
+    }
+}

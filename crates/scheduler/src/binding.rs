@@ -50,31 +50,36 @@ impl BindingCache {
     /// When the scheduler carries an observability handle, each call is
     /// counted into `scheduler/binding.plans` (a fresh plan was computed)
     /// or `scheduler/binding.replays` (an early-bound placement was
-    /// replayed from the pin cache).
+    /// replayed from the pin cache). When the caller also passes a span
+    /// context (`ctx`), a `binding` attribute — `plan` or `replay` — is
+    /// stamped on that span so traces show which path each task took.
     pub fn resolve(
         &mut self,
         scheduler: &mut Scheduler,
         grid: &DataGrid,
         key: &str,
         task: &AbstractTask,
+        ctx: Option<dgf_obs::SpanContext>,
     ) -> Result<Placement, PlannerError> {
+        let note = |scheduler: &Scheduler, which: &str| {
+            if let Some(obs) = scheduler.obs() {
+                obs.inc("scheduler", &format!("binding.{which}s"));
+                if let Some(ctx) = ctx {
+                    obs.span_attr(ctx, "binding", which);
+                }
+            }
+        };
         match self.mode {
             BindingMode::Late => {
-                if let Some(obs) = scheduler.obs() {
-                    obs.inc("scheduler", "binding.plans");
-                }
+                note(scheduler, "plan");
                 scheduler.plan(grid, task)
             }
             BindingMode::Early => {
                 if let Some(p) = self.pinned.get(key) {
-                    if let Some(obs) = scheduler.obs() {
-                        obs.inc("scheduler", "binding.replays");
-                    }
+                    note(scheduler, "replay");
                     return Ok(p.clone());
                 }
-                if let Some(obs) = scheduler.obs() {
-                    obs.inc("scheduler", "binding.plans");
-                }
+                note(scheduler, "plan");
                 let p = scheduler.plan(grid, task)?;
                 self.pinned.insert(key.to_owned(), p.clone());
                 Ok(p)
@@ -130,10 +135,10 @@ mod tests {
         let mut s = Scheduler::new(PlannerKind::CostBased, 1);
         let mut cache = BindingCache::new(BindingMode::Late);
         let task = AbstractTask::compute_only("t", Duration::from_secs(10));
-        let p1 = cache.resolve(&mut s, &g, "k", &task).unwrap();
+        let p1 = cache.resolve(&mut s, &g, "k", &task, None).unwrap();
         // Kill the chosen resource; late binding routes around it.
         g.topology_mut().compute_mut(p1.compute).online = false;
-        let p2 = cache.resolve(&mut s, &g, "k", &task).unwrap();
+        let p2 = cache.resolve(&mut s, &g, "k", &task, None).unwrap();
         assert_ne!(p1.compute, p2.compute);
         assert_eq!(cache.pinned_count(), 0);
     }
@@ -144,9 +149,9 @@ mod tests {
         let mut s = Scheduler::new(PlannerKind::CostBased, 1);
         let mut cache = BindingCache::new(BindingMode::Early);
         let task = AbstractTask::compute_only("t", Duration::from_secs(10));
-        let p1 = cache.resolve(&mut s, &g, "k", &task).unwrap();
+        let p1 = cache.resolve(&mut s, &g, "k", &task, None).unwrap();
         g.topology_mut().compute_mut(p1.compute).online = false;
-        let p2 = cache.resolve(&mut s, &g, "k", &task).unwrap();
+        let p2 = cache.resolve(&mut s, &g, "k", &task, None).unwrap();
         assert_eq!(p1.compute, p2.compute, "early binding sticks to the stale choice");
         assert_eq!(cache.pinned_count(), 1);
     }

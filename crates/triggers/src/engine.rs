@@ -130,8 +130,10 @@ impl TriggerEngine {
     ///
     /// `depth` is the cascade depth of the activity that produced these
     /// events; resulting firings carry `depth + 1` and firings that would
-    /// exceed the limit are counted and dropped.
-    pub fn poll(&mut self, grid: &DataGrid, depth: u32) -> Vec<Firing> {
+    /// exceed the limit are counted and dropped. `ctx`, when given, is
+    /// the span of the activity that emitted the events; it is stamped
+    /// onto each firing so actions trace back to their cause.
+    pub fn poll(&mut self, grid: &DataGrid, depth: u32, ctx: Option<dgf_obs::SpanContext>) -> Vec<Firing> {
         let events: Vec<NamespaceEvent> = grid.events_since(self.cursor).to_vec();
         if let Some(last) = events.last() {
             self.cursor = last.seq + 1;
@@ -140,7 +142,7 @@ impl TriggerEngine {
         for event in &events {
             self.stats.events_seen += 1;
             self.obs_inc("events.seen");
-            firings.extend(self.match_event(grid, event, depth, Timing::After));
+            firings.extend(self.match_event(grid, event, depth, Timing::After, ctx));
         }
         firings
     }
@@ -157,6 +159,7 @@ impl TriggerEngine {
         principal: &str,
         now: SimTime,
         depth: u32,
+        ctx: Option<dgf_obs::SpanContext>,
     ) -> Vec<Firing> {
         let Some(kind) = prospective_kind(op) else { return Vec::new() };
         let event = NamespaceEvent {
@@ -167,10 +170,17 @@ impl TriggerEngine {
             time: now,
             detail: format!("before {}", op.verb()),
         };
-        self.match_event(grid, &event, depth, Timing::Before)
+        self.match_event(grid, &event, depth, Timing::Before, ctx)
     }
 
-    fn match_event(&mut self, grid: &DataGrid, event: &NamespaceEvent, depth: u32, timing: Timing) -> Vec<Firing> {
+    fn match_event(
+        &mut self,
+        grid: &DataGrid,
+        event: &NamespaceEvent,
+        depth: u32,
+        timing: Timing,
+        ctx: Option<dgf_obs::SpanContext>,
+    ) -> Vec<Firing> {
         let mut matched: Vec<(usize, &Trigger)> = self
             .triggers
             .iter()
@@ -208,6 +218,7 @@ impl TriggerEngine {
                         depth: depth + 1,
                         action: trigger.action.clone(),
                         bindings,
+                        ctx,
                     });
                 }
                 Ok(false) => {}
@@ -279,12 +290,12 @@ mod tests {
         let mut engine = TriggerEngine::new();
         assert!(engine.register(notify("t1", "u").on(&[EventKind::ObjectIngested])));
         ingest(&mut g, "/a", 10);
-        let firings = engine.poll(&g, 0);
+        let firings = engine.poll(&g, 0, None);
         assert_eq!(firings.len(), 1);
         assert_eq!(firings[0].trigger, "t1");
         assert_eq!(firings[0].depth, 1);
         // Cursor advanced: polling again yields nothing.
-        assert!(engine.poll(&g, 0).is_empty());
+        assert!(engine.poll(&g, 0, None).is_empty());
         assert_eq!(engine.stats().fired, 1);
     }
 
@@ -298,9 +309,9 @@ mod tests {
                 .when(Expr::parse("object.size > 1000").unwrap()),
         );
         ingest(&mut g, "/small", 10);
-        assert!(engine.poll(&g, 0).is_empty());
+        assert!(engine.poll(&g, 0, None).is_empty());
         ingest(&mut g, "/big", 10_000);
-        assert_eq!(engine.poll(&g, 0).len(), 1);
+        assert_eq!(engine.poll(&g, 0, None).len(), 1);
     }
 
     #[test]
@@ -317,7 +328,7 @@ mod tests {
         ingest(&mut g, "/x", 10);
         g.execute("u", Operation::SetMetadata { path: path("/x"), triple: MetaTriple::new("document-type", "raw") }, SimTime::ZERO)
             .unwrap();
-        let firings = engine.poll(&g, 0);
+        let firings = engine.poll(&g, 0, None);
         assert_eq!(firings.len(), 1, "fires on the metadata event, not the ingest");
     }
 
@@ -345,15 +356,15 @@ mod tests {
         ingest(&mut g, "/x", 1);
 
         let mut reg = make_engine(OrderingPolicy::Registration);
-        let order: Vec<_> = reg.poll(&g, 0).into_iter().map(|f| f.trigger).collect();
+        let order: Vec<_> = reg.poll(&g, 0, None).into_iter().map(|f| f.trigger).collect();
         assert_eq!(order, ["alice-t", "bob-t", "carol-t"]);
 
         let mut pri = make_engine(OrderingPolicy::Priority);
-        let order: Vec<_> = pri.poll(&g, 0).into_iter().map(|f| f.trigger).collect();
+        let order: Vec<_> = pri.poll(&g, 0, None).into_iter().map(|f| f.trigger).collect();
         assert_eq!(order, ["bob-t", "carol-t", "alice-t"]);
 
         let mut rank = make_engine(OrderingPolicy::OwnerRank(vec!["carol".into(), "alice".into()]));
-        let order: Vec<_> = rank.poll(&g, 0).into_iter().map(|f| f.trigger).collect();
+        let order: Vec<_> = rank.poll(&g, 0, None).into_iter().map(|f| f.trigger).collect();
         assert_eq!(order, ["carol-t", "alice-t", "bob-t"], "unlisted owners last");
     }
 
@@ -363,15 +374,15 @@ mod tests {
         let mut engine = TriggerEngine::new().with_max_depth(2);
         engine.register(notify("t", "u").on(&[EventKind::ObjectIngested]));
         ingest(&mut g, "/a", 1);
-        let f1 = engine.poll(&g, 0);
+        let f1 = engine.poll(&g, 0, None);
         assert_eq!(f1[0].depth, 1);
         // Pretend the firing's flow ingested another object.
         ingest(&mut g, "/b", 1);
-        let f2 = engine.poll(&g, f1[0].depth);
+        let f2 = engine.poll(&g, f1[0].depth, None);
         assert_eq!(f2[0].depth, 2);
         // Next generation exceeds the limit and is suppressed.
         ingest(&mut g, "/c", 1);
-        let f3 = engine.poll(&g, f2[0].depth);
+        let f3 = engine.poll(&g, f2[0].depth, None);
         assert!(f3.is_empty());
         assert_eq!(engine.stats().suppressed_by_depth, 1);
     }
@@ -386,9 +397,9 @@ mod tests {
                 .before(),
         );
         ingest(&mut g, "/x", 1);
-        assert!(engine.poll(&g, 0).is_empty(), "AFTER poll ignores BEFORE triggers");
+        assert!(engine.poll(&g, 0, None).is_empty(), "AFTER poll ignores BEFORE triggers");
         let op = Operation::Delete { path: path("/x") };
-        let firings = engine.before_op(&g, &op, "u", SimTime::ZERO, 0);
+        let firings = engine.before_op(&g, &op, "u", SimTime::ZERO, 0, None);
         assert_eq!(firings.len(), 1);
         // The object still exists at BEFORE time.
         assert!(g.exists(&path("/x")));
@@ -405,7 +416,7 @@ mod tests {
         );
         engine.register(notify("healthy", "u"));
         ingest(&mut g, "/x", 1);
-        let firings = engine.poll(&g, 0);
+        let firings = engine.poll(&g, 0, None);
         assert_eq!(firings.len(), 1);
         assert_eq!(firings[0].trigger, "healthy");
         assert_eq!(engine.stats().condition_errors, 1);

@@ -1,12 +1,15 @@
-//! Observability: the flight recorder and metrics registry, inspected
-//! both in-process and over the DGL wire.
+//! Observability: the flight recorder, metrics registry, and span
+//! tracer, inspected both in-process and over the DGL wire.
 //!
 //! ```sh
 //! cargo run --example observability
+//! # write the span timeline as Chrome trace-event JSON (open it at
+//! # chrome://tracing or https://ui.perfetto.dev):
+//! DGF_TRACE_OUT=/tmp/dgf-trace.json cargo run --example observability
 //! ```
 //!
-//! See `docs/OBSERVABILITY.md` for the full event taxonomy and metric
-//! name reference.
+//! See `docs/OBSERVABILITY.md` for the full event taxonomy, metric
+//! name reference, and span hierarchy.
 
 use datagridflows::prelude::*;
 
@@ -72,7 +75,40 @@ fn main() {
         println!("  {}/{} {} {}", m.scope, m.name, m.kind, m.value);
     }
 
-    // 5. The full registry, via the text exporter (`to_json` is the
-    //    machine-readable sibling).
+    // 5. The causal span timeline: one trace per submitted flow, with
+    //    request, binding, dgms-op, and transfer spans hanging off it.
+    //    The same tree travels the wire via `with_trace`.
+    let trace_q = FlowStatusQuery::whole(&txn).with_trace();
+    let trace_req = DataGridRequest::status("obs-query-2", "arun", trace_q);
+    let trace_resp = datagridflows::dgl::parse_response(&dfms.handle_xml(&trace_req.to_xml())).unwrap();
+    let ResponseBody::Status(traced) = trace_resp.body else { panic!("expected a status report") };
+    println!("\n--- span timeline ({} spans) ---", traced.spans.len());
+    let depth_of = |s: &ReportSpan| {
+        let mut d = 0;
+        let mut parent = s.parent;
+        while let Some(p) = parent {
+            parent = traced.spans.iter().find(|c| c.id == p).and_then(|c| c.parent);
+            d += 1;
+        }
+        d
+    };
+    for s in &traced.spans {
+        let end = s.end_us.map(|e| e.to_string()).unwrap_or_else(|| "open".into());
+        println!("  {:indent$}{} \"{}\" [{} .. {}]us", "", s.kind, s.name, s.start_us, end, indent = depth_of(s) * 2);
+    }
+
+    // 6. Chrome trace-event export — byte-identical across seeded
+    //    reruns, so a trace file is a reproducible artifact.
+    let chrome = dfms.obs().export_chrome_trace();
+    if let Ok(path) = std::env::var("DGF_TRACE_OUT") {
+        std::fs::write(&path, &chrome).expect("trace file is writable");
+        println!("\nwrote {} bytes of chrome trace JSON to {path}", chrome.len());
+    } else {
+        println!("\nchrome trace export: {} bytes (set DGF_TRACE_OUT=/path.json to write it)", chrome.len());
+    }
+
+    // 7. The full registry, via the text exporter (`to_json` is the
+    //    machine-readable sibling). Span latency percentiles appear as
+    //    `trace/span.<kind>.p50|p95|p99_us` gauges.
     println!("\n--- metrics snapshot ---\n{}", dfms.metrics_snapshot().to_text());
 }

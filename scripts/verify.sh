@@ -4,6 +4,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Build artifacts must never be committed.
+if [ -n "$(git ls-files 'target/*')" ]; then
+    echo "verify: target/ files are tracked in git; run 'git rm -r --cached target'" >&2
+    exit 1
+fi
+
 cargo build --release
 cargo test -q
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Trace determinism: the observability suite must be stable across
+# invocations, and two identically-seeded runs must export
+# byte-identical Chrome trace JSON.
+cargo test -q -p datagridflows --test observability
+cargo test -q -p datagridflows --test observability
+trace_a=$(mktemp) trace_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b"' EXIT
+DGF_TRACE_OUT="$trace_a" cargo run -q --example observability >/dev/null
+DGF_TRACE_OUT="$trace_b" cargo run -q --example observability >/dev/null
+if ! cmp -s "$trace_a" "$trace_b"; then
+    echo "verify: exported chrome traces differ between seeded reruns" >&2
+    diff "$trace_a" "$trace_b" | head -20 >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -101,6 +101,7 @@ fn figure4_response_variants_round_trip() {
             children: vec![("/0/0".into(), "cp".into(), RunState::Completed)],
             events: vec![],
             metrics: vec![],
+            spans: vec![],
         },
     );
     assert_eq!(dgl::parse_response(&status.to_xml()).unwrap(), status);

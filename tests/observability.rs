@@ -112,6 +112,104 @@ fn node_scoped_event_queries_filter_to_the_subtree() {
 }
 
 #[test]
+fn every_activity_span_parents_back_to_a_flow_root() {
+    let (d, _) = seeded_run(7);
+    let spans = d.obs().spans();
+    assert!(!spans.is_empty(), "a seeded run must produce spans");
+    let by_id: std::collections::HashMap<u64, &Span> = spans.iter().map(|s| (s.id.0, s)).collect();
+    let activity = [
+        SpanKind::SchedulerBinding,
+        SpanKind::DgmsOp,
+        SpanKind::NetworkTransfer,
+        SpanKind::TriggerAction,
+    ];
+    for kind in activity {
+        assert!(spans.iter().any(|s| s.kind == kind), "no {} span recorded", kind.name());
+    }
+    for s in &spans {
+        assert!(s.end.is_some(), "span {} ({}) left open", s.id.0, s.name);
+        assert!(s.end.unwrap() >= s.start, "span {} ends before it starts", s.id.0);
+        if !activity.contains(&s.kind) {
+            continue;
+        }
+        // Walk the parent chain: it must terminate at a flow span of the
+        // same trace.
+        let mut at = s;
+        let mut hops = 0;
+        while let Some(parent) = at.parent {
+            at = by_id[&parent.0];
+            assert_eq!(at.trace, s.trace, "parent chain crossed traces");
+            hops += 1;
+            assert!(hops < 64, "parent chain of span {} does not terminate", s.id.0);
+        }
+        assert_eq!(at.kind, SpanKind::Flow, "span {} ({}) roots at {:?}, not a flow", s.id.0, s.name, at.kind);
+    }
+}
+
+#[test]
+fn seeded_runs_export_byte_identical_chrome_traces() {
+    let (a, _) = seeded_run(7);
+    let (b, _) = seeded_run(7);
+    let ja = a.obs().export_chrome_trace();
+    let jb = b.obs().export_chrome_trace();
+    assert!(ja.contains("\"traceEvents\""), "export is not chrome trace-event JSON: {ja}");
+    assert!(ja.contains("\"ph\""), "export carries no events");
+    assert_eq!(ja, jb, "identically-seeded runs must export byte-identical traces");
+}
+
+#[test]
+fn trace_query_round_trips_the_dgl_wire() {
+    let (mut d, txn) = seeded_run(7);
+    let query = FlowStatusQuery::whole(&txn).with_trace();
+    let request = DataGridRequest::status("q3", "u", query);
+    let response = datagridflows::dgl::parse_response(&d.handle_xml(&request.to_xml())).unwrap();
+    let ResponseBody::Status(report) = response.body else { panic!("expected a status report") };
+    assert!(!report.spans.is_empty(), "with_trace must return spans");
+    let ids: std::collections::HashSet<u64> = report.spans.iter().map(|s| s.id).collect();
+    let root = report.spans.iter().find(|s| s.parent.is_none()).expect("a trace root");
+    assert_eq!(root.kind, "flow");
+    for s in &report.spans {
+        assert_eq!(s.trace, root.trace, "whole-flow query returns a single trace");
+        if let Some(p) = s.parent {
+            assert!(ids.contains(&p), "span {} has a dangling parent {p}", s.id);
+        }
+        assert!(s.end_us.is_some(), "span {} still open in a completed run", s.id);
+    }
+    // The span tree reaches every instrumented layer over the wire.
+    for kind in ["request", "scheduler-binding", "dgms-op", "network-transfer"] {
+        assert!(report.spans.iter().any(|s| s.kind == kind), "missing {kind} span on the wire");
+    }
+    // Node-scoped queries narrow the tree to the subtree.
+    let sub_q = FlowStatusQuery::node(&txn, "/2").with_trace();
+    let sub_req = DataGridRequest::status("q4", "u", sub_q);
+    let sub_resp = datagridflows::dgl::parse_response(&d.handle_xml(&sub_req.to_xml())).unwrap();
+    let ResponseBody::Status(sub) = sub_resp.body else { panic!("expected a status report") };
+    assert!(!sub.spans.is_empty(), "the compute node has spans");
+    assert!(sub.spans.len() < report.spans.len(), "subtree query must narrow the span set");
+}
+
+#[test]
+fn provenance_records_join_the_trace() {
+    let (d, txn) = seeded_run(7);
+    let records = d.provenance().query(&ProvenanceQuery::transaction(&txn));
+    assert!(!records.is_empty());
+    let spans = d.obs().spans();
+    for r in records {
+        let trace = r.trace_id.unwrap_or_else(|| panic!("record {} missing trace join", r.node));
+        let span = r.span_id.expect("span join");
+        let joined = spans
+            .iter()
+            .find(|s| s.trace.0 == trace && s.id.0 == span)
+            .unwrap_or_else(|| panic!("record {} joins a missing span", r.node));
+        assert!(
+            matches!(joined.kind, SpanKind::Flow | SpanKind::Request),
+            "provenance joins node spans, got {:?}",
+            joined.kind
+        );
+    }
+}
+
+#[test]
 fn legacy_metrics_shape_agrees_with_the_registry() {
     let (d, txn) = seeded_run(7);
     let legacy = d.metrics();
