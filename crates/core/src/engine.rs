@@ -7,7 +7,7 @@ use crate::run::{Cursor, NodeBody, NodeId, Run, RunId, RunOptions};
 use dgf_dgl::{
     interpolate, Children, ControlPattern, DataGridRequest, DataGridResponse, DglOperation, Expr,
     Flow, FlowStatusQuery, IterSource, RequestAck, RequestBody, RequestMode, RunState, Scope,
-    StatusReport, Step, UserDefinedRule, Value,
+    StatusReport, Step, TelemetryQuery, TelemetryReport, UserDefinedRule, Value,
 };
 use dgf_dgms::{
     DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, NamespaceEvent, Operation,
@@ -226,6 +226,130 @@ impl Dfms {
         &self.catalog
     }
 
+    // ------------------------------------------------------------------
+    // Live telemetry (time-series sampling, health watchdog, scrape/tail)
+    // ------------------------------------------------------------------
+
+    /// Configure the telemetry subsystem: the time-series sampling
+    /// schedule and the flow-health watchdog deadlines. Both default to
+    /// sensible values (see [`dgf_obs::SamplingConfig`] and
+    /// [`dgf_obs::HealthConfig`]); call this before submitting flows to
+    /// tighten or relax them.
+    pub fn configure_telemetry(&mut self, sampling: dgf_obs::SamplingConfig, health: dgf_obs::HealthConfig) {
+        self.obs.ts_configure(sampling);
+        self.obs.health_configure(health);
+    }
+
+    /// Force a telemetry sample pass right now: every live gauge is
+    /// appended to its time series, the flows-by-state and queue-depth
+    /// gauges are refreshed, and the flow-health watchdog re-classifies
+    /// every live flow (emitting `health.*` recorder events and the
+    /// `dfms/flows_stalled` gauge on transitions).
+    ///
+    /// The event loop calls this automatically whenever the sampling
+    /// interval has elapsed; operator surfaces call it before building
+    /// a scrape so the report is never staler than "now".
+    pub fn sample_telemetry(&mut self) {
+        self.obs.set_now(self.now());
+        let topology = self.grid.topology();
+        // Per-storage occupancy, labeled by resource name (sorted keys
+        // keep the scrape stable; resource names are unique).
+        for sid in topology.storage_ids().collect::<Vec<_>>() {
+            let s = topology.storage(sid);
+            self.obs.ts_record("storage.used_bytes", &s.name, s.used as i64);
+        }
+        // Per-link utilization: concurrently active transfers on each
+        // link, labeled by its endpoint domains.
+        for idx in 0..topology.link_count() {
+            let id = dgf_simgrid::LinkId(idx as u32);
+            let link = topology.link(id);
+            let label = format!(
+                "{}~{}",
+                topology.domain(link.endpoints.0).name,
+                topology.domain(link.endpoints.1).name
+            );
+            let active = self.grid.transfer_model().active_on(id);
+            self.obs.ts_record("link.active_transfers", &label, active as i64);
+        }
+        // Per-cluster busy slots.
+        for cid in topology.compute_ids().collect::<Vec<_>>() {
+            let c = topology.compute(cid);
+            self.obs.ts_record("compute.busy_slots", &c.name, c.busy as i64);
+        }
+        // Scheduler/engine load: event-queue depth and in-flight ops.
+        self.obs.ts_record("engine.queue_depth", "", self.queue.len() as i64);
+        self.obs.ts_record("engine.pending_ops", "", self.pending_ops.len() as i64);
+        self.obs.gauge_set("engine", "queue.depth", self.queue.len() as i64);
+        self.obs.gauge_set("engine", "pending.ops", self.pending_ops.len() as i64);
+        self.obs.gauge_set(
+            "grid",
+            "transfers.active",
+            self.grid.transfer_model().total_active_shares() as i64,
+        );
+        // Flows by state: every state is recorded each pass (zeros
+        // included) so the series' label set never varies between runs.
+        const STATES: [RunState; 7] = [
+            RunState::Pending,
+            RunState::Running,
+            RunState::Paused,
+            RunState::Completed,
+            RunState::Failed,
+            RunState::Stopped,
+            RunState::Skipped,
+        ];
+        for state in STATES {
+            let count = self.runs.iter().filter(|r| r.nodes[0].state == state).count() as i64;
+            self.obs.ts_record("flows.state", &state.to_string(), count);
+            self.obs.gauge_set("dfms", &format!("flows.{state}"), count);
+        }
+        self.obs.ts_mark_sampled();
+        self.obs.health_check();
+    }
+
+    /// The Prometheus-style text scrape: every current metric (including
+    /// the live `grid` transfer totals) plus every time-series rollup,
+    /// stable-ordered and deterministic across identically-seeded runs.
+    pub fn telemetry_scrape(&self) -> String {
+        let snap = self.metrics_snapshot();
+        dgf_obs::render_scrape(&snap, &self.obs.ts_store(), self.obs.now())
+    }
+
+    /// Cursor-read the flight recorder: events with `seq >= cursor`
+    /// (oldest first, at most `limit`), the cursor to resume from, and
+    /// an explicit count of events the bounded ring evicted before the
+    /// reader caught up. See [`dgf_obs::FlightRecorder::tail`].
+    pub fn tail_events(&self, cursor: u64, limit: usize) -> dgf_obs::EventTail {
+        self.obs.tail(cursor, limit)
+    }
+
+    /// Answer a DGL [`TelemetryQuery`]: samples fresh telemetry, then
+    /// assembles the requested scrape and/or tail page.
+    pub fn telemetry_query(&mut self, q: &TelemetryQuery) -> TelemetryReport {
+        /// Tail page cap when the query does not name one.
+        const DEFAULT_TAIL_LIMIT: usize = 256;
+        self.sample_telemetry();
+        let mut report = TelemetryReport { time_us: self.obs.now().0, ..TelemetryReport::default() };
+        if q.scrape {
+            report.scrape = Some(self.telemetry_scrape());
+        }
+        if let Some(cursor) = q.tail_from {
+            let tail = self.tail_events(cursor, q.tail_limit.unwrap_or(DEFAULT_TAIL_LIMIT));
+            report.events = tail
+                .events
+                .iter()
+                .map(|e| dgf_dgl::ReportEvent {
+                    time_us: e.time.0,
+                    seq: e.seq,
+                    kind: e.kind.name().to_owned(),
+                    detail: e.kind.detail(),
+                })
+                .collect();
+            report.next_cursor = Some(tail.next_cursor);
+            report.dropped = Some(tail.dropped);
+        }
+        report
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -248,6 +372,10 @@ impl Dfms {
                     RequestAck { transaction: q.transaction.clone(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
                 ),
             },
+            RequestBody::Telemetry(q) => {
+                let report = self.telemetry_query(&q.clone());
+                DataGridResponse::telemetry(&request.id, report)
+            }
             RequestBody::Flow(_) => {
                 let mode = request.mode;
                 let request_id = request.id.clone();
@@ -368,6 +496,8 @@ impl Dfms {
         self.runs[id.0 as usize].nodes[0].span = Some(flow_span);
         self.obs.inc("engine", "runs.submitted");
         self.obs.record(ObsKind::RunSubmitted { txn: txn.clone(), flow: flow_name, user: user.to_owned() });
+        // The watchdog counts submission as the first progress.
+        self.obs.health_register(&txn);
         self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
         Ok(txn)
     }
@@ -709,6 +839,12 @@ impl Dfms {
         // Stamp the shared observability clock so every event recorded
         // while handling this work item carries the simulation time.
         self.obs.set_now(self.now());
+        // Opportunistic telemetry: sample gauges and run the health
+        // watchdog whenever the sampling interval has elapsed. Driven
+        // by the event loop, so sampling times are deterministic.
+        if self.obs.ts_due() {
+            self.sample_telemetry();
+        }
         match work {
             Work::Start { run, node } => self.start_node(run, node),
             Work::OpDone { run, node } => self.op_done(run, node),
@@ -1873,6 +2009,9 @@ impl Dfms {
             let run_scope = format!("run:{}", record.transaction);
             self.obs.inc(&run_scope, &format!("steps.{}", outcome.as_str()));
             self.obs.observe(&run_scope, "step.duration", duration);
+            // A finished step advances the flow's progress watermark
+            // (the watchdog's definition of liveness).
+            self.obs.health_progress(&record.transaction, finished);
         }
         self.provenance.record(record);
     }
@@ -1885,7 +2024,9 @@ impl Dfms {
         let duration = node.finished.since(node.started);
         let txn = run.txn.clone();
         self.obs.observe("engine", "run.duration", duration);
-        self.obs.record(ObsKind::RunFinished { txn, state: state.into() });
+        self.obs.record(ObsKind::RunFinished { txn: txn.clone(), state: state.into() });
+        // Terminal flows leave the watchdog's watch list.
+        self.obs.health_finish(&txn);
     }
 
     /// Run a node's user-defined rule with the given reserved name.

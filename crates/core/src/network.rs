@@ -117,6 +117,13 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
+            // Telemetry is grid-global: serve it from the first registered
+            // server (each server scrapes its own grid view).
+            RequestBody::Telemetry(_) => self
+                .order
+                .first()
+                .cloned()
+                .ok_or_else(|| DfmsError::NoRoute("network has no servers".into()))?,
         };
         let server = self
             .servers

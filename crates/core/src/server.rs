@@ -96,13 +96,47 @@ impl Drop for DfmsServer {
 impl ServerHandle {
     /// Send a DGL XML request and wait for the DGL XML response.
     ///
-    /// Returns `None` if the server has shut down.
+    /// Returns `None` *only* if the server has shut down. Malformed or
+    /// unrecognized documents still get a structured DGL error response
+    /// (an invalid [`dgf_dgl::RequestAck`] with a diagnostic message).
     pub fn request(&self, xml: &str) -> Option<String> {
         let (reply_tx, reply_rx) = bounded(1);
         self.sender
             .send(ClientMessage::Request { xml: xml.to_owned(), reply: reply_tx })
             .ok()?;
         reply_rx.recv().ok()
+    }
+
+    /// Fetch the grid-global Prometheus-style text scrape over the wire.
+    ///
+    /// Returns `None` if the server has shut down or answered with
+    /// something other than a telemetry report.
+    pub fn scrape(&self) -> Option<String> {
+        let xml = dgf_dgl::DataGridRequest::telemetry("scrape", "operator", dgf_dgl::TelemetryQuery::scrape()).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::Telemetry(report) => report.scrape,
+            _ => None,
+        }
+    }
+
+    /// Tail the flight recorder from `cursor` over the wire.
+    ///
+    /// The returned report carries the events (oldest first), the cursor
+    /// to resume from, and an explicit count of events evicted before
+    /// the reader caught up. Returns `None` if the server has shut down
+    /// or answered with something other than a telemetry report.
+    pub fn tail(&self, cursor: u64, limit: Option<usize>) -> Option<dgf_dgl::TelemetryReport> {
+        let mut query = dgf_dgl::TelemetryQuery::tail(cursor);
+        if let Some(limit) = limit {
+            query = query.with_limit(limit);
+        }
+        let xml = dgf_dgl::DataGridRequest::telemetry("tail", "operator", query).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::Telemetry(report) => Some(report),
+            _ => None,
+        }
     }
 }
 
@@ -209,5 +243,63 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    // Pin: None from `request` means "server shut down", nothing else.
+    // Malformed XML and well-formed-but-unrecognized XML both yield a
+    // structured DGL error response, never a silent drop.
+    #[test]
+    fn every_bad_document_yields_a_structured_error_never_none() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        for bad in [
+            "",                                  // empty document
+            "<unclosed",                         // malformed XML
+            "not xml at all",                    // plain text
+            "<wrongRoot/>",                      // well-formed, wrong root
+            "<dataGridRequest id=\"r\"/>",       // recognized root, no body
+            "<dataGridRequest id=\"r\"><mystery/></dataGridRequest>", // unknown body
+        ] {
+            let xml = handle
+                .request(bad)
+                .unwrap_or_else(|| panic!("request({bad:?}) returned None with the server alive"));
+            let response = dgf_dgl::parse_response(&xml)
+                .unwrap_or_else(|e| panic!("unparseable error response for {bad:?}: {e}"));
+            match response.body {
+                ResponseBody::Ack(a) => {
+                    assert!(!a.valid, "{bad:?} must be rejected");
+                    assert!(a.message.is_some(), "{bad:?} must carry a diagnostic");
+                }
+                other => panic!("expected invalid ack for {bad:?}, got {other:?}"),
+            }
+        }
+        drop(handle);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn none_is_reserved_for_shutdown() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let _ = server.shutdown();
+        assert!(handle.request("<garbage").is_none());
+    }
+
+    #[test]
+    fn scrape_and_tail_work_over_the_wire() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let _ = handle.request(&ingest_request("r1", "/t.dat")).unwrap();
+        let scrape = handle.scrape().unwrap();
+        assert!(scrape.starts_with("# dgf telemetry scrape at "));
+        assert!(scrape.contains("dgf_metric{scope=\"server\",name=\"requests.served\""));
+        let page = handle.tail(0, Some(4)).unwrap();
+        assert_eq!(page.events.len(), 4);
+        assert_eq!(page.dropped, Some(0));
+        let next = handle.tail(page.next_cursor.unwrap(), None).unwrap();
+        // Resuming from the returned cursor never re-delivers an event.
+        assert!(next.events.iter().all(|e| e.seq >= page.next_cursor.unwrap()));
+        drop(handle);
+        let _ = server.shutdown();
     }
 }

@@ -110,10 +110,11 @@ pub mod prelude {
     pub use crate::dgl::{
         DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
         FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RequestBody, ResponseBody,
-        RunState, StatusReport, Step, Value,
+        RunState, StatusReport, Step, TelemetryQuery, TelemetryReport, Value,
     };
     pub use crate::obs::{
-        to_chrome_trace, MetricsSnapshot, Obs, ObsEvent, Span, SpanContext, SpanId, SpanKind,
+        to_chrome_trace, EventTail, FlowHealth, HealthConfig, HealthState, MetricsSnapshot, Obs,
+        ObsEvent, Rollup, SamplingConfig, Span, SpanContext, SpanId, SpanKind, TimeSeriesStore,
         TraceId,
     };
     pub use crate::dgms::{
@@ -127,8 +128,8 @@ pub mod prelude {
         AbstractTask, BindingMode, CostWeights, PlannerKind, Scheduler, Sla, VirtualDataCatalog,
     };
     pub use crate::simgrid::{
-        Duration, FailurePlan, GridBuilder, GridPreset, ScheduleWindow, SimTime, StorageResource,
-        StorageTier, Topology,
+        Duration, FailureEvent, FailurePlan, GridBuilder, GridPreset, ScheduleWindow, SimTime,
+        StorageResource, StorageTier, Topology,
     };
     pub use crate::triggers::{OrderingPolicy, Timing, Trigger, TriggerAction, TriggerEngine};
 }

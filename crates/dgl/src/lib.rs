@@ -32,6 +32,7 @@ mod response;
 mod scope;
 mod status;
 mod step;
+mod telemetry;
 mod value;
 mod xml_codec;
 
@@ -48,6 +49,7 @@ pub use response::{DataGridResponse, RequestAck, ResponseBody};
 pub use scope::Scope;
 pub use status::{FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RunState, StatusReport};
 pub use step::{DglOperation, Step};
+pub use telemetry::{TelemetryQuery, TelemetryReport};
 pub use value::Value;
 pub use xml_codec::{parse_request, parse_response};
 

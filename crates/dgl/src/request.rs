@@ -2,6 +2,7 @@
 
 use crate::flow::Flow;
 use crate::status::FlowStatusQuery;
+use crate::telemetry::TelemetryQuery;
 
 /// Whether the client wants to wait for execution or get an immediate
 /// acknowledgement (Appendix A: "the requests can be synchronous or
@@ -24,6 +25,8 @@ pub enum RequestBody {
     Flow(Flow),
     /// A status query on a previous transaction.
     StatusQuery(FlowStatusQuery),
+    /// A grid-global telemetry query (metric scrape / event tail).
+    Telemetry(TelemetryQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -67,6 +70,18 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::StatusQuery(query),
+        }
+    }
+
+    /// A telemetry request (grid-global scrape / event tail).
+    pub fn telemetry(id: impl Into<String>, user: impl Into<String>, query: TelemetryQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Telemetry(query),
         }
     }
 

@@ -1,6 +1,7 @@
 //! [`DataGridResponse`]: the DfMS→client document of Figure 4.
 
 use crate::status::{RunState, StatusReport};
+use crate::telemetry::TelemetryReport;
 
 /// A Request Acknowledgement: "contains a unique identifier for each
 /// request and the initial status of the request and its validity"
@@ -27,6 +28,8 @@ pub enum ResponseBody {
     /// Final or queried status (synchronous completions and status
     /// queries).
     Status(StatusReport),
+    /// Grid-global telemetry (scrape text and/or event-tail page).
+    Telemetry(TelemetryReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -49,11 +52,18 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::Status(report) }
     }
 
-    /// The transaction this response refers to.
+    /// A telemetry response.
+    pub fn telemetry(request_id: impl Into<String>, report: TelemetryReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Telemetry(report) }
+    }
+
+    /// The transaction this response refers to. Telemetry responses are
+    /// grid-global and carry none (empty string).
     pub fn transaction(&self) -> &str {
         match &self.body {
             ResponseBody::Ack(a) => &a.transaction,
             ResponseBody::Status(s) => &s.transaction,
+            ResponseBody::Telemetry(_) => "",
         }
     }
 }

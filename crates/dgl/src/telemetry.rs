@@ -1,0 +1,118 @@
+//! The telemetry operator surface of the protocol: a grid-global
+//! scrape/tail query and its report.
+//!
+//! Where [`crate::FlowStatusQuery`] asks about *one* flow, a
+//! [`TelemetryQuery`] asks about the *grid*: a Prometheus-style text
+//! scrape of every current metric and time-series rollup, and/or a
+//! cursor-based page of the flight recorder so a client can tail events
+//! across calls without gaps or duplicates. Like the rest of the crate,
+//! these are plain data — the engine interprets them; the XML codec
+//! lives in `xml_codec`.
+
+use std::fmt;
+
+/// A `<telemetryQuery>` request body: what the client wants scraped
+/// and/or tailed.
+///
+/// ```
+/// use dgf_dgl::TelemetryQuery;
+///
+/// let q = TelemetryQuery::scrape();
+/// assert!(q.scrape && q.tail_from.is_none());
+/// let t = TelemetryQuery::tail(120).with_limit(50);
+/// assert_eq!((t.tail_from, t.tail_limit), (Some(120), Some(50)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryQuery {
+    /// Include the Prometheus-style text scrape in the report.
+    pub scrape: bool,
+    /// Tail the flight recorder from this cursor (a sequence number;
+    /// `0` reads from the beginning). `None` skips the tail entirely.
+    pub tail_from: Option<u64>,
+    /// Cap on events returned by the tail; the server applies its own
+    /// default when unset.
+    pub tail_limit: Option<usize>,
+}
+
+impl TelemetryQuery {
+    /// Ask for the text scrape only.
+    pub fn scrape() -> Self {
+        TelemetryQuery { scrape: true, tail_from: None, tail_limit: None }
+    }
+
+    /// Ask for an event-tail page starting at `cursor`.
+    pub fn tail(cursor: u64) -> Self {
+        TelemetryQuery { scrape: false, tail_from: Some(cursor), tail_limit: None }
+    }
+
+    /// Also include the scrape (combinable with [`TelemetryQuery::tail`]).
+    pub fn with_scrape(mut self) -> Self {
+        self.scrape = true;
+        self
+    }
+
+    /// Cap the tail page size.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.tail_limit = Some(limit);
+        self
+    }
+}
+
+/// A `<telemetryReport>` response body.
+///
+/// `next_cursor`/`dropped` are present exactly when the query asked for
+/// a tail; resuming from `next_cursor` never re-delivers an event, and
+/// any history the bounded recorder evicted before the reader caught up
+/// is counted in `dropped` rather than silently skipped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryReport {
+    /// Simulation time (µs) at which the report was assembled.
+    pub time_us: u64,
+    /// The Prometheus-style text scrape, when requested.
+    pub scrape: Option<String>,
+    /// The tail page, oldest first, when a tail was requested.
+    pub events: Vec<crate::ReportEvent>,
+    /// Cursor to resume the tail from (tail queries only).
+    pub next_cursor: Option<u64>,
+    /// Events lost to ring eviction in `[cursor, oldest retained)`
+    /// (tail queries only).
+    pub dropped: Option<u64>,
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "telemetry @{}us", self.time_us)?;
+        if let Some(s) = &self.scrape {
+            write!(f, " scrape={}B", s.len())?;
+        }
+        if let Some(next) = self.next_cursor {
+            write!(f, " events={} next={} dropped={}", self.events.len(), next, self.dropped.unwrap_or(0))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let q = TelemetryQuery::tail(7).with_scrape().with_limit(3);
+        assert!(q.scrape);
+        assert_eq!(q.tail_from, Some(7));
+        assert_eq!(q.tail_limit, Some(3));
+    }
+
+    #[test]
+    fn report_display_is_compact() {
+        let r = TelemetryReport {
+            time_us: 99,
+            scrape: Some("x\n".into()),
+            events: vec![],
+            next_cursor: Some(4),
+            dropped: Some(1),
+        };
+        assert_eq!(r.to_string(), "telemetry @99us scrape=2B events=0 next=4 dropped=1");
+    }
+}

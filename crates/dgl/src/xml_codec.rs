@@ -68,6 +68,7 @@ impl DataGridRequest {
         match &self.body {
             RequestBody::Flow(flow) => root.push_element(flow.to_element()),
             RequestBody::StatusQuery(q) => root.push_element(q.to_element()),
+            RequestBody::Telemetry(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -100,8 +101,10 @@ impl DataGridRequest {
             RequestBody::Flow(Flow::from_element(flow_el)?)
         } else if let Some(q_el) = e.child("flowStatusQuery") {
             RequestBody::StatusQuery(FlowStatusQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("telemetryQuery") {
+            RequestBody::Telemetry(crate::TelemetryQuery::from_element(q_el)?)
         } else {
-            return Err(DglError::schema(&e.name, "needs a <flow> or <flowStatusQuery>"));
+            return Err(DglError::schema(&e.name, "needs a <flow>, <flowStatusQuery>, or <telemetryQuery>"));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
     }
@@ -565,6 +568,42 @@ impl FlowStatusQuery {
     }
 }
 
+impl crate::TelemetryQuery {
+    /// Encode as an XML element. Optional attributes are omitted when
+    /// unset so pre-telemetry documents round-trip byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("telemetryQuery");
+        if self.scrape {
+            el.set_attr("scrape", "true");
+        }
+        if let Some(from) = self.tail_from {
+            el.set_attr("tailFrom", from.to_string());
+        }
+        if let Some(limit) = self.tail_limit {
+            el.set_attr("tailLimit", limit.to_string());
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |attr: &str| -> Result<Option<u64>, DglError> {
+            e.attr(attr)
+                .map(|raw| {
+                    raw.parse().map_err(|_| {
+                        DglError::schema("telemetryQuery", format!("bad {attr} {raw:?}"))
+                    })
+                })
+                .transpose()
+        };
+        Ok(crate::TelemetryQuery {
+            scrape: e.attr("scrape") == Some("true"),
+            tail_from: num("tailFrom")?,
+            tail_limit: num("tailLimit")?.map(|n| n as usize),
+        })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -663,6 +702,30 @@ impl DataGridResponse {
                     s.push_element(el);
                 }
                 root.push_element(s);
+            }
+            ResponseBody::Telemetry(report) => {
+                let mut t = Element::new("telemetryReport").with_attr("time", report.time_us.to_string());
+                // Optional attrs/elements are omitted when unset so
+                // scrape-only and tail-only reports stay minimal.
+                if let Some(next) = report.next_cursor {
+                    t.set_attr("nextCursor", next.to_string());
+                }
+                if let Some(dropped) = report.dropped {
+                    t.set_attr("dropped", dropped.to_string());
+                }
+                if let Some(scrape) = &report.scrape {
+                    t.push_element(Element::new("scrape").with_text(scrape));
+                }
+                for ev in &report.events {
+                    t.push_element(
+                        Element::new("event")
+                            .with_attr("time", ev.time_us.to_string())
+                            .with_attr("seq", ev.seq.to_string())
+                            .with_attr("kind", &ev.kind)
+                            .with_attr("detail", &ev.detail),
+                    );
+                }
+                root.push_element(t);
             }
         }
         root
@@ -778,7 +841,54 @@ impl DataGridResponse {
             };
             return Ok(DataGridResponse { request_id, body: ResponseBody::Status(report) });
         }
-        Err(DglError::schema("dataGridResponse", "needs <requestAcknowledgement> or <statusReport>"))
+        if let Some(t) = e.child("telemetryReport") {
+            let num = |attr: &str| -> Result<Option<u64>, DglError> {
+                t.attr(attr)
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            DglError::schema("telemetryReport", format!("bad {attr} {raw:?}"))
+                        })
+                    })
+                    .transpose()
+            };
+            let report = crate::TelemetryReport {
+                time_us: num("time")?.ok_or_else(|| DglError::schema("telemetryReport", "missing time"))?,
+                next_cursor: num("nextCursor")?,
+                dropped: num("dropped")?,
+                // Element text is whitespace-trimmed by the XML layer;
+                // the scrape format is line-oriented and always ends in
+                // exactly one newline, so restore it after the trim.
+                scrape: t.child("scrape").map(|s| {
+                    let text = s.text();
+                    if text.is_empty() {
+                        text
+                    } else {
+                        text + "\n"
+                    }
+                }),
+                events: t
+                    .children_named("event")
+                    .map(|ev| {
+                        let num = |attr: &str| -> Result<u64, DglError> {
+                            require_attr(ev, attr)?
+                                .parse()
+                                .map_err(|_| DglError::schema("event", format!("bad {attr}")))
+                        };
+                        Ok(crate::ReportEvent {
+                            time_us: num("time")?,
+                            seq: num("seq")?,
+                            kind: require_attr(ev, "kind")?.to_owned(),
+                            detail: ev.attr("detail").unwrap_or_default().to_owned(),
+                        })
+                    })
+                    .collect::<Result<_, DglError>>()?,
+            };
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Telemetry(report) });
+        }
+        Err(DglError::schema(
+            "dataGridResponse",
+            "needs <requestAcknowledgement>, <statusReport>, or <telemetryReport>",
+        ))
     }
 }
 
@@ -920,6 +1030,65 @@ mod tests {
             },
         );
         assert_eq!(parse_response(&status.to_xml()).unwrap(), status);
+    }
+
+    #[test]
+    fn telemetry_requests_round_trip() {
+        // Scrape-only: the tail attrs must be absent from the wire.
+        let scrape = DataGridRequest::telemetry("r1", "operator", crate::TelemetryQuery::scrape());
+        let xml = scrape.to_xml();
+        assert!(xml.contains(r#"<telemetryQuery scrape="true"/>"#), "{xml}");
+        assert!(!xml.contains("tailFrom") && !xml.contains("tailLimit"), "{xml}");
+        assert_eq!(parse_request(&xml).unwrap(), scrape);
+
+        // Tail + scrape + limit, all attrs present.
+        let both = DataGridRequest::telemetry(
+            "r2",
+            "operator",
+            crate::TelemetryQuery::tail(1234).with_scrape().with_limit(50),
+        );
+        assert_eq!(parse_request(&both.to_xml()).unwrap(), both);
+
+        // Tail-only: no scrape attr on the wire.
+        let tail = DataGridRequest::telemetry("r3", "operator", crate::TelemetryQuery::tail(0));
+        assert!(!tail.to_xml().contains("scrape"), "{}", tail.to_xml());
+        assert_eq!(parse_request(&tail.to_xml()).unwrap(), tail);
+    }
+
+    #[test]
+    fn telemetry_reports_round_trip() {
+        let scrape_text = "# dgf telemetry scrape at 7us\ndgf_metric{scope=\"engine\",name=\"runs.completed\",kind=\"counter\"} 1\n";
+        let report = DataGridResponse::telemetry(
+            "r9",
+            crate::TelemetryReport {
+                time_us: 7,
+                scrape: Some(scrape_text.into()),
+                events: vec![crate::ReportEvent {
+                    time_us: 3,
+                    seq: 11,
+                    kind: "health.stalled".into(),
+                    detail: "t1 slow->stalled last_progress_us=1".into(),
+                }],
+                next_cursor: Some(12),
+                dropped: Some(4),
+            },
+        );
+        let parsed = parse_response(&report.to_xml()).unwrap();
+        assert_eq!(parsed, report);
+        let ResponseBody::Telemetry(r) = parsed.body else { panic!("expected telemetry") };
+        assert_eq!(r.scrape.as_deref(), Some(scrape_text), "scrape text travels byte-exactly");
+        assert_eq!(parsed.request_id, "r9");
+
+        // Tail-only report: no <scrape> child, optional attrs present.
+        let tail_only = DataGridResponse::telemetry(
+            "r10",
+            crate::TelemetryReport { time_us: 1, scrape: None, events: vec![], next_cursor: Some(0), dropped: Some(0) },
+        );
+        assert!(!tail_only.to_xml().contains("<scrape>"), "{}", tail_only.to_xml());
+        assert_eq!(parse_response(&tail_only.to_xml()).unwrap(), tail_only);
+
+        // Telemetry responses carry no transaction.
+        assert_eq!(tail_only.transaction(), "");
     }
 
     #[test]

@@ -123,6 +123,20 @@ pub enum EventKind {
         /// The recorded outcome.
         outcome: String,
     },
+    /// The flow-progress watchdog re-classified a flow
+    /// (`health.healthy` / `health.slow` / `health.stalled` — named by
+    /// the state the flow *entered*).
+    HealthTransition {
+        /// Transaction id.
+        txn: String,
+        /// Classification the flow left.
+        from: crate::HealthState,
+        /// Classification the flow entered.
+        to: crate::HealthState,
+        /// Sim-time (µs) of the flow's last progress (completed step or
+        /// submission).
+        last_progress_us: u64,
+    },
 }
 
 impl EventKind {
@@ -140,6 +154,11 @@ impl EventKind {
             EventKind::TriggerFired { .. } => "trigger.fired",
             EventKind::FaultRetry { .. } => "fault.retry",
             EventKind::ProvenanceWrite { .. } => "provenance.write",
+            EventKind::HealthTransition { to, .. } => match to {
+                crate::HealthState::Healthy => "health.healthy",
+                crate::HealthState::Slow => "health.slow",
+                crate::HealthState::Stalled => "health.stalled",
+            },
         }
     }
 
@@ -155,7 +174,8 @@ impl EventKind {
             | EventKind::TransferScheduled { txn, .. }
             | EventKind::WindowWait { txn, .. }
             | EventKind::FaultRetry { txn, .. }
-            | EventKind::ProvenanceWrite { txn, .. } => Some(txn),
+            | EventKind::ProvenanceWrite { txn, .. }
+            | EventKind::HealthTransition { txn, .. } => Some(txn),
             EventKind::TriggerFired { .. } => None,
         }
     }
@@ -172,6 +192,7 @@ impl EventKind {
             | EventKind::ProvenanceWrite { node, .. } => Some(node),
             EventKind::RunSubmitted { .. } => Some("/"),
             EventKind::RunFinished { .. } => Some("/"),
+            EventKind::HealthTransition { .. } => Some("/"),
             EventKind::TriggerFired { .. } => None,
         }
     }
@@ -205,6 +226,9 @@ impl EventKind {
             }
             EventKind::ProvenanceWrite { txn, node, verb, outcome } => {
                 format!("{txn}{node} verb={verb} outcome={outcome}")
+            }
+            EventKind::HealthTransition { txn, from, to, last_progress_us } => {
+                format!("{txn} {from}->{to} last_progress_us={last_progress_us}")
             }
         }
     }

@@ -1,0 +1,275 @@
+//! Flow-progress watchdog: classifies live flows as
+//! `Healthy / Slow / Stalled` by how long ago they last made progress.
+//!
+//! A flow's *progress watermark* is the sim-time of its last completed
+//! step (span close). The monitor compares `now - watermark` against
+//! two configurable deadlines and reports classification *transitions*
+//! so the caller can turn them into recorder events and a
+//! `dfms/flows_stalled` gauge. For a months-long datagridflow this is
+//! the difference between "the status call says Running" and "nothing
+//! has actually happened since Tuesday".
+//!
+//! ```
+//! use dgf_obs::{HealthConfig, HealthMonitor, HealthState};
+//! use dgf_simgrid::{Duration, SimTime};
+//!
+//! let mut mon = HealthMonitor::new(HealthConfig {
+//!     slow_after: Duration::from_secs(60),
+//!     stalled_after: Duration::from_secs(300),
+//! });
+//! mon.register("tx-1", SimTime::ZERO);
+//! assert!(mon.check(SimTime(30_000_000)).is_empty()); // 30s: healthy
+//! let t = mon.check(SimTime(90_000_000)); // 90s without progress
+//! assert_eq!(t[0].to, HealthState::Slow);
+//! ```
+
+use dgf_simgrid::{Duration, SimTime};
+use std::collections::BTreeMap;
+
+/// A flow's liveness classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// Made progress within the `slow_after` deadline.
+    Healthy,
+    /// No progress for at least `slow_after`.
+    Slow,
+    /// No progress for at least `stalled_after`.
+    Stalled,
+}
+
+impl HealthState {
+    /// Stable lowercase name, used in events, gauges, and the scrape.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Slow => "slow",
+            HealthState::Stalled => "stalled",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The watchdog's deadlines, in sim-time since last progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// A flow with no progress for this long is `Slow`.
+    pub slow_after: Duration,
+    /// A flow with no progress for this long is `Stalled`. Clamped up
+    /// to at least `slow_after`.
+    pub stalled_after: Duration,
+}
+
+impl Default for HealthConfig {
+    /// Slow after 15 simulated minutes, stalled after 2 simulated hours.
+    fn default() -> Self {
+        HealthConfig { slow_after: Duration::from_secs(900), stalled_after: Duration::from_hours(2) }
+    }
+}
+
+/// One flow's current classification and watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowHealth {
+    /// The flow's transaction id.
+    pub txn: String,
+    /// Current classification.
+    pub state: HealthState,
+    /// Sim-time of the last completed step (or submission).
+    pub last_progress: SimTime,
+}
+
+/// A classification change reported by [`HealthMonitor::check`] or
+/// [`HealthMonitor::progress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The flow's transaction id.
+    pub txn: String,
+    /// Classification before the change.
+    pub from: HealthState,
+    /// Classification after the change.
+    pub to: HealthState,
+    /// The flow's progress watermark at transition time.
+    pub last_progress: SimTime,
+}
+
+/// Tracks every live flow's progress watermark and classification.
+/// Flows are `BTreeMap`-ordered by transaction id, so iteration and
+/// transition order are deterministic.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    flows: BTreeMap<String, (HealthState, SimTime)>,
+}
+
+impl HealthMonitor {
+    /// An empty monitor with the given deadlines.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMonitor { config, flows: BTreeMap::new() }
+    }
+
+    /// The active deadlines.
+    pub fn config(&self) -> HealthConfig {
+        self.config
+    }
+
+    /// Replace the deadlines; takes effect at the next check.
+    pub fn set_config(&mut self, config: HealthConfig) {
+        self.config = config;
+    }
+
+    /// Start watching a flow, watermarked at `now` (submission counts
+    /// as progress).
+    pub fn register(&mut self, txn: &str, now: SimTime) {
+        self.flows.insert(txn.to_owned(), (HealthState::Healthy, now));
+    }
+
+    /// Stop watching a flow (it reached a terminal state).
+    pub fn finish(&mut self, txn: &str) {
+        self.flows.remove(txn);
+    }
+
+    /// Advance a flow's watermark to `now`. If the flow had been
+    /// classified `Slow` or `Stalled`, it recovers to `Healthy` and the
+    /// transition is returned.
+    pub fn progress(&mut self, txn: &str, now: SimTime) -> Option<HealthTransition> {
+        let (state, watermark) = self.flows.get_mut(txn)?;
+        *watermark = now.max(*watermark);
+        if *state == HealthState::Healthy {
+            return None;
+        }
+        let from = *state;
+        *state = HealthState::Healthy;
+        Some(HealthTransition { txn: txn.to_owned(), from, to: HealthState::Healthy, last_progress: now })
+    }
+
+    fn classify(&self, watermark: SimTime, now: SimTime) -> HealthState {
+        let idle = now.0.saturating_sub(watermark.0);
+        let stalled_after = self.config.stalled_after.0.max(self.config.slow_after.0);
+        if idle >= stalled_after {
+            HealthState::Stalled
+        } else if idle >= self.config.slow_after.0 {
+            HealthState::Slow
+        } else {
+            HealthState::Healthy
+        }
+    }
+
+    /// Re-classify every watched flow against `now`, returning the
+    /// transitions (in transaction-id order).
+    pub fn check(&mut self, now: SimTime) -> Vec<HealthTransition> {
+        let mut transitions = Vec::new();
+        let keys: Vec<String> = self.flows.keys().cloned().collect();
+        for txn in keys {
+            let (state, watermark) = self.flows[&txn];
+            let next = self.classify(watermark, now);
+            if next != state {
+                self.flows.insert(txn.clone(), (next, watermark));
+                transitions.push(HealthTransition { txn, from: state, to: next, last_progress: watermark });
+            }
+        }
+        transitions
+    }
+
+    /// Every watched flow's classification, in transaction-id order.
+    pub fn flows(&self) -> Vec<FlowHealth> {
+        self.flows
+            .iter()
+            .map(|(txn, (state, watermark))| FlowHealth {
+                txn: txn.clone(),
+                state: *state,
+                last_progress: *watermark,
+            })
+            .collect()
+    }
+
+    /// One flow's classification.
+    pub fn flow(&self, txn: &str) -> Option<FlowHealth> {
+        self.flows.get(txn).map(|(state, watermark)| FlowHealth {
+            txn: txn.to_owned(),
+            state: *state,
+            last_progress: *watermark,
+        })
+    }
+
+    /// How many watched flows are currently `Stalled`.
+    pub fn stalled_count(&self) -> usize {
+        self.flows.values().filter(|(s, _)| *s == HealthState::Stalled).count()
+    }
+
+    /// How many flows are being watched.
+    pub fn watched_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig {
+            slow_after: Duration::from_secs(60),
+            stalled_after: Duration::from_secs(300),
+        })
+    }
+
+    #[test]
+    fn classification_walks_healthy_slow_stalled() {
+        let mut m = monitor();
+        m.register("t", SimTime::ZERO);
+        assert!(m.check(SimTime(59_000_000)).is_empty());
+        let t = m.check(SimTime(60_000_000));
+        assert_eq!((t[0].from, t[0].to), (HealthState::Healthy, HealthState::Slow));
+        assert!(m.check(SimTime(299_000_000)).is_empty(), "still slow, no transition");
+        let t = m.check(SimTime(300_000_000));
+        assert_eq!((t[0].from, t[0].to), (HealthState::Slow, HealthState::Stalled));
+        assert_eq!(m.stalled_count(), 1);
+    }
+
+    #[test]
+    fn progress_recovers_and_reports_the_transition() {
+        let mut m = monitor();
+        m.register("t", SimTime::ZERO);
+        m.check(SimTime(400_000_000));
+        assert_eq!(m.flow("t").unwrap().state, HealthState::Stalled);
+        let t = m.progress("t", SimTime(400_000_001)).expect("recovery transition");
+        assert_eq!((t.from, t.to), (HealthState::Stalled, HealthState::Healthy));
+        assert_eq!(m.stalled_count(), 0);
+        assert!(m.progress("t", SimTime(400_000_002)).is_none(), "healthy progress is silent");
+    }
+
+    #[test]
+    fn finished_flows_are_forgotten() {
+        let mut m = monitor();
+        m.register("t", SimTime::ZERO);
+        m.finish("t");
+        assert!(m.check(SimTime(999_000_000)).is_empty());
+        assert_eq!(m.watched_count(), 0);
+    }
+
+    #[test]
+    fn stalled_deadline_never_undercuts_slow() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            slow_after: Duration::from_secs(100),
+            stalled_after: Duration::from_secs(10), // misconfigured: below slow_after
+        });
+        m.register("t", SimTime::ZERO);
+        assert!(m.check(SimTime(50_000_000)).is_empty(), "below slow_after: still healthy");
+        let t = m.check(SimTime(100_000_000));
+        assert_eq!(t[0].to, HealthState::Stalled, "both deadlines hit at the clamped point");
+    }
+
+    #[test]
+    fn transitions_come_in_transaction_order() {
+        let mut m = monitor();
+        m.register("b", SimTime::ZERO);
+        m.register("a", SimTime::ZERO);
+        let t = m.check(SimTime(400_000_000));
+        let order: Vec<&str> = t.iter().map(|x| x.txn.as_str()).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+}

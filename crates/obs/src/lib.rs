@@ -36,18 +36,22 @@
 #![warn(missing_docs)]
 
 mod event;
+mod health;
 mod metrics;
 mod recorder;
 mod ring;
 mod span;
+mod timeseries;
 mod trace;
 mod trace_export;
 
 pub use event::{EventKind, ObsEvent};
+pub use health::{FlowHealth, HealthConfig, HealthMonitor, HealthState, HealthTransition};
 pub use metrics::{percentile, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
-pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
+pub use recorder::{EventTail, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use ring::RingBuffer;
 pub use span::{Span, SpanContext, SpanId, SpanKind, TraceId};
+pub use timeseries::{render_scrape, Rollup, SamplingConfig, SeriesPoint, TimeSeries, TimeSeriesStore};
 pub use trace_export::to_chrome_trace;
 
 use dgf_simgrid::{Duration, SimTime};
@@ -59,6 +63,8 @@ struct Inner {
     recorder: FlightRecorder,
     metrics: MetricsRegistry,
     traces: trace::TraceStore,
+    timeseries: TimeSeriesStore,
+    health: HealthMonitor,
 }
 
 /// The shared observability handle: one flight recorder plus one
@@ -82,6 +88,8 @@ impl Obs {
                 recorder: FlightRecorder::new(capacity),
                 metrics: MetricsRegistry::new(),
                 traces: trace::TraceStore::default(),
+                timeseries: TimeSeriesStore::new(SamplingConfig::default()),
+                health: HealthMonitor::new(HealthConfig::default()),
             })),
         }
     }
@@ -181,6 +189,167 @@ impl Obs {
             }
         }
         snap
+    }
+
+    // ------------------------------------------------------------------
+    // Event tail (cursor-based reads)
+    // ------------------------------------------------------------------
+
+    /// Read retained events from `cursor` (a sequence number), at most
+    /// `limit` of them; see [`FlightRecorder::tail`] for the no-gap /
+    /// no-duplicate cursor protocol.
+    pub fn tail(&self, cursor: u64, limit: usize) -> EventTail {
+        self.lock().recorder.tail(cursor, limit)
+    }
+
+    // ------------------------------------------------------------------
+    // Time-series telemetry
+    // ------------------------------------------------------------------
+
+    /// Replace the time-series sampling schedule (interval + per-series
+    /// ring capacity). Existing points are kept.
+    pub fn ts_configure(&self, config: SamplingConfig) {
+        self.lock().timeseries.set_config(config);
+    }
+
+    /// The active sampling schedule.
+    pub fn ts_config(&self) -> SamplingConfig {
+        self.lock().timeseries.config()
+    }
+
+    /// True when at least one sampling interval has elapsed (on the
+    /// shared sim clock) since the last [`Obs::ts_mark_sampled`]. The
+    /// engine checks this once per dispatched work item.
+    pub fn ts_due(&self) -> bool {
+        let inner = self.lock();
+        let now = inner.now;
+        inner.timeseries.due(now)
+    }
+
+    /// Note that a full sample pass just happened at the shared clock.
+    pub fn ts_mark_sampled(&self) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.timeseries.mark_sampled(now);
+    }
+
+    /// Append a point (stamped with the shared clock) to the
+    /// `(name, label)` series.
+    pub fn ts_record(&self, name: &str, label: &str, value: i64) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.timeseries.record(name, label, now, value);
+    }
+
+    /// A copy of one series, if any point was ever recorded for it.
+    pub fn ts_series(&self, name: &str, label: &str) -> Option<TimeSeries> {
+        self.lock().timeseries.series(name, label).cloned()
+    }
+
+    /// Sorted `(name, label, rollup)` summaries of every series.
+    pub fn ts_rollups(&self) -> Vec<(String, String, Rollup)> {
+        self.lock().timeseries.rollups()
+    }
+
+    /// A copy of the whole store (the engine hands this to
+    /// [`render_scrape`] together with its enriched snapshot).
+    pub fn ts_store(&self) -> TimeSeriesStore {
+        self.lock().timeseries.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Flow health watchdog
+    // ------------------------------------------------------------------
+
+    /// Replace the watchdog deadlines.
+    pub fn health_configure(&self, config: HealthConfig) {
+        self.lock().health.set_config(config);
+    }
+
+    /// The active watchdog deadlines.
+    pub fn health_config(&self) -> HealthConfig {
+        self.lock().health.config()
+    }
+
+    /// Start watching a flow, watermarked at the shared clock.
+    pub fn health_register(&self, txn: &str) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.health.register(txn, now);
+    }
+
+    /// Stop watching a flow (it reached a terminal state) and refresh
+    /// the `dfms/flows_stalled` gauge.
+    pub fn health_finish(&self, txn: &str) {
+        let mut inner = self.lock();
+        inner.health.finish(txn);
+        let stalled = inner.health.stalled_count() as i64;
+        inner.metrics.gauge_set("dfms", "flows_stalled", stalled);
+    }
+
+    /// Advance a flow's progress watermark to `time`. A `Slow`/`Stalled`
+    /// flow recovers to `Healthy`; the recovery is recorded as a
+    /// `health.healthy` event and the gauge is refreshed.
+    pub fn health_progress(&self, txn: &str, time: SimTime) {
+        let mut inner = self.lock();
+        if let Some(t) = inner.health.progress(txn, time) {
+            let now = inner.now;
+            inner.recorder.record(
+                now,
+                EventKind::HealthTransition {
+                    txn: t.txn,
+                    from: t.from,
+                    to: t.to,
+                    last_progress_us: t.last_progress.0,
+                },
+            );
+            let stalled = inner.health.stalled_count() as i64;
+            inner.metrics.gauge_set("dfms", "flows_stalled", stalled);
+        }
+    }
+
+    /// Re-classify every watched flow against the shared clock. Each
+    /// transition is recorded as a `health.*` event, and the
+    /// `dfms/flows_stalled` gauge is refreshed. Returns the transitions
+    /// (in transaction-id order).
+    pub fn health_check(&self) -> Vec<HealthTransition> {
+        let mut inner = self.lock();
+        let now = inner.now;
+        let transitions = inner.health.check(now);
+        for t in &transitions {
+            inner.recorder.record(
+                now,
+                EventKind::HealthTransition {
+                    txn: t.txn.clone(),
+                    from: t.from,
+                    to: t.to,
+                    last_progress_us: t.last_progress.0,
+                },
+            );
+        }
+        let stalled = inner.health.stalled_count() as i64;
+        inner.metrics.gauge_set("dfms", "flows_stalled", stalled);
+        transitions
+    }
+
+    /// Every watched flow's classification, in transaction-id order.
+    pub fn health_flows(&self) -> Vec<FlowHealth> {
+        self.lock().health.flows()
+    }
+
+    /// One watched flow's classification.
+    pub fn health_flow(&self, txn: &str) -> Option<FlowHealth> {
+        self.lock().health.flow(txn)
+    }
+
+    /// A Prometheus-style text scrape of this handle's own snapshot plus
+    /// all series rollups ([`render_scrape`]). The engine's
+    /// `telemetry_scrape` is the richer variant (it folds in grid
+    /// transfer totals first).
+    pub fn scrape(&self) -> String {
+        let snap = self.snapshot();
+        let inner = self.lock();
+        render_scrape(&snap, &inner.timeseries, inner.now)
     }
 
     // ------------------------------------------------------------------

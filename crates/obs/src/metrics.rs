@@ -439,4 +439,196 @@ mod tests {
         assert_eq!(snap.samples[0].name, "a");
         assert_eq!(snap.counter("grid", "b"), 3);
     }
+
+    /// A minimal recursive-descent JSON reader, independent of the
+    /// exporter under test (and of the `dgf-xml` crate), so `to_json`
+    /// escaping bugs can't hide behind a matching un-escaper.
+    mod json {
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum Value {
+            Str(String),
+            Num(f64),
+            Int(i128),
+            Array(Vec<Value>),
+            Object(Vec<(String, Value)>),
+        }
+
+        impl Value {
+            pub fn field(&self, key: &str) -> &Value {
+                let Value::Object(fields) = self else { panic!("not an object: {self:?}") };
+                &fields.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("no field {key}")).1
+            }
+            pub fn as_str(&self) -> &str {
+                let Value::Str(s) = self else { panic!("not a string: {self:?}") };
+                s
+            }
+            pub fn as_int(&self) -> i128 {
+                match self {
+                    Value::Int(i) => *i,
+                    other => panic!("not an integer: {other:?}"),
+                }
+            }
+        }
+
+        pub fn parse(input: &str) -> Value {
+            let mut chars: Vec<char> = input.chars().collect();
+            chars.reverse(); // pop() from the front
+            let v = value(&mut chars);
+            skip_ws(&mut chars);
+            assert!(chars.is_empty(), "trailing input: {chars:?}");
+            v
+        }
+
+        fn skip_ws(c: &mut Vec<char>) {
+            while c.last().is_some_and(|ch| ch.is_ascii_whitespace()) {
+                c.pop();
+            }
+        }
+
+        fn expect(c: &mut Vec<char>, ch: char) {
+            skip_ws(c);
+            assert_eq!(c.pop(), Some(ch));
+        }
+
+        fn value(c: &mut Vec<char>) -> Value {
+            skip_ws(c);
+            match *c.last().expect("eof") {
+                '"' => Value::Str(string(c)),
+                '[' => {
+                    expect(c, '[');
+                    let mut items = Vec::new();
+                    skip_ws(c);
+                    if c.last() == Some(&']') {
+                        c.pop();
+                        return Value::Array(items);
+                    }
+                    loop {
+                        items.push(value(c));
+                        skip_ws(c);
+                        match c.pop() {
+                            Some(',') => continue,
+                            Some(']') => return Value::Array(items),
+                            other => panic!("bad array: {other:?}"),
+                        }
+                    }
+                }
+                '{' => {
+                    expect(c, '{');
+                    let mut fields = Vec::new();
+                    skip_ws(c);
+                    if c.last() == Some(&'}') {
+                        c.pop();
+                        return Value::Object(fields);
+                    }
+                    loop {
+                        skip_ws(c);
+                        let key = string(c);
+                        expect(c, ':');
+                        fields.push((key, value(c)));
+                        skip_ws(c);
+                        match c.pop() {
+                            Some(',') => continue,
+                            Some('}') => return Value::Object(fields),
+                            other => panic!("bad object: {other:?}"),
+                        }
+                    }
+                }
+                _ => number(c),
+            }
+        }
+
+        fn string(c: &mut Vec<char>) -> String {
+            expect(c, '"');
+            let mut out = String::new();
+            loop {
+                match c.pop().expect("unterminated string") {
+                    '"' => return out,
+                    '\\' => match c.pop().expect("bad escape") {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex: String = (0..4).map(|_| c.pop().expect("short \\u")).collect();
+                            let code = u32::from_str_radix(&hex, 16).expect("bad \\u hex");
+                            out.push(char::from_u32(code).expect("surrogate"));
+                        }
+                        other => panic!("bad escape \\{other}"),
+                    },
+                    ch => out.push(ch),
+                }
+            }
+        }
+
+        fn number(c: &mut Vec<char>) -> Value {
+            let mut text = String::new();
+            while c.last().is_some_and(|ch| ch.is_ascii_digit() || "+-.eE".contains(*ch)) {
+                text.push(c.pop().unwrap());
+            }
+            if let Ok(i) = text.parse::<i128>() {
+                Value::Int(i)
+            } else {
+                Value::Num(text.parse().expect("bad number"))
+            }
+        }
+    }
+
+    #[test]
+    fn to_json_escapes_quotes_backslashes_and_control_chars() {
+        let mut snap = MetricsSnapshot::default();
+        snap.insert("sc\"ope", "na\\me", MetricValue::Counter(1));
+        snap.insert("tab\there", "new\nline", MetricValue::Gauge(-7));
+        snap.insert("bell\u{7}", "cr\rhere", MetricValue::Counter(2));
+        let parsed = json::parse(&snap.to_json());
+        let json::Value::Array(items) = &parsed else { panic!("not an array") };
+        assert_eq!(items.len(), 3);
+        let find = |scope: &str| {
+            items
+                .iter()
+                .find(|v| v.field("scope").as_str() == scope)
+                .unwrap_or_else(|| panic!("missing scope {scope:?}"))
+        };
+        assert_eq!(find("sc\"ope").field("name").as_str(), "na\\me");
+        assert_eq!(find("tab\there").field("name").as_str(), "new\nline");
+        assert_eq!(find("tab\there").field("value").as_int(), -7);
+        assert_eq!(find("bell\u{7}").field("name").as_str(), "cr\rhere");
+        // The bell control char must travel as a \uXXXX escape, not raw.
+        assert!(snap.to_json().contains("\\u0007"));
+    }
+
+    #[test]
+    fn to_json_keeps_non_ascii_and_extreme_numbers_exact() {
+        let mut snap = MetricsSnapshot::default();
+        snap.insert("grid", "байт.перемещено", MetricValue::Counter(u64::MAX));
+        snap.insert("grid", "容量", MetricValue::Gauge(i64::MIN));
+        let mut h = SimHistogram::default();
+        h.observe(Duration(u64::MAX / 2));
+        snap.insert("grid", "émoji-🚀", MetricValue::Histogram(h));
+        let parsed = json::parse(&snap.to_json());
+        let json::Value::Array(items) = &parsed else { panic!("not an array") };
+        let find = |name: &str| {
+            items
+                .iter()
+                .find(|v| v.field("name").as_str() == name)
+                .unwrap_or_else(|| panic!("missing name {name:?}"))
+        };
+        // u64::MAX survives as an exact integer token (no float rounding).
+        assert_eq!(find("байт.перемещено").field("value").as_int(), u64::MAX as i128);
+        assert_eq!(find("容量").field("value").as_int(), i64::MIN as i128);
+        let hist = find("émoji-🚀");
+        assert_eq!(hist.field("kind").as_str(), "histogram");
+        assert_eq!(hist.field("count").as_int(), 1);
+        assert_eq!(hist.field("sum_us").as_int(), (u64::MAX / 2) as i128);
+        assert_eq!(hist.field("min_us").as_int(), (u64::MAX / 2) as i128);
+    }
+
+    #[test]
+    fn to_json_of_an_empty_snapshot_is_an_empty_array() {
+        assert_eq!(MetricsSnapshot::default().to_json(), "[]");
+        assert_eq!(json::parse("[]"), json::Value::Array(vec![]));
+    }
 }

@@ -24,9 +24,12 @@ impl Default for Sla {
 }
 
 impl Sla {
-    /// An SLA sharing only a fraction of slots.
+    /// An SLA sharing only a fraction of slots. Out-of-range shares are
+    /// clamped into [0.0, 1.0] (NaN counts as 0.0): a misconfigured
+    /// domain should degrade to "share nothing" or "share everything,"
+    /// not take the scheduler down.
     pub fn shared(grid_share: f64) -> Self {
-        assert!((0.0..=1.0).contains(&grid_share), "share must be in [0,1]");
+        let grid_share = if grid_share.is_nan() { 0.0 } else { grid_share.clamp(0.0, 1.0) };
         Sla { grid_share, allowed_vos: None }
     }
 
@@ -110,8 +113,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share")]
-    fn invalid_share_rejected() {
-        let _ = Sla::shared(1.5);
+    fn out_of_range_shares_are_clamped() {
+        assert_eq!(Sla::shared(1.5).grid_share, 1.0);
+        assert_eq!(Sla::shared(-0.25).grid_share, 0.0);
+        assert_eq!(Sla::shared(f64::INFINITY).grid_share, 1.0);
+        assert_eq!(Sla::shared(f64::NEG_INFINITY).grid_share, 0.0);
+        assert_eq!(Sla::shared(f64::NAN).grid_share, 0.0, "NaN shares nothing");
+        // Clamped SLAs behave like their boundary values.
+        assert_eq!(Sla::shared(7.0).usable_slots(64), 64);
+        assert_eq!(Sla::shared(-1.0).usable_slots(64), 0);
     }
 }

@@ -1,0 +1,183 @@
+//! `dgf_top` — a one-shot "top"-style console snapshot of a running
+//! grid, rendered from the live telemetry subsystem: flow states and
+//! the health watchdog, fullest storages, hottest links, and engine
+//! counters, all in deterministic simulation time.
+//!
+//! ```sh
+//! cargo run --example dgf_top
+//! ```
+//!
+//! The scenario injects a simgrid failure (one cluster offline, the
+//! other saturated by local load) so one flow shows up as `Stalled`
+//! with the sim-time of its last completed step. See
+//! `docs/OBSERVABILITY.md` for the telemetry model.
+
+use datagridflows::prelude::*;
+
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+fn main() {
+    // A two-site grid with a telemetry sampler on a 30 s sim-time
+    // cadence and an aggressive watchdog (slow after 2 min without a
+    // completed step, stalled after 5).
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("operator", topology.domain_ids().next().unwrap()));
+    users.make_admin("operator").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 42));
+    dfms.configure_telemetry(
+        SamplingConfig { interval: Duration::from_secs(30), capacity: 512 },
+        HealthConfig { slow_after: Duration::from_secs(120), stalled_after: Duration::from_secs(300) },
+    );
+
+    // Two healthy flows complete: an ingest + analysis + archive, and a
+    // replication fan-out. They leave bytes on storage and transfer
+    // history on the WAN link.
+    for (i, dst) in [(0, "site1-disk"), (1, "site1-archive")] {
+        let base = format!("/pipe{i}");
+        let flow = FlowBuilder::sequential(format!("pipeline-{i}"))
+            .step("mk", DglOperation::CreateCollection { path: base.clone() })
+            .step("put", DglOperation::Ingest { path: format!("{base}/in"), size: "500000000".into(), resource: "site0-pfs".into() })
+            .step(
+                "run",
+                DglOperation::Execute {
+                    code: "analyze".into(),
+                    nominal_secs: "120".into(),
+                    resource_type: None,
+                    inputs: vec![format!("{base}/in")],
+                    outputs: vec![(format!("{base}/out"), "20000000".into())],
+                },
+            )
+            .step("cp", DglOperation::Replicate { path: format!("{base}/out"), src: None, dst: dst.into() })
+            .build()
+            .unwrap();
+        let txn = dfms.submit_flow("operator", flow).unwrap();
+        dfms.pump();
+        assert_eq!(dfms.status(&txn, None).unwrap().state, RunState::Completed);
+    }
+
+    // Failure injection: site1's cluster drops off the grid and site0's
+    // fills up with local (non-grid) load. The next Execute step can
+    // never place, so its flow queues and retries while sim time runs.
+    let compute_ids: Vec<_> = dfms.grid().topology().compute_ids().collect();
+    FailureEvent::Compute(compute_ids[1], false).apply(dfms.grid_mut().topology_mut());
+    let slots = dfms.grid().topology().compute(compute_ids[0]).slots;
+    dfms.grid_mut().topology_mut().compute_mut(compute_ids[0]).busy = slots;
+    let stuck = FlowBuilder::sequential("nightly-derivation")
+        .step("mk", DglOperation::CreateCollection { path: "/stuck".into() })
+        .step("put", DglOperation::Ingest { path: "/stuck/in".into(), size: "1000000".into(), resource: "site0-disk".into() })
+        .step(
+            "run",
+            DglOperation::Execute {
+                code: "derive".into(),
+                nominal_secs: "60".into(),
+                resource_type: None,
+                inputs: vec!["/stuck/in".into()],
+                outputs: vec![("/stuck/out".into(), "1000".into())],
+            },
+        )
+        .build()
+        .unwrap();
+    let stuck_txn = dfms.submit_flow("operator", stuck).unwrap();
+    let start = dfms.now();
+    dfms.pump_until(start + Duration::from_secs(400));
+
+    // ---- render the snapshot ----------------------------------------
+    let now = dfms.now();
+    let topo = dfms.grid().topology();
+    println!("dgf top — grid snapshot @ {:.1}s sim-time", now.0 as f64 / 1e6);
+    println!("{}", "=".repeat(72));
+
+    // Flows by state, from the sampled flow-state series (stable label
+    // set: every state is always present, zeros included).
+    let count_of = |state: &str| {
+        dfms.obs()
+            .ts_series("flows.state", state)
+            .and_then(|s| s.last())
+            .unwrap_or(0)
+    };
+    println!("\nflows:");
+    let states = ["pending", "running", "paused", "completed", "failed", "stopped", "skipped"];
+    let line = states.iter().map(|s| format!("{s}={}", count_of(s))).collect::<Vec<_>>().join("  ");
+    println!("  {line}");
+
+    // The watchdog table: every watched flow with its health state and
+    // the sim-time watermark of its last completed step.
+    println!("\nwatchdog ({} watched, {} stalled):", dfms.obs().health_flows().len(), {
+        dfms.obs().health_flows().iter().filter(|f| f.state == HealthState::Stalled).count()
+    });
+    println!("  {:<8} {:<8} {:>16} {:>12}", "txn", "state", "last-progress", "idle");
+    for flow in dfms.obs().health_flows() {
+        let idle_s = (now.0.saturating_sub(flow.last_progress.0)) as f64 / 1e6;
+        println!(
+            "  {:<8} {:<8} {:>14.1}s {:>11.1}s",
+            flow.txn,
+            flow.state.to_string(),
+            flow.last_progress.0 as f64 / 1e6,
+            idle_s
+        );
+    }
+
+    // Fullest storages, straight from the simulated topology.
+    println!("\nstorage (fullest first):");
+    let mut storages: Vec<_> = topo.storage_ids().map(|id| topo.storage(id)).collect();
+    storages.sort_by(|a, b| {
+        let fa = a.used as f64 / a.capacity.max(1) as f64;
+        let fb = b.used as f64 / b.capacity.max(1) as f64;
+        fb.partial_cmp(&fa).unwrap().then_with(|| a.name.cmp(&b.name))
+    });
+    for s in storages.iter().take(4) {
+        let frac = s.used as f64 / s.capacity.max(1) as f64;
+        println!(
+            "  {:<16} [{}] {:>6.2}% of {:>6.1}GB{}",
+            s.name,
+            bar(frac, 24),
+            frac * 100.0,
+            s.capacity as f64 / 1e9,
+            if s.online { "" } else { "  OFFLINE" }
+        );
+    }
+
+    // Hottest links, from the sampled link-utilization series: peak and
+    // current concurrent transfers per WAN link.
+    println!("\nlinks (peak concurrent transfers):");
+    let mut links: Vec<_> = dfms
+        .obs()
+        .ts_rollups()
+        .into_iter()
+        .filter(|(name, _, _)| name == "link.active_transfers")
+        .collect();
+    links.sort_by(|a, b| b.2.max.cmp(&a.2.max).then_with(|| a.1.cmp(&b.1)));
+    for (_, label, rollup) in links {
+        println!("  {:<16} peak={:<3} now={:<3} samples={}", label, rollup.max, rollup.last, rollup.points);
+    }
+
+    // Engine counters, the classic summary line.
+    let m = dfms.metrics();
+    println!(
+        "\nengine: {} submitted / {} completed / {} failed · {} steps · {} dgms ops · {:.1}MB moved",
+        m.runs_submitted,
+        m.runs_completed,
+        m.runs_failed,
+        m.steps_executed,
+        m.dgms_ops,
+        m.bytes_moved as f64 / 1e6
+    );
+
+    // The same numbers leave the process as a Prometheus-style scrape
+    // over DGL (`TelemetryQuery::scrape()`); print a taste of it.
+    let scrape = dfms.telemetry_scrape();
+    let stalled_line = scrape
+        .lines()
+        .find(|l| l.contains("flows_stalled"))
+        .expect("the stalled gauge is always scraped");
+    println!("\nscrape: {} bytes; e.g. `{stalled_line}`", scrape.len());
+
+    // The stalled flow really is the injected one.
+    let health = dfms.obs().health_flow(&stuck_txn).expect("stuck flow is watched");
+    assert_eq!(health.state, HealthState::Stalled);
+    println!("\n{} is {} — last completed step at {:.1}s sim-time", stuck_txn, health.state, health.last_progress.0 as f64 / 1e6);
+}

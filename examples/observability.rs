@@ -6,6 +6,9 @@
 //! # write the span timeline as Chrome trace-event JSON (open it at
 //! # chrome://tracing or https://ui.perfetto.dev):
 //! DGF_TRACE_OUT=/tmp/dgf-trace.json cargo run --example observability
+//! # write the Prometheus-style telemetry scrape (byte-identical
+//! # across seeded reruns):
+//! DGF_SCRAPE_OUT=/tmp/dgf-scrape.txt cargo run --example observability
 //! ```
 //!
 //! See `docs/OBSERVABILITY.md` for the full event taxonomy, metric
@@ -111,4 +114,18 @@ fn main() {
     //    machine-readable sibling). Span latency percentiles appear as
     //    `trace/span.<kind>.p50|p95|p99_us` gauges.
     println!("\n--- metrics snapshot ---\n{}", dfms.metrics_snapshot().to_text());
+
+    // 8. The live-telemetry surface: sample the resource time-series at
+    //    the current sim-time, then render the Prometheus-style scrape
+    //    that `TelemetryQuery::scrape()` serves over the DGL wire. The
+    //    scrape is deterministic: identically-seeded runs produce
+    //    byte-identical text (scripts/verify.sh gates on this).
+    dfms.sample_telemetry();
+    let scrape = dfms.telemetry_scrape();
+    let preview: Vec<&str> = scrape.lines().take(12).collect();
+    println!("--- telemetry scrape ({} bytes) ---\n{}\n  ...", scrape.len(), preview.join("\n"));
+    if let Ok(path) = std::env::var("DGF_SCRAPE_OUT") {
+        std::fs::write(&path, &scrape).expect("scrape file is writable");
+        println!("wrote the full scrape to {path}");
+    }
 }

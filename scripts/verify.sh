@@ -20,12 +20,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo test -q -p datagridflows --test observability
 cargo test -q -p datagridflows --test observability
 trace_a=$(mktemp) trace_b=$(mktemp)
-trap 'rm -f "$trace_a" "$trace_b"' EXIT
+scrape_a=$(mktemp) scrape_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b"' EXIT
 DGF_TRACE_OUT="$trace_a" cargo run -q --example observability >/dev/null
 DGF_TRACE_OUT="$trace_b" cargo run -q --example observability >/dev/null
 if ! cmp -s "$trace_a" "$trace_b"; then
     echo "verify: exported chrome traces differ between seeded reruns" >&2
     diff "$trace_a" "$trace_b" | head -20 >&2
+    exit 1
+fi
+
+# Scrape determinism: two identically-seeded runs must render
+# byte-identical telemetry scrapes (stable ordering, sim-time stamps).
+DGF_SCRAPE_OUT="$scrape_a" cargo run -q --example observability >/dev/null
+DGF_SCRAPE_OUT="$scrape_b" cargo run -q --example observability >/dev/null
+if ! cmp -s "$scrape_a" "$scrape_b"; then
+    echo "verify: telemetry scrapes differ between seeded reruns" >&2
+    diff "$scrape_a" "$scrape_b" | head -20 >&2
     exit 1
 fi
 
