@@ -1,2 +1,177 @@
-//! Empty offline stand-in for `criterion` (dev environment only); all
-//! workspace benches use `harness = false` plain `main` functions.
+//! Minimal offline stand-in for `criterion` (dev environment only).
+//!
+//! Implements just enough of the criterion 0.5 API surface for the
+//! workspace's benches to compile, lint, and run without a registry:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`throughput`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and `Bencher::iter`. Measurement is a
+//! fixed short loop with a mean-time printout — honest wall-clock
+//! numbers, none of criterion's statistics.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Timing loop driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call keeps cold-start noise out of the mean.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.secs_per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// Throughput annotation; echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Parameter-only form (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, secs_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.secs_per_iter, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.iters, throughput: None, _criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample count maps onto our fixed iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, secs_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), b.secs_per_iter, self.throughput);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, secs_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.secs_per_iter, self.throughput);
+        self
+    }
+
+    /// End the group (printing is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, secs_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if secs_per_iter >= 1.0 {
+        format!("{secs_per_iter:.3} s")
+    } else if secs_per_iter >= 1e-3 {
+        format!("{:.3} ms", secs_per_iter * 1e3)
+    } else {
+        format!("{:.3} µs", secs_per_iter * 1e6)
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) if secs_per_iter > 0.0 => {
+            println!("{name}: {time}/iter ({:.1} MiB/s)", n as f64 / secs_per_iter / (1024.0 * 1024.0));
+        }
+        Some(Throughput::Elements(n)) if secs_per_iter > 0.0 => {
+            println!("{name}: {time}/iter ({:.0} elem/s)", n as f64 / secs_per_iter);
+        }
+        _ => println!("{name}: {time}/iter"),
+    }
+}
+
+/// Bundle bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -408,8 +408,7 @@ fn e4_triggers() {
             .unwrap()
             .metadata
             .iter()
-            .filter(|t| t.attribute == "stamped-by")
-            .next_back()
+            .rfind(|t| t.attribute == "stamped-by")
             .map(|t| t.value.clone())
             .unwrap_or_default();
         rows.push(vec![label.to_string(), final_stamp]);

@@ -1,0 +1,62 @@
+//! Lint micro-bench: static-analysis cost vs flow width and depth.
+//!
+//! The lint gate runs on *every* submission, so its cost rides on the
+//! engine's submit path; this bench pins it as a function of document
+//! shape — wide (many sibling steps), deep (nested flows), and with the
+//! feasibility pass against a populated topology.
+//!
+//! ```sh
+//! cargo bench -p dgf-bench --bench flow_lint
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagridflows::lint::{lint, lint_with_grid, GridContext};
+use datagridflows::prelude::*;
+use datagridflows::scheduler::InfraDescription;
+use dgf_bench::{deep_request, wide_request};
+
+fn request_flow(r: DataGridRequest) -> Flow {
+    match r.body {
+        datagridflows::dgl::RequestBody::Flow(flow) => flow,
+        other => panic!("bench generators produce flow requests, got {other:?}"),
+    }
+}
+
+fn bench_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint_wide");
+    for steps in [10usize, 100, 1_000] {
+        let flow = request_flow(wide_request(steps));
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &flow, |b, flow| {
+            b.iter(|| lint(std::hint::black_box(flow)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lint_deep");
+    for depth in [4usize, 16, 64] {
+        let flow = request_flow(deep_request(depth));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &flow, |b, flow| {
+            b.iter(|| lint(std::hint::black_box(flow)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_with_grid(c: &mut Criterion) {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 8 });
+    let infra = InfraDescription::open();
+    let ctx = GridContext { topology: &topology, infra: &infra, vo: None };
+    let mut group = c.benchmark_group("lint_with_grid_wide");
+    for steps in [10usize, 100, 1_000] {
+        let flow = request_flow(wide_request(steps));
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &flow, |b, flow| {
+            b.iter(|| lint_with_grid(std::hint::black_box(flow), &ctx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structural, bench_with_grid);
+criterion_main!(benches);

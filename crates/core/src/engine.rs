@@ -7,7 +7,7 @@ use crate::run::{Cursor, NodeBody, NodeId, Run, RunId, RunOptions};
 use dgf_dgl::{
     interpolate, Children, ControlPattern, DataGridRequest, DataGridResponse, DglOperation, Expr,
     Flow, FlowStatusQuery, IterSource, RequestAck, RequestBody, RequestMode, RunState, Scope,
-    StatusReport, Step, TelemetryQuery, TelemetryReport, UserDefinedRule, Value,
+    StatusReport, Step, TelemetryQuery, TelemetryReport, UserDefinedRule, ValidationReport, Value,
 };
 use dgf_dgms::{
     DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, NamespaceEvent, Operation,
@@ -376,6 +376,10 @@ impl Dfms {
                 let report = self.telemetry_query(&q.clone());
                 DataGridResponse::telemetry(&request.id, report)
             }
+            RequestBody::Validation(q) => {
+                let report = self.validate_flow(&q.flow, request.vo.as_deref());
+                DataGridResponse::validation(&request.id, report)
+            }
             RequestBody::Flow(_) => {
                 let mode = request.mode;
                 let request_id = request.id.clone();
@@ -422,6 +426,7 @@ impl Dfms {
         };
         self.grid.users().get(&request.user).map_err(|_| DfmsError::UnknownUser(request.user.clone()))?;
         flow.validate()?;
+        self.lint_gate(&flow, request.vo.as_deref())?;
         self.spawn_run(flow, &request.user, request.vo.clone(), &request.id, RunOptions::default())
     }
 
@@ -434,7 +439,40 @@ impl Dfms {
     pub fn submit_flow_with(&mut self, user: &str, flow: Flow, options: RunOptions) -> Result<String, DfmsError> {
         self.grid.users().get(user).map_err(|_| DfmsError::UnknownUser(user.to_owned()))?;
         flow.validate()?;
+        self.lint_gate(&flow, None)?;
         self.spawn_run(flow, user, None, "api", options)
+    }
+
+    /// Run the static analyzer over a flow against this grid: def/use,
+    /// control-flow, and feasibility passes (`dgf-lint`), with SLA
+    /// matchmaking under `vo`. Pure query — records nothing.
+    pub fn validate_flow(&self, flow: &Flow, vo: Option<&str>) -> ValidationReport {
+        let ctx = dgf_lint::GridContext {
+            topology: self.grid.topology(),
+            infra: self.scheduler.infra(),
+            vo,
+        };
+        dgf_lint::lint_with_grid(flow, &ctx)
+    }
+
+    /// The submit-time lint gate: every flow is analyzed before a
+    /// transaction opens, the outcome lands in the flight recorder and
+    /// metrics (`lint.*`), and error-severity diagnostics refuse the
+    /// submission with the full report in the error.
+    fn lint_gate(&mut self, flow: &Flow, vo: Option<&str>) -> Result<(), DfmsError> {
+        let report = self.validate_flow(flow, vo);
+        let errors = report.errors() as u64;
+        let warnings = report.warnings() as u64;
+        let rejected = !report.valid;
+        self.obs.inc("lint", "flows.checked");
+        self.obs.add("lint", "diagnostics.errors", errors);
+        self.obs.add("lint", "diagnostics.warnings", warnings);
+        self.obs.record(ObsKind::LintReport { flow: report.flow.clone(), errors, warnings, rejected });
+        if rejected {
+            self.obs.inc("lint", "flows.rejected");
+            return Err(DfmsError::Lint(report));
+        }
+        Ok(())
     }
 
     fn spawn_run(

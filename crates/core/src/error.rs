@@ -13,6 +13,9 @@ pub enum DfmsError {
     BadLifecycle { transaction: String, action: &'static str, state: String },
     /// A DGL-level problem (parse, validation, evaluation).
     Dgl(dgf_dgl::DglError),
+    /// The submit-time lint gate found error-severity diagnostics. The
+    /// full report rides along so callers can surface every code.
+    Lint(dgf_dgl::ValidationReport),
     /// A DGMS-level problem that terminated submission.
     Dgms(dgf_dgms::DgmsError),
     /// The submitting user is not registered with the grid.
@@ -34,6 +37,13 @@ impl fmt::Display for DfmsError {
                 write!(f, "cannot {action} transaction {transaction:?} in state {state}")
             }
             DfmsError::Dgl(e) => write!(f, "DGL: {e}"),
+            DfmsError::Lint(report) => {
+                write!(f, "lint rejected flow {:?}: {} error(s)", report.flow, report.errors())?;
+                for d in report.diagnostics.iter().filter(|d| d.severity == dgf_dgl::Severity::Error) {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
             DfmsError::Dgms(e) => write!(f, "DGMS: {e}"),
             DfmsError::UnknownUser(u) => write!(f, "unknown user {u:?}"),
             DfmsError::IterationLimit { transaction, node, limit } => {

@@ -117,9 +117,10 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
-            // Telemetry is grid-global: serve it from the first registered
-            // server (each server scrapes its own grid view).
-            RequestBody::Telemetry(_) => self
+            // Telemetry and validation are grid-global: serve them from
+            // the first registered server (each server sees its own
+            // grid view, and validation inspects the grid, not a run).
+            RequestBody::Telemetry(_) | RequestBody::Validation(_) => self
                 .order
                 .first()
                 .cloned()

@@ -100,6 +100,11 @@ pub mod baselines {
     pub use dgf_baselines::*;
 }
 
+/// Pre-execution static analysis of DGL flows (re-export of `dgf-lint`).
+pub mod lint {
+    pub use dgf_lint::*;
+}
+
 /// The most common imports, for examples and applications.
 pub mod prelude {
     pub use crate::baselines::{ClientCrash, ClientSideEngine, CronEntry, CronRule, CronScriptIlm};
@@ -110,8 +115,10 @@ pub mod prelude {
     pub use crate::dgl::{
         DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
         FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RequestBody, ResponseBody,
-        RunState, StatusReport, Step, TelemetryQuery, TelemetryReport, Value,
+        Diagnostic, FlowValidationQuery, RunState, Severity, StatusReport, Step, TelemetryQuery,
+        TelemetryReport, ValidationReport, Value,
     };
+    pub use crate::lint::{lint, lint_with_grid, GridContext};
     pub use crate::obs::{
         to_chrome_trace, EventTail, FlowHealth, HealthConfig, HealthState, MetricsSnapshot, Obs,
         ObsEvent, Rollup, SamplingConfig, Span, SpanContext, SpanId, SpanKind, TimeSeriesStore,

@@ -93,6 +93,15 @@ impl Expr {
         self.eval_node(&self.ast, scope)
     }
 
+    /// Every DGL variable this expression reads, in first-occurrence
+    /// order, deduplicated. Static analyzers use this to check that all
+    /// references resolve before a flow ever runs.
+    pub fn referenced_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_vars(&self.ast, &mut out);
+        out
+    }
+
     /// Evaluate and coerce to a boolean via truthiness.
     pub fn eval_bool(&self, scope: &Scope) -> Result<bool, DglError> {
         Ok(self.eval(scope)?.truthy())
@@ -224,6 +233,22 @@ impl Expr {
             _ => unreachable!(),
         };
         Ok(Value::Float(out))
+    }
+}
+
+fn collect_vars(node: &Node, out: &mut Vec<String>) {
+    match node {
+        Node::Literal(_) => {}
+        Node::Var(name) => {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.clone());
+            }
+        }
+        Node::Unary(_, inner) => collect_vars(inner, out),
+        Node::Binary(_, l, r) => {
+            collect_vars(l, out);
+            collect_vars(r, out);
+        }
     }
 }
 
@@ -623,6 +648,14 @@ mod tests {
         // Within the limit still parses.
         let ok = format!("{}1{}", "(".repeat(100), ")".repeat(100));
         assert!(Expr::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn referenced_vars_are_collected_in_order_without_duplicates() {
+        let e = Expr::parse("i < n && $status == 'done' && i > 0").unwrap();
+        assert_eq!(e.referenced_vars(), vec!["i", "n", "status"]);
+        assert!(Expr::parse("1 + 2").unwrap().referenced_vars().is_empty());
+        assert!(Expr::always().referenced_vars().is_empty(), "literals reference nothing");
     }
 
     #[test]

@@ -225,7 +225,9 @@ impl Flow {
     /// * sibling names (flows or steps) are unique — status queries
     ///   address children by name;
     /// * rule names are unique within a flow/step;
-    /// * every rule has at least one action, with unique action names.
+    /// * every rule has at least one action, with unique action names;
+    /// * rule-action steps are themselves well-formed (non-empty names,
+    ///   unique within their action).
     pub fn validate(&self) -> Result<(), DglError> {
         self.validate_inner("")
     }
@@ -297,6 +299,28 @@ fn validate_rules(rules: &[UserDefinedRule], context: &str) -> Result<(), DglErr
                 "{context}: rule {:?} has duplicate action {:?}",
                 rule.name, dup[0]
             )));
+        }
+        // Rule-action steps run inline via the engine's run_inline_step,
+        // which addresses them by name in events and diagnostics — they
+        // need the same name hygiene as regular children.
+        for action in &rule.actions {
+            let mut step_names: Vec<&str> = Vec::with_capacity(action.steps.len());
+            for s in &action.steps {
+                if s.name.is_empty() {
+                    return Err(DglError::Invalid(format!(
+                        "{context}: rule {:?} action {:?} has a step with an empty name",
+                        rule.name, action.name
+                    )));
+                }
+                step_names.push(&s.name);
+            }
+            step_names.sort_unstable();
+            if let Some(dup) = step_names.windows(2).find(|w| w[0] == w[1]) {
+                return Err(DglError::Invalid(format!(
+                    "{context}: rule {:?} action {:?} has duplicate step {:?}",
+                    rule.name, action.name, dup[0]
+                )));
+            }
         }
     }
     Ok(())
@@ -385,6 +409,29 @@ mod tests {
             UserDefinedRule::unconditional("r", vec![]),
         ];
         assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("duplicate rule")));
+    }
+
+    #[test]
+    fn validation_rejects_bad_rule_action_steps() {
+        let mut flow = Flow::sequence("f", vec![step("a")]);
+        flow.logic.rules = vec![UserDefinedRule::new(
+            "r",
+            Expr::always(),
+            vec![RuleAction { name: "act".into(), steps: vec![step("")] }],
+        )];
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("empty name")));
+
+        flow.logic.rules = vec![UserDefinedRule::new(
+            "r",
+            Expr::always(),
+            vec![RuleAction { name: "act".into(), steps: vec![step("s"), step("s")] }],
+        )];
+        assert!(matches!(flow.validate(), Err(DglError::Invalid(msg)) if msg.contains("duplicate step")));
+
+        // Well-named inline steps still pass.
+        flow.logic.rules =
+            vec![UserDefinedRule::new("r", Expr::always(), vec![RuleAction { name: "act".into(), steps: vec![step("s"), step("t")] }])];
+        flow.validate().unwrap();
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod scope;
 mod status;
 mod step;
 mod telemetry;
+mod validation;
 mod value;
 mod xml_codec;
 
@@ -50,6 +51,7 @@ pub use scope::Scope;
 pub use status::{FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RunState, StatusReport};
 pub use step::{DglOperation, Step};
 pub use telemetry::{TelemetryQuery, TelemetryReport};
+pub use validation::{Diagnostic, FlowValidationQuery, Severity, ValidationReport};
 pub use value::Value;
 pub use xml_codec::{parse_request, parse_response};
 
@@ -77,6 +79,29 @@ pub fn interpolate(template: &str, scope: &Scope) -> Result<String, DglError> {
     }
     out.push_str(rest);
     Ok(out)
+}
+
+/// Every `${name}` reference in a template string, in first-occurrence
+/// order, deduplicated. Unterminated `${` stops the scan (the matching
+/// [`interpolate`] call will report it as an error at runtime).
+///
+/// ```
+/// assert_eq!(dgf_dgl::template_refs("/home/${site}/run${i}-${site}.dat"), vec!["site", "i"]);
+/// assert!(dgf_dgl::template_refs("no vars").is_empty());
+/// ```
+pub fn template_refs(template: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest = template;
+    while let Some(start) = rest.find("${") {
+        let after = &rest[start + 2..];
+        let Some(end) = after.find('}') else { break };
+        let name = &after[..end];
+        if !out.iter().any(|n| n == name) {
+            out.push(name.to_owned());
+        }
+        rest = &after[end + 1..];
+    }
+    out
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::flow::Flow;
 use crate::status::FlowStatusQuery;
 use crate::telemetry::TelemetryQuery;
+use crate::validation::FlowValidationQuery;
 
 /// Whether the client wants to wait for execution or get an immediate
 /// acknowledgement (Appendix A: "the requests can be synchronous or
@@ -27,6 +28,8 @@ pub enum RequestBody {
     StatusQuery(FlowStatusQuery),
     /// A grid-global telemetry query (metric scrape / event tail).
     Telemetry(TelemetryQuery),
+    /// A lint-only request: analyze the flow, do not execute it.
+    Validation(FlowValidationQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -82,6 +85,18 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::Telemetry(query),
+        }
+    }
+
+    /// A validation request: lint the flow without running it.
+    pub fn validation(id: impl Into<String>, user: impl Into<String>, flow: Flow) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Validation(FlowValidationQuery::new(flow)),
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::status::{RunState, StatusReport};
 use crate::telemetry::TelemetryReport;
+use crate::validation::ValidationReport;
 
 /// A Request Acknowledgement: "contains a unique identifier for each
 /// request and the initial status of the request and its validity"
@@ -30,6 +31,8 @@ pub enum ResponseBody {
     Status(StatusReport),
     /// Grid-global telemetry (scrape text and/or event-tail page).
     Telemetry(TelemetryReport),
+    /// Static-analysis diagnostics for a flow that was linted, not run.
+    Validation(ValidationReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -57,13 +60,19 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::Telemetry(report) }
     }
 
-    /// The transaction this response refers to. Telemetry responses are
-    /// grid-global and carry none (empty string).
+    /// A validation (lint) response.
+    pub fn validation(request_id: impl Into<String>, report: ValidationReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Validation(report) }
+    }
+
+    /// The transaction this response refers to. Telemetry and validation
+    /// responses describe no transaction (empty string): the former is
+    /// grid-global, the latter lints a flow that never ran.
     pub fn transaction(&self) -> &str {
         match &self.body {
             ResponseBody::Ack(a) => &a.transaction,
             ResponseBody::Status(s) => &s.transaction,
-            ResponseBody::Telemetry(_) => "",
+            ResponseBody::Telemetry(_) | ResponseBody::Validation(_) => "",
         }
     }
 }

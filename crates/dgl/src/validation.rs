@@ -1,0 +1,194 @@
+//! The static-validation surface of the protocol: a flow-lint query and
+//! its diagnostic report.
+//!
+//! The paper's flows run for days; a flow that dies hours in on an
+//! undefined variable or an SLA no placement can satisfy wastes exactly
+//! the resources §2.3's cost model conserves. A
+//! [`FlowValidationQuery`] asks the DfMS to lint a [`Flow`] *without*
+//! executing it; the [`ValidationReport`] carries structured
+//! [`Diagnostic`]s — each with a stable `DGF0xx` code, a [`Severity`],
+//! a node path into the flow tree, and a fix hint. Like the rest of the
+//! crate these are plain data — the analyzer lives in `dgf-lint`, the
+//! XML codec in `xml_codec`.
+
+use crate::error::DglError;
+use crate::flow::Flow;
+use std::fmt;
+
+/// How bad a [`Diagnostic`] is. `Error` means the engine refuses the
+/// flow at submit; `Warning` and `Info` are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or informational; no behavioral consequence.
+    Info,
+    /// Suspicious — the flow may run, but probably not as intended.
+    Warning,
+    /// The flow will (or can never) fail; submission is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Wire spelling (`info` / `warning` / `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Result<Self, DglError> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warning" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(DglError::schema("diagnostic", format!("unknown severity {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from the static analyzer.
+///
+/// ```
+/// use dgf_dgl::{Diagnostic, Severity};
+///
+/// let d = Diagnostic::new("DGF001", Severity::Error, "/pipeline/verify", "undefined variable `out`")
+///     .with_hint("declare `out` in an enclosing flow's <variables>");
+/// assert_eq!(d.to_string(), "error[DGF001] /pipeline/verify: undefined variable `out`");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`DGF001`, `DGF010`, …). Codes are
+    /// never renumbered; retired codes are never reused.
+    pub code: String,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Slash-joined name path of the offending node in the flow tree
+    /// (e.g. `/pipeline/verify`).
+    pub node: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// How to fix it; empty when there is no mechanical suggestion.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic without a hint.
+    pub fn new(
+        code: impl Into<String>,
+        severity: Severity,
+        node: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            node: node.into(),
+            message: message.into(),
+            hint: String::new(),
+        }
+    }
+
+    /// Attach a fix hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = hint.into();
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.code, self.node, self.message)
+    }
+}
+
+/// A `<flowValidationQuery>` request body: lint this flow, do not run it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowValidationQuery {
+    /// The flow to analyze.
+    pub flow: Flow,
+}
+
+impl FlowValidationQuery {
+    /// Wrap a flow for validation.
+    pub fn new(flow: Flow) -> Self {
+        FlowValidationQuery { flow }
+    }
+}
+
+/// A `<validationReport>` response body: every diagnostic the analyzer
+/// produced, in deterministic (traversal, then code) order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Name of the flow that was analyzed.
+    pub flow: String,
+    /// `true` iff no `Error`-severity diagnostic was found — i.e. the
+    /// engine would accept this flow at submit.
+    pub valid: bool,
+    /// The findings, deterministic across runs.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationReport {
+    /// A clean report for `flow`.
+    pub fn clean(flow: impl Into<String>) -> Self {
+        ValidationReport { flow: flow.into(), valid: true, diagnostics: Vec::new() }
+    }
+
+    /// Number of `Error`-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of `Warning`-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "validation of {:?}: {} ({} errors, {} warnings)",
+            self.flow,
+            if self.valid { "ok" } else { "rejected" },
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_round_trips_and_orders() {
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()).unwrap(), s);
+        }
+        assert!(Severity::parse("fatal").is_err());
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = ValidationReport::clean("f");
+        assert_eq!((r.errors(), r.warnings()), (0, 0));
+        r.diagnostics.push(Diagnostic::new("DGF001", Severity::Error, "/f", "boom"));
+        r.diagnostics.push(Diagnostic::new("DGF002", Severity::Warning, "/f", "meh"));
+        r.valid = false;
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+        assert_eq!(r.to_string(), "validation of \"f\": rejected (1 errors, 1 warnings)");
+    }
+}

@@ -69,6 +69,7 @@ impl DataGridRequest {
             RequestBody::Flow(flow) => root.push_element(flow.to_element()),
             RequestBody::StatusQuery(q) => root.push_element(q.to_element()),
             RequestBody::Telemetry(q) => root.push_element(q.to_element()),
+            RequestBody::Validation(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -103,8 +104,13 @@ impl DataGridRequest {
             RequestBody::StatusQuery(FlowStatusQuery::from_element(q_el)?)
         } else if let Some(q_el) = e.child("telemetryQuery") {
             RequestBody::Telemetry(crate::TelemetryQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("flowValidationQuery") {
+            RequestBody::Validation(crate::FlowValidationQuery::from_element(q_el)?)
         } else {
-            return Err(DglError::schema(&e.name, "needs a <flow>, <flowStatusQuery>, or <telemetryQuery>"));
+            return Err(DglError::schema(
+                &e.name,
+                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, or <flowValidationQuery>",
+            ));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
     }
@@ -604,6 +610,61 @@ impl crate::TelemetryQuery {
     }
 }
 
+impl crate::FlowValidationQuery {
+    /// Encode as an XML element.
+    pub fn to_element(&self) -> Element {
+        Element::new("flowValidationQuery").with_child(self.flow.to_element())
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        Ok(crate::FlowValidationQuery { flow: Flow::from_element(require_child(e, "flow")?)? })
+    }
+}
+
+impl crate::ValidationReport {
+    /// Encode as an XML element. Diagnostics carry everything in
+    /// attributes (the XML layer trims element text); the empty hint is
+    /// omitted so hint-less diagnostics round-trip byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("validationReport")
+            .with_attr("flow", &self.flow)
+            .with_attr("valid", if self.valid { "true" } else { "false" });
+        for d in &self.diagnostics {
+            let mut de = Element::new("diagnostic")
+                .with_attr("code", &d.code)
+                .with_attr("severity", d.severity.as_str())
+                .with_attr("node", &d.node)
+                .with_attr("message", &d.message);
+            if !d.hint.is_empty() {
+                de.set_attr("hint", &d.hint);
+            }
+            el.push_element(de);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        Ok(crate::ValidationReport {
+            flow: require_attr(e, "flow")?.to_owned(),
+            valid: e.attr("valid") == Some("true"),
+            diagnostics: e
+                .children_named("diagnostic")
+                .map(|d| {
+                    Ok(crate::Diagnostic {
+                        code: require_attr(d, "code")?.to_owned(),
+                        severity: crate::Severity::parse(require_attr(d, "severity")?)?,
+                        node: require_attr(d, "node")?.to_owned(),
+                        message: require_attr(d, "message")?.to_owned(),
+                        hint: d.attr("hint").unwrap_or_default().to_owned(),
+                    })
+                })
+                .collect::<Result<_, DglError>>()?,
+        })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -727,6 +788,7 @@ impl DataGridResponse {
                 }
                 root.push_element(t);
             }
+            ResponseBody::Validation(report) => root.push_element(report.to_element()),
         }
         root
     }
@@ -885,9 +947,13 @@ impl DataGridResponse {
             };
             return Ok(DataGridResponse { request_id, body: ResponseBody::Telemetry(report) });
         }
+        if let Some(v) = e.child("validationReport") {
+            let report = crate::ValidationReport::from_element(v)?;
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Validation(report) });
+        }
         Err(DglError::schema(
             "dataGridResponse",
-            "needs <requestAcknowledgement>, <statusReport>, or <telemetryReport>",
+            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, or <validationReport>",
         ))
     }
 }
@@ -1089,6 +1155,38 @@ mod tests {
 
         // Telemetry responses carry no transaction.
         assert_eq!(tail_only.transaction(), "");
+    }
+
+    #[test]
+    fn validation_query_and_report_round_trip() {
+        let req = DataGridRequest::validation("r1", "jonw", sample_flow());
+        let xml = req.to_xml();
+        assert!(xml.contains("<flowValidationQuery>"), "{xml}");
+        assert_eq!(parse_request(&xml).unwrap(), req);
+
+        let report = DataGridResponse::validation(
+            "r2",
+            crate::ValidationReport {
+                flow: "md5-pipeline".into(),
+                valid: false,
+                diagnostics: vec![
+                    crate::Diagnostic::new(
+                        "DGF001",
+                        crate::Severity::Error,
+                        "/md5-pipeline/verify",
+                        "undefined variable `out` in path template",
+                    )
+                    .with_hint("declare `out` in an enclosing flow's <variables>"),
+                    crate::Diagnostic::new("DGF002", crate::Severity::Warning, "/md5-pipeline", "variable `collection` is never read"),
+                ],
+            },
+        );
+        let parsed = parse_response(&report.to_xml()).unwrap();
+        assert_eq!(parsed, report);
+        // Validation responses carry no transaction.
+        assert_eq!(parsed.transaction(), "");
+        // Hint-less diagnostics omit the attribute entirely.
+        assert!(!report.to_xml().contains(r#"hint="""#), "{}", report.to_xml());
     }
 
     #[test]

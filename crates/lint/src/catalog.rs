@@ -1,0 +1,172 @@
+//! The diagnostic catalog: one entry per stable code.
+//!
+//! Codes are never renumbered and retired codes are never reused, so
+//! operators can filter and suppress by code across releases. The
+//! severity here is the *nominal* severity: a handful of checks
+//! downgrade `Error` to `Warning` when the offending construct is
+//! provably unreachable (e.g. inside a rule that can never fire).
+
+use dgf_dgl::Severity;
+
+/// One catalogued diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code (`DGF001`…).
+    pub code: &'static str,
+    /// Nominal severity.
+    pub severity: Severity,
+    /// Short title (kebab-ish, for CLI summaries).
+    pub title: &'static str,
+    /// One-line description of what the check catches.
+    pub summary: &'static str,
+}
+
+/// Every diagnostic code the analyzer can emit.
+///
+/// `DGF00x` — def/use; `DGF01x` — control flow; `DGF02x` — grid
+/// feasibility.
+pub const CATALOG: &[CodeInfo] = &[
+    CodeInfo {
+        code: "DGF001",
+        severity: Severity::Error,
+        title: "undefined variable",
+        summary: "a template or expression reads a variable no enclosing scope declares",
+    },
+    CodeInfo {
+        code: "DGF002",
+        severity: Severity::Warning,
+        title: "unused variable",
+        summary: "a declared variable is never read anywhere in its scope",
+    },
+    CodeInfo {
+        code: "DGF003",
+        severity: Severity::Warning,
+        title: "shadowed variable",
+        summary: "a declaration reuses a name already visible from an enclosing scope",
+    },
+    CodeInfo {
+        code: "DGF004",
+        severity: Severity::Error,
+        title: "list used before query",
+        summary: "a list variable is iterated before the query step that binds it, or bound in a scope that does not outlive the binding step",
+    },
+    CodeInfo {
+        code: "DGF010",
+        severity: Severity::Error,
+        title: "duplicate case arm",
+        summary: "two switch arms match the same value; the engine always picks the first, the second can never run",
+    },
+    CodeInfo {
+        code: "DGF011",
+        severity: Severity::Warning,
+        title: "constant switch",
+        summary: "the switch expression is constant, so every other arm is unreachable",
+    },
+    CodeInfo {
+        code: "DGF012",
+        severity: Severity::Warning,
+        title: "while always true",
+        summary: "the while condition is constantly true; the run only ends when the engine's iteration limit fails it",
+    },
+    CodeInfo {
+        code: "DGF013",
+        severity: Severity::Warning,
+        title: "while always false",
+        summary: "the while condition is constantly false; the body never runs",
+    },
+    CodeInfo {
+        code: "DGF014",
+        severity: Severity::Warning,
+        title: "empty for-each",
+        summary: "the for-each iterates over an explicitly empty item list; the body never runs",
+    },
+    CodeInfo {
+        code: "DGF015",
+        severity: Severity::Warning,
+        title: "empty flow",
+        summary: "the flow has no children and does nothing",
+    },
+    CodeInfo {
+        code: "DGF016",
+        severity: Severity::Warning,
+        title: "dead code after infinite loop",
+        summary: "sequential siblings after a constant-true while loop can never start",
+    },
+    CodeInfo {
+        code: "DGF017",
+        severity: Severity::Warning,
+        title: "rule never fires",
+        summary: "only beforeEntry and afterExit rules are fired by the engine; any other rule name is dead",
+    },
+    CodeInfo {
+        code: "DGF018",
+        severity: Severity::Warning,
+        title: "rule selects no action",
+        summary: "the rule's condition is constant and selects none of its actions",
+    },
+    CodeInfo {
+        code: "DGF019",
+        severity: Severity::Error,
+        title: "forbidden operation in rule action",
+        summary: "execute and query operations are rejected by the engine inside rule actions",
+    },
+    CodeInfo {
+        code: "DGF020",
+        severity: Severity::Error,
+        title: "unknown resource",
+        summary: "an operation names a storage resource the topology does not contain",
+    },
+    CodeInfo {
+        code: "DGF021",
+        severity: Severity::Warning,
+        title: "unsatisfiable compute requirement",
+        summary: "no compute resource can ever satisfy the step's resourceType, ignoring current load",
+    },
+    CodeInfo {
+        code: "DGF022",
+        severity: Severity::Warning,
+        title: "SLA excludes all placements",
+        summary: "capable resources exist but every one's SLA excludes this VO or shares zero slots",
+    },
+    CodeInfo {
+        code: "DGF023",
+        severity: Severity::Warning,
+        title: "storage capacity exceeded",
+        summary: "the flow's aggregate ingest volume exceeds the free capacity of a target resource",
+    },
+    CodeInfo {
+        code: "DGF024",
+        severity: Severity::Error,
+        title: "object exceeds resource capacity",
+        summary: "a single ingested object is larger than the target resource's total capacity",
+    },
+    CodeInfo {
+        code: "DGF025",
+        severity: Severity::Warning,
+        title: "unreachable resource",
+        summary: "a transfer names source and destination domains with no network route between them",
+    },
+];
+
+/// Look up a code's catalog entry.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    CATALOG.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_well_formed() {
+        for w in CATALOG.windows(2) {
+            assert!(w[0].code < w[1].code, "{} before {}", w[0].code, w[1].code);
+        }
+        for c in CATALOG {
+            assert!(c.code.starts_with("DGF") && c.code.len() == 6, "{}", c.code);
+            assert!(!c.title.is_empty() && !c.summary.is_empty());
+        }
+        assert_eq!(code_info("DGF001").unwrap().severity, Severity::Error);
+        assert!(code_info("DGF999").is_none());
+    }
+}

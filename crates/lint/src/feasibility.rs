@@ -1,0 +1,392 @@
+//! Pass 3: grid feasibility.
+//!
+//! With a [`GridContext`] the analyzer can do the scheduler's
+//! structural matchmaking *before* submission: every literally-named
+//! resource must exist, every `execute` must have at least one compute
+//! resource that could ever host it (mirroring the planner's
+//! `feasible_ever`), and ingest volumes must fit the storage they
+//! target. Templated names (`${...}`) are runtime-dependent and skipped
+//! — the pass is conservative, never speculative.
+
+use crate::{join_path, GridContext};
+use dgf_dgl::{
+    Children, ControlPattern, Diagnostic, DglOperation, Flow, IterSource, Severity, Step,
+    UserDefinedRule, RULE_AFTER_EXIT, RULE_BEFORE_ENTRY,
+};
+use dgf_scheduler::ResourceReq;
+use dgf_simgrid::StorageId;
+use std::collections::BTreeMap;
+
+pub(crate) fn run(flow: &Flow, ctx: &GridContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut pass = Feasibility { ctx, diags, ingest: BTreeMap::new() };
+    pass.walk_flow(flow, "", 1);
+    let totals = std::mem::take(&mut pass.ingest);
+    let root = join_path("", &flow.name);
+    // Aggregate check last, anchored at the root: a single ingest can
+    // fit while the whole campaign does not.
+    for (name, (id, total)) in totals {
+        let free = ctx.topology.storage(id).free();
+        if total > free {
+            pass.diags.push(
+                Diagnostic::new(
+                    "DGF023",
+                    Severity::Warning,
+                    &root,
+                    format!(
+                        "flow ingests {total} bytes onto `{name}` but only {free} bytes are free"
+                    ),
+                )
+                .with_hint("spread the ingest across resources, trim first, or target a larger tier"),
+            );
+        }
+    }
+}
+
+/// True when the string still contains a `${...}` template — its value
+/// is unknowable before execution.
+fn templated(s: &str) -> bool {
+    s.contains("${")
+}
+
+struct Feasibility<'a, 'c> {
+    ctx: &'a GridContext<'c>,
+    diags: &'a mut Vec<Diagnostic>,
+    /// Aggregate literal ingest bytes per literally-named resource.
+    ingest: BTreeMap<String, (StorageId, u64)>,
+}
+
+impl Feasibility<'_, '_> {
+    fn walk_flow(&mut self, flow: &Flow, prefix: &str, multiplier: u64) {
+        let here = join_path(prefix, &flow.name);
+        // A literal for-each item list multiplies everything inside it.
+        let multiplier = match &flow.logic.pattern {
+            ControlPattern::ForEach { source: IterSource::Items(items), .. } => {
+                multiplier.saturating_mul(items.len() as u64)
+            }
+            _ => multiplier,
+        };
+        self.walk_rules(&flow.logic.rules, &here, multiplier);
+        match &flow.children {
+            Children::Flows(flows) => {
+                for f in flows {
+                    self.walk_flow(f, &here, multiplier);
+                }
+            }
+            Children::Steps(steps) => {
+                for s in steps {
+                    self.walk_step(s, &here, multiplier);
+                }
+            }
+        }
+    }
+
+    fn walk_step(&mut self, step: &Step, prefix: &str, multiplier: u64) {
+        let here = join_path(prefix, &step.name);
+        self.walk_rules(&step.rules, &here, multiplier);
+        self.check_operation(&step.operation, &here, multiplier);
+    }
+
+    /// Rule-action steps of firing rules run inline; their data
+    /// operations face the same grid. Dead rules never run — skip them.
+    fn walk_rules(&mut self, rules: &[UserDefinedRule], node: &str, multiplier: u64) {
+        for rule in rules.iter().filter(|r| r.name == RULE_BEFORE_ENTRY || r.name == RULE_AFTER_EXIT) {
+            for action in &rule.actions {
+                for s in &action.steps {
+                    self.check_operation(&s.operation, &join_path(node, &s.name), multiplier);
+                }
+            }
+        }
+    }
+
+    /// Resolve a literally-named storage resource; emits DGF020 when
+    /// the topology has no such resource. `None` for templated names.
+    fn storage(&mut self, name: &str, node: &str, role: &str) -> Option<StorageId> {
+        if templated(name) {
+            return None;
+        }
+        let id = self.ctx.topology.storage_by_name(name);
+        if id.is_none() {
+            self.diags.push(
+                Diagnostic::new(
+                    "DGF020",
+                    Severity::Error,
+                    node,
+                    format!("unknown {role} resource `{name}`: the grid topology has no storage by that name"),
+                )
+                .with_hint("check the resource name against the grid description, or template it for late binding"),
+            );
+        }
+        id
+    }
+
+    fn check_operation(&mut self, op: &DglOperation, node: &str, multiplier: u64) {
+        match op {
+            DglOperation::Ingest { size, resource, .. } => {
+                let Some(id) = self.storage(resource, node, "target") else { return };
+                if templated(size) {
+                    return;
+                }
+                let Ok(bytes) = size.trim().parse::<u64>() else { return };
+                let store = self.ctx.topology.storage(id);
+                if bytes > store.capacity {
+                    self.diags.push(
+                        Diagnostic::new(
+                            "DGF024",
+                            Severity::Error,
+                            node,
+                            format!(
+                                "ingested object ({bytes} bytes) exceeds the total capacity of `{resource}` ({} bytes)",
+                                store.capacity
+                            ),
+                        )
+                        .with_hint("target a larger tier, or split the object"),
+                    );
+                    return;
+                }
+                let entry = self.ingest.entry(resource.clone()).or_insert((id, 0));
+                entry.1 = entry.1.saturating_add(bytes.saturating_mul(multiplier));
+            }
+            DglOperation::Replicate { src, dst, .. } => {
+                let from = src.as_deref().and_then(|s| self.storage(s, node, "source"));
+                let to = self.storage(dst, node, "destination");
+                self.check_route(from, to, node);
+            }
+            DglOperation::Migrate { from, to, .. } => {
+                let from = self.storage(from, node, "source");
+                let to = self.storage(to, node, "destination");
+                self.check_route(from, to, node);
+            }
+            DglOperation::Trim { resource, .. } => {
+                self.storage(resource, node, "trim");
+            }
+            DglOperation::Checksum { resource: Some(resource), .. } => {
+                self.storage(resource, node, "checksum");
+            }
+            DglOperation::Execute { resource_type, .. } => {
+                self.check_execute(resource_type.as_deref(), node);
+            }
+            _ => {}
+        }
+    }
+
+    fn check_route(&mut self, from: Option<StorageId>, to: Option<StorageId>, node: &str) {
+        let (Some(from), Some(to)) = (from, to) else { return };
+        let topo = self.ctx.topology;
+        let (a, b) = (topo.storage_domain(from), topo.storage_domain(to));
+        if topo.route(a, b).is_none() {
+            self.diags.push(
+                Diagnostic::new(
+                    "DGF025",
+                    Severity::Warning,
+                    node,
+                    format!(
+                        "no network route between `{}` and `{}`; the transfer can never complete",
+                        topo.domain(a).name,
+                        topo.domain(b).name
+                    ),
+                )
+                .with_hint("pick a destination reachable from the source domain"),
+            );
+        }
+    }
+
+    /// Mirror of the planner's `feasible_ever`, split into "no capable
+    /// resource" (DGF021) vs "capable resources exist but every SLA
+    /// excludes this VO" (DGF022).
+    fn check_execute(&mut self, resource_type: Option<&str>, node: &str) {
+        let req = match resource_type {
+            None => ResourceReq::default(),
+            Some(spec) if templated(spec) => return,
+            Some(spec) => match ResourceReq::parse(spec) {
+                Some(req) => req,
+                None => {
+                    self.diags.push(
+                        Diagnostic::new(
+                            "DGF021",
+                            Severity::Warning,
+                            node,
+                            format!("resourceType `{spec}` does not parse; no resource can satisfy it"),
+                        )
+                        .with_hint("use `compute`, `compute:<min-slots>`, or `compute@<domain>`"),
+                    );
+                    return;
+                }
+            },
+        };
+        let topo = self.ctx.topology;
+        if let Some(domain) = &req.domain {
+            if topo.domain_by_name(domain).is_none() {
+                self.diags.push(
+                    Diagnostic::new(
+                        "DGF021",
+                        Severity::Warning,
+                        node,
+                        format!("resourceType pins domain `{domain}`, which the grid topology does not contain"),
+                    )
+                    .with_hint("check the domain name against the grid description"),
+                );
+                return;
+            }
+        }
+        let capable: Vec<_> = topo
+            .compute_ids()
+            .filter(|&id| {
+                let r = topo.compute(id);
+                r.online
+                    && (req.min_slots == 0 || r.slots >= req.min_slots)
+                    && req
+                        .domain
+                        .as_ref()
+                        .is_none_or(|d| &topo.domain(topo.compute_domain(id)).name == d)
+            })
+            .collect();
+        if capable.is_empty() {
+            self.diags.push(
+                Diagnostic::new(
+                    "DGF021",
+                    Severity::Warning,
+                    node,
+                    format!(
+                        "no online compute resource can ever satisfy `{}` (ignoring current load)",
+                        resource_type.unwrap_or("compute")
+                    ),
+                )
+                .with_hint("lower the slot requirement or unpin the domain"),
+            );
+            return;
+        }
+        let admitted = capable.iter().any(|&id| {
+            let sla = self.ctx.infra.sla(id);
+            sla.admits_vo(self.ctx.vo) && sla.usable_slots(topo.compute(id).slots) > 0
+        });
+        if !admitted {
+            let vo = self.ctx.vo.unwrap_or("<none>");
+            self.diags.push(
+                Diagnostic::new(
+                    "DGF022",
+                    Severity::Warning,
+                    node,
+                    format!(
+                        "{} capable resource(s) exist but every SLA excludes VO `{vo}` or shares zero slots",
+                        capable.len()
+                    ),
+                )
+                .with_hint("submit under an admitted VO, or negotiate an SLA for this one"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_with_grid, GridContext};
+    use dgf_dgl::FlowBuilder;
+    use dgf_scheduler::{InfraDescription, Sla};
+    use dgf_simgrid::{GridBuilder, GridPreset, Topology};
+
+    fn mesh() -> Topology {
+        GridBuilder::preset(GridPreset::UniformMesh { domains: 2 })
+    }
+
+    fn codes(flow: &Flow, topo: &Topology, infra: &InfraDescription, vo: Option<&str>) -> Vec<(String, Severity)> {
+        let ctx = GridContext { topology: topo, infra, vo };
+        lint_with_grid(flow, &ctx).diagnostics.iter().map(|d| (d.code.clone(), d.severity)).collect()
+    }
+
+    fn ingest(name: &str, size: &str, resource: &str) -> Step {
+        Step::new(
+            name,
+            DglOperation::Ingest { path: format!("/d/{name}"), size: size.into(), resource: resource.into() },
+        )
+    }
+
+    #[test]
+    fn unknown_resources_are_errors_but_templates_are_skipped() {
+        let topo = mesh();
+        let infra = InfraDescription::open();
+        let flow = Flow::sequence("f", vec![ingest("a", "100", "nosuch-disk")]);
+        assert!(codes(&flow, &topo, &infra, None).contains(&("DGF020".into(), Severity::Error)));
+
+        let mut flow = Flow::sequence("f", vec![ingest("a", "100", "${target}")]);
+        flow.variables.push(dgf_dgl::VarDecl::new("target", "site0-disk"));
+        assert!(codes(&flow, &topo, &infra, None).is_empty());
+    }
+
+    #[test]
+    fn oversized_objects_and_oversubscribed_campaigns() {
+        let topo = mesh();
+        let infra = InfraDescription::open();
+        // site0-pfs is 10 TB total.
+        let huge = Flow::sequence("f", vec![ingest("a", "99000000000000", "site0-pfs")]);
+        assert!(codes(&huge, &topo, &infra, None).contains(&("DGF024".into(), Severity::Error)));
+
+        // 6 TB per iteration × 2 iterations > 10 TB free, though each
+        // object fits on its own.
+        let campaign = FlowBuilder::for_each_items("f", "run", ["one", "two"])
+            .add_step(ingest("a", "6000000000000", "site0-pfs"))
+            .build()
+            .unwrap();
+        let got = codes(&campaign, &topo, &infra, None);
+        assert!(got.contains(&("DGF023".into(), Severity::Warning)), "{got:?}");
+        assert!(!got.iter().any(|(c, _)| c == "DGF024"));
+    }
+
+    #[test]
+    fn unroutable_transfers_warn() {
+        // Two disconnected sites: no link added.
+        let mut b = GridBuilder::new();
+        b.add_site("east", 8);
+        b.add_site("west", 8);
+        let topo = b.build();
+        let infra = InfraDescription::open();
+        let flow = Flow::sequence(
+            "f",
+            vec![Step::new(
+                "move",
+                DglOperation::Migrate { path: "/d/x".into(), from: "east-disk".into(), to: "west-disk".into() },
+            )],
+        );
+        assert!(codes(&flow, &topo, &infra, None).contains(&("DGF025".into(), Severity::Warning)));
+    }
+
+    fn execute(resource_type: Option<&str>) -> Flow {
+        Flow::sequence(
+            "f",
+            vec![Step::new(
+                "run",
+                DglOperation::Execute {
+                    code: "sim".into(),
+                    nominal_secs: "60".into(),
+                    resource_type: resource_type.map(Into::into),
+                    inputs: vec![],
+                    outputs: vec![],
+                },
+            )],
+        )
+    }
+
+    #[test]
+    fn impossible_compute_requirements_warn() {
+        let topo = mesh(); // 32-slot clusters
+        let infra = InfraDescription::open();
+        let got = codes(&execute(Some("compute:4096")), &topo, &infra, None);
+        assert!(got.contains(&("DGF021".into(), Severity::Warning)), "{got:?}");
+        let got = codes(&execute(Some("compute@mars")), &topo, &infra, None);
+        assert!(got.contains(&("DGF021".into(), Severity::Warning)), "{got:?}");
+        assert!(codes(&execute(Some("compute:8")), &topo, &infra, None).is_empty());
+        assert!(codes(&execute(None), &topo, &infra, None).is_empty());
+    }
+
+    #[test]
+    fn sla_exclusion_warns_per_vo() {
+        let topo = mesh();
+        let mut infra = InfraDescription::open();
+        for id in topo.compute_ids() {
+            infra.publish(id, Sla::for_vos(&["cms"]));
+        }
+        let got = codes(&execute(None), &topo, &infra, Some("atlas"));
+        assert!(got.contains(&("DGF022".into(), Severity::Warning)), "{got:?}");
+        assert!(codes(&execute(None), &topo, &infra, Some("cms")).is_empty());
+    }
+}

@@ -123,6 +123,18 @@ pub enum EventKind {
         /// The recorded outcome.
         outcome: String,
     },
+    /// The submit-time lint gate analyzed a flow (`lint.report`, or
+    /// `lint.rejected` when error-severity diagnostics refused it).
+    LintReport {
+        /// Root flow name (no transaction exists yet at lint time).
+        flow: String,
+        /// Error-severity diagnostics found.
+        errors: u64,
+        /// Warning-severity diagnostics found.
+        warnings: u64,
+        /// True when the gate refused submission.
+        rejected: bool,
+    },
     /// The flow-progress watchdog re-classified a flow
     /// (`health.healthy` / `health.slow` / `health.stalled` — named by
     /// the state the flow *entered*).
@@ -154,6 +166,13 @@ impl EventKind {
             EventKind::TriggerFired { .. } => "trigger.fired",
             EventKind::FaultRetry { .. } => "fault.retry",
             EventKind::ProvenanceWrite { .. } => "provenance.write",
+            EventKind::LintReport { rejected, .. } => {
+                if *rejected {
+                    "lint.rejected"
+                } else {
+                    "lint.report"
+                }
+            }
             EventKind::HealthTransition { to, .. } => match to {
                 crate::HealthState::Healthy => "health.healthy",
                 crate::HealthState::Slow => "health.slow",
@@ -176,7 +195,7 @@ impl EventKind {
             | EventKind::FaultRetry { txn, .. }
             | EventKind::ProvenanceWrite { txn, .. }
             | EventKind::HealthTransition { txn, .. } => Some(txn),
-            EventKind::TriggerFired { .. } => None,
+            EventKind::TriggerFired { .. } | EventKind::LintReport { .. } => None,
         }
     }
 
@@ -193,7 +212,7 @@ impl EventKind {
             EventKind::RunSubmitted { .. } => Some("/"),
             EventKind::RunFinished { .. } => Some("/"),
             EventKind::HealthTransition { .. } => Some("/"),
-            EventKind::TriggerFired { .. } => None,
+            EventKind::TriggerFired { .. } | EventKind::LintReport { .. } => None,
         }
     }
 
@@ -226,6 +245,9 @@ impl EventKind {
             }
             EventKind::ProvenanceWrite { txn, node, verb, outcome } => {
                 format!("{txn}{node} verb={verb} outcome={outcome}")
+            }
+            EventKind::LintReport { flow, errors, warnings, rejected } => {
+                format!("flow={flow} errors={errors} warnings={warnings} rejected={rejected}")
             }
             EventKind::HealthTransition { txn, from, to, last_progress_us } => {
                 format!("{txn} {from}->{to} last_progress_us={last_progress_us}")

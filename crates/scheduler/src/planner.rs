@@ -168,6 +168,11 @@ impl Scheduler {
         &self.weights
     }
 
+    /// The active infrastructure description (SLAs per resource).
+    pub fn infra(&self) -> &InfraDescription {
+        &self.infra
+    }
+
     /// Convert a task's abstract requirement into a concrete placement
     /// against the grid's *current* state.
     ///

@@ -1,0 +1,111 @@
+//! `dgf_lint` — lint DGL flow documents from the command line.
+//!
+//! ```sh
+//! # Lint one or more DGL <flow> XML documents against a demo grid:
+//! cargo run --example dgf_lint -- tests/lint_corpus/undef_var.xml
+//!
+//! # No arguments: print the diagnostic catalog, then lint a
+//! # deliberately broken demo flow.
+//! cargo run --example dgf_lint
+//! ```
+//!
+//! Exit status is 1 when any linted flow has error-severity
+//! diagnostics (the same flows the DfMS submit gate would refuse), 0
+//! otherwise. See `docs/LINTING.md` for every code.
+
+use datagridflows::lint::{lint_with_grid, GridContext, CATALOG};
+use datagridflows::prelude::*;
+
+fn demo_flow() -> Flow {
+    // One defect per pass: an undefined variable (DGF001), a constant
+    // while loop (DGF012), and an unknown storage resource (DGF020).
+    FlowBuilder::sequential("demo")
+        .var("unused", "1")
+        .flow(
+            FlowBuilder::while_loop("spin", "true")
+                .unwrap()
+                .step("poke", DglOperation::Notify { message: "hello ${who}".into() })
+                .build()
+                .unwrap(),
+        )
+        .flow(
+            FlowBuilder::sequential("land")
+                .step(
+                    "put",
+                    DglOperation::Ingest {
+                        path: "/demo/data".into(),
+                        size: "1000".into(),
+                        resource: "nowhere-disk".into(),
+                    },
+                )
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn print_report(report: &ValidationReport) {
+    let verdict = if report.valid { "ok" } else { "REJECTED" };
+    println!(
+        "flow `{}`: {verdict} — {} error(s), {} warning(s)",
+        report.flow,
+        report.errors(),
+        report.warnings()
+    );
+    for d in &report.diagnostics {
+        println!("  {d}");
+        if !d.hint.is_empty() {
+            println!("      hint: {}", d.hint);
+        }
+    }
+}
+
+fn main() {
+    // The reference grid the feasibility pass checks against: the same
+    // two-site mesh the examples and docs use, with open SLAs.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let infra = datagridflows::scheduler::InfraDescription::open();
+    let ctx = GridContext { topology: &topology, infra: &infra, vo: None };
+
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        println!("{} catalogued diagnostics:", CATALOG.len());
+        for c in CATALOG {
+            println!("  {} {:<8} {} — {}", c.code, format!("{}", c.severity), c.title, c.summary);
+        }
+        println!();
+        let report = lint_with_grid(&demo_flow(), &ctx);
+        print_report(&report);
+        return;
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let xml = match std::fs::read_to_string(path) {
+            Ok(xml) => xml,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let flow = datagridflows::xml::parse(&xml)
+            .map_err(|e| e.to_string())
+            .and_then(|e| Flow::from_element(&e).map_err(|e| e.to_string()));
+        match flow {
+            Ok(flow) => {
+                let report = lint_with_grid(&flow, &ctx);
+                print_report(&report);
+                failed |= !report.valid;
+            }
+            Err(e) => {
+                eprintln!("{path}: not a DGL flow document: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

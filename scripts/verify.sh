@@ -12,6 +12,7 @@ fi
 
 cargo build --release
 cargo test -q
+cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Trace determinism: the observability suite must be stable across
@@ -39,5 +40,23 @@ if ! cmp -s "$scrape_a" "$scrape_b"; then
     diff "$scrape_a" "$scrape_b" | head -20 >&2
     exit 1
 fi
+
+# Lint determinism: the static analyzer's report over the corpus must
+# be byte-identical across two full CLI invocations (stable diagnostic
+# ordering is part of the wire contract).
+lint_a=$(mktemp) lint_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b" "$lint_a" "$lint_b"' EXIT
+cargo run -q --example dgf_lint -- tests/lint_corpus/*.xml >"$lint_a" || true
+cargo run -q --example dgf_lint -- tests/lint_corpus/*.xml >"$lint_b" || true
+if ! cmp -s "$lint_a" "$lint_b"; then
+    echo "verify: dgf-lint reports differ between reruns over the corpus" >&2
+    diff "$lint_a" "$lint_b" | head -20 >&2
+    exit 1
+fi
+if ! grep -q 'DGF001' "$lint_a"; then
+    echo "verify: dgf-lint corpus run did not surface DGF001; analyzer regressed" >&2
+    exit 1
+fi
+cargo test -q -p datagridflows --test lint_corpus
 
 echo "verify: OK"

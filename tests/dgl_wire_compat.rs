@@ -163,4 +163,49 @@ proptest! {
     fn request_parser_is_panic_free(input in "\\PC{0,300}") {
         let _ = parse_request(&input);
     }
+
+    /// Any structurally valid flow survives a validation-query XML
+    /// round trip (the lint wire pair's request half).
+    #[test]
+    fn validation_queries_round_trip_the_wire(flow in flow_strategy()) {
+        prop_assume!(flow.validate().is_ok());
+        let request = DataGridRequest::validation("prop", "user", flow);
+        let xml = request.to_xml();
+        let parsed = parse_request(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, request);
+    }
+
+    /// Any diagnostic list survives a validation-report XML round trip
+    /// (the lint wire pair's response half).
+    #[test]
+    fn validation_reports_round_trip_the_wire(
+        flow_name in "[a-z][a-z0-9-]{0,10}",
+        valid in any::<bool>(),
+        diags in proptest::collection::vec(diagnostic_strategy(), 0..6),
+    ) {
+        let report = ValidationReport { flow: flow_name, valid, diagnostics: diags };
+        let response = dgl::DataGridResponse::validation("prop", report);
+        let xml = response.to_xml();
+        let parsed = dgl::parse_response(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, response);
+    }
+}
+
+fn diagnostic_strategy() -> impl Strategy<Value = Diagnostic> {
+    (
+        "DGF0[0-9]{2}",
+        prop_oneof![Just(Severity::Info), Just(Severity::Warning), Just(Severity::Error)],
+        "/[a-z][a-z0-9/]{0,14}",
+        // Printable, with inner whitespace but no leading/trailing runs
+        // (attribute values survive; the codec never trims interior).
+        "[!-~]([ -~]{0,20}[!-~])?",
+        proptest::option::of("[!-~]([ -~]{0,20}[!-~])?"),
+    )
+        .prop_map(|(code, severity, node, message, hint)| {
+            let d = Diagnostic::new(code, severity, node, message);
+            match hint {
+                Some(h) => d.with_hint(h),
+                None => d,
+            }
+        })
 }

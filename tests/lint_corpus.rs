@@ -1,0 +1,171 @@
+//! Golden-file tests for the `dgf-lint` static analyzer.
+//!
+//! Every `tests/lint_corpus/*.xml` is a DGL `<flow>` document; its
+//! `.expected` sibling is the exact, deterministic rendering of the
+//! lint report against the reference grid (a two-site uniform mesh
+//! with open SLAs — the same grid `examples/dgf_lint.rs` uses).
+//!
+//! To regenerate after an intentional analyzer change:
+//!
+//! ```sh
+//! UPDATE_LINT_CORPUS=1 cargo test --test lint_corpus
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use datagridflows::lint::{lint_with_grid, GridContext};
+use datagridflows::prelude::*;
+use datagridflows::scheduler::InfraDescription;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+/// The deterministic text rendering the goldens pin: verdict line, then
+/// one line per diagnostic with its hint indented underneath.
+fn render(report: &ValidationReport) -> String {
+    let mut out = format!(
+        "flow `{}`: {} — {} error(s), {} warning(s)\n",
+        report.flow,
+        if report.valid { "ok" } else { "rejected" },
+        report.errors(),
+        report.warnings()
+    );
+    for d in &report.diagnostics {
+        out.push_str(&format!("{d}\n"));
+        if !d.hint.is_empty() {
+            out.push_str(&format!("    hint: {}\n", d.hint));
+        }
+    }
+    out
+}
+
+#[test]
+fn corpus_reports_match_goldens() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let infra = InfraDescription::open();
+    let ctx = GridContext { topology: &topology, infra: &infra, vo: None };
+    let update = std::env::var_os("UPDATE_LINT_CORPUS").is_some();
+
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 8, "corpus unexpectedly small: {} cases", cases.len());
+
+    let mut failures = Vec::new();
+    for case in &cases {
+        let xml = std::fs::read_to_string(case).expect("corpus file reads");
+        let flow = Flow::from_element(&datagridflows::xml::parse(&xml).expect("corpus XML parses"))
+            .expect("corpus flow decodes");
+        let got = render(&lint_with_grid(&flow, &ctx));
+        let golden = case.with_extension("expected");
+        if update {
+            std::fs::write(&golden, &got).expect("golden writes");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|_| panic!("missing golden {golden:?}; run with UPDATE_LINT_CORPUS=1"));
+        if got != want {
+            failures.push(format!(
+                "{}:\n--- expected ---\n{want}--- got ---\n{got}",
+                case.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{} corpus mismatch(es):\n{}", failures.len(), failures.join("\n"));
+}
+
+#[test]
+fn corpus_is_deterministic_across_runs() {
+    // Two full passes over the corpus must render byte-identically —
+    // the property the verify-script gate relies on.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let infra = InfraDescription::open();
+    let ctx = GridContext { topology: &topology, infra: &infra, vo: None };
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+        .collect();
+    cases.sort();
+    for case in &cases {
+        let xml = std::fs::read_to_string(case).unwrap();
+        let flow = Flow::from_element(&datagridflows::xml::parse(&xml).unwrap()).unwrap();
+        let a = render(&lint_with_grid(&flow, &ctx));
+        let b = render(&lint_with_grid(&flow, &ctx));
+        assert_eq!(a, b, "nondeterministic report for {case:?}");
+    }
+}
+
+#[test]
+fn engine_gate_rejects_error_flows_and_reports_codes() {
+    // The corpus' undefined-variable flow must be refused at submit,
+    // with the DGF code in the structured error and the ack message.
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("arun", topology.domain_ids().next().unwrap()));
+    users.make_admin("arun").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 7));
+
+    let xml = std::fs::read_to_string(corpus_dir().join("undef_var.xml")).unwrap();
+    let flow = Flow::from_element(&datagridflows::xml::parse(&xml).unwrap()).unwrap();
+
+    let err = dfms.submit_flow("arun", flow.clone()).unwrap_err();
+    match &err {
+        datagridflows::dfms::DfmsError::Lint(report) => {
+            assert!(!report.valid);
+            assert!(report.diagnostics.iter().any(|d| d.code == "DGF001"));
+        }
+        other => panic!("expected a lint rejection, got {other:?}"),
+    }
+    assert!(err.to_string().contains("DGF001"), "{err}");
+
+    // Over the wire: the ack is invalid and carries the code.
+    let request = DataGridRequest::flow("r1", "arun", flow);
+    let response = dfms.handle(request);
+    let ResponseBody::Ack(ack) = &response.body else { panic!("expected ack") };
+    assert!(!ack.valid);
+    assert!(ack.message.as_deref().unwrap_or_default().contains("DGF001"));
+
+    // Observability: the rejection is a flight-recorder event and a
+    // metric.
+    let events = dfms.obs().events();
+    assert!(events.iter().any(|e| e.kind.name() == "lint.rejected"));
+    let snap = dfms.metrics_snapshot();
+    assert_eq!(snap.counter("lint", "flows.checked"), 2, "both submit paths linted");
+    assert_eq!(snap.counter("lint", "flows.rejected"), 2, "both submit paths refused");
+}
+
+#[test]
+fn validation_query_answers_over_the_wire_without_executing() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("arun", topology.domain_ids().next().unwrap()));
+    users.make_admin("arun").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 7));
+
+    let xml = std::fs::read_to_string(corpus_dir().join("grid_feasibility.xml")).unwrap();
+    let flow = Flow::from_element(&datagridflows::xml::parse(&xml).unwrap()).unwrap();
+
+    let request = DataGridRequest::validation("v1", "arun", flow);
+    let response = dfms.handle(request.clone());
+    let ResponseBody::Validation(report) = &response.body else { panic!("expected report") };
+    assert!(!report.valid);
+    assert!(report.diagnostics.iter().any(|d| d.code == "DGF020"));
+    assert!(report.diagnostics.iter().any(|d| d.code == "DGF024"));
+
+    // Nothing ran: no transaction was opened.
+    assert_eq!(dfms.metrics().runs_submitted, 0);
+
+    // And the XML round trip of the full exchange is lossless.
+    let wire = request.to_xml();
+    let reparsed = datagridflows::dgl::parse_request(&wire).unwrap();
+    assert_eq!(reparsed, request);
+    let wire = response.to_xml();
+    let reparsed = datagridflows::dgl::parse_response(&wire).unwrap();
+    assert_eq!(reparsed, response);
+}
