@@ -3,7 +3,10 @@
 
 use crate::error::DfmsError;
 use crate::provenance::{ProvenanceRecord, ProvenanceStore, StepOutcome};
+use crate::recovery::{self, EngineJournal, JournalConfig, ReplayState};
 use crate::run::{Cursor, NodeBody, NodeId, Run, RunId, RunOptions};
+use dgf_journal::{Journal, RecordKind};
+use dgf_xml::Element;
 use dgf_dgl::{
     interpolate, Children, ControlPattern, DataGridRequest, DataGridResponse, DglOperation, Expr,
     Flow, FlowStatusQuery, IterSource, RequestAck, RequestBody, RequestMode, RunState, Scope,
@@ -16,9 +19,10 @@ use dgf_dgms::{
 use dgf_ilm::IlmJob;
 use dgf_obs::{EventKind as ObsKind, Obs, SpanContext, SpanKind};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
-use dgf_simgrid::{ComputeId, Duration, EventQueue, SimTime, StorageId};
+use dgf_simgrid::{ComputeId, Duration, EventQueue, FailureEvent, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 
 /// Hard ceiling on while-loop iterations: a runaway `while (true)` in a
 /// submitted document must not hang the server.
@@ -107,6 +111,15 @@ pub struct Dfms {
     ilm_jobs: Vec<IlmJob>,
     procedures: HashMap<String, Flow>,
     next_txn: u64,
+    /// The write-ahead journal, when attached (see `docs/RECOVERY.md`).
+    journal: Option<EngineJournal>,
+    /// Re-entrancy depth of journaled command methods: only depth-0
+    /// calls are external inputs worth journaling; everything beneath
+    /// them (trigger-spawned flows, the pump inside a synchronous
+    /// `handle`) is re-derived by replay.
+    cmd_depth: u32,
+    /// Replay statistics when this engine was built by [`Dfms::recover`].
+    last_replay: Option<dgf_dgl::ReplayStats>,
 }
 
 impl Dfms {
@@ -136,12 +149,24 @@ impl Dfms {
             ilm_jobs: Vec::new(),
             procedures: HashMap::new(),
             next_txn: 1,
+            journal: None,
+            cmd_depth: 0,
+            last_replay: None,
         }
     }
 
     /// Switch the binding mode (default: late binding).
     pub fn set_binding_mode(&mut self, mode: BindingMode) {
-        self.binding = BindingCache::new(mode);
+        let el = self.should_journal().then(|| {
+            recovery::command("bindingMode").with_attr(
+                "mode",
+                match mode {
+                    BindingMode::Late => "late",
+                    BindingMode::Early => "early",
+                },
+            )
+        });
+        self.with_command(el, |e| e.binding = BindingCache::new(mode));
     }
 
     // ------------------------------------------------------------------
@@ -380,29 +405,46 @@ impl Dfms {
                 let report = self.validate_flow(&q.flow, request.vo.as_deref());
                 DataGridResponse::validation(&request.id, report)
             }
-            RequestBody::Flow(_) => {
-                let mode = request.mode;
-                let request_id = request.id.clone();
-                match self.submit(request) {
-                    Ok(txn) => match mode {
-                        RequestMode::Asynchronous => DataGridResponse::ack(
-                            &request_id,
-                            RequestAck { transaction: txn, state: RunState::Pending, valid: true, message: None },
-                        ),
-                        RequestMode::Synchronous => {
-                            self.pump_until_terminal(&txn);
-                            let report = self
-                                .status(&txn, None)
-                                .expect("run exists: just submitted");
-                            DataGridResponse::status(&request_id, report)
-                        }
-                    },
-                    Err(e) => DataGridResponse::ack(
-                        &request_id,
-                        RequestAck { transaction: String::new(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
-                    ),
+            RequestBody::Recovery(q) => {
+                let mut report = self.recovery_query();
+                if !q.flows {
+                    report.flows.clear();
                 }
+                DataGridResponse::recovery(&request.id, report)
             }
+            RequestBody::Flow(_) => {
+                let el = self
+                    .should_journal()
+                    .then(|| recovery::command("handle").with_child(request.to_element()));
+                self.with_command(el, |e| e.handle_flow(request))
+            }
+        }
+    }
+
+    /// The flow-submission arm of [`Dfms::handle`] — one journaled
+    /// command, covering the submission *and* (for synchronous requests)
+    /// the pump to completion.
+    fn handle_flow(&mut self, request: DataGridRequest) -> DataGridResponse {
+        let mode = request.mode;
+        let request_id = request.id.clone();
+        match self.submit(request) {
+            Ok(txn) => match mode {
+                RequestMode::Asynchronous => DataGridResponse::ack(
+                    &request_id,
+                    RequestAck { transaction: txn, state: RunState::Pending, valid: true, message: None },
+                ),
+                RequestMode::Synchronous => {
+                    self.pump_until_terminal(&txn);
+                    let report = self
+                        .status(&txn, None)
+                        .expect("run exists: just submitted");
+                    DataGridResponse::status(&request_id, report)
+                }
+            },
+            Err(e) => DataGridResponse::ack(
+                &request_id,
+                RequestAck { transaction: String::new(), state: RunState::Failed, valid: false, message: Some(e.to_string()) },
+            ),
         }
     }
 
@@ -421,6 +463,13 @@ impl Dfms {
     /// Submit a flow-execution request, returning its transaction id.
     /// The flow starts when the engine is pumped.
     pub fn submit(&mut self, request: DataGridRequest) -> Result<String, DfmsError> {
+        let el = self
+            .should_journal()
+            .then(|| recovery::command("submit").with_child(request.to_element()));
+        self.with_command(el, |e| e.submit_inner(request))
+    }
+
+    fn submit_inner(&mut self, request: DataGridRequest) -> Result<String, DfmsError> {
         let RequestBody::Flow(flow) = request.body else {
             return Err(DfmsError::Dgl(dgf_dgl::DglError::Invalid("submit expects a flow body".into())));
         };
@@ -437,6 +486,17 @@ impl Dfms {
 
     /// Submit with explicit run options (window, lineage, trigger depth).
     pub fn submit_flow_with(&mut self, user: &str, flow: Flow, options: RunOptions) -> Result<String, DfmsError> {
+        let el = self.should_journal().then(|| {
+            let mut el = recovery::command("submitFlow").with_attr("user", user).with_child(flow.to_element());
+            if let Some(opts) = recovery::options_element(&options) {
+                el.push_element(opts);
+            }
+            el
+        });
+        self.with_command(el, |e| e.submit_flow_with_inner(user, flow, options))
+    }
+
+    fn submit_flow_with_inner(&mut self, user: &str, flow: Flow, options: RunOptions) -> Result<String, DfmsError> {
         self.grid.users().get(user).map_err(|_| DfmsError::UnknownUser(user.to_owned()))?;
         flow.validate()?;
         self.lint_gate(&flow, None)?;
@@ -533,7 +593,13 @@ impl Dfms {
         self.obs.span_attr(flow_span, "lineage", &lineage);
         self.runs[id.0 as usize].nodes[0].span = Some(flow_span);
         self.obs.inc("engine", "runs.submitted");
-        self.obs.record(ObsKind::RunSubmitted { txn: txn.clone(), flow: flow_name, user: user.to_owned() });
+        self.obs.record(ObsKind::RunSubmitted { txn: txn.clone(), flow: flow_name.clone(), user: user.to_owned() });
+        self.journal_transition(
+            recovery::transition("run.submitted")
+                .with_attr("txn", &txn)
+                .with_attr("flow", &flow_name)
+                .with_attr("user", user),
+        );
         // The watchdog counts submission as the first progress.
         self.obs.health_register(&txn);
         self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
@@ -561,9 +627,15 @@ impl Dfms {
     /// The flow's top-level variables are the procedure's parameters;
     /// callers override them per invocation.
     pub fn register_procedure(&mut self, name: impl Into<String>, flow: Flow) -> Result<(), DfmsError> {
-        flow.validate()?;
-        self.procedures.insert(name.into(), flow);
-        Ok(())
+        let name = name.into();
+        let el = self
+            .should_journal()
+            .then(|| recovery::command("procedure").with_attr("name", &name).with_child(flow.to_element()));
+        self.with_command(el, |e| {
+            flow.validate()?;
+            e.procedures.insert(name, flow);
+            Ok(())
+        })
     }
 
     /// Registered procedure names, sorted.
@@ -576,6 +648,22 @@ impl Dfms {
     /// Invoke a stored procedure with parameter overrides. Returns the
     /// new transaction id; pump the engine to run it.
     pub fn call_procedure(
+        &mut self,
+        user: &str,
+        name: &str,
+        args: &[(&str, &str)],
+    ) -> Result<String, DfmsError> {
+        let el = self.should_journal().then(|| {
+            let mut el = recovery::command("call").with_attr("user", user).with_attr("proc", name);
+            for (arg, value) in args {
+                el.push_element(Element::new("arg").with_attr("name", *arg).with_attr("value", *value));
+            }
+            el
+        });
+        self.with_command(el, |e| e.call_procedure_inner(user, name, args))
+    }
+
+    fn call_procedure_inner(
         &mut self,
         user: &str,
         name: &str,
@@ -602,34 +690,45 @@ impl Dfms {
     /// Process every due event until the queue is empty. Returns the
     /// number of events processed.
     pub fn pump(&mut self) -> usize {
-        let mut n = 0;
-        while let Some((_, work)) = self.queue.pop() {
-            n += 1;
-            self.dispatch(work);
-        }
-        n
+        let el = self.should_journal().then(|| recovery::command("pump"));
+        self.with_command(el, |e| {
+            let mut n = 0;
+            while let Some((_, work)) = e.queue.pop() {
+                n += 1;
+                e.dispatch(work);
+            }
+            n
+        })
     }
 
     /// Process events until `txn`'s root is terminal (or the queue runs
     /// dry). ILM jobs reschedule themselves forever, so this also stops
     /// when only `IlmDue` work remains.
     pub fn pump_until_terminal(&mut self, txn: &str) {
-        while !self.is_terminal(txn) {
-            let Some((_, work)) = self.queue.pop() else { break };
-            self.dispatch(work);
-        }
+        let el = self.should_journal().then(|| recovery::command("pumpTxn").with_attr("txn", txn));
+        self.with_command(el, |e| {
+            while !e.is_terminal(txn) {
+                let Some((_, work)) = e.queue.pop() else { break };
+                e.dispatch(work);
+            }
+        })
     }
 
     /// Process events with timestamps `<= until`.
     pub fn pump_until(&mut self, until: SimTime) -> usize {
-        let mut n = 0;
-        while self.queue.next_time().map(|t| t <= until).unwrap_or(false) {
-            let (_, work) = self.queue.pop().expect("peeked");
-            n += 1;
-            self.dispatch(work);
-        }
-        self.queue.advance_to(until.max(self.queue.now()));
-        n
+        let el = self
+            .should_journal()
+            .then(|| recovery::command("pumpUntil").with_attr("until", until.0.to_string()));
+        self.with_command(el, |e| {
+            let mut n = 0;
+            while e.queue.next_time().map(|t| t <= until).unwrap_or(false) {
+                let (_, work) = e.queue.pop().expect("peeked");
+                n += 1;
+                e.dispatch(work);
+            }
+            e.queue.advance_to(until.max(e.queue.now()));
+            n
+        })
     }
 
     fn is_terminal(&self, txn: &str) -> bool {
@@ -650,6 +749,11 @@ impl Dfms {
     /// Pause a running flow: in-flight operations finish, but no new
     /// steps dispatch until [`Dfms::resume`].
     pub fn pause(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let el = self.should_journal().then(|| recovery::command("pause").with_attr("txn", txn));
+        self.with_command(el, |e| e.pause_inner(txn))
+    }
+
+    fn pause_inner(&mut self, txn: &str) -> Result<(), DfmsError> {
         let id = self.run_id(txn)?;
         let run = &mut self.runs[id.0 as usize];
         let state = run.nodes[0].state;
@@ -662,6 +766,11 @@ impl Dfms {
 
     /// Resume a paused flow.
     pub fn resume(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let el = self.should_journal().then(|| recovery::command("resume").with_attr("txn", txn));
+        self.with_command(el, |e| e.resume_inner(txn))
+    }
+
+    fn resume_inner(&mut self, txn: &str) -> Result<(), DfmsError> {
         let id = self.run_id(txn)?;
         let run = &mut self.runs[id.0 as usize];
         if !run.paused {
@@ -682,6 +791,11 @@ impl Dfms {
     /// Stop a flow: every non-terminal node becomes `Stopped`; in-flight
     /// operations are aborted when their completions arrive.
     pub fn stop(&mut self, txn: &str) -> Result<(), DfmsError> {
+        let el = self.should_journal().then(|| recovery::command("stop").with_attr("txn", txn));
+        self.with_command(el, |e| e.stop_inner(txn))
+    }
+
+    fn stop_inner(&mut self, txn: &str) -> Result<(), DfmsError> {
         let id = self.run_id(txn)?;
         let now = self.now();
         let run = &mut self.runs[id.0 as usize];
@@ -699,7 +813,7 @@ impl Dfms {
         // Close every span the run still holds open (closing a closed
         // span is a no-op), so the timeline shows where the stop landed.
         let open_spans: Vec<SpanContext> = run.nodes.iter().filter_map(|n| n.span).collect();
-        self.provenance.record(ProvenanceRecord {
+        let record = ProvenanceRecord {
             lineage,
             transaction: txn_s.clone(),
             node: "/".into(),
@@ -712,7 +826,9 @@ impl Dfms {
             detail: "stopped by lifecycle request".into(),
             trace_id: root_span.map(|s| s.trace.0),
             span_id: root_span.map(|s| s.span.0),
-        });
+        };
+        self.journal_transition(recovery::transition("provenance").with_child(record.to_element()));
+        self.provenance.record(record);
         for ctx in open_spans {
             self.obs.span_end_at(ctx, now);
         }
@@ -731,6 +847,11 @@ impl Dfms {
     /// lineage: steps recorded `Completed` in provenance are skipped, so
     /// the new run resumes where the old one left off.
     pub fn restart(&mut self, txn: &str) -> Result<String, DfmsError> {
+        let el = self.should_journal().then(|| recovery::command("restart").with_attr("txn", txn));
+        self.with_command(el, |e| e.restart_inner(txn))
+    }
+
+    fn restart_inner(&mut self, txn: &str) -> Result<String, DfmsError> {
         let id = self.run_id(txn)?;
         let run = &self.runs[id.0 as usize];
         let state = run.nodes[0].state;
@@ -983,14 +1104,17 @@ impl Dfms {
         }
         let is_step = self.run_ref(run_id).node(node_id).is_step();
         if is_step {
-            {
+            let (txn, path, name) = {
                 let run = self.run_ref(run_id);
-                self.obs.record(ObsKind::StepStarted {
-                    txn: run.txn.clone(),
-                    node: run.path_of(node_id),
-                    name: run.node(node_id).name.clone(),
-                });
-            }
+                (run.txn.clone(), run.path_of(node_id), run.node(node_id).name.clone())
+            };
+            self.obs.record(ObsKind::StepStarted { txn: txn.clone(), node: path.clone(), name: name.clone() });
+            self.journal_transition(
+                recovery::transition("step.start")
+                    .with_attr("txn", &txn)
+                    .with_attr("node", &path)
+                    .with_attr("name", &name),
+            );
             self.start_step(run_id, node_id);
         } else {
             self.start_flow(run_id, node_id);
@@ -1294,6 +1418,18 @@ impl Dfms {
             self.skip_node(run_id, node_id, "restart: completed in an earlier transaction");
             return;
         }
+        // Replay memo: the journal recorded this step as completed before
+        // the crash. Count it for `steps_skipped_restart`, then execute it
+        // anyway — replay re-derives every effect, it never trusts state
+        // it could recompute.
+        if let Some(journal) = self.journal.as_mut() {
+            if let Some(replay) = journal.replay.as_mut() {
+                if replay.memo.remove(&(lineage.clone(), path.clone())) {
+                    replay.skips += 1;
+                    self.obs.inc("engine", "steps.skipped.restart");
+                }
+            }
+        }
         let (op, scope) = {
             let run = self.run_ref(run_id);
             let node = run.node(node_id);
@@ -1504,6 +1640,12 @@ impl Dfms {
                 trigger: firing.trigger.clone(),
                 action: action_name.into(),
             });
+            self.journal_transition(
+                recovery::transition("trigger")
+                    .with_attr("name", &firing.trigger)
+                    .with_attr("action", action_name)
+                    .with_attr("event", firing.event.kind.to_string()),
+            );
             // The action span parents under the span of the activity that
             // emitted the matched event, chaining the firing back to its
             // causing flow.
@@ -1651,13 +1793,21 @@ impl Dfms {
             self.obs.span_attr(bind_span, "domain", &domain);
             self.obs.span_end(bind_span);
             self.obs.record(ObsKind::PlannerDecision {
-                txn,
+                txn: txn.clone(),
                 node: path_id.clone(),
                 code: task.code.clone(),
-                compute,
-                domain,
+                compute: compute.clone(),
+                domain: domain.clone(),
                 est_us: (placement.estimate.stage_in + placement.estimate.exec).0,
             });
+            self.journal_transition(
+                recovery::transition("binding")
+                    .with_attr("txn", &txn)
+                    .with_attr("node", &path_id)
+                    .with_attr("code", &task.code)
+                    .with_attr("compute", &compute)
+                    .with_attr("domain", &domain),
+            );
         }
         // Claim the slot (early-bound placements may be stale).
         if !self.grid.topology_mut().compute_mut(placement.compute).claim_slot() {
@@ -2051,6 +2201,7 @@ impl Dfms {
             // (the watchdog's definition of liveness).
             self.obs.health_progress(&record.transaction, finished);
         }
+        self.journal_transition(recovery::transition("provenance").with_child(record.to_element()));
         self.provenance.record(record);
     }
 
@@ -2151,6 +2302,386 @@ impl Dfms {
         let _ = self.submit_flow_with(&job.run_as, job.flow.clone(), options);
         let next = job.start_after(now);
         self.queue.schedule_at(next, Work::IlmDue { job: job_idx });
+    }
+
+    // ------------------------------------------------------------------
+    // Journaling and crash recovery (see docs/RECOVERY.md)
+    // ------------------------------------------------------------------
+
+    /// Inject an infrastructure failure (or repair). Journaled as a
+    /// command, so recovery replays the same outage timeline the live
+    /// engine experienced.
+    pub fn apply_failure_event(&mut self, event: FailureEvent) {
+        let el = self.should_journal().then(|| recovery::failure_element(&event));
+        self.with_command(el, |e| event.apply(e.grid.topology_mut()));
+    }
+
+    /// Should the current call journal itself as a command? Only
+    /// top-level (depth-0) calls on a journaled engine that is not
+    /// replaying: nested calls — trigger-spawned flows, the pump inside
+    /// a synchronous `handle`, ILM submissions — are effects their
+    /// parent command re-derives.
+    fn should_journal(&self) -> bool {
+        self.cmd_depth == 0 && self.journal.as_ref().map(|j| j.replay.is_none()).unwrap_or(false)
+    }
+
+    /// Run `f` as a command, journaling `el` *first* when present —
+    /// write-ahead, so a crash mid-command replays the command to
+    /// completion instead of losing it halfway.
+    fn with_command<T>(&mut self, el: Option<Element>, f: impl FnOnce(&mut Self) -> T) -> T {
+        if let Some(el) = el {
+            self.journal_append_command(el);
+        }
+        self.cmd_depth += 1;
+        let out = f(self);
+        self.cmd_depth -= 1;
+        if self.cmd_depth == 0 {
+            self.maybe_auto_checkpoint();
+        }
+        out
+    }
+
+    /// Append a command record. A journal failure must not take the
+    /// engine down mid-flow: it is counted on the `journal` metrics
+    /// scope and execution proceeds (unjournaled until the disk heals).
+    fn journal_append_command(&mut self, el: Element) {
+        let Some(j) = self.journal.as_mut() else { return };
+        if j.journal.append(el).is_ok() {
+            j.commands_since_checkpoint += 1;
+            return;
+        }
+        self.obs.inc("journal", "errors");
+    }
+
+    /// Journal one derived effect — or, during replay, log it for the
+    /// divergence check.
+    fn journal_transition(&mut self, body: Element) {
+        let Some(j) = self.journal.as_mut() else { return };
+        if j.on_transition(body).is_ok() {
+            return;
+        }
+        self.obs.inc("journal", "errors");
+    }
+
+    /// Write an automatic checkpoint when enough commands accumulated.
+    fn maybe_auto_checkpoint(&mut self) {
+        let due = self
+            .journal
+            .as_ref()
+            .map(|j| {
+                j.replay.is_none()
+                    && j.config.checkpoint_every != 0
+                    && j.commands_since_checkpoint >= j.config.checkpoint_every
+            })
+            .unwrap_or(false);
+        if due && self.checkpoint().is_err() {
+            self.obs.inc("journal", "errors");
+        }
+    }
+
+    /// Write a checkpoint — the full provenance snapshot plus a
+    /// flow-state summary — and compact the journal behind it when the
+    /// config says so. Returns the checkpoint's sequence number, or
+    /// `None` when no journal is attached (or replay is in progress).
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, DfmsError> {
+        match self.journal.as_ref() {
+            None => return Ok(None),
+            Some(j) if j.replay.is_some() => return Ok(None),
+            Some(_) => {}
+        }
+        let el = self.checkpoint_element();
+        let j = self.journal.as_mut().expect("checked above");
+        let seq = j.journal.append(el)?;
+        j.commands_since_checkpoint = 0;
+        if j.config.compact_on_checkpoint {
+            j.journal.compact(seq)?;
+        }
+        self.obs.inc("journal", "checkpoints");
+        Ok(Some(seq))
+    }
+
+    /// The `<checkpoint>` body: engine clock, transaction counter, the
+    /// provenance snapshot, and a per-flow summary.
+    fn checkpoint_element(&self) -> Element {
+        let mut flows = Element::new("flows");
+        for run in &self.runs {
+            let (done, total) = run.progress(run.root());
+            flows.push_element(
+                Element::new("flow")
+                    .with_attr("transaction", &run.txn)
+                    .with_attr("lineage", &run.lineage)
+                    .with_attr("state", run.nodes[0].state.to_string())
+                    .with_attr("stepsCompleted", done.to_string())
+                    .with_attr("stepsTotal", total.to_string()),
+            );
+        }
+        Element::new("checkpoint")
+            .with_attr("time", self.now().0.to_string())
+            .with_attr("nextTxn", self.next_txn.to_string())
+            .with_child(self.provenance.snapshot_element())
+            .with_child(flows)
+    }
+
+    /// Attach a fresh write-ahead journal at `path`.
+    ///
+    /// `label` pins the engine configuration: [`Dfms::recover`] refuses
+    /// a journal whose genesis label differs from the one it is handed,
+    /// because replay against a differently configured engine would
+    /// silently diverge. Configure the grid, triggers, procedures, and
+    /// ILM jobs *before* attaching — the factory passed to `recover`
+    /// must rebuild exactly that state.
+    ///
+    /// Fails if a journal is already attached or `path` already holds
+    /// records (recover from those instead).
+    pub fn attach_journal(&mut self, path: &Path, label: &str, config: JournalConfig) -> Result<(), DfmsError> {
+        if self.journal.is_some() {
+            return Err(DfmsError::Recovery("a journal is already attached".into()));
+        }
+        let (journal, records, _) = Journal::open(path, config.sync)?;
+        if !records.is_empty() {
+            return Err(DfmsError::Recovery(format!(
+                "{} already holds {} records; use Dfms::recover to replay them",
+                path.display(),
+                records.len()
+            )));
+        }
+        self.journal = Some(EngineJournal::create(journal, label, config)?);
+        Ok(())
+    }
+
+    /// Rebuild an engine from its journal after a crash.
+    ///
+    /// `factory` must build the same pre-journal configuration the dead
+    /// engine had (same grid, scheduler, triggers, procedures, ILM
+    /// jobs); `label` must match the journal's genesis label. Recovery
+    /// opens the journal (truncating any torn tail), re-applies every
+    /// journaled command in order — re-deriving all internal state,
+    /// span ids included — verifies the re-derived transitions against
+    /// the journaled ones, writes a fresh checkpoint, and returns the
+    /// recovered engine with its [`dgf_dgl::RecoveryReport`].
+    ///
+    /// An empty or absent journal file degenerates to
+    /// [`Dfms::attach_journal`]: the factory engine is returned as-is,
+    /// journaled from now on.
+    pub fn recover(
+        path: &Path,
+        label: &str,
+        config: JournalConfig,
+        factory: impl FnOnce() -> Dfms,
+    ) -> Result<(Dfms, dgf_dgl::RecoveryReport), DfmsError> {
+        let (journal, records, open) = Journal::open(path, config.sync)?;
+        let mut engine = factory();
+        if engine.journal.is_some() {
+            return Err(DfmsError::Recovery("the recovery factory must build an unjournaled engine".into()));
+        }
+        if records.is_empty() {
+            // Nothing journaled yet: recovery degenerates to attach.
+            engine.journal = Some(EngineJournal::create(journal, label, config)?);
+            let report = engine.recovery_query();
+            return Ok((engine, report));
+        }
+        match records.iter().find(|r| r.kind == RecordKind::Genesis) {
+            None => return Err(DfmsError::Recovery("journal has records but no genesis".into())),
+            Some(g) => {
+                let found = g.body.attr("label").unwrap_or("");
+                if found != label {
+                    return Err(DfmsError::Recovery(format!(
+                        "genesis label mismatch: journal says {found:?}, recovery was given {label:?}"
+                    )));
+                }
+            }
+        }
+        // Partition the journal: commands are the replay script,
+        // transitions the expectations, the last checkpoint (plus any
+        // post-checkpoint provenance transitions) the completed-step
+        // memo.
+        let mut commands: Vec<Element> = Vec::new();
+        let mut expected: Vec<(u64, String)> = Vec::new();
+        let mut memo: HashSet<(String, String)> = HashSet::new();
+        let memo_record = |memo: &mut HashSet<(String, String)>, rec: &Element| {
+            if rec.attr("outcome") == Some("completed") && rec.attr("verb") != Some("flow") {
+                if let (Some(lineage), Some(node)) = (rec.attr("lineage"), rec.attr("node")) {
+                    memo.insert((lineage.to_owned(), node.to_owned()));
+                }
+            }
+        };
+        for r in &records {
+            match r.kind {
+                RecordKind::Command => commands.push(r.body.clone()),
+                RecordKind::Transition => {
+                    let n = r.body.attr("n").and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
+                    expected.push((n, recovery::strip_seq(&r.body).to_xml()));
+                    if r.body.attr("kind") == Some("provenance") {
+                        if let Some(rec) = r.body.child("record") {
+                            memo_record(&mut memo, rec);
+                        }
+                    }
+                }
+                RecordKind::Checkpoint => {
+                    if let Some(prov) = r.body.child("provenance") {
+                        for rec in prov.children_named("record") {
+                            memo_record(&mut memo, rec);
+                        }
+                    }
+                }
+                RecordKind::Genesis => {}
+            }
+        }
+        engine.journal = Some(EngineJournal {
+            journal,
+            config,
+            commands_since_checkpoint: 0,
+            transitions_written: 0,
+            replay: Some(ReplayState { memo, expected, derived: Vec::new(), skips: 0 }),
+        });
+        for cmd in &commands {
+            engine.apply_command(cmd);
+        }
+        // Verify re-derived transitions against the journaled ones. The
+        // ordinal `n` aligns them across compactions (compaction drops
+        // old transitions, never renumbers the survivors).
+        let j = engine.journal.as_mut().expect("installed above");
+        let replay = j.replay.take().expect("installed above");
+        j.transitions_written = replay.derived.len() as u64;
+        let divergences = replay
+            .expected
+            .iter()
+            .filter(|(n, xml)| {
+                usize::try_from(*n).ok().and_then(|i| replay.derived.get(i)).map(String::as_str) != Some(xml)
+            })
+            .count() as u64;
+        let stats = dgf_dgl::ReplayStats {
+            truncated_bytes: open.truncated_bytes,
+            commands_replayed: commands.len() as u64,
+            records_matched: replay.expected.len() as u64 - divergences,
+            divergences,
+            steps_skipped_restart: replay.skips,
+        };
+        engine.last_replay = Some(stats);
+        // Fold the replayed history into one fresh checkpoint (and
+        // compact the tail behind it when configured).
+        engine.checkpoint()?;
+        let report = engine.recovery_query();
+        Ok((engine, report))
+    }
+
+    /// Re-apply one journaled command during replay. Unknown kinds are
+    /// skipped (forward compatibility), and per-command errors are
+    /// ignored: a command that failed live fails identically on replay.
+    fn apply_command(&mut self, el: &Element) {
+        match el.attr("kind") {
+            Some("handle") => {
+                if let Some(req) = el.child("dataGridRequest").and_then(|c| DataGridRequest::from_element(c).ok())
+                {
+                    let _ = self.handle(req);
+                }
+            }
+            Some("submit") => {
+                if let Some(req) = el.child("dataGridRequest").and_then(|c| DataGridRequest::from_element(c).ok())
+                {
+                    let _ = self.submit(req);
+                }
+            }
+            Some("submitFlow") => {
+                let user = el.attr("user").unwrap_or("").to_owned();
+                let options = recovery::options_from_element(el.child("options"));
+                if let Some(flow) = el.child("flow").and_then(|c| Flow::from_element(c).ok()) {
+                    let _ = self.submit_flow_with(&user, flow, options);
+                }
+            }
+            Some("procedure") => {
+                let name = el.attr("name").unwrap_or("").to_owned();
+                if let Some(flow) = el.child("flow").and_then(|c| Flow::from_element(c).ok()) {
+                    let _ = self.register_procedure(name, flow);
+                }
+            }
+            Some("call") => {
+                let user = el.attr("user").unwrap_or("").to_owned();
+                let proc = el.attr("proc").unwrap_or("").to_owned();
+                let args: Vec<(String, String)> = el
+                    .children_named("arg")
+                    .filter_map(|a| Some((a.attr("name")?.to_owned(), a.attr("value")?.to_owned())))
+                    .collect();
+                let arg_refs: Vec<(&str, &str)> = args.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+                let _ = self.call_procedure(&user, &proc, &arg_refs);
+            }
+            Some("pause") => {
+                let _ = self.pause(el.attr("txn").unwrap_or(""));
+            }
+            Some("resume") => {
+                let _ = self.resume(el.attr("txn").unwrap_or(""));
+            }
+            Some("stop") => {
+                let _ = self.stop(el.attr("txn").unwrap_or(""));
+            }
+            Some("restart") => {
+                let _ = self.restart(el.attr("txn").unwrap_or(""));
+            }
+            Some("pump") => {
+                self.pump();
+            }
+            Some("pumpTxn") => {
+                self.pump_until_terminal(el.attr("txn").unwrap_or(""));
+            }
+            Some("pumpUntil") => {
+                if let Some(us) = el.attr("until").and_then(|v| v.parse().ok()) {
+                    self.pump_until(SimTime(us));
+                }
+            }
+            Some("bindingMode") => {
+                self.set_binding_mode(if el.attr("mode") == Some("early") {
+                    BindingMode::Early
+                } else {
+                    BindingMode::Late
+                });
+            }
+            Some("failure") => {
+                if let Some(event) = recovery::failure_from_element(el) {
+                    self.apply_failure_event(event);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Where the journal stands — and, when this engine was built by
+    /// [`Dfms::recover`], how the replay went, per flow. This is the
+    /// body behind the DGL `recoveryQuery` request.
+    pub fn recovery_query(&self) -> dgf_dgl::RecoveryReport {
+        let Some(j) = self.journal.as_ref() else {
+            return dgf_dgl::RecoveryReport::unjournaled(self.now().0);
+        };
+        let flows = self
+            .runs
+            .iter()
+            .map(|run| {
+                let (done, total) = run.progress(run.root());
+                let state = run.nodes[0].state;
+                dgf_dgl::FlowRecovery {
+                    transaction: run.txn.clone(),
+                    lineage: run.lineage.clone(),
+                    state,
+                    steps_completed: done as u64,
+                    steps_total: total as u64,
+                    resumed: self.last_replay.is_some() && !state.is_terminal(),
+                }
+            })
+            .collect();
+        dgf_dgl::RecoveryReport {
+            time_us: self.now().0,
+            journaled: true,
+            journal_records: j.journal.records_in_file(),
+            journal_bytes: j.journal.bytes(),
+            last_checkpoint_seq: j.journal.last_checkpoint_seq(),
+            replay: self.last_replay,
+            flows,
+        }
+    }
+
+    /// Replay statistics when this engine was built by [`Dfms::recover`]
+    /// (`None` on engines started fresh).
+    pub fn last_replay(&self) -> Option<dgf_dgl::ReplayStats> {
+        self.last_replay
     }
 }
 

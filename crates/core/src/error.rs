@@ -24,6 +24,14 @@ pub enum DfmsError {
     IterationLimit { transaction: String, node: String, limit: u64 },
     /// No server in the network can own the request.
     NoRoute(String),
+    /// A provenance snapshot failed to restore.
+    Provenance(crate::ProvenanceError),
+    /// The write-ahead journal failed (I/O, foreign file, unframeable
+    /// record).
+    Journal(dgf_journal::JournalError),
+    /// Crash recovery could not proceed (missing or mismatched genesis,
+    /// journal already attached, ...).
+    Recovery(String),
 }
 
 impl fmt::Display for DfmsError {
@@ -50,6 +58,9 @@ impl fmt::Display for DfmsError {
                 write!(f, "transaction {transaction:?} node {node:?} exceeded {limit} iterations")
             }
             DfmsError::NoRoute(what) => write!(f, "no DfMS server routes {what:?}"),
+            DfmsError::Provenance(e) => write!(f, "provenance: {e}"),
+            DfmsError::Journal(e) => write!(f, "journal: {e}"),
+            DfmsError::Recovery(why) => write!(f, "recovery failed: {why}"),
         }
     }
 }
@@ -65,6 +76,18 @@ impl From<dgf_dgl::DglError> for DfmsError {
 impl From<dgf_dgms::DgmsError> for DfmsError {
     fn from(e: dgf_dgms::DgmsError) -> Self {
         DfmsError::Dgms(e)
+    }
+}
+
+impl From<crate::ProvenanceError> for DfmsError {
+    fn from(e: crate::ProvenanceError) -> Self {
+        DfmsError::Provenance(e)
+    }
+}
+
+impl From<dgf_journal::JournalError> for DfmsError {
+    fn from(e: dgf_journal::JournalError) -> Self {
+        DfmsError::Journal(e)
     }
 }
 

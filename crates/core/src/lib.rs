@@ -29,12 +29,18 @@
 //! * a shared **observability layer** ([`dgf_obs`]): every engine owns a
 //!   flight recorder and metrics registry ([`Dfms::obs`]), and status
 //!   queries can return recent events and metric snapshots
-//!   (see `docs/OBSERVABILITY.md`).
+//!   (see `docs/OBSERVABILITY.md`);
+//! * **durable journaling and crash recovery** ([`dgf_journal`]): an
+//!   engine with an attached write-ahead journal survives a hard kill at
+//!   any record boundary — [`Dfms::recover`] replays checkpoint + tail
+//!   deterministically, resumes in-flight flows, and reports what it did
+//!   (see `docs/RECOVERY.md`).
 
 mod engine;
 mod error;
 mod network;
 mod provenance;
+mod recovery;
 mod run;
 mod server;
 
@@ -42,6 +48,8 @@ pub use dgf_obs::{EventKind as ObsEventKind, MetricsSnapshot, Obs, ObsEvent};
 pub use engine::{Dfms, EngineMetrics, Notification};
 pub use error::DfmsError;
 pub use network::{DfmsNetwork, LookupService};
-pub use provenance::{ProvenanceQuery, ProvenanceRecord, ProvenanceStore, StepOutcome};
+pub use provenance::{ProvenanceError, ProvenanceQuery, ProvenanceRecord, ProvenanceStore, StepOutcome};
+pub use dgf_journal::SyncPolicy;
+pub use recovery::JournalConfig;
 pub use run::{NodeId, RunId, RunOptions};
 pub use server::{DfmsServer, ServerHandle};

@@ -117,10 +117,10 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
-            // Telemetry and validation are grid-global: serve them from
-            // the first registered server (each server sees its own
-            // grid view, and validation inspects the grid, not a run).
-            RequestBody::Telemetry(_) | RequestBody::Validation(_) => self
+            // Telemetry, validation, and recovery are server-global:
+            // serve them from the first registered server (each server
+            // sees its own grid view and its own journal).
+            RequestBody::Telemetry(_) | RequestBody::Validation(_) | RequestBody::Recovery(_) => self
                 .order
                 .first()
                 .cloned()

@@ -9,6 +9,58 @@
 use dgf_simgrid::SimTime;
 use dgf_xml::Element;
 use std::collections::HashSet;
+use std::fmt;
+
+/// Why a provenance snapshot could not be restored.
+///
+/// Archives live "for years" (§3.1): a restore that fails should say
+/// exactly which record is damaged and how, not hand back a prose
+/// string. Threads into [`crate::DfmsError::Provenance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvenanceError {
+    /// The document is not well-formed XML.
+    Xml(String),
+    /// The document is XML but its root is not `<provenance>`.
+    WrongRoot {
+        /// The root element actually found.
+        found: String,
+    },
+    /// A `<record>` lacks a required attribute.
+    MissingAttr {
+        /// Zero-based index of the record in document order.
+        record: usize,
+        /// The absent attribute.
+        attr: &'static str,
+    },
+    /// A `<record>` attribute is present but unparsable.
+    BadAttr {
+        /// Zero-based index of the record in document order.
+        record: usize,
+        /// The offending attribute.
+        attr: &'static str,
+        /// Its raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvenanceError::Xml(msg) => write!(f, "provenance snapshot is not XML: {msg}"),
+            ProvenanceError::WrongRoot { found } => {
+                write!(f, "expected <provenance>, found <{found}>")
+            }
+            ProvenanceError::MissingAttr { record, attr } => {
+                write!(f, "provenance record #{record} missing {attr:?}")
+            }
+            ProvenanceError::BadAttr { record, attr, value } => {
+                write!(f, "provenance record #{record} has bad {attr}: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
 
 /// How a step or flow node ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +127,72 @@ pub struct ProvenanceRecord {
     pub trace_id: Option<u64>,
     /// The node's span id within that trace.
     pub span_id: Option<u64>,
+}
+
+impl ProvenanceRecord {
+    /// Serialize as a `<record>` element — the row format of snapshots
+    /// and of journal `provenance` transitions.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("record")
+            .with_attr("lineage", &self.lineage)
+            .with_attr("transaction", &self.transaction)
+            .with_attr("node", &self.node)
+            .with_attr("name", &self.name)
+            .with_attr("verb", &self.verb)
+            .with_attr("user", &self.user)
+            .with_attr("started", self.started.0.to_string())
+            .with_attr("finished", self.finished.0.to_string())
+            .with_attr("outcome", self.outcome.as_str())
+            .with_attr("detail", &self.detail);
+        // Trace joins are omitted when unset so pre-tracing archives
+        // round-trip byte-identically.
+        if let Some(trace) = self.trace_id {
+            el.set_attr("trace", trace.to_string());
+        }
+        if let Some(span) = self.span_id {
+            el.set_attr("span", span.to_string());
+        }
+        el
+    }
+
+    /// Parse a `<record>` element; `index` positions the record in its
+    /// containing document for error reporting.
+    pub fn from_element(el: &Element, index: usize) -> Result<Self, ProvenanceError> {
+        let attr = |name: &'static str| -> Result<String, ProvenanceError> {
+            el.attr(name)
+                .map(str::to_owned)
+                .ok_or(ProvenanceError::MissingAttr { record: index, attr: name })
+        };
+        let bad = |name: &'static str, value: &str| ProvenanceError::BadAttr {
+            record: index,
+            attr: name,
+            value: value.to_owned(),
+        };
+        let time = |name: &'static str| -> Result<SimTime, ProvenanceError> {
+            let raw = attr(name)?;
+            raw.parse::<u64>().map(SimTime).map_err(|_| bad(name, &raw))
+        };
+        let opt_id = |name: &'static str| -> Result<Option<u64>, ProvenanceError> {
+            el.attr(name).map(|v| v.parse::<u64>().map_err(|_| bad(name, v))).transpose()
+        };
+        Ok(ProvenanceRecord {
+            lineage: attr("lineage")?,
+            transaction: attr("transaction")?,
+            node: attr("node")?,
+            name: attr("name")?,
+            verb: attr("verb")?,
+            user: attr("user")?,
+            started: time("started")?,
+            finished: time("finished")?,
+            outcome: {
+                let raw = attr("outcome")?;
+                StepOutcome::parse(&raw).ok_or_else(|| bad("outcome", &raw))?
+            },
+            detail: attr("detail")?,
+            trace_id: opt_id("trace")?,
+            span_id: opt_id("span")?,
+        })
+    }
 }
 
 /// A filter over the store. Empty fields match everything.
@@ -166,66 +284,34 @@ impl ProvenanceStore {
     /// Serialize to an XML document — the archival format persistent
     /// archives keep "for years".
     pub fn snapshot(&self) -> String {
+        self.snapshot_element().to_xml_pretty()
+    }
+
+    /// The snapshot as an element tree, for embedding in larger
+    /// documents (journal checkpoints embed one per checkpoint record).
+    pub fn snapshot_element(&self) -> Element {
         let mut root = Element::new("provenance");
         for r in &self.records {
-            let mut el = Element::new("record")
-                .with_attr("lineage", &r.lineage)
-                .with_attr("transaction", &r.transaction)
-                .with_attr("node", &r.node)
-                .with_attr("name", &r.name)
-                .with_attr("verb", &r.verb)
-                .with_attr("user", &r.user)
-                .with_attr("started", r.started.0.to_string())
-                .with_attr("finished", r.finished.0.to_string())
-                .with_attr("outcome", r.outcome.as_str())
-                .with_attr("detail", &r.detail);
-            // Trace joins are omitted when unset so pre-tracing archives
-            // round-trip byte-identically.
-            if let Some(trace) = r.trace_id {
-                el.set_attr("trace", trace.to_string());
-            }
-            if let Some(span) = r.span_id {
-                el.set_attr("span", span.to_string());
-            }
-            root.push_element(el);
+            root.push_element(r.to_element());
         }
-        root.to_xml_pretty()
+        root
     }
 
     /// Reload a snapshot (e.g. in a fresh process, years later).
-    pub fn restore(xml: &str) -> Result<Self, String> {
-        let root = dgf_xml::parse(xml).map_err(|e| e.to_string())?;
+    pub fn restore(xml: &str) -> Result<Self, ProvenanceError> {
+        let root = dgf_xml::parse(xml).map_err(|e| ProvenanceError::Xml(e.to_string()))?;
+        Self::restore_element(&root)
+    }
+
+    /// Reload a snapshot from an already-parsed element tree (the form
+    /// journal checkpoints carry).
+    pub fn restore_element(root: &Element) -> Result<Self, ProvenanceError> {
         if root.name != "provenance" {
-            return Err(format!("expected <provenance>, found <{}>", root.name));
+            return Err(ProvenanceError::WrongRoot { found: root.name.clone() });
         }
         let mut store = ProvenanceStore::new();
-        for el in root.children_named("record") {
-            let attr = |name: &str| -> Result<String, String> {
-                el.attr(name).map(str::to_owned).ok_or_else(|| format!("record missing {name:?}"))
-            };
-            let time = |name: &str| -> Result<SimTime, String> {
-                attr(name)?.parse::<u64>().map(SimTime).map_err(|e| format!("bad {name}: {e}"))
-            };
-            let opt_id = |name: &str| -> Result<Option<u64>, String> {
-                el.attr(name)
-                    .map(|v| v.parse::<u64>().map_err(|e| format!("bad {name}: {e}")))
-                    .transpose()
-            };
-            store.record(ProvenanceRecord {
-                lineage: attr("lineage")?,
-                transaction: attr("transaction")?,
-                node: attr("node")?,
-                name: attr("name")?,
-                verb: attr("verb")?,
-                user: attr("user")?,
-                started: time("started")?,
-                finished: time("finished")?,
-                outcome: StepOutcome::parse(&attr("outcome")?)
-                    .ok_or_else(|| format!("bad outcome {:?}", el.attr("outcome")))?,
-                detail: attr("detail")?,
-                trace_id: opt_id("trace")?,
-                span_id: opt_id("span")?,
-            });
+        for (i, el) in root.children_named("record").enumerate() {
+            store.record(ProvenanceRecord::from_element(el, i)?);
         }
         Ok(store)
     }
@@ -312,9 +398,28 @@ mod tests {
     }
 
     #[test]
-    fn restore_rejects_malformed_documents() {
-        assert!(ProvenanceStore::restore("<notProvenance/>").is_err());
-        assert!(ProvenanceStore::restore("<provenance><record/></provenance>").is_err());
-        assert!(ProvenanceStore::restore("not xml").is_err());
+    fn restore_rejects_malformed_documents_with_typed_errors() {
+        assert_eq!(
+            ProvenanceStore::restore("<notProvenance/>").err(),
+            Some(ProvenanceError::WrongRoot { found: "notProvenance".into() })
+        );
+        assert_eq!(
+            ProvenanceStore::restore("<provenance><record/></provenance>").err(),
+            Some(ProvenanceError::MissingAttr { record: 0, attr: "lineage" })
+        );
+        assert!(matches!(ProvenanceStore::restore("not xml"), Err(ProvenanceError::Xml(_))));
+        let bad_time = r#"<provenance><record lineage="L" transaction="t" node="/" name="n" verb="v" user="u" started="soon" finished="2" outcome="completed" detail=""/></provenance>"#;
+        assert_eq!(
+            ProvenanceStore::restore(bad_time).err(),
+            Some(ProvenanceError::BadAttr { record: 0, attr: "started", value: "soon".into() })
+        );
+        let bad_outcome = r#"<provenance><record lineage="L" transaction="t" node="/" name="n" verb="v" user="u" started="1" finished="2" outcome="shrugged" detail=""/></provenance>"#;
+        assert_eq!(
+            ProvenanceStore::restore(bad_outcome).err(),
+            Some(ProvenanceError::BadAttr { record: 0, attr: "outcome", value: "shrugged".into() })
+        );
+        // Errors thread into the engine error type and keep their story.
+        let e: crate::DfmsError = ProvenanceError::WrongRoot { found: "x".into() }.into();
+        assert!(e.to_string().contains("expected <provenance>"));
     }
 }

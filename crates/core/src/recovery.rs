@@ -1,0 +1,260 @@
+//! Engine-side journaling and crash recovery.
+//!
+//! The `dgf-journal` crate stores CRC-framed records; this module owns
+//! the *vocabulary* written into them and the replay machinery that
+//! turns a journal back into a running [`crate::Dfms`]:
+//!
+//! * **genesis** — `<genesis label="..."/>`, written once when a journal
+//!   is attached. The label is the operator's assertion that the engine
+//!   factory used at recovery rebuilds the same configuration (grid,
+//!   users, scheduler, triggers, ILM jobs) the journal assumes; recovery
+//!   refuses a mismatched label.
+//! * **command** — `<command kind="...">`: one top-level external input
+//!   (submission, lifecycle action, pump, binding-mode switch, failure
+//!   injection...). Commands are the replay script: re-applying them in
+//!   order against a factory-fresh engine deterministically re-derives
+//!   every internal state, including span and transaction ids.
+//! * **transition** — `<transition kind="..." n="...">`: a derived
+//!   effect (provenance write, step start, scheduler binding, trigger
+//!   firing, run admission). Transitions are *verification* data: replay
+//!   re-derives them and counts divergences against the journal. `n` is
+//!   the transition's ordinal since genesis, so records stay aligned
+//!   across compactions.
+//! * **checkpoint** — a full provenance snapshot plus a flow-state
+//!   summary. Checkpoints bound compaction (older transitions and stale
+//!   checkpoints are dropped) and carry the completed-step memo that
+//!   [`dgf_dgl::ReplayStats::steps_skipped_restart`] accounts against.
+//!
+//! Queries (status, telemetry, validation, recovery) are *not*
+//! journaled: they derive no engine state that commands would not
+//! re-derive. Likewise grid/trigger/ILM setup performed before the
+//! journal is attached belongs to the factory, not the journal.
+
+use crate::run::RunOptions;
+use dgf_journal::{Journal, JournalError, SyncPolicy};
+use dgf_simgrid::{ComputeId, FailureEvent, LinkId, ScheduleWindow, StorageId};
+use dgf_xml::Element;
+use std::collections::HashSet;
+
+/// Journal behavior knobs. See `docs/RECOVERY.md` for tuning guidance.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// When appended records hit the disk (commands and checkpoints are
+    /// always synced; this batches transitions).
+    pub sync: SyncPolicy,
+    /// Write an automatic checkpoint after this many top-level commands
+    /// (0 disables automatic checkpoints; call [`crate::Dfms::checkpoint`]
+    /// yourself).
+    pub checkpoint_every: u64,
+    /// Compact the journal at every checkpoint, dropping transitions and
+    /// checkpoints older than the new one.
+    pub compact_on_checkpoint: bool,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig { sync: SyncPolicy::default(), checkpoint_every: 64, compact_on_checkpoint: true }
+    }
+}
+
+/// Replay bookkeeping, present only while `Dfms::recover` is driving
+/// the command script.
+#[derive(Debug)]
+pub(crate) struct ReplayState {
+    /// Completed steps known to the journal: (lineage, node) from the
+    /// last checkpoint's provenance plus every journaled `provenance`
+    /// transition. Consumed (removed) as replay re-reaches each step, so
+    /// `skips` counts each completed step once.
+    pub memo: HashSet<(String, String)>,
+    /// Journaled transitions, as (`n`, compact XML with the journal's
+    /// `seq` attribute stripped).
+    pub expected: Vec<(u64, String)>,
+    /// Transitions re-derived by replay, in derivation order (index is
+    /// the transition's `n`).
+    pub derived: Vec<String>,
+    /// Completed-at-crash steps re-reached by replay
+    /// (`steps_skipped_restart` accounting).
+    pub skips: u64,
+}
+
+/// The engine's journaling state: the open journal plus its vocabulary
+/// counters.
+#[derive(Debug)]
+pub(crate) struct EngineJournal {
+    pub journal: Journal,
+    pub config: JournalConfig,
+    /// Top-level commands since the last checkpoint.
+    pub commands_since_checkpoint: u64,
+    /// Transitions journaled since genesis (stamped as `n`); replay
+    /// resets this to the re-derived count so ordinals stay aligned.
+    pub transitions_written: u64,
+    /// `Some` while `Dfms::recover` is replaying; suppresses appends.
+    pub replay: Option<ReplayState>,
+}
+
+impl EngineJournal {
+    /// Wrap a freshly created (empty) journal: writes the genesis record.
+    pub fn create(mut journal: Journal, label: &str, config: JournalConfig) -> Result<Self, JournalError> {
+        journal.append(Element::new("genesis").with_attr("label", label))?;
+        Ok(EngineJournal {
+            journal,
+            config,
+            commands_since_checkpoint: 0,
+            transitions_written: 0,
+            replay: None,
+        })
+    }
+
+    /// Journal one derived effect — or, during replay, record it for
+    /// divergence checking instead.
+    pub fn on_transition(&mut self, mut body: Element) -> Result<(), JournalError> {
+        match &mut self.replay {
+            Some(r) => {
+                body.set_attr("n", r.derived.len().to_string());
+                r.derived.push(body.to_xml());
+                Ok(())
+            }
+            None => {
+                body.set_attr("n", self.transitions_written.to_string());
+                self.transitions_written += 1;
+                self.journal.append(body)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A `<command kind="...">` shell.
+pub(crate) fn command(kind: &str) -> Element {
+    Element::new("command").with_attr("kind", kind)
+}
+
+/// A `<transition kind="...">` shell.
+pub(crate) fn transition(kind: &str) -> Element {
+    Element::new("transition").with_attr("kind", kind)
+}
+
+/// Clone a journaled body without the journal's own `seq` attribute, so
+/// it compares equal to a freshly re-derived transition.
+pub(crate) fn strip_seq(el: &Element) -> Element {
+    let mut e = el.clone();
+    e.attributes.retain(|(name, _)| name != "seq");
+    e
+}
+
+/// Encode [`RunOptions`] for a `submitFlow` command. Omitted entirely
+/// when the options are all defaults, keeping the common case compact.
+pub(crate) fn options_element(options: &RunOptions) -> Option<Element> {
+    if options.window.is_none() && options.trigger_depth == 0 && options.lineage.is_none() {
+        return None;
+    }
+    let mut el = Element::new("options");
+    if let Some(lineage) = &options.lineage {
+        el.set_attr("lineage", lineage);
+    }
+    if options.trigger_depth != 0 {
+        el.set_attr("depth", options.trigger_depth.to_string());
+    }
+    if let Some(window) = &options.window {
+        let (days, start, end) = window.parts();
+        let mask: String = days.iter().map(|d| if *d { '1' } else { '0' }).collect();
+        el.push_element(
+            Element::new("window")
+                .with_attr("days", mask)
+                .with_attr("start", start.to_string())
+                .with_attr("end", end.to_string()),
+        );
+    }
+    Some(el)
+}
+
+/// Decode the `<options>` child of a `submitFlow` command (absent means
+/// defaults).
+pub(crate) fn options_from_element(el: Option<&Element>) -> RunOptions {
+    let Some(el) = el else { return RunOptions::default() };
+    let window = el.child("window").and_then(|w| {
+        let mask = w.attr("days")?;
+        let mut days = [false; 7];
+        for (i, c) in mask.chars().take(7).enumerate() {
+            days[i] = c == '1';
+        }
+        let start: u8 = w.attr("start")?.parse().ok()?;
+        let end: u8 = w.attr("end")?.parse().ok()?;
+        if start >= 24 || end > 24 || !days.iter().any(|d| *d) {
+            return None;
+        }
+        Some(ScheduleWindow::from_parts(days, start, end))
+    });
+    RunOptions {
+        window,
+        trigger_depth: el.attr("depth").and_then(|d| d.parse().ok()).unwrap_or(0),
+        lineage: el.attr("lineage").map(str::to_owned),
+    }
+}
+
+/// Encode a failure-injection command body.
+pub(crate) fn failure_element(event: &FailureEvent) -> Element {
+    let (target, id, online) = match event {
+        FailureEvent::Storage(id, online) => ("storage", id.0, *online),
+        FailureEvent::Compute(id, online) => ("compute", id.0, *online),
+        FailureEvent::Link(id, online) => ("link", id.0, *online),
+    };
+    command("failure")
+        .with_attr("target", target)
+        .with_attr("id", id.to_string())
+        .with_attr("online", if online { "true" } else { "false" })
+}
+
+/// Decode a failure-injection command body.
+pub(crate) fn failure_from_element(el: &Element) -> Option<FailureEvent> {
+    let id: u32 = el.attr("id")?.parse().ok()?;
+    let online = el.attr("online")? == "true";
+    Some(match el.attr("target")? {
+        "storage" => FailureEvent::Storage(StorageId(id), online),
+        "compute" => FailureEvent::Compute(ComputeId(id), online),
+        "link" => FailureEvent::Link(LinkId(id), online),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_round_trip_and_defaults_stay_implicit() {
+        assert!(options_element(&RunOptions::default()).is_none());
+        let opts = RunOptions {
+            window: Some(ScheduleWindow::off_hours(20, 6)),
+            trigger_depth: 2,
+            lineage: Some("t9".into()),
+        };
+        let el = options_element(&opts).unwrap();
+        let back = options_from_element(Some(&el));
+        assert_eq!(back.lineage.as_deref(), Some("t9"));
+        assert_eq!(back.trigger_depth, 2);
+        // The wrap encoding (end <= start) survives the round trip.
+        assert_eq!(back.window.unwrap().parts(), opts.window.as_ref().unwrap().parts());
+    }
+
+    #[test]
+    fn failure_events_round_trip() {
+        for event in [
+            FailureEvent::Storage(StorageId(3), false),
+            FailureEvent::Compute(ComputeId(1), true),
+            FailureEvent::Link(LinkId(0), false),
+        ] {
+            let el = failure_element(&event);
+            assert_eq!(failure_from_element(&el), Some(event));
+        }
+    }
+
+    #[test]
+    fn strip_seq_removes_only_the_journal_stamp() {
+        let el = Element::new("transition").with_attr("kind", "x").with_attr("seq", "9").with_attr("n", "0");
+        let stripped = strip_seq(&el);
+        assert_eq!(stripped.attr("seq"), None);
+        assert_eq!(stripped.attr("kind"), Some("x"));
+        assert_eq!(stripped.attr("n"), Some("0"));
+    }
+}

@@ -10,8 +10,11 @@
 //! multiple client threads, asynchronous submissions, status polling.
 
 use crate::engine::Dfms;
+use crate::recovery::JournalConfig;
+use crate::DfmsError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -64,6 +67,34 @@ impl DfmsServer {
             })
             .expect("spawning the DfMS worker thread");
         DfmsServer { engine, sender, worker: Some(worker) }
+    }
+
+    /// Start a server around an engine with a fresh write-ahead journal
+    /// at `path` (see [`Dfms::attach_journal`] for the `label`
+    /// contract). Every DGL command the server executes from here on is
+    /// journaled before execution.
+    pub fn start_journaled(
+        mut engine: Dfms,
+        path: &Path,
+        label: &str,
+        config: JournalConfig,
+    ) -> Result<Self, DfmsError> {
+        engine.attach_journal(path, label, config)?;
+        Ok(Self::start(engine))
+    }
+
+    /// Boot a server by crash recovery: replay the journal at `path`
+    /// against a factory-fresh engine (see [`Dfms::recover`]) and start
+    /// serving on the recovered state. Returns the server and the
+    /// recovery report describing what the replay did.
+    pub fn recover(
+        path: &Path,
+        label: &str,
+        config: JournalConfig,
+        factory: impl FnOnce() -> Dfms,
+    ) -> Result<(Self, dgf_dgl::RecoveryReport), DfmsError> {
+        let (engine, report) = Dfms::recover(path, label, config, factory)?;
+        Ok((Self::start(engine), report))
     }
 
     /// A client handle (cheap to clone, safe to share across threads).
@@ -135,6 +166,19 @@ impl ServerHandle {
         let response = self.request(&xml)?;
         match dgf_dgl::parse_response(&response).ok()?.body {
             dgf_dgl::ResponseBody::Telemetry(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Ask the server where its journal stands (the DGL `recoveryQuery`
+    /// wire pair). Returns `None` if the server has shut down or
+    /// answered with something other than a recovery report.
+    pub fn recovery(&self) -> Option<dgf_dgl::RecoveryReport> {
+        let xml =
+            dgf_dgl::DataGridRequest::recovery("recovery", "operator", dgf_dgl::RecoveryQuery::report()).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::Recovery(report) => Some(report),
             _ => None,
         }
     }
@@ -283,6 +327,60 @@ mod tests {
         let handle = server.handle();
         let _ = server.shutdown();
         assert!(handle.request("<garbage").is_none());
+    }
+
+    #[test]
+    fn journaled_server_survives_a_restart_via_recover() {
+        let dir = std::env::temp_dir().join(format!("dgf-server-journal-{:x}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.dgj");
+        let _ = std::fs::remove_file(&path);
+        let config = JournalConfig::default();
+
+        let server = DfmsServer::start_journaled(engine(), &path, "test-grid", config).unwrap();
+        let handle = server.handle();
+        let _ = handle.request(&ingest_request("r1", "/k.dat")).unwrap();
+        // An un-recovered journaled server answers the recovery query
+        // with its journal position and no replay block.
+        let live = handle.recovery().unwrap();
+        assert!(live.journaled);
+        assert!(live.replay.is_none());
+        drop(handle);
+        let _ = server.shutdown(); // hard stop: journal stays on disk
+
+        let (revived, report) = DfmsServer::recover(&path, "test-grid", config, engine).unwrap();
+        assert!(report.journaled);
+        let replay = report.replay.expect("recovered server reports replay stats");
+        assert_eq!(replay.commands_replayed, 1);
+        assert_eq!(replay.divergences, 0);
+        assert_eq!(report.flows.len(), 1);
+        assert_eq!(report.flows[0].state, RunState::Completed);
+        // The re-derived grid state holds the ingested object.
+        assert!(revived
+            .engine()
+            .lock()
+            .grid()
+            .exists(&LogicalPath::parse("/k.dat").unwrap()));
+        // And the wire query agrees with the boot report.
+        let wire = revived.handle().recovery().unwrap();
+        assert_eq!(wire.replay, report.replay);
+        let _ = revived.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_refuses_a_mismatched_genesis_label() {
+        let dir = std::env::temp_dir().join(format!("dgf-server-label-{:x}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("label.dgj");
+        let _ = std::fs::remove_file(&path);
+        let config = JournalConfig::default();
+        let server = DfmsServer::start_journaled(engine(), &path, "grid-a", config).unwrap();
+        let _ = server.handle().request(&ingest_request("r1", "/m.dat")).unwrap();
+        let _ = server.shutdown();
+        let err = DfmsServer::recover(&path, "grid-b", config, engine).err().unwrap();
+        assert!(err.to_string().contains("genesis label mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -105,19 +105,26 @@ pub mod lint {
     pub use dgf_lint::*;
 }
 
+/// The write-ahead journal behind DfMS crash recovery (re-export of
+/// `dgf-journal`). See `docs/RECOVERY.md`.
+pub mod journal {
+    pub use dgf_journal::*;
+}
+
 /// The most common imports, for examples and applications.
 pub mod prelude {
     pub use crate::baselines::{ClientCrash, ClientSideEngine, CronEntry, CronRule, CronScriptIlm};
     pub use crate::dfms::{
-        Dfms, DfmsNetwork, DfmsServer, EngineMetrics, ProvenanceQuery, ProvenanceStore, RunOptions,
-        StepOutcome,
+        Dfms, DfmsNetwork, DfmsServer, EngineMetrics, JournalConfig, ProvenanceError,
+        ProvenanceQuery, ProvenanceRecord, ProvenanceStore, RunOptions, StepOutcome, SyncPolicy,
     };
     pub use crate::dgl::{
         DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
-        FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RequestBody, ResponseBody,
-        Diagnostic, FlowValidationQuery, RunState, Severity, StatusReport, Step, TelemetryQuery,
-        TelemetryReport, ValidationReport, Value,
+        FlowStatusQuery, RecoveryQuery, RecoveryReport, ReplayStats, ReportEvent, ReportMetric,
+        ReportSpan, RequestBody, ResponseBody, Diagnostic, FlowValidationQuery, RunState, Severity,
+        StatusReport, Step, TelemetryQuery, TelemetryReport, ValidationReport, Value,
     };
+    pub use crate::journal::Journal;
     pub use crate::lint::{lint, lint_with_grid, GridContext};
     pub use crate::obs::{
         to_chrome_trace, EventTail, FlowHealth, HealthConfig, HealthState, MetricsSnapshot, Obs,

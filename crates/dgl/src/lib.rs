@@ -27,6 +27,7 @@ mod builder;
 mod error;
 mod expr;
 mod flow;
+mod recovery;
 mod request;
 mod response;
 mod scope;
@@ -44,6 +45,7 @@ pub use flow::{
     Case, Children, ControlPattern, Flow, FlowLogic, IterSource, RuleAction, UserDefinedRule,
     VarDecl, RULE_AFTER_EXIT, RULE_BEFORE_ENTRY,
 };
+pub use recovery::{FlowRecovery, RecoveryQuery, RecoveryReport, ReplayStats};
 pub use step::ErrorPolicy;
 pub use request::{DataGridRequest, RequestBody, RequestMode};
 pub use response::{DataGridResponse, RequestAck, ResponseBody};

@@ -1,0 +1,193 @@
+//! The recovery operator surface of the protocol: a journal/recovery
+//! query and its report.
+//!
+//! A DfMS that journals its inputs (see the `dgf-journal` crate) can be
+//! killed and rebuilt by replay. [`RecoveryQuery`] asks a server where
+//! its journal stands — position, last checkpoint — and, when the
+//! server was booted by recovery, how the replay went, per flow. Like
+//! the rest of the crate these are plain data; the XML codec lives in
+//! `xml_codec`.
+
+use crate::status::RunState;
+use std::fmt;
+
+/// A `<recoveryQuery>` request body.
+///
+/// ```
+/// use dgf_dgl::RecoveryQuery;
+///
+/// let q = RecoveryQuery::report();
+/// assert!(q.flows);
+/// assert!(!RecoveryQuery::summary().flows);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryQuery {
+    /// Include per-flow recovery outcomes in the report.
+    pub flows: bool,
+}
+
+impl RecoveryQuery {
+    /// The full report, including per-flow outcomes.
+    pub fn report() -> Self {
+        RecoveryQuery { flows: true }
+    }
+
+    /// Journal position and replay totals only.
+    pub fn summary() -> Self {
+        RecoveryQuery { flows: false }
+    }
+}
+
+impl Default for RecoveryQuery {
+    fn default() -> Self {
+        RecoveryQuery::report()
+    }
+}
+
+/// How one flow came out of recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecovery {
+    /// The flow's transaction id.
+    pub transaction: String,
+    /// Its lineage (stable across restarts of the logical process).
+    pub lineage: String,
+    /// State after recovery. `Running`/`Paused` flows picked up where
+    /// the journal left them; terminal states were simply re-derived.
+    pub state: RunState,
+    /// Leaf steps completed so far.
+    pub steps_completed: u64,
+    /// Total leaf steps.
+    pub steps_total: u64,
+    /// True when the flow was live (non-terminal) at the crash and the
+    /// recovered engine will resume it.
+    pub resumed: bool,
+}
+
+/// Replay statistics — present exactly when the answering server was
+/// booted by `recover()` rather than started fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Torn-tail bytes truncated when the journal was opened.
+    pub truncated_bytes: u64,
+    /// Journaled commands re-applied.
+    pub commands_replayed: u64,
+    /// Provenance records re-derived by replay that matched the
+    /// journal's transition log byte for byte.
+    pub records_matched: u64,
+    /// Re-derived records that did *not* match — zero on a healthy
+    /// recovery; anything else means the engine or its configuration
+    /// drifted from what the journal assumes.
+    pub divergences: u64,
+    /// Completed steps the replay fast-forwarded from the journal
+    /// instead of treating as new work (`steps_skipped_restart`).
+    pub steps_skipped_restart: u64,
+}
+
+/// A `<recoveryReport>` response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Simulation time (µs) at which the report was assembled.
+    pub time_us: u64,
+    /// True when the server has a journal attached at all.
+    pub journaled: bool,
+    /// Records currently in the journal file (after compaction).
+    pub journal_records: u64,
+    /// Journal position: current file size in bytes.
+    pub journal_bytes: u64,
+    /// Sequence number of the newest checkpoint, if one was written.
+    pub last_checkpoint_seq: Option<u64>,
+    /// Replay statistics when this server was booted by recovery.
+    pub replay: Option<ReplayStats>,
+    /// Per-flow outcomes (empty for [`RecoveryQuery::summary`]).
+    pub flows: Vec<FlowRecovery>,
+}
+
+impl RecoveryReport {
+    /// A report for a server with no journal attached.
+    pub fn unjournaled(time_us: u64) -> Self {
+        RecoveryReport {
+            time_us,
+            journaled: false,
+            journal_records: 0,
+            journal_bytes: 0,
+            last_checkpoint_seq: None,
+            replay: None,
+            flows: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.journaled {
+            return write!(f, "recovery @{}us unjournaled", self.time_us);
+        }
+        write!(
+            f,
+            "recovery @{}us journal={}rec/{}B",
+            self.time_us, self.journal_records, self.journal_bytes
+        )?;
+        if let Some(ck) = self.last_checkpoint_seq {
+            write!(f, " ckpt=#{ck}")?;
+        }
+        if let Some(r) = &self.replay {
+            write!(
+                f,
+                " replayed={}cmd matched={} skipped={} divergences={} torn={}B",
+                r.commands_replayed,
+                r.records_matched,
+                r.steps_skipped_restart,
+                r.divergences,
+                r.truncated_bytes
+            )?;
+        }
+        if !self.flows.is_empty() {
+            write!(f, " flows={}", self.flows.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unjournaled_display_is_compact() {
+        let r = RecoveryReport::unjournaled(42);
+        assert_eq!(r.to_string(), "recovery @42us unjournaled");
+    }
+
+    #[test]
+    fn recovered_display_names_every_total() {
+        let r = RecoveryReport {
+            time_us: 7,
+            journaled: true,
+            journal_records: 12,
+            journal_bytes: 900,
+            last_checkpoint_seq: Some(9),
+            replay: Some(ReplayStats {
+                truncated_bytes: 3,
+                commands_replayed: 5,
+                records_matched: 11,
+                divergences: 0,
+                steps_skipped_restart: 4,
+            }),
+            flows: vec![FlowRecovery {
+                transaction: "t1".into(),
+                lineage: "t1".into(),
+                state: RunState::Running,
+                steps_completed: 2,
+                steps_total: 5,
+                resumed: true,
+            }],
+        };
+        let s = r.to_string();
+        assert!(s.contains("journal=12rec/900B"));
+        assert!(s.contains("ckpt=#9"));
+        assert!(s.contains("replayed=5cmd"));
+        assert!(s.contains("skipped=4"));
+        assert!(s.contains("torn=3B"));
+        assert!(s.contains("flows=1"));
+    }
+}

@@ -1,6 +1,7 @@
 //! [`DataGridRequest`]: the client→DfMS document of Figure 2.
 
 use crate::flow::Flow;
+use crate::recovery::RecoveryQuery;
 use crate::status::FlowStatusQuery;
 use crate::telemetry::TelemetryQuery;
 use crate::validation::FlowValidationQuery;
@@ -30,6 +31,9 @@ pub enum RequestBody {
     Telemetry(TelemetryQuery),
     /// A lint-only request: analyze the flow, do not execute it.
     Validation(FlowValidationQuery),
+    /// A journal/recovery status query (position, checkpoint, per-flow
+    /// recovery outcome).
+    Recovery(RecoveryQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -97,6 +101,19 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::Validation(FlowValidationQuery::new(flow)),
+        }
+    }
+
+    /// A recovery request: where does the server's journal stand, and
+    /// how did the last recovery go?
+    pub fn recovery(id: impl Into<String>, user: impl Into<String>, query: RecoveryQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Recovery(query),
         }
     }
 

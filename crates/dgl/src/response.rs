@@ -1,5 +1,6 @@
 //! [`DataGridResponse`]: the DfMS→client document of Figure 4.
 
+use crate::recovery::RecoveryReport;
 use crate::status::{RunState, StatusReport};
 use crate::telemetry::TelemetryReport;
 use crate::validation::ValidationReport;
@@ -33,6 +34,8 @@ pub enum ResponseBody {
     Telemetry(TelemetryReport),
     /// Static-analysis diagnostics for a flow that was linted, not run.
     Validation(ValidationReport),
+    /// Journal position and crash-recovery outcome.
+    Recovery(RecoveryReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -65,14 +68,19 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::Validation(report) }
     }
 
-    /// The transaction this response refers to. Telemetry and validation
-    /// responses describe no transaction (empty string): the former is
-    /// grid-global, the latter lints a flow that never ran.
+    /// A recovery response.
+    pub fn recovery(request_id: impl Into<String>, report: RecoveryReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Recovery(report) }
+    }
+
+    /// The transaction this response refers to. Telemetry, validation and
+    /// recovery responses describe no transaction (empty string): they
+    /// are grid-global, or lint a flow that never ran.
     pub fn transaction(&self) -> &str {
         match &self.body {
             ResponseBody::Ack(a) => &a.transaction,
             ResponseBody::Status(s) => &s.transaction,
-            ResponseBody::Telemetry(_) | ResponseBody::Validation(_) => "",
+            ResponseBody::Telemetry(_) | ResponseBody::Validation(_) | ResponseBody::Recovery(_) => "",
         }
     }
 }

@@ -70,6 +70,7 @@ impl DataGridRequest {
             RequestBody::StatusQuery(q) => root.push_element(q.to_element()),
             RequestBody::Telemetry(q) => root.push_element(q.to_element()),
             RequestBody::Validation(q) => root.push_element(q.to_element()),
+            RequestBody::Recovery(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -106,10 +107,12 @@ impl DataGridRequest {
             RequestBody::Telemetry(crate::TelemetryQuery::from_element(q_el)?)
         } else if let Some(q_el) = e.child("flowValidationQuery") {
             RequestBody::Validation(crate::FlowValidationQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("recoveryQuery") {
+            RequestBody::Recovery(crate::RecoveryQuery::from_element(q_el)?)
         } else {
             return Err(DglError::schema(
                 &e.name,
-                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, or <flowValidationQuery>",
+                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, or <recoveryQuery>",
             ));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
@@ -665,6 +668,113 @@ impl crate::ValidationReport {
     }
 }
 
+impl crate::RecoveryQuery {
+    /// Encode as an XML element. The default (`flows="true"`) is
+    /// omitted so the common query stays a bare `<recoveryQuery/>`.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("recoveryQuery");
+        if !self.flows {
+            el.set_attr("flows", "false");
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        Ok(crate::RecoveryQuery { flows: e.attr("flows") != Some("false") })
+    }
+}
+
+impl crate::RecoveryReport {
+    /// Encode as an XML element. `lastCheckpoint`, the `<replay>` child
+    /// and per-flow `resumed` markers are omitted when unset so reports
+    /// from never-recovered servers round-trip byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("recoveryReport")
+            .with_attr("time", self.time_us.to_string())
+            .with_attr("journaled", if self.journaled { "true" } else { "false" })
+            .with_attr("records", self.journal_records.to_string())
+            .with_attr("bytes", self.journal_bytes.to_string());
+        if let Some(ck) = self.last_checkpoint_seq {
+            el.set_attr("lastCheckpoint", ck.to_string());
+        }
+        if let Some(r) = &self.replay {
+            el.push_element(
+                Element::new("replay")
+                    .with_attr("truncated", r.truncated_bytes.to_string())
+                    .with_attr("commands", r.commands_replayed.to_string())
+                    .with_attr("matched", r.records_matched.to_string())
+                    .with_attr("divergences", r.divergences.to_string())
+                    .with_attr("stepsSkipped", r.steps_skipped_restart.to_string()),
+            );
+        }
+        for fr in &self.flows {
+            let mut fe = Element::new("flow")
+                .with_attr("transaction", &fr.transaction)
+                .with_attr("lineage", &fr.lineage)
+                .with_attr("state", state_to_str(fr.state))
+                .with_attr("stepsCompleted", fr.steps_completed.to_string())
+                .with_attr("stepsTotal", fr.steps_total.to_string());
+            if fr.resumed {
+                fe.set_attr("resumed", "true");
+            }
+            el.push_element(fe);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |el: &Element, attr: &str| -> Result<u64, DglError> {
+            let raw = require_attr(el, attr)?;
+            raw.parse()
+                .map_err(|_| DglError::schema(&e.name, format!("bad {attr} {raw:?}")))
+        };
+        let replay = e
+            .child("replay")
+            .map(|r| -> Result<crate::ReplayStats, DglError> {
+                Ok(crate::ReplayStats {
+                    truncated_bytes: num(r, "truncated")?,
+                    commands_replayed: num(r, "commands")?,
+                    records_matched: num(r, "matched")?,
+                    divergences: num(r, "divergences")?,
+                    steps_skipped_restart: num(r, "stepsSkipped")?,
+                })
+            })
+            .transpose()?;
+        let flows: Vec<crate::FlowRecovery> = e
+            .children_named("flow")
+            .map(|fr| {
+                Ok(crate::FlowRecovery {
+                    transaction: require_attr(fr, "transaction")?.to_owned(),
+                    lineage: require_attr(fr, "lineage")?.to_owned(),
+                    state: state_from_str(require_attr(fr, "state")?)?,
+                    steps_completed: num(fr, "stepsCompleted")?,
+                    steps_total: num(fr, "stepsTotal")?,
+                    resumed: fr.attr("resumed") == Some("true"),
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        let last_checkpoint_seq = e
+            .attr("lastCheckpoint")
+            .map(|raw| {
+                raw.parse().map_err(|_| {
+                    DglError::schema(&e.name, format!("bad lastCheckpoint {raw:?}"))
+                })
+            })
+            .transpose()?;
+        Ok(crate::RecoveryReport {
+            time_us: num(e, "time")?,
+            journaled: e.attr("journaled") == Some("true"),
+            journal_records: num(e, "records")?,
+            journal_bytes: num(e, "bytes")?,
+            last_checkpoint_seq,
+            replay,
+            flows,
+        })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -789,6 +899,7 @@ impl DataGridResponse {
                 root.push_element(t);
             }
             ResponseBody::Validation(report) => root.push_element(report.to_element()),
+            ResponseBody::Recovery(report) => root.push_element(report.to_element()),
         }
         root
     }
@@ -951,9 +1062,13 @@ impl DataGridResponse {
             let report = crate::ValidationReport::from_element(v)?;
             return Ok(DataGridResponse { request_id, body: ResponseBody::Validation(report) });
         }
+        if let Some(r) = e.child("recoveryReport") {
+            let report = crate::RecoveryReport::from_element(r)?;
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Recovery(report) });
+        }
         Err(DglError::schema(
             "dataGridResponse",
-            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, or <validationReport>",
+            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, or <recoveryReport>",
         ))
     }
 }
@@ -1187,6 +1302,66 @@ mod tests {
         assert_eq!(parsed.transaction(), "");
         // Hint-less diagnostics omit the attribute entirely.
         assert!(!report.to_xml().contains(r#"hint="""#), "{}", report.to_xml());
+    }
+
+    #[test]
+    fn recovery_query_and_report_round_trip() {
+        // Default query: bare element, no attrs.
+        let req = DataGridRequest::recovery("r1", "operator", crate::RecoveryQuery::report());
+        let xml = req.to_xml();
+        assert!(xml.contains("<recoveryQuery/>"), "{xml}");
+        assert_eq!(parse_request(&xml).unwrap(), req);
+        let summary = DataGridRequest::recovery("r2", "operator", crate::RecoveryQuery::summary());
+        assert!(summary.to_xml().contains(r#"flows="false""#), "{}", summary.to_xml());
+        assert_eq!(parse_request(&summary.to_xml()).unwrap(), summary);
+
+        // Never-journaled server: minimal report, no <replay>, no flows.
+        let bare = DataGridResponse::recovery("r3", crate::RecoveryReport::unjournaled(5));
+        assert!(!bare.to_xml().contains("<replay"), "{}", bare.to_xml());
+        assert_eq!(parse_response(&bare.to_xml()).unwrap(), bare);
+        assert_eq!(bare.transaction(), "");
+
+        // Recovered server: replay stats and per-flow outcomes travel.
+        let full = DataGridResponse::recovery(
+            "r4",
+            crate::RecoveryReport {
+                time_us: 31,
+                journaled: true,
+                journal_records: 40,
+                journal_bytes: 4096,
+                last_checkpoint_seq: Some(25),
+                replay: Some(crate::ReplayStats {
+                    truncated_bytes: 9,
+                    commands_replayed: 6,
+                    records_matched: 18,
+                    divergences: 0,
+                    steps_skipped_restart: 7,
+                }),
+                flows: vec![
+                    crate::FlowRecovery {
+                        transaction: "t1".into(),
+                        lineage: "t1".into(),
+                        state: RunState::Running,
+                        steps_completed: 3,
+                        steps_total: 9,
+                        resumed: true,
+                    },
+                    crate::FlowRecovery {
+                        transaction: "t2".into(),
+                        lineage: "t2".into(),
+                        state: RunState::Completed,
+                        steps_completed: 4,
+                        steps_total: 4,
+                        resumed: false,
+                    },
+                ],
+            },
+        );
+        let parsed = parse_response(&full.to_xml()).unwrap();
+        assert_eq!(parsed, full);
+        // Non-resumed flows omit the marker attribute entirely.
+        let xml = full.to_xml();
+        assert_eq!(xml.matches(r#"resumed="true""#).count(), 1, "{xml}");
     }
 
     #[test]

@@ -54,6 +54,27 @@ impl ScheduleWindow {
         w
     }
 
+    /// Rebuild a window from its raw parts (the inverse of
+    /// [`ScheduleWindow::parts`]) — serialization support for callers
+    /// that persist run options, e.g. the DfMS write-ahead journal.
+    /// Wrapping encodings (`end_hour <= start_hour`) are accepted as-is.
+    ///
+    /// # Panics
+    /// If `start_hour >= 24`, `end_hour > 24`, or no day is permitted.
+    pub fn from_parts(days: [bool; 7], start_hour: u8, end_hour: u8) -> Self {
+        assert!(start_hour < 24, "start_hour out of range");
+        assert!(end_hour <= 24, "end_hour out of range");
+        assert!(days.iter().any(|d| *d), "a window needs at least one day");
+        ScheduleWindow { days, start_hour, end_hour }
+    }
+
+    /// The window's raw parts: permitted days (0 = Monday), start hour
+    /// (inclusive), end hour (exclusive; `<= start` encodes a midnight
+    /// wrap).
+    pub fn parts(&self) -> ([bool; 7], u8, u8) {
+        (self.days, self.start_hour, self.end_hour)
+    }
+
     fn day_open(&self, dow: u8) -> bool {
         self.days[dow as usize]
     }

@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! Long-run flows usually want to survive a server crash too: see
+//! `examples/dgf_recover.rs` for the same engine with a write-ahead
+//! journal attached, hard-killed mid-flight and recovered
+//! (`docs/RECOVERY.md` is the operator guide).
 
 use datagridflows::prelude::*;
 

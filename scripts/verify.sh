@@ -59,4 +59,28 @@ if ! grep -q 'DGF001' "$lint_a"; then
 fi
 cargo test -q -p datagridflows --test lint_corpus
 
+# Crash-recovery determinism: the seeded crash/recover demo must report
+# byte-identical state vs its uninterrupted control, twice over (the
+# journal replay itself is deterministic), and the exhaustive
+# kill-at-every-record-boundary suite must pass.
+recover_a=$(mktemp) recover_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b" "$lint_a" "$lint_b" "$recover_a" "$recover_b"' EXIT
+cargo run -q --example dgf_recover >"$recover_a"
+cargo run -q --example dgf_recover >"$recover_b"
+if ! cmp -s "$recover_a" "$recover_b"; then
+    echo "verify: crash-recovery runs differ between seeded reruns" >&2
+    diff "$recover_a" "$recover_b" | head -20 >&2
+    exit 1
+fi
+if ! grep -q 'recovery OK: crash at full flight, byte-identical state after reboot' "$recover_a"; then
+    echo "verify: dgf_recover did not certify byte-identical recovery" >&2
+    tail -5 "$recover_a" >&2
+    exit 1
+fi
+if grep -qE 'divergences=[1-9]' "$recover_a"; then
+    echo "verify: journal replay reported divergences" >&2
+    exit 1
+fi
+cargo test -q -p datagridflows --test chaos kill_at_every_record_boundary
+
 echo "verify: OK"

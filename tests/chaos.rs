@@ -1,10 +1,13 @@
 //! Failure-injection (chaos) tests: the engine under deterministic
-//! resource churn. The point is not that every run completes — with
-//! enough churn and bounded retries some cannot — but that the system
-//! *degrades cleanly*: terminal states, honest reports, no leaked slots
-//! or transfer shares, consistent storage accounting.
+//! resource churn and under hard kills. The point is not that every run
+//! completes — with enough churn and bounded retries some cannot — but
+//! that the system *degrades cleanly*: terminal states, honest reports,
+//! no leaked slots or transfer shares, consistent storage accounting,
+//! and — with a journal attached — byte-identical state after a crash
+//! at *any* record boundary (see `docs/RECOVERY.md`).
 
 use datagridflows::prelude::*;
+use std::path::{Path, PathBuf};
 
 fn dfms(domains: u32, seed: u64) -> Dfms {
     let topology = GridBuilder::preset(GridPreset::UniformMesh { domains });
@@ -38,7 +41,7 @@ fn pump_with_chaos(d: &mut Dfms, plan: &FailurePlan, txn: &str, horizon: SimTime
     }
 }
 
-use datagridflows::simgrid::FailureEvent;
+use datagridflows::simgrid::{ComputeId, FailureEvent};
 
 fn assert_no_leaks(d: &Dfms) {
     let topo = d.grid().topology();
@@ -200,4 +203,279 @@ fn disconnected_grid_heals_and_work_resumes() {
     assert_eq!(d.status(&txn2, None).unwrap().state, RunState::Completed);
     let obj = d.grid().stat_object(&LogicalPath::parse("/big").unwrap()).unwrap();
     assert_eq!(obj.replicas.len(), 2);
+}
+
+// ----------------------------------------------------------------------
+// Crash recovery: hard kills against the write-ahead journal
+// ----------------------------------------------------------------------
+
+const LABEL: &str = "chaos-grid";
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dgf-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.dgj", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn exec_flow(name: &str, steps: usize, secs: u32) -> Flow {
+    let mut b = FlowBuilder::sequential(name);
+    for i in 0..steps {
+        b = b.add_step(
+            Step::new(
+                format!("s{i}"),
+                DglOperation::Execute {
+                    code: format!("{name}-job{i}"),
+                    nominal_secs: secs.to_string(),
+                    resource_type: None,
+                    inputs: vec![],
+                    outputs: vec![],
+                },
+            )
+            .with_error_policy(ErrorPolicy::Retry(2)),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn transfer_flow() -> Flow {
+    FlowBuilder::sequential("xfer")
+        .step("mk", DglOperation::CreateCollection { path: "/chaos".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/chaos/big".into(), size: "800000000".into(), resource: "site0-disk".into() },
+        )
+        .step("cp", DglOperation::Replicate { path: "/chaos/big".into(), src: None, dst: "site1-disk".into() })
+        .build()
+        .unwrap()
+}
+
+/// One external input to the engine — the unit the journal records.
+/// Transaction ids are deterministic (`t1`, `t2`, ...), so lifecycle
+/// commands can name them statically.
+enum Cmd {
+    Submit(Flow),
+    PumpUntil(u64), // absolute sim-seconds
+    Pump,
+    Pause(&'static str),
+    Resume(&'static str),
+    Stop(&'static str),
+    Restart(&'static str),
+    Failure(FailureEvent),
+    Procedure(&'static str, Flow),
+    Call(&'static str),
+}
+
+impl Cmd {
+    fn apply(&self, d: &mut Dfms) {
+        match self {
+            Cmd::Submit(flow) => drop(d.submit_flow("u", flow.clone())),
+            Cmd::PumpUntil(secs) => drop(d.pump_until(SimTime::ZERO + Duration::from_secs(*secs))),
+            Cmd::Pump => drop(d.pump()),
+            Cmd::Pause(txn) => drop(d.pause(txn)),
+            Cmd::Resume(txn) => drop(d.resume(txn)),
+            Cmd::Stop(txn) => drop(d.stop(txn)),
+            Cmd::Restart(txn) => drop(d.restart(txn)),
+            Cmd::Failure(event) => d.apply_failure_event(*event),
+            Cmd::Procedure(name, flow) => drop(d.register_procedure(*name, flow.clone())),
+            Cmd::Call(name) => drop(d.call_procedure("u", name, &[])),
+        }
+    }
+}
+
+/// A deterministic scenario exercising the whole command vocabulary:
+/// submissions, incremental pumping, pause/resume, failure injection,
+/// stop/restart (restart-memo skips), procedures.
+fn crash_script() -> Vec<Cmd> {
+    vec![
+        Cmd::Submit(exec_flow("alpha", 6, 180)), // t1
+        Cmd::PumpUntil(400),
+        Cmd::Pause("t1"),
+        Cmd::Submit(transfer_flow()), // t2
+        Cmd::PumpUntil(900),
+        Cmd::Failure(FailureEvent::Compute(ComputeId(1), false)),
+        Cmd::Resume("t1"),
+        Cmd::PumpUntil(1500),
+        Cmd::Failure(FailureEvent::Compute(ComputeId(1), true)),
+        Cmd::Submit(exec_flow("beta", 4, 240)), // t3
+        Cmd::PumpUntil(2000),
+        Cmd::Stop("t3"),
+        Cmd::Restart("t3"), // t4: resumes beta, skipping completed steps
+        Cmd::Procedure("finisher", exec_flow("fin", 2, 60)),
+        Cmd::Call("finisher"), // t5
+        Cmd::Pump,
+    ]
+}
+
+/// Everything that must survive a crash, as one comparable string: the
+/// full provenance snapshot plus every flow's plain status report.
+/// Metrics are deliberately excluded — a recovered engine legitimately
+/// differs there (`steps.skipped.restart` counts replay fast-forwards).
+fn fingerprint(d: &Dfms) -> String {
+    let mut out = d.provenance().snapshot();
+    for flow in d.recovery_query().flows {
+        let report = d.status(&flow.transaction, None).unwrap();
+        out.push_str(&format!("\n{}: {report}", flow.transaction));
+    }
+    out
+}
+
+fn journaled_reference(name: &str, config: JournalConfig) -> (Dfms, PathBuf) {
+    let path = temp_journal(name);
+    let mut reference = dfms(4, 7);
+    reference.attach_journal(&path, LABEL, config).unwrap();
+    for cmd in &crash_script() {
+        cmd.apply(&mut reference);
+    }
+    (reference, path)
+}
+
+/// Recover from `path`, finish the remainder of the script live, and
+/// return the engine plus the boot report.
+fn recover_and_finish(path: &Path, config: JournalConfig) -> (Dfms, RecoveryReport) {
+    let (mut revived, report) = Dfms::recover(path, LABEL, config, || dfms(4, 7)).unwrap();
+    let replayed = report.replay.map(|r| r.commands_replayed).unwrap_or(0) as usize;
+    for cmd in &crash_script()[replayed..] {
+        cmd.apply(&mut revived);
+    }
+    (revived, report)
+}
+
+#[test]
+fn kill_at_every_record_boundary_recovers_byte_identically() {
+    let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
+    let (reference, ref_path) = journaled_reference("boundary", config);
+    let expected = fingerprint(&reference);
+    let (records, _) = Journal::read(&ref_path).unwrap();
+    let total = records.len();
+    assert!(total > 20, "scenario too small to be interesting: {total} records");
+
+    for keep in 0..=total {
+        let crash_path = temp_journal(&format!("boundary-k{keep}"));
+        std::fs::copy(&ref_path, &crash_path).unwrap();
+        Journal::truncate_records(&crash_path, keep).unwrap();
+        let (revived, report) = recover_and_finish(&crash_path, config);
+        if let Some(replay) = report.replay {
+            assert_eq!(replay.divergences, 0, "kill at record {keep}/{total}: replay diverged: {report}");
+        }
+        assert_eq!(fingerprint(&revived), expected, "kill at record {keep}/{total}");
+        assert_no_leaks(&revived);
+        let _ = std::fs::remove_file(&crash_path);
+    }
+    let _ = std::fs::remove_file(&ref_path);
+}
+
+#[test]
+fn crash_during_paused_flow_recovers_paused() {
+    let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
+    let (_, ref_path) = journaled_reference("paused", config);
+    let (records, _) = Journal::read(&ref_path).unwrap();
+    // Kill immediately after the pause command hit the disk (and before
+    // the resume did).
+    let pause_at = records
+        .iter()
+        .position(|r| r.body.name == "command" && r.body.attr("kind") == Some("pause"))
+        .expect("script pauses t1");
+    let crash_path = temp_journal("paused-crash");
+    std::fs::copy(&ref_path, &crash_path).unwrap();
+    Journal::truncate_records(&crash_path, pause_at + 1).unwrap();
+    let (mut revived, report) = Dfms::recover(&crash_path, LABEL, config, || dfms(4, 7)).unwrap();
+    assert_eq!(report.replay.unwrap().divergences, 0);
+    // The recovered t1 is genuinely paused: resume succeeds (it errors
+    // on anything not paused), and the run then drains to completion.
+    revived.resume("t1").expect("t1 recovered in the paused state");
+    revived.pump();
+    assert_eq!(revived.status("t1", None).unwrap().state, RunState::Completed);
+    let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_file(&ref_path);
+}
+
+#[test]
+fn crash_mid_transfer_replays_the_transfer_to_completion() {
+    let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
+    let (_, ref_path) = journaled_reference("transfer", config);
+    let (records, _) = Journal::read(&ref_path).unwrap();
+    // The cross-site replicate of /chaos/big runs inside the pumpUntil
+    // after t2's submission. Kill right after that pump command was
+    // journaled but before any of its derived transitions: the command
+    // replays to completion, staging included.
+    let submit_t2 = records
+        .iter()
+        .position(|r| {
+            r.body.name == "command"
+                && r.body.attr("kind") == Some("submit")
+                && r.body.to_xml().contains("xfer")
+        })
+        .or_else(|| {
+            records.iter().position(|r| {
+                r.body.name == "command"
+                    && r.body.attr("kind") == Some("submitFlow")
+                    && r.body.to_xml().contains("xfer")
+            })
+        })
+        .expect("script submits the transfer flow");
+    let pump_after = submit_t2
+        + 1
+        + records[submit_t2 + 1..]
+            .iter()
+            .position(|r| r.body.name == "command" && r.body.attr("kind") == Some("pumpUntil"))
+            .expect("a pump follows the transfer submission");
+    let crash_path = temp_journal("transfer-crash");
+    std::fs::copy(&ref_path, &crash_path).unwrap();
+    Journal::truncate_records(&crash_path, pump_after + 1).unwrap();
+    let (revived, report) = Dfms::recover(&crash_path, LABEL, config, || dfms(4, 7)).unwrap();
+    assert_eq!(report.replay.unwrap().divergences, 0);
+    // The replicate finished during replay: both replicas exist.
+    let obj = revived.grid().stat_object(&LogicalPath::parse("/chaos/big").unwrap()).unwrap();
+    assert_eq!(obj.replicas.len(), 2, "mid-transfer crash must not lose the staging replicate");
+    assert_no_leaks(&revived);
+    let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_file(&ref_path);
+}
+
+#[test]
+fn crash_between_checkpoint_and_first_tail_record() {
+    let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
+    let (reference, ref_path) = journaled_reference("ckpt", config);
+    let expected = fingerprint(&reference);
+    let (records, _) = Journal::read(&ref_path).unwrap();
+    let ckpt_at = records
+        .iter()
+        .position(|r| r.body.name == "checkpoint")
+        .expect("checkpoint_every=3 writes checkpoints");
+    let crash_path = temp_journal("ckpt-crash");
+    std::fs::copy(&ref_path, &crash_path).unwrap();
+    Journal::truncate_records(&crash_path, ckpt_at + 1).unwrap();
+    let (revived, report) = recover_and_finish(&crash_path, config);
+    let replay = report.replay.unwrap();
+    assert_eq!(replay.divergences, 0);
+    // The checkpoint's provenance seeded the completed-step memo, and
+    // replay accounted every one of those steps as a skip.
+    assert!(
+        replay.steps_skipped_restart > 0,
+        "a post-checkpoint crash must fast-forward the checkpointed steps: {report}"
+    );
+    assert_eq!(fingerprint(&revived), expected);
+    let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_file(&ref_path);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_recovery_proceeds() {
+    let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
+    let (reference, ref_path) = journaled_reference("torn", config);
+    let expected = fingerprint(&reference);
+    // Chop the file mid-record: a crash during a write leaves a frame
+    // whose length/CRC cannot verify.
+    let crash_path = temp_journal("torn-crash");
+    let bytes = std::fs::read(&ref_path).unwrap();
+    std::fs::write(&crash_path, &bytes[..bytes.len() - 7]).unwrap();
+    let (revived, report) = recover_and_finish(&crash_path, config);
+    let replay = report.replay.unwrap();
+    assert!(replay.truncated_bytes > 0, "the torn frame must be reported: {report}");
+    assert_eq!(replay.divergences, 0);
+    assert_eq!(fingerprint(&revived), expected);
+    let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_file(&ref_path);
 }

@@ -209,3 +209,88 @@ fn diagnostic_strategy() -> impl Strategy<Value = Diagnostic> {
             }
         })
 }
+
+fn replay_strategy() -> impl Strategy<Value = ReplayStats> {
+    (0u64..10_000, 0u64..500, 0u64..5_000, 0u64..5, 0u64..200).prop_map(
+        |(truncated_bytes, commands_replayed, records_matched, divergences, steps_skipped_restart)| {
+            ReplayStats {
+                truncated_bytes,
+                commands_replayed,
+                records_matched,
+                divergences,
+                steps_skipped_restart,
+            }
+        },
+    )
+}
+
+fn flow_recovery_strategy() -> impl Strategy<Value = dgl::FlowRecovery> {
+    (
+        "t[1-9][0-9]{0,3}",
+        "[a-z][a-z0-9-]{0,10}",
+        prop_oneof![
+            Just(RunState::Pending),
+            Just(RunState::Running),
+            Just(RunState::Paused),
+            Just(RunState::Completed),
+            Just(RunState::Failed),
+            Just(RunState::Stopped),
+            Just(RunState::Skipped),
+        ],
+        0u64..50,
+        0u64..50,
+        any::<bool>(),
+    )
+        .prop_map(|(transaction, lineage, state, steps_completed, extra, resumed)| {
+            dgl::FlowRecovery {
+                transaction,
+                lineage,
+                state,
+                steps_completed,
+                steps_total: steps_completed + extra,
+                resumed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The crash-recovery wire pair's request half: any recovery query
+    /// survives a request XML round trip.
+    #[test]
+    fn recovery_queries_round_trip_the_wire(flows in any::<bool>()) {
+        let request = DataGridRequest::recovery("prop", "operator", RecoveryQuery { flows });
+        let xml = request.to_xml();
+        let parsed = parse_request(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, request);
+    }
+
+    /// The crash-recovery wire pair's response half: any recovery
+    /// report — journaled or not, replayed or not, with any mix of
+    /// per-flow outcomes — survives a response XML round trip.
+    #[test]
+    fn recovery_reports_round_trip_the_wire(
+        time_us in 0u64..u64::MAX / 2,
+        journaled in any::<bool>(),
+        journal_records in 0u64..100_000,
+        journal_bytes in 0u64..10_000_000,
+        last_checkpoint_seq in proptest::option::of(0u64..100_000),
+        replay in proptest::option::of(replay_strategy()),
+        flows in proptest::collection::vec(flow_recovery_strategy(), 0..5),
+    ) {
+        let report = RecoveryReport {
+            time_us,
+            journaled,
+            journal_records,
+            journal_bytes,
+            last_checkpoint_seq,
+            replay,
+            flows,
+        };
+        let response = dgl::DataGridResponse::recovery("prop", report);
+        let xml = response.to_xml();
+        let parsed = dgl::parse_response(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, response);
+    }
+}
