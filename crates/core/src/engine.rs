@@ -5,7 +5,7 @@ use crate::error::DfmsError;
 use crate::provenance::{ProvenanceRecord, ProvenanceStore, StepOutcome};
 use crate::recovery::{self, EngineJournal, JournalConfig, ReplayState};
 use crate::run::{Cursor, NodeBody, NodeId, Run, RunId, RunOptions};
-use dgf_journal::{Journal, RecordKind};
+use dgf_journal::Journal;
 use dgf_xml::Element;
 use dgf_dgl::{
     interpolate, Children, ControlPattern, DataGridRequest, DataGridResponse, DglOperation, Expr,
@@ -21,7 +21,7 @@ use dgf_obs::{EventKind as ObsKind, Obs, SpanContext, SpanKind};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
 use dgf_simgrid::{ComputeId, Duration, EventQueue, FailureEvent, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::path::Path;
 
 /// Hard ceiling on while-loop iterations: a runaway `while (true)` in a
@@ -112,7 +112,7 @@ pub struct Dfms {
     procedures: HashMap<String, Flow>,
     next_txn: u64,
     /// The write-ahead journal, when attached (see `docs/RECOVERY.md`).
-    journal: Option<EngineJournal>,
+    pub(crate) journal: Option<EngineJournal>,
     /// Re-entrancy depth of journaled command methods: only depth-0
     /// calls are external inputs worth journaling; everything beneath
     /// them (trigger-spawned flows, the pump inside a synchronous
@@ -120,6 +120,10 @@ pub struct Dfms {
     cmd_depth: u32,
     /// Replay statistics when this engine was built by [`Dfms::recover`].
     last_replay: Option<dgf_dgl::ReplayStats>,
+    /// Time-travel context, when enabled (see `docs/TIME_TRAVEL.md`):
+    /// lets this engine answer DGL `timeTravelQuery` requests by
+    /// materializing past states of its own journal.
+    pub(crate) time_travel: Option<crate::time_travel::TimeTravel>,
 }
 
 impl Dfms {
@@ -152,6 +156,7 @@ impl Dfms {
             journal: None,
             cmd_depth: 0,
             last_replay: None,
+            time_travel: None,
         }
     }
 
@@ -411,6 +416,10 @@ impl Dfms {
                     report.flows.clear();
                 }
                 DataGridResponse::recovery(&request.id, report)
+            }
+            RequestBody::TimeTravel(q) => {
+                let report = self.time_travel_query(&q.clone());
+                DataGridResponse::time_travel(&request.id, report)
             }
             RequestBody::Flow(_) => {
                 let el = self
@@ -693,7 +702,8 @@ impl Dfms {
         let el = self.should_journal().then(|| recovery::command("pump"));
         self.with_command(el, |e| {
             let mut n = 0;
-            while let Some((_, work)) = e.queue.pop() {
+            while !e.replay_halted() {
+                let Some((_, work)) = e.queue.pop() else { break };
                 n += 1;
                 e.dispatch(work);
             }
@@ -707,7 +717,7 @@ impl Dfms {
     pub fn pump_until_terminal(&mut self, txn: &str) {
         let el = self.should_journal().then(|| recovery::command("pumpTxn").with_attr("txn", txn));
         self.with_command(el, |e| {
-            while !e.is_terminal(txn) {
+            while !e.is_terminal(txn) && !e.replay_halted() {
                 let Some((_, work)) = e.queue.pop() else { break };
                 e.dispatch(work);
             }
@@ -721,12 +731,17 @@ impl Dfms {
             .then(|| recovery::command("pumpUntil").with_attr("until", until.0.to_string()));
         self.with_command(el, |e| {
             let mut n = 0;
-            while e.queue.next_time().map(|t| t <= until).unwrap_or(false) {
+            while !e.replay_halted() && e.queue.next_time().map(|t| t <= until).unwrap_or(false) {
                 let (_, work) = e.queue.pop().expect("peeked");
                 n += 1;
                 e.dispatch(work);
             }
-            e.queue.advance_to(until.max(e.queue.now()));
+            // A halted time-travel replay must not advance the clock past
+            // the limiting transition — "state at ordinal o" includes the
+            // clock reading at that derivation.
+            if !e.replay_halted() {
+                e.queue.advance_to(until.max(e.queue.now()));
+            }
             n
         })
     }
@@ -827,8 +842,9 @@ impl Dfms {
             trace_id: root_span.map(|s| s.trace.0),
             span_id: root_span.map(|s| s.span.0),
         };
-        self.journal_transition(recovery::transition("provenance").with_child(record.to_element()));
-        self.provenance.record(record);
+        if self.journal_transition(recovery::transition("provenance").with_child(record.to_element())) {
+            self.provenance.record(record);
+        }
         for ctx in open_spans {
             self.obs.span_end_at(ctx, now);
         }
@@ -2201,8 +2217,9 @@ impl Dfms {
             // (the watchdog's definition of liveness).
             self.obs.health_progress(&record.transaction, finished);
         }
-        self.journal_transition(recovery::transition("provenance").with_child(record.to_element()));
-        self.provenance.record(record);
+        if self.journal_transition(recovery::transition("provenance").with_child(record.to_element())) {
+            self.provenance.record(record);
+        }
     }
 
     /// Record the terminal flight-recorder event and run-duration sample
@@ -2346,7 +2363,8 @@ impl Dfms {
     /// scope and execution proceeds (unjournaled until the disk heals).
     fn journal_append_command(&mut self, el: Element) {
         let Some(j) = self.journal.as_mut() else { return };
-        if j.journal.append(el).is_ok() {
+        let Some(journal) = j.journal.as_mut() else { return };
+        if journal.append(el).is_ok() {
             j.commands_since_checkpoint += 1;
             return;
         }
@@ -2354,13 +2372,29 @@ impl Dfms {
     }
 
     /// Journal one derived effect — or, during replay, log it for the
-    /// divergence check.
-    fn journal_transition(&mut self, body: Element) {
-        let Some(j) = self.journal.as_mut() else { return };
-        if j.on_transition(body).is_ok() {
-            return;
+    /// divergence check. Returns whether the transition's effect should
+    /// apply: `false` only once a time-travel replay has derived past
+    /// its ordinal limit (callers then suppress the provenance write).
+    fn journal_transition(&mut self, body: Element) -> bool {
+        let Some(j) = self.journal.as_mut() else { return true };
+        match j.on_transition(body) {
+            Ok(apply) => apply,
+            Err(_) => {
+                self.obs.inc("journal", "errors");
+                true
+            }
         }
-        self.obs.inc("journal", "errors");
+    }
+
+    /// Has a time-travel replay derived past its ordinal limit? Pump
+    /// loops and the replay command script stop as soon as this turns
+    /// true, freezing the engine at the requested ordinal.
+    pub(crate) fn replay_halted(&self) -> bool {
+        self.journal
+            .as_ref()
+            .and_then(|j| j.replay.as_ref())
+            .map(|r| r.past_limit)
+            .unwrap_or(false)
     }
 
     /// Write an automatic checkpoint when enough commands accumulated.
@@ -2391,10 +2425,11 @@ impl Dfms {
         }
         let el = self.checkpoint_element();
         let j = self.journal.as_mut().expect("checked above");
-        let seq = j.journal.append(el)?;
+        let Some(journal) = j.journal.as_mut() else { return Ok(None) };
+        let seq = journal.append(el)?;
         j.commands_since_checkpoint = 0;
         if j.config.compact_on_checkpoint {
-            j.journal.compact(seq)?;
+            journal.compact(seq)?;
         }
         self.obs.inc("journal", "checkpoints");
         Ok(Some(seq))
@@ -2480,69 +2515,29 @@ impl Dfms {
             let report = engine.recovery_query();
             return Ok((engine, report));
         }
-        match records.iter().find(|r| r.kind == RecordKind::Genesis) {
-            None => return Err(DfmsError::Recovery("journal has records but no genesis".into())),
-            Some(g) => {
-                let found = g.body.attr("label").unwrap_or("");
-                if found != label {
-                    return Err(DfmsError::Recovery(format!(
-                        "genesis label mismatch: journal says {found:?}, recovery was given {label:?}"
-                    )));
-                }
-            }
-        }
+        recovery::check_genesis(&records, label)?;
         // Partition the journal: commands are the replay script,
         // transitions the expectations, the last checkpoint (plus any
         // post-checkpoint provenance transitions) the completed-step
         // memo.
-        let mut commands: Vec<Element> = Vec::new();
-        let mut expected: Vec<(u64, String)> = Vec::new();
-        let mut memo: HashSet<(String, String)> = HashSet::new();
-        let memo_record = |memo: &mut HashSet<(String, String)>, rec: &Element| {
-            if rec.attr("outcome") == Some("completed") && rec.attr("verb") != Some("flow") {
-                if let (Some(lineage), Some(node)) = (rec.attr("lineage"), rec.attr("node")) {
-                    memo.insert((lineage.to_owned(), node.to_owned()));
-                }
-            }
-        };
-        for r in &records {
-            match r.kind {
-                RecordKind::Command => commands.push(r.body.clone()),
-                RecordKind::Transition => {
-                    let n = r.body.attr("n").and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
-                    expected.push((n, recovery::strip_seq(&r.body).to_xml()));
-                    if r.body.attr("kind") == Some("provenance") {
-                        if let Some(rec) = r.body.child("record") {
-                            memo_record(&mut memo, rec);
-                        }
-                    }
-                }
-                RecordKind::Checkpoint => {
-                    if let Some(prov) = r.body.child("provenance") {
-                        for rec in prov.children_named("record") {
-                            memo_record(&mut memo, rec);
-                        }
-                    }
-                }
-                RecordKind::Genesis => {}
-            }
-        }
+        let (commands, expected, memo) = recovery::partition(&records);
+        debug_assert!(
+            recovery::ordinals_aligned(&expected),
+            "journal transition ordinals are not strictly increasing — compaction renumbered?"
+        );
         engine.journal = Some(EngineJournal {
-            journal,
+            journal: Some(journal),
             config,
+            label: label.to_owned(),
             commands_since_checkpoint: 0,
             transitions_written: 0,
-            replay: Some(ReplayState { memo, expected, derived: Vec::new(), skips: 0 }),
+            replay: Some(ReplayState::new(memo, expected, None)),
         });
-        for cmd in &commands {
-            engine.apply_command(cmd);
-        }
+        engine.drive_replay(&commands);
         // Verify re-derived transitions against the journaled ones. The
         // ordinal `n` aligns them across compactions (compaction drops
         // old transitions, never renumbers the survivors).
-        let j = engine.journal.as_mut().expect("installed above");
-        let replay = j.replay.take().expect("installed above");
-        j.transitions_written = replay.derived.len() as u64;
+        let replay = engine.take_replay().expect("installed above");
         let divergences = replay
             .expected
             .iter()
@@ -2563,6 +2558,33 @@ impl Dfms {
         engine.checkpoint()?;
         let report = engine.recovery_query();
         Ok((engine, report))
+    }
+
+    /// Drive the replay script: re-apply journaled commands in order,
+    /// stopping early if a time-travel ordinal limit halts the replay
+    /// mid-script. Shared by [`Dfms::recover`] (no limit — the halt
+    /// never fires) and [`Dfms::recover_to`]. Returns the number of
+    /// commands applied before the halt.
+    pub(crate) fn drive_replay(&mut self, commands: &[Element]) -> u64 {
+        let mut applied = 0;
+        for cmd in commands {
+            if self.replay_halted() {
+                break;
+            }
+            self.apply_command(cmd);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Finish a replay: detach the [`ReplayState`] and reset the
+    /// since-genesis transition counter to the *re-derived* count (not
+    /// the record count the compacted file retains).
+    pub(crate) fn take_replay(&mut self) -> Option<ReplayState> {
+        let j = self.journal.as_mut()?;
+        let replay = j.replay.take()?;
+        j.transitions_written = replay.derived.len() as u64;
+        Some(replay)
     }
 
     /// Re-apply one journaled command during replay. Unknown kinds are
@@ -2648,11 +2670,24 @@ impl Dfms {
     /// [`Dfms::recover`], how the replay went, per flow. This is the
     /// body behind the DGL `recoveryQuery` request.
     pub fn recovery_query(&self) -> dgf_dgl::RecoveryReport {
-        let Some(j) = self.journal.as_ref() else {
+        let Some(journal) = self.journal.as_ref().and_then(|j| j.journal.as_ref()) else {
             return dgf_dgl::RecoveryReport::unjournaled(self.now().0);
         };
-        let flows = self
-            .runs
+        dgf_dgl::RecoveryReport {
+            time_us: self.now().0,
+            journaled: true,
+            journal_records: journal.records_in_file(),
+            journal_bytes: journal.bytes(),
+            last_checkpoint_seq: journal.last_checkpoint_seq(),
+            replay: self.last_replay,
+            flows: self.flow_summaries(),
+        }
+    }
+
+    /// Per-flow state/progress summaries in submission order — the
+    /// shape shared by the recovery and time-travel reports.
+    pub fn flow_summaries(&self) -> Vec<dgf_dgl::FlowRecovery> {
+        self.runs
             .iter()
             .map(|run| {
                 let (done, total) = run.progress(run.root());
@@ -2666,16 +2701,16 @@ impl Dfms {
                     resumed: self.last_replay.is_some() && !state.is_terminal(),
                 }
             })
-            .collect();
-        dgf_dgl::RecoveryReport {
-            time_us: self.now().0,
-            journaled: true,
-            journal_records: j.journal.records_in_file(),
-            journal_bytes: j.journal.bytes(),
-            last_checkpoint_seq: j.journal.last_checkpoint_seq(),
-            replay: self.last_replay,
-            flows,
-        }
+            .collect()
+    }
+
+    /// The current value of flow variable `name` in `txn`'s root scope
+    /// (`None` for unknown transactions or undeclared variables). This
+    /// is the probe behind variable bisection — "when did `i` first
+    /// become 3?" — in the time-travel console.
+    pub fn flow_variable(&self, txn: &str, name: &str) -> Option<Value> {
+        let id = self.txn_index.get(txn)?;
+        self.runs[id.0 as usize].nodes[0].scope.get(name).cloned()
     }
 
     /// Replay statistics when this engine was built by [`Dfms::recover`]

@@ -8,9 +8,21 @@ pub enum DfmsError {
     /// Unknown transaction id.
     UnknownTransaction(String),
     /// Unknown node path within a transaction.
-    UnknownNode { transaction: String, node: String },
+    UnknownNode {
+        /// The transaction the lookup ran against.
+        transaction: String,
+        /// The node path that did not resolve.
+        node: String,
+    },
     /// The requested lifecycle change is illegal in the run's state.
-    BadLifecycle { transaction: String, action: &'static str, state: String },
+    BadLifecycle {
+        /// The transaction the action targeted.
+        transaction: String,
+        /// The refused action (`"pause"`, `"resume"`, ...).
+        action: &'static str,
+        /// The run state the flow was actually in.
+        state: String,
+    },
     /// A DGL-level problem (parse, validation, evaluation).
     Dgl(dgf_dgl::DglError),
     /// The submit-time lint gate found error-severity diagnostics. The
@@ -21,7 +33,14 @@ pub enum DfmsError {
     /// The submitting user is not registered with the grid.
     UnknownUser(String),
     /// The engine refused a runaway loop.
-    IterationLimit { transaction: String, node: String, limit: u64 },
+    IterationLimit {
+        /// The transaction whose loop tripped the limit.
+        transaction: String,
+        /// The looping node's path.
+        node: String,
+        /// The iteration ceiling that was exceeded.
+        limit: u64,
+    },
     /// No server in the network can own the request.
     NoRoute(String),
     /// A provenance snapshot failed to restore.

@@ -32,9 +32,16 @@
 //!   (see `docs/OBSERVABILITY.md`);
 //! * **durable journaling and crash recovery** ([`dgf_journal`]): an
 //!   engine with an attached write-ahead journal survives a hard kill at
-//!   any record boundary — [`Dfms::recover`] replays checkpoint + tail
-//!   deterministically, resumes in-flight flows, and reports what it did
-//!   (see `docs/RECOVERY.md`).
+//!   any record boundary — [`Dfms::recover`] re-drives the journaled
+//!   command script from genesis (the checkpoint supplies the
+//!   completed-step memo), resumes in-flight flows, and reports what it
+//!   did (see `docs/RECOVERY.md`);
+//! * **time travel** over that journal ([`TimeTravel`]):
+//!   [`Dfms::recover_to`] materializes the engine at any since-genesis
+//!   transition ordinal, [`TimeTravel::diff`] produces a structured
+//!   provenance/flow-state delta between two ordinals, and
+//!   [`TimeTravel::bisect`] binary-searches history for the first
+//!   ordinal where a predicate turned true (see `docs/TIME_TRAVEL.md`).
 
 mod engine;
 mod error;
@@ -43,6 +50,7 @@ mod provenance;
 mod recovery;
 mod run;
 mod server;
+mod time_travel;
 
 pub use dgf_obs::{EventKind as ObsEventKind, MetricsSnapshot, Obs, ObsEvent};
 pub use engine::{Dfms, EngineMetrics, Notification};
@@ -53,3 +61,4 @@ pub use dgf_journal::SyncPolicy;
 pub use recovery::JournalConfig;
 pub use run::{NodeId, RunId, RunOptions};
 pub use server::{DfmsServer, ServerHandle};
+pub use time_travel::{BisectOutcome, BisectPredicate, Materialized, StateDiff, TimeTravel};

@@ -117,10 +117,13 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
-            // Telemetry, validation, and recovery are server-global:
-            // serve them from the first registered server (each server
-            // sees its own grid view and its own journal).
-            RequestBody::Telemetry(_) | RequestBody::Validation(_) | RequestBody::Recovery(_) => self
+            // Telemetry, validation, recovery, and time travel are
+            // server-global: serve them from the first registered server
+            // (each server sees its own grid view and its own journal).
+            RequestBody::Telemetry(_)
+            | RequestBody::Validation(_)
+            | RequestBody::Recovery(_)
+            | RequestBody::TimeTravel(_) => self
                 .order
                 .first()
                 .cloned()

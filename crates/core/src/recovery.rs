@@ -18,20 +18,44 @@
 //!   effect (provenance write, step start, scheduler binding, trigger
 //!   firing, run admission). Transitions are *verification* data: replay
 //!   re-derives them and counts divergences against the journal. `n` is
-//!   the transition's ordinal since genesis, so records stay aligned
-//!   across compactions.
+//!   the transition's **since-genesis ordinal**: the index this
+//!   transition had in the full derivation sequence, counted from the
+//!   genesis record onward.
 //! * **checkpoint** — a full provenance snapshot plus a flow-state
 //!   summary. Checkpoints bound compaction (older transitions and stale
 //!   checkpoints are dropped) and carry the completed-step memo that
 //!   [`dgf_dgl::ReplayStats::steps_skipped_restart`] accounts against.
 //!
-//! Queries (status, telemetry, validation, recovery) are *not*
-//! journaled: they derive no engine state that commands would not
+//! ## Ordinal accounting across compaction
+//!
+//! Compaction drops transition records older than the surviving
+//! checkpoint but **never renumbers** the survivors, and it keeps every
+//! command — replay is always a *full* re-drive of the command script
+//! from genesis, so a freshly replayed engine re-derives transitions
+//! `0, 1, 2, ...` regardless of how many transition *records* the file
+//! still holds. The alignment invariant this module maintains (and
+//! [`crate::Dfms::recover`] debug-asserts via [`ordinals_aligned`]) is:
+//! the `n` attributes of the transition records surviving in the file
+//! are **strictly increasing in file order**, so each surviving record
+//! can be compared against `derived[n]` of the replay. After replay,
+//! [`EngineJournal::transitions_written`] is reset to the *re-derived*
+//! count (ordinals since genesis), **not** to the number of transition
+//! records left in the compacted file — the two differ as soon as one
+//! compaction has run.
+//!
+//! The same ordinal is the coordinate system of the time-travel surface
+//! (`Dfms::recover_to`, diff, bisect — see `docs/TIME_TRAVEL.md`):
+//! "ordinal `o`" always means "the state after deriving transition `o`
+//! of the since-genesis sequence".
+//!
+//! Queries (status, telemetry, validation, recovery, time travel) are
+//! *not* journaled: they derive no engine state that commands would not
 //! re-derive. Likewise grid/trigger/ILM setup performed before the
 //! journal is attached belongs to the factory, not the journal.
 
+use crate::error::DfmsError;
 use crate::run::RunOptions;
-use dgf_journal::{Journal, JournalError, SyncPolicy};
+use dgf_journal::{Journal, JournalError, Record, RecordKind, SyncPolicy};
 use dgf_simgrid::{ComputeId, FailureEvent, LinkId, ScheduleWindow, StorageId};
 use dgf_xml::Element;
 use std::collections::HashSet;
@@ -57,8 +81,8 @@ impl Default for JournalConfig {
     }
 }
 
-/// Replay bookkeeping, present only while `Dfms::recover` is driving
-/// the command script.
+/// Replay bookkeeping, present only while `Dfms::recover` (or the
+/// time-travel `Dfms::recover_to`) is driving the command script.
 #[derive(Debug)]
 pub(crate) struct ReplayState {
     /// Completed steps known to the journal: (lineage, node) from the
@@ -67,28 +91,55 @@ pub(crate) struct ReplayState {
     /// `skips` counts each completed step once.
     pub memo: HashSet<(String, String)>,
     /// Journaled transitions, as (`n`, compact XML with the journal's
-    /// `seq` attribute stripped).
+    /// `seq` attribute stripped). `n` is the since-genesis ordinal;
+    /// after compaction this list starts above zero but stays strictly
+    /// increasing (see [`ordinals_aligned`]).
     pub expected: Vec<(u64, String)>,
     /// Transitions re-derived by replay, in derivation order (index is
-    /// the transition's `n`).
+    /// the transition's since-genesis ordinal `n`).
     pub derived: Vec<String>,
     /// Completed-at-crash steps re-reached by replay
     /// (`steps_skipped_restart` accounting).
     pub skips: u64,
+    /// Time travel: highest since-genesis ordinal (inclusive) whose
+    /// effects should apply. `None` replays the whole history.
+    pub limit: Option<u64>,
+    /// Set once a transition beyond `limit` tried to derive; pump loops
+    /// and the command script halt as soon as they observe it.
+    pub past_limit: bool,
+}
+
+impl ReplayState {
+    /// Replay bookkeeping over the journal's expectations, optionally
+    /// halting after since-genesis ordinal `limit`.
+    pub fn new(
+        memo: HashSet<(String, String)>,
+        expected: Vec<(u64, String)>,
+        limit: Option<u64>,
+    ) -> Self {
+        ReplayState { memo, expected, derived: Vec::new(), skips: 0, limit, past_limit: false }
+    }
 }
 
 /// The engine's journaling state: the open journal plus its vocabulary
-/// counters.
+/// counters. `journal` is `None` only for read-only time-travel
+/// materializations ([`crate::Dfms::recover_to`]), which replay a
+/// journal *file* without ever holding it open for writing.
 #[derive(Debug)]
 pub(crate) struct EngineJournal {
-    pub journal: Journal,
+    pub journal: Option<Journal>,
     pub config: JournalConfig,
+    /// The genesis label this journal was created (or recovered) with.
+    pub label: String,
     /// Top-level commands since the last checkpoint.
     pub commands_since_checkpoint: u64,
-    /// Transitions journaled since genesis (stamped as `n`); replay
-    /// resets this to the re-derived count so ordinals stay aligned.
+    /// Transitions derived since genesis — the next ordinal to stamp as
+    /// `n`. After a replay this is reset to the *re-derived* count
+    /// (`derived.len()`), never to the number of transition records the
+    /// compacted file happens to retain: compaction drops old transition
+    /// records but the ordinal sequence keeps counting from genesis.
     pub transitions_written: u64,
-    /// `Some` while `Dfms::recover` is replaying; suppresses appends.
+    /// `Some` while a replay is driving the engine; suppresses appends.
     pub replay: Option<ReplayState>,
 }
 
@@ -97,8 +148,9 @@ impl EngineJournal {
     pub fn create(mut journal: Journal, label: &str, config: JournalConfig) -> Result<Self, JournalError> {
         journal.append(Element::new("genesis").with_attr("label", label))?;
         Ok(EngineJournal {
-            journal,
+            journal: Some(journal),
             config,
+            label: label.to_owned(),
             commands_since_checkpoint: 0,
             transitions_written: 0,
             replay: None,
@@ -107,21 +159,108 @@ impl EngineJournal {
 
     /// Journal one derived effect — or, during replay, record it for
     /// divergence checking instead.
-    pub fn on_transition(&mut self, mut body: Element) -> Result<(), JournalError> {
+    ///
+    /// Returns whether the transition's *effects* should apply: always
+    /// `true` in live operation and ordinary replay, `false` once a
+    /// time-travel replay has derived past its ordinal limit (the
+    /// caller then suppresses the corresponding provenance write, which
+    /// is what makes `recover_to(o)`'s provenance an exact prefix).
+    pub fn on_transition(&mut self, mut body: Element) -> Result<bool, JournalError> {
         match &mut self.replay {
             Some(r) => {
-                body.set_attr("n", r.derived.len().to_string());
+                let n = r.derived.len() as u64;
+                if r.limit.is_some_and(|limit| n > limit) {
+                    r.past_limit = true;
+                    return Ok(false);
+                }
+                body.set_attr("n", n.to_string());
                 r.derived.push(body.to_xml());
-                Ok(())
+                Ok(true)
             }
             None => {
                 body.set_attr("n", self.transitions_written.to_string());
                 self.transitions_written += 1;
-                self.journal.append(body)?;
-                Ok(())
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.append(body)?;
+                }
+                Ok(true)
             }
         }
     }
+}
+
+/// The ordinal alignment invariant: the `n` attributes of the
+/// transition records surviving in a journal file must be strictly
+/// increasing in file order. Compaction preserves this because it drops
+/// a *prefix* of the transition records (everything older than the
+/// surviving checkpoint) and never renumbers the rest; replay depends
+/// on it because each surviving record is verified against
+/// `derived[n]`. [`crate::Dfms::recover`] turns this into a debug
+/// assertion over the partitioned journal.
+pub(crate) fn ordinals_aligned(expected: &[(u64, String)]) -> bool {
+    expected.windows(2).all(|w| w[0].0 < w[1].0)
+}
+
+/// Refuse to replay a journal whose genesis label differs from the one
+/// the caller asserts its factory rebuilds: replay against a
+/// differently configured engine would silently diverge.
+pub(crate) fn check_genesis(records: &[Record], label: &str) -> Result<(), DfmsError> {
+    match records.iter().find(|r| r.kind == RecordKind::Genesis) {
+        None => Err(DfmsError::Recovery("journal has records but no genesis".into())),
+        Some(g) => {
+            let found = g.body.attr("label").unwrap_or("");
+            if found != label {
+                return Err(DfmsError::Recovery(format!(
+                    "genesis label mismatch: journal says {found:?}, recovery was given {label:?}"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Partition a journal into the three replay inputs: commands are the
+/// replay script, transitions the `(ordinal, stripped XML)`
+/// expectations, and the last checkpoint's provenance (plus every
+/// journaled `provenance` transition) the completed-step memo that
+/// [`dgf_dgl::ReplayStats::steps_skipped_restart`] accounts against.
+#[allow(clippy::type_complexity)]
+pub(crate) fn partition(
+    records: &[Record],
+) -> (Vec<Element>, Vec<(u64, String)>, HashSet<(String, String)>) {
+    let mut commands: Vec<Element> = Vec::new();
+    let mut expected: Vec<(u64, String)> = Vec::new();
+    let mut memo: HashSet<(String, String)> = HashSet::new();
+    let memo_record = |memo: &mut HashSet<(String, String)>, rec: &Element| {
+        if rec.attr("outcome") == Some("completed") && rec.attr("verb") != Some("flow") {
+            if let (Some(lineage), Some(node)) = (rec.attr("lineage"), rec.attr("node")) {
+                memo.insert((lineage.to_owned(), node.to_owned()));
+            }
+        }
+    };
+    for r in records {
+        match r.kind {
+            RecordKind::Command => commands.push(r.body.clone()),
+            RecordKind::Transition => {
+                let n = r.body.attr("n").and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
+                expected.push((n, strip_seq(&r.body).to_xml()));
+                if r.body.attr("kind") == Some("provenance") {
+                    if let Some(rec) = r.body.child("record") {
+                        memo_record(&mut memo, rec);
+                    }
+                }
+            }
+            RecordKind::Checkpoint => {
+                if let Some(prov) = r.body.child("provenance") {
+                    for rec in prov.children_named("record") {
+                        memo_record(&mut memo, rec);
+                    }
+                }
+            }
+            RecordKind::Genesis => {}
+        }
+    }
+    (commands, expected, memo)
 }
 
 /// A `<command kind="...">` shell.
@@ -247,6 +386,41 @@ mod tests {
             let el = failure_element(&event);
             assert_eq!(failure_from_element(&el), Some(event));
         }
+    }
+
+    #[test]
+    fn ordinal_alignment_invariant() {
+        let t = |n: u64| (n, format!("<transition n=\"{n}\"/>"));
+        // The empty and singleton journals are trivially aligned.
+        assert!(ordinals_aligned(&[]));
+        assert!(ordinals_aligned(&[t(7)]));
+        // A fresh (never compacted) journal: ordinals from zero.
+        assert!(ordinals_aligned(&[t(0), t(1), t(2)]));
+        // A compacted journal: a dropped prefix leaves a strictly
+        // increasing suffix that starts above zero.
+        assert!(ordinals_aligned(&[t(41), t(42), t(45)]));
+        // Renumbering or reordering the survivors breaks alignment.
+        assert!(!ordinals_aligned(&[t(3), t(3)]));
+        assert!(!ordinals_aligned(&[t(5), t(2), t(9)]));
+    }
+
+    #[test]
+    fn replay_limit_suppresses_effects_past_the_ordinal() {
+        let mut j = EngineJournal {
+            journal: None,
+            config: JournalConfig::default(),
+            label: "test".into(),
+            commands_since_checkpoint: 0,
+            transitions_written: 0,
+            replay: Some(ReplayState::new(HashSet::new(), Vec::new(), Some(1))),
+        };
+        assert!(j.on_transition(transition("a")).unwrap()); // ordinal 0
+        assert!(j.on_transition(transition("b")).unwrap()); // ordinal 1 == limit
+        assert!(!j.on_transition(transition("c")).unwrap()); // past the limit
+        assert!(!j.on_transition(transition("d")).unwrap());
+        let replay = j.replay.take().unwrap();
+        assert!(replay.past_limit);
+        assert_eq!(replay.derived.len(), 2, "derived stops growing at limit+1");
     }
 
     #[test]

@@ -182,6 +182,21 @@ impl ServerHandle {
             _ => None,
         }
     }
+
+    /// Run one time-travel query over the wire (the DGL
+    /// `timeTravelQuery` pair): inspect an ordinal, diff two, or bisect
+    /// history. The server must have called
+    /// [`Dfms::enable_time_travel`]; otherwise the report comes back
+    /// with `enabled: false`. Returns `None` if the server has shut
+    /// down or answered with something other than a time-travel report.
+    pub fn time_travel(&self, query: dgf_dgl::TimeTravelQuery) -> Option<dgf_dgl::TimeTravelReport> {
+        let xml = dgf_dgl::DataGridRequest::time_travel("time-travel", "operator", query).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::TimeTravel(report) => Some(report),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

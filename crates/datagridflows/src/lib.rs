@@ -115,21 +115,23 @@ pub mod journal {
 pub mod prelude {
     pub use crate::baselines::{ClientCrash, ClientSideEngine, CronEntry, CronRule, CronScriptIlm};
     pub use crate::dfms::{
-        Dfms, DfmsNetwork, DfmsServer, EngineMetrics, JournalConfig, ProvenanceError,
-        ProvenanceQuery, ProvenanceRecord, ProvenanceStore, RunOptions, StepOutcome, SyncPolicy,
+        BisectOutcome, BisectPredicate, Dfms, DfmsNetwork, DfmsServer, EngineMetrics,
+        JournalConfig, Materialized, ProvenanceError, ProvenanceQuery, ProvenanceRecord,
+        ProvenanceStore, RunOptions, StateDiff, StepOutcome, SyncPolicy, TimeTravel,
     };
     pub use crate::dgl::{
-        DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow, FlowBuilder,
-        FlowStatusQuery, RecoveryQuery, RecoveryReport, ReplayStats, ReportEvent, ReportMetric,
-        ReportSpan, RequestBody, ResponseBody, Diagnostic, FlowValidationQuery, RunState, Severity,
-        StatusReport, Step, TelemetryQuery, TelemetryReport, ValidationReport, Value,
+        BisectSpec, DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow,
+        FlowBuilder, FlowStatusQuery, RecoveryQuery, RecoveryReport, ReplayStats, ReportEvent,
+        ReportMetric, ReportSpan, RequestBody, ResponseBody, Diagnostic, FlowValidationQuery,
+        RunState, Severity, StatusReport, Step, TelemetryQuery, TelemetryReport, TimeTravelQuery,
+        TimeTravelReport, ValidationReport, Value,
     };
     pub use crate::journal::Journal;
     pub use crate::lint::{lint, lint_with_grid, GridContext};
     pub use crate::obs::{
-        to_chrome_trace, EventTail, FlowHealth, HealthConfig, HealthState, MetricsSnapshot, Obs,
-        ObsEvent, Rollup, SamplingConfig, Span, SpanContext, SpanId, SpanKind, TimeSeriesStore,
-        TraceId,
+        decode_perfetto, to_chrome_trace, to_perfetto_trace, EventTail, FlowHealth, HealthConfig,
+        HealthState, MetricsSnapshot, Obs, ObsEvent, Rollup, SamplingConfig, Span, SpanContext,
+        SpanId, SpanKind, TimeSeriesStore, TraceId,
     };
     pub use crate::dgms::{
         DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, Operation, Permission, Principal,

@@ -34,6 +34,7 @@ mod scope;
 mod status;
 mod step;
 mod telemetry;
+mod time_travel;
 mod validation;
 mod value;
 mod xml_codec;
@@ -53,6 +54,10 @@ pub use scope::Scope;
 pub use status::{FlowStatusQuery, ReportEvent, ReportMetric, ReportSpan, RunState, StatusReport};
 pub use step::{DglOperation, Step};
 pub use telemetry::{TelemetryQuery, TelemetryReport};
+pub use time_travel::{
+    BisectSpec, BisectSummary, DiffSummary, FlowDelta, OrdinalSummary, TimeTravelOp,
+    TimeTravelQuery, TimeTravelReport,
+};
 pub use validation::{Diagnostic, FlowValidationQuery, Severity, ValidationReport};
 pub use value::Value;
 pub use xml_codec::{parse_request, parse_response};

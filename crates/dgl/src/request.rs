@@ -4,6 +4,7 @@ use crate::flow::Flow;
 use crate::recovery::RecoveryQuery;
 use crate::status::FlowStatusQuery;
 use crate::telemetry::TelemetryQuery;
+use crate::time_travel::TimeTravelQuery;
 use crate::validation::FlowValidationQuery;
 
 /// Whether the client wants to wait for execution or get an immediate
@@ -34,6 +35,9 @@ pub enum RequestBody {
     /// A journal/recovery status query (position, checkpoint, per-flow
     /// recovery outcome).
     Recovery(RecoveryQuery),
+    /// A time-travel query over the server's journaled history
+    /// (inspect an ordinal, diff two, or bisect for a predicate).
+    TimeTravel(TimeTravelQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -114,6 +118,18 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::Recovery(query),
+        }
+    }
+
+    /// A time-travel request over the server's journaled history.
+    pub fn time_travel(id: impl Into<String>, user: impl Into<String>, query: TimeTravelQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::TimeTravel(query),
         }
     }
 

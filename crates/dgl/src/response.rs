@@ -3,6 +3,7 @@
 use crate::recovery::RecoveryReport;
 use crate::status::{RunState, StatusReport};
 use crate::telemetry::TelemetryReport;
+use crate::time_travel::TimeTravelReport;
 use crate::validation::ValidationReport;
 
 /// A Request Acknowledgement: "contains a unique identifier for each
@@ -36,6 +37,9 @@ pub enum ResponseBody {
     Validation(ValidationReport),
     /// Journal position and crash-recovery outcome.
     Recovery(RecoveryReport),
+    /// A time-travel answer: an ordinal summary, a diff, or a
+    /// bisection outcome over the server's journaled history.
+    TimeTravel(TimeTravelReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -73,14 +77,23 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::Recovery(report) }
     }
 
-    /// The transaction this response refers to. Telemetry, validation and
-    /// recovery responses describe no transaction (empty string): they
-    /// are grid-global, or lint a flow that never ran.
+    /// A time-travel response.
+    pub fn time_travel(request_id: impl Into<String>, report: TimeTravelReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::TimeTravel(report) }
+    }
+
+    /// The transaction this response refers to. Telemetry, validation,
+    /// recovery, and time-travel responses describe no transaction
+    /// (empty string): they are grid-global, or lint a flow that never
+    /// ran.
     pub fn transaction(&self) -> &str {
         match &self.body {
             ResponseBody::Ack(a) => &a.transaction,
             ResponseBody::Status(s) => &s.transaction,
-            ResponseBody::Telemetry(_) | ResponseBody::Validation(_) | ResponseBody::Recovery(_) => "",
+            ResponseBody::Telemetry(_)
+            | ResponseBody::Validation(_)
+            | ResponseBody::Recovery(_)
+            | ResponseBody::TimeTravel(_) => "",
         }
     }
 }

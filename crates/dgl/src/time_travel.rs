@@ -1,0 +1,316 @@
+//! The time-travel operator surface of the protocol: a query over a
+//! journaled server's *history* and its report.
+//!
+//! A journaled DfMS can materialize the engine at any since-genesis
+//! transition ordinal (see `docs/TIME_TRAVEL.md`). [`TimeTravelQuery`]
+//! asks a server to inspect one such ordinal, diff two of them, or
+//! binary-search the history for the first ordinal where a predicate
+//! turned true ("when did flow F first stall?"). Like the rest of the
+//! crate these are plain data; the XML codec lives in `xml_codec`.
+
+use crate::recovery::FlowRecovery;
+use crate::status::RunState;
+use std::fmt;
+
+/// The predicate of a bisection: what condition to locate the first
+/// true ordinal of. Bisection assumes the predicate is monotone over
+/// the journal's history (false … false, true … true) — the same
+/// contract as `git bisect`. A flow that stalls and later recovers is
+/// *not* monotone over the whole history; bisect over the prefix where
+/// it holds (see `docs/TIME_TRAVEL.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BisectSpec {
+    /// When did this flow first sit idle past the stall deadline (the
+    /// watchdog's `stalled_after`)?
+    Stalled {
+        /// The flow's transaction id.
+        transaction: String,
+    },
+    /// When did this flow first reach the given lifecycle state?
+    State {
+        /// The flow's transaction id.
+        transaction: String,
+        /// The state to locate the first occurrence of.
+        state: RunState,
+    },
+    /// When did this flow variable first hold the given value (compared
+    /// against the variable's rendered text)?
+    Variable {
+        /// The flow's transaction id.
+        transaction: String,
+        /// The variable name, as declared in the flow's `<variables>`.
+        name: String,
+        /// The rendered value to match.
+        value: String,
+    },
+}
+
+impl fmt::Display for BisectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BisectSpec::Stalled { transaction } => write!(f, "{transaction} stalled"),
+            BisectSpec::State { transaction, state } => write!(f, "{transaction} is {state}"),
+            BisectSpec::Variable { transaction, name, value } => {
+                write!(f, "{transaction}.{name} == {value:?}")
+            }
+        }
+    }
+}
+
+/// The operation a [`TimeTravelQuery`] performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeTravelOp {
+    /// Materialize one ordinal and summarize the engine there. `None`
+    /// inspects the end of history (and reports the last ordinal).
+    Inspect {
+        /// The since-genesis ordinal; `None` = last.
+        ordinal: Option<u64>,
+    },
+    /// Diff two ordinals: what happened between `from` and `to`?
+    Diff {
+        /// The earlier ordinal.
+        from: u64,
+        /// The later ordinal.
+        to: u64,
+    },
+    /// Binary-search history for the first ordinal where the predicate
+    /// holds.
+    Bisect {
+        /// The condition to locate.
+        predicate: BisectSpec,
+    },
+}
+
+/// A `<timeTravelQuery>` request body.
+///
+/// ```
+/// use dgf_dgl::{TimeTravelOp, TimeTravelQuery};
+///
+/// let q = TimeTravelQuery::inspect(41);
+/// assert_eq!(q.op, TimeTravelOp::Inspect { ordinal: Some(41) });
+/// assert_eq!(TimeTravelQuery::last().op, TimeTravelOp::Inspect { ordinal: None });
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeTravelQuery {
+    /// What to ask of the history.
+    pub op: TimeTravelOp,
+}
+
+impl TimeTravelQuery {
+    /// Inspect the engine at one since-genesis ordinal.
+    pub fn inspect(ordinal: u64) -> Self {
+        TimeTravelQuery { op: TimeTravelOp::Inspect { ordinal: Some(ordinal) } }
+    }
+
+    /// Inspect the end of history (reports the last ordinal).
+    pub fn last() -> Self {
+        TimeTravelQuery { op: TimeTravelOp::Inspect { ordinal: None } }
+    }
+
+    /// Diff two ordinals.
+    pub fn diff(from: u64, to: u64) -> Self {
+        TimeTravelQuery { op: TimeTravelOp::Diff { from, to } }
+    }
+
+    /// Bisect for the first ordinal where `predicate` holds.
+    pub fn bisect(predicate: BisectSpec) -> Self {
+        TimeTravelQuery { op: TimeTravelOp::Bisect { predicate } }
+    }
+}
+
+/// A materialized ordinal, summarized — the `inspect` half of a
+/// [`TimeTravelReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrdinalSummary {
+    /// The ordinal actually reached: `derived - 1`, or `None` when the
+    /// materialized prefix derived no transitions at all.
+    pub ordinal: Option<u64>,
+    /// The ordinal the query asked for (`None` = end of history).
+    pub requested: Option<u64>,
+    /// True when the whole history fit under the requested ordinal —
+    /// i.e. the materialization is the full replay, not a prefix.
+    pub complete: bool,
+    /// Journaled commands applied before the replay halted.
+    pub commands_applied: u64,
+    /// Transitions derived (= `ordinal + 1` when any derived).
+    pub transitions_derived: u64,
+    /// The materialized engine's clock, µs.
+    pub time_us: u64,
+    /// Per-flow state at the ordinal.
+    pub flows: Vec<FlowRecovery>,
+}
+
+/// One flow's change between two ordinals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDelta {
+    /// The flow's transaction id.
+    pub transaction: String,
+    /// State at the earlier ordinal; `None` when the flow did not exist
+    /// yet.
+    pub from_state: Option<RunState>,
+    /// State at the later ordinal; `None` when the flow did not exist
+    /// yet (possible only when diffing backwards is refused upstream —
+    /// flows never disappear going forward).
+    pub to_state: Option<RunState>,
+    /// Steps completed at the earlier ordinal.
+    pub steps_from: u64,
+    /// Steps completed at the later ordinal.
+    pub steps_to: u64,
+    /// Total steps known at the later ordinal.
+    pub steps_total: u64,
+}
+
+/// The structured delta between two ordinals — the `diff` half of a
+/// [`TimeTravelReport`]. Empty (`is_empty`) exactly when nothing
+/// derived between the two ordinals touched provenance or flow state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffSummary {
+    /// The earlier ordinal.
+    pub from: u64,
+    /// The later ordinal.
+    pub to: u64,
+    /// Provenance records written between the two ordinals.
+    pub provenance_added: u64,
+    /// Clock at the earlier ordinal, µs.
+    pub time_from_us: u64,
+    /// Clock at the later ordinal, µs.
+    pub time_to_us: u64,
+    /// Flows that appeared or changed between the ordinals (unchanged
+    /// flows are omitted).
+    pub flows: Vec<FlowDelta>,
+}
+
+impl DiffSummary {
+    /// True when nothing changed between the two ordinals.
+    pub fn is_empty(&self) -> bool {
+        self.provenance_added == 0 && self.flows.is_empty()
+    }
+}
+
+/// A bisection outcome — the `bisect` half of a [`TimeTravelReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectSummary {
+    /// First ordinal where the predicate held; `None` when it never
+    /// does (including at the end of history).
+    pub first_true: Option<u64>,
+    /// Materializations performed: 1 full probe + at most
+    /// ⌈log₂(ordinals)⌉ binary-search probes.
+    pub probes: u64,
+    /// The journal's last since-genesis ordinal.
+    pub last_ordinal: u64,
+}
+
+/// A `<timeTravelReport>` response body. Exactly one of `inspect`,
+/// `diff`, `bisect`, or `error` is populated on an enabled server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeTravelReport {
+    /// Simulation time (µs) of the *live* server when it answered.
+    pub time_us: u64,
+    /// False when the server has no time-travel context (unjournaled,
+    /// or `enable_time_travel` was never called).
+    pub enabled: bool,
+    /// The journal's last since-genesis ordinal, when known.
+    pub last_ordinal: Option<u64>,
+    /// The materialized-ordinal summary, for inspect queries.
+    pub inspect: Option<OrdinalSummary>,
+    /// The delta, for diff queries.
+    pub diff: Option<DiffSummary>,
+    /// The bisection outcome, for bisect queries.
+    pub bisect: Option<BisectSummary>,
+    /// Why the query failed, when it did.
+    pub error: Option<String>,
+}
+
+impl TimeTravelReport {
+    /// A report from a server with no time-travel context.
+    pub fn disabled(time_us: u64) -> Self {
+        TimeTravelReport {
+            time_us,
+            enabled: false,
+            last_ordinal: None,
+            inspect: None,
+            diff: None,
+            bisect: None,
+            error: None,
+        }
+    }
+}
+
+impl fmt::Display for TimeTravelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.enabled {
+            return write!(f, "time-travel @{}us disabled", self.time_us);
+        }
+        write!(f, "time-travel @{}us", self.time_us)?;
+        if let Some(last) = self.last_ordinal {
+            write!(f, " last=#{last}")?;
+        }
+        if let Some(i) = &self.inspect {
+            match i.ordinal {
+                Some(o) => write!(f, " at=#{o}")?,
+                None => write!(f, " at=genesis")?,
+            }
+            write!(f, " clock={}us flows={}", i.time_us, i.flows.len())?;
+        }
+        if let Some(d) = &self.diff {
+            write!(
+                f,
+                " diff #{}..#{}: +{} provenance, {} flows changed",
+                d.from,
+                d.to,
+                d.provenance_added,
+                d.flows.len()
+            )?;
+        }
+        if let Some(b) = &self.bisect {
+            match b.first_true {
+                Some(o) => write!(f, " first-true=#{o} ({} probes)", b.probes)?,
+                None => write!(f, " never-true ({} probes)", b.probes)?,
+            }
+        }
+        if let Some(e) = &self.error {
+            write!(f, " error: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_display_is_compact() {
+        assert_eq!(TimeTravelReport::disabled(9).to_string(), "time-travel @9us disabled");
+    }
+
+    #[test]
+    fn empty_diff_detection() {
+        let mut d = DiffSummary {
+            from: 3,
+            to: 3,
+            provenance_added: 0,
+            time_from_us: 10,
+            time_to_us: 10,
+            flows: vec![],
+        };
+        assert!(d.is_empty());
+        d.provenance_added = 1;
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn bisect_display_names_the_outcome() {
+        let report = TimeTravelReport {
+            time_us: 5,
+            enabled: true,
+            last_ordinal: Some(99),
+            inspect: None,
+            diff: None,
+            bisect: Some(BisectSummary { first_true: Some(42), probes: 8, last_ordinal: 99 }),
+            error: None,
+        };
+        let s = report.to_string();
+        assert!(s.contains("first-true=#42") && s.contains("8 probes"), "{s}");
+    }
+}

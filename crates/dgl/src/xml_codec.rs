@@ -71,6 +71,7 @@ impl DataGridRequest {
             RequestBody::Telemetry(q) => root.push_element(q.to_element()),
             RequestBody::Validation(q) => root.push_element(q.to_element()),
             RequestBody::Recovery(q) => root.push_element(q.to_element()),
+            RequestBody::TimeTravel(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -109,10 +110,12 @@ impl DataGridRequest {
             RequestBody::Validation(crate::FlowValidationQuery::from_element(q_el)?)
         } else if let Some(q_el) = e.child("recoveryQuery") {
             RequestBody::Recovery(crate::RecoveryQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("timeTravelQuery") {
+            RequestBody::TimeTravel(crate::TimeTravelQuery::from_element(q_el)?)
         } else {
             return Err(DglError::schema(
                 &e.name,
-                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, or <recoveryQuery>",
+                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, <recoveryQuery>, or <timeTravelQuery>",
             ));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
@@ -775,6 +778,261 @@ impl crate::RecoveryReport {
     }
 }
 
+impl crate::TimeTravelQuery {
+    /// Encode as an XML element: `<timeTravelQuery op="..."/>` with the
+    /// operation's operands as attributes (bisect carries its predicate
+    /// as a `<predicate>` child).
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("timeTravelQuery");
+        match &self.op {
+            crate::TimeTravelOp::Inspect { ordinal } => {
+                el.set_attr("op", "inspect");
+                if let Some(o) = ordinal {
+                    el.set_attr("ordinal", o.to_string());
+                }
+            }
+            crate::TimeTravelOp::Diff { from, to } => {
+                el.set_attr("op", "diff");
+                el.set_attr("from", from.to_string());
+                el.set_attr("to", to.to_string());
+            }
+            crate::TimeTravelOp::Bisect { predicate } => {
+                el.set_attr("op", "bisect");
+                let mut p = Element::new("predicate");
+                match predicate {
+                    crate::BisectSpec::Stalled { transaction } => {
+                        p.set_attr("kind", "stalled");
+                        p.set_attr("transaction", transaction);
+                    }
+                    crate::BisectSpec::State { transaction, state } => {
+                        p.set_attr("kind", "state");
+                        p.set_attr("transaction", transaction);
+                        p.set_attr("state", state_to_str(*state));
+                    }
+                    crate::BisectSpec::Variable { transaction, name, value } => {
+                        p.set_attr("kind", "variable");
+                        p.set_attr("transaction", transaction);
+                        p.set_attr("name", name);
+                        p.set_attr("value", value);
+                    }
+                }
+                el.push_element(p);
+            }
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |attr: &str| -> Result<u64, DglError> {
+            let raw = require_attr(e, attr)?;
+            raw.parse().map_err(|_| DglError::schema(&e.name, format!("bad {attr} {raw:?}")))
+        };
+        let op = match e.attr("op").unwrap_or("inspect") {
+            "inspect" => crate::TimeTravelOp::Inspect {
+                ordinal: e
+                    .attr("ordinal")
+                    .map(|raw| {
+                        raw.parse()
+                            .map_err(|_| DglError::schema(&e.name, format!("bad ordinal {raw:?}")))
+                    })
+                    .transpose()?,
+            },
+            "diff" => crate::TimeTravelOp::Diff { from: num("from")?, to: num("to")? },
+            "bisect" => {
+                let p = require_child(e, "predicate")?;
+                let transaction = require_attr(p, "transaction")?.to_owned();
+                let predicate = match require_attr(p, "kind")? {
+                    "stalled" => crate::BisectSpec::Stalled { transaction },
+                    "state" => crate::BisectSpec::State {
+                        transaction,
+                        state: state_from_str(require_attr(p, "state")?)?,
+                    },
+                    "variable" => crate::BisectSpec::Variable {
+                        transaction,
+                        name: require_attr(p, "name")?.to_owned(),
+                        value: require_attr(p, "value")?.to_owned(),
+                    },
+                    other => {
+                        return Err(DglError::schema(
+                            &p.name,
+                            format!("unknown predicate kind {other:?}"),
+                        ))
+                    }
+                };
+                crate::TimeTravelOp::Bisect { predicate }
+            }
+            other => return Err(DglError::schema(&e.name, format!("unknown op {other:?}"))),
+        };
+        Ok(crate::TimeTravelQuery { op })
+    }
+}
+
+impl crate::TimeTravelReport {
+    /// Encode as an XML element. Absent halves (`inspect`/`diff`/
+    /// `bisect`/`error`) are omitted entirely so every report
+    /// round-trips byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("timeTravelReport")
+            .with_attr("time", self.time_us.to_string())
+            .with_attr("enabled", if self.enabled { "true" } else { "false" });
+        if let Some(last) = self.last_ordinal {
+            el.set_attr("lastOrdinal", last.to_string());
+        }
+        if let Some(i) = &self.inspect {
+            let mut ie = Element::new("inspect")
+                .with_attr("complete", if i.complete { "true" } else { "false" })
+                .with_attr("commandsApplied", i.commands_applied.to_string())
+                .with_attr("transitionsDerived", i.transitions_derived.to_string())
+                .with_attr("clock", i.time_us.to_string());
+            if let Some(o) = i.ordinal {
+                ie.set_attr("ordinal", o.to_string());
+            }
+            if let Some(r) = i.requested {
+                ie.set_attr("requested", r.to_string());
+            }
+            for fr in &i.flows {
+                let mut fe = Element::new("flow")
+                    .with_attr("transaction", &fr.transaction)
+                    .with_attr("lineage", &fr.lineage)
+                    .with_attr("state", state_to_str(fr.state))
+                    .with_attr("stepsCompleted", fr.steps_completed.to_string())
+                    .with_attr("stepsTotal", fr.steps_total.to_string());
+                if fr.resumed {
+                    fe.set_attr("resumed", "true");
+                }
+                ie.push_element(fe);
+            }
+            el.push_element(ie);
+        }
+        if let Some(d) = &self.diff {
+            let mut de = Element::new("diff")
+                .with_attr("from", d.from.to_string())
+                .with_attr("to", d.to.to_string())
+                .with_attr("provenanceAdded", d.provenance_added.to_string())
+                .with_attr("clockFrom", d.time_from_us.to_string())
+                .with_attr("clockTo", d.time_to_us.to_string());
+            for fd in &d.flows {
+                let mut fe = Element::new("flow")
+                    .with_attr("transaction", &fd.transaction)
+                    .with_attr("stepsFrom", fd.steps_from.to_string())
+                    .with_attr("stepsTo", fd.steps_to.to_string())
+                    .with_attr("stepsTotal", fd.steps_total.to_string());
+                if let Some(s) = fd.from_state {
+                    fe.set_attr("fromState", state_to_str(s));
+                }
+                if let Some(s) = fd.to_state {
+                    fe.set_attr("toState", state_to_str(s));
+                }
+                de.push_element(fe);
+            }
+            el.push_element(de);
+        }
+        if let Some(b) = &self.bisect {
+            let mut be = Element::new("bisect")
+                .with_attr("probes", b.probes.to_string())
+                .with_attr("lastOrdinal", b.last_ordinal.to_string());
+            if let Some(o) = b.first_true {
+                be.set_attr("firstTrue", o.to_string());
+            }
+            el.push_element(be);
+        }
+        if let Some(err) = &self.error {
+            el.push_element(Element::new("error").with_text(err));
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |el: &Element, attr: &str| -> Result<u64, DglError> {
+            let raw = require_attr(el, attr)?;
+            raw.parse().map_err(|_| DglError::schema(&el.name, format!("bad {attr} {raw:?}")))
+        };
+        let opt_num = |el: &Element, attr: &str| -> Result<Option<u64>, DglError> {
+            el.attr(attr)
+                .map(|raw| {
+                    raw.parse()
+                        .map_err(|_| DglError::schema(&el.name, format!("bad {attr} {raw:?}")))
+                })
+                .transpose()
+        };
+        let inspect = e
+            .child("inspect")
+            .map(|ie| -> Result<crate::OrdinalSummary, DglError> {
+                Ok(crate::OrdinalSummary {
+                    ordinal: opt_num(ie, "ordinal")?,
+                    requested: opt_num(ie, "requested")?,
+                    complete: ie.attr("complete") == Some("true"),
+                    commands_applied: num(ie, "commandsApplied")?,
+                    transitions_derived: num(ie, "transitionsDerived")?,
+                    time_us: num(ie, "clock")?,
+                    flows: ie
+                        .children_named("flow")
+                        .map(|fr| {
+                            Ok(crate::FlowRecovery {
+                                transaction: require_attr(fr, "transaction")?.to_owned(),
+                                lineage: require_attr(fr, "lineage")?.to_owned(),
+                                state: state_from_str(require_attr(fr, "state")?)?,
+                                steps_completed: num(fr, "stepsCompleted")?,
+                                steps_total: num(fr, "stepsTotal")?,
+                                resumed: fr.attr("resumed") == Some("true"),
+                            })
+                        })
+                        .collect::<Result<_, DglError>>()?,
+                })
+            })
+            .transpose()?;
+        let diff = e
+            .child("diff")
+            .map(|de| -> Result<crate::DiffSummary, DglError> {
+                Ok(crate::DiffSummary {
+                    from: num(de, "from")?,
+                    to: num(de, "to")?,
+                    provenance_added: num(de, "provenanceAdded")?,
+                    time_from_us: num(de, "clockFrom")?,
+                    time_to_us: num(de, "clockTo")?,
+                    flows: de
+                        .children_named("flow")
+                        .map(|fd| {
+                            Ok(crate::FlowDelta {
+                                transaction: require_attr(fd, "transaction")?.to_owned(),
+                                from_state: fd
+                                    .attr("fromState")
+                                    .map(state_from_str)
+                                    .transpose()?,
+                                to_state: fd.attr("toState").map(state_from_str).transpose()?,
+                                steps_from: num(fd, "stepsFrom")?,
+                                steps_to: num(fd, "stepsTo")?,
+                                steps_total: num(fd, "stepsTotal")?,
+                            })
+                        })
+                        .collect::<Result<_, DglError>>()?,
+                })
+            })
+            .transpose()?;
+        let bisect = e
+            .child("bisect")
+            .map(|be| -> Result<crate::BisectSummary, DglError> {
+                Ok(crate::BisectSummary {
+                    first_true: opt_num(be, "firstTrue")?,
+                    probes: num(be, "probes")?,
+                    last_ordinal: num(be, "lastOrdinal")?,
+                })
+            })
+            .transpose()?;
+        Ok(crate::TimeTravelReport {
+            time_us: num(e, "time")?,
+            enabled: e.attr("enabled") == Some("true"),
+            last_ordinal: opt_num(e, "lastOrdinal")?,
+            inspect,
+            diff,
+            bisect,
+            error: e.child("error").map(|el| el.text()),
+        })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -900,6 +1158,7 @@ impl DataGridResponse {
             }
             ResponseBody::Validation(report) => root.push_element(report.to_element()),
             ResponseBody::Recovery(report) => root.push_element(report.to_element()),
+            ResponseBody::TimeTravel(report) => root.push_element(report.to_element()),
         }
         root
     }
@@ -1066,9 +1325,13 @@ impl DataGridResponse {
             let report = crate::RecoveryReport::from_element(r)?;
             return Ok(DataGridResponse { request_id, body: ResponseBody::Recovery(report) });
         }
+        if let Some(t) = e.child("timeTravelReport") {
+            let report = crate::TimeTravelReport::from_element(t)?;
+            return Ok(DataGridResponse { request_id, body: ResponseBody::TimeTravel(report) });
+        }
         Err(DglError::schema(
             "dataGridResponse",
-            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, or <recoveryReport>",
+            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, <recoveryReport>, or <timeTravelReport>",
         ))
     }
 }
@@ -1380,6 +1643,81 @@ mod tests {
         assert!(DglOperation::from_element(&bad_op).is_err());
         // Bad XML bubbles up as Xml.
         assert!(matches!(parse_request("<a"), Err(DglError::Xml(_))));
+    }
+
+    #[test]
+    fn time_travel_queries_round_trip() {
+        for q in [
+            crate::TimeTravelQuery::last(),
+            crate::TimeTravelQuery::inspect(41),
+            crate::TimeTravelQuery::diff(3, 17),
+            crate::TimeTravelQuery::bisect(crate::BisectSpec::Stalled { transaction: "t2".into() }),
+            crate::TimeTravelQuery::bisect(crate::BisectSpec::State {
+                transaction: "t2".into(),
+                state: RunState::Failed,
+            }),
+            crate::TimeTravelQuery::bisect(crate::BisectSpec::Variable {
+                transaction: "t2".into(),
+                name: "i".into(),
+                value: "3".into(),
+            }),
+        ] {
+            let request = DataGridRequest::time_travel("req", "operator", q);
+            let parsed = parse_request(&request.to_xml()).unwrap();
+            assert_eq!(parsed, request);
+        }
+    }
+
+    #[test]
+    fn time_travel_reports_round_trip() {
+        let disabled = DataGridResponse::time_travel("r0", crate::TimeTravelReport::disabled(7));
+        assert_eq!(parse_response(&disabled.to_xml()).unwrap(), disabled);
+        let full = DataGridResponse::time_travel(
+            "r1",
+            crate::TimeTravelReport {
+                time_us: 99,
+                enabled: true,
+                last_ordinal: Some(120),
+                inspect: Some(crate::OrdinalSummary {
+                    ordinal: Some(41),
+                    requested: Some(41),
+                    complete: false,
+                    commands_applied: 6,
+                    transitions_derived: 42,
+                    time_us: 5_000_000,
+                    flows: vec![crate::FlowRecovery {
+                        transaction: "t1".into(),
+                        lineage: "t1".into(),
+                        state: RunState::Running,
+                        steps_completed: 2,
+                        steps_total: 5,
+                        resumed: false,
+                    }],
+                }),
+                diff: Some(crate::DiffSummary {
+                    from: 10,
+                    to: 41,
+                    provenance_added: 4,
+                    time_from_us: 1_000_000,
+                    time_to_us: 5_000_000,
+                    flows: vec![crate::FlowDelta {
+                        transaction: "t1".into(),
+                        from_state: None,
+                        to_state: Some(RunState::Running),
+                        steps_from: 0,
+                        steps_to: 2,
+                        steps_total: 5,
+                    }],
+                }),
+                bisect: Some(crate::BisectSummary {
+                    first_true: Some(33),
+                    probes: 8,
+                    last_ordinal: 120,
+                }),
+                error: Some("partial".into()),
+            },
+        );
+        assert_eq!(parse_response(&full.to_xml()).unwrap(), full);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 mod event;
 mod health;
 mod metrics;
+mod perfetto;
 mod recorder;
 mod ring;
 mod span;
@@ -48,6 +49,10 @@ mod trace_export;
 pub use event::{EventKind, ObsEvent};
 pub use health::{FlowHealth, HealthConfig, HealthMonitor, HealthState, HealthTransition};
 pub use metrics::{percentile, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
+pub use perfetto::{
+    decode_perfetto, to_perfetto_trace, PerfettoEvent, PerfettoPacket, PerfettoTrack, SLICE_BEGIN,
+    SLICE_END,
+};
 pub use recorder::{EventTail, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use ring::RingBuffer;
 pub use span::{Span, SpanContext, SpanId, SpanKind, TraceId};
@@ -413,6 +418,13 @@ impl Obs {
     /// (loadable in `chrome://tracing` / Perfetto).
     pub fn export_chrome_trace(&self) -> String {
         to_chrome_trace(self.lock().traces.spans())
+    }
+
+    /// Export every recorded span as a binary Perfetto `Trace` protobuf
+    /// (loadable in <https://ui.perfetto.dev>, see
+    /// [`to_perfetto_trace`]).
+    pub fn export_perfetto_trace(&self) -> Vec<u8> {
+        to_perfetto_trace(self.lock().traces.spans())
     }
 }
 

@@ -15,6 +15,27 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# Documentation gates: the operator-facing crates must stay fully
+# documented (missing_docs escalated to an error), and every relative
+# markdown link in the guides and README must resolve.
+for crate in dgf-journal dgf-obs dgf-dfms; do
+    RUSTDOCFLAGS="-D warnings" cargo rustdoc -q -p "$crate" -- -D missing_docs
+done
+link_errors=0
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    # Relative link targets only: strip optional #anchors, skip URLs.
+    for target in $(grep -oE '\]\([^)#]+[^)]*\)' "$doc" \
+        | sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//' \
+        | grep -vE '^(https?:|mailto:|$)' | sort -u); do
+        if [ ! -e "$dir/$target" ]; then
+            echo "verify: $doc links to missing file $target" >&2
+            link_errors=1
+        fi
+    done
+done
+[ "$link_errors" -eq 0 ] || exit 1
+
 # Trace determinism: the observability suite must be stable across
 # invocations, and two identically-seeded runs must export
 # byte-identical Chrome trace JSON.
@@ -82,5 +103,27 @@ if grep -qE 'divergences=[1-9]' "$recover_a"; then
     exit 1
 fi
 cargo test -q -p datagridflows --test chaos kill_at_every_record_boundary
+
+# Time-travel determinism: the scripted console demo (replay-to-
+# ordinal, diff, bisect, verified Perfetto export) must be
+# byte-identical across seeded reruns, and the bisections must land.
+travel_a=$(mktemp) travel_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b" "$lint_a" "$lint_b" "$recover_a" "$recover_b" "$travel_a" "$travel_b"' EXIT
+cargo run -q --example dgf_time_travel >"$travel_a"
+cargo run -q --example dgf_time_travel >"$travel_b"
+if ! cmp -s "$travel_a" "$travel_b"; then
+    echo "verify: time-travel console runs differ between seeded reruns" >&2
+    diff "$travel_a" "$travel_b" | head -20 >&2
+    exit 1
+fi
+if ! grep -q 'bisect stalled: first true at ordinal' "$travel_a"; then
+    echo "verify: dgf_time_travel did not bisect the stall" >&2
+    tail -5 "$travel_a" >&2
+    exit 1
+fi
+if ! grep -q 'perfetto export: .* — verified' "$travel_a"; then
+    echo "verify: dgf_time_travel perfetto export failed verification" >&2
+    exit 1
+fi
 
 echo "verify: OK"
