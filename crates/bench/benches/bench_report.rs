@@ -1,0 +1,198 @@
+//! The BENCH trajectory runner: executes the engine-throughput,
+//! journal-replay, and DGL-parse workloads under the deterministic
+//! phase profiler (`dgf-prof`) and emits `BENCH_engine.json`.
+//!
+//! Wall-clock numbers are **report-only** — they vary between machines
+//! and runs. The profile *structure* (phase tree shape, call counts,
+//! sim-time totals) is deterministic: two runs of this bench on any
+//! machine produce identical phase trees. `scripts/verify.sh` gates on
+//! exactly that.
+//!
+//! Plain `main` harness (like `experiments`), so it runs in offline
+//! environments where criterion is stubbed:
+//!
+//! ```sh
+//! cargo bench -p dgf-bench --bench bench_report           # full run
+//! DGF_BENCH_SMOKE=1 cargo bench -p dgf-bench --bench bench_report
+//! DGF_BENCH_OUT=/tmp/b.json ...                           # output path
+//! ```
+
+use datagridflows::prelude::*;
+use dgf_bench::{mesh_dfms, notify_flow, wide_request};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+// Per-phase allocation deltas in the profile are live only when the
+// counting allocator is global — benches opt in, the library never does.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const LABEL: &str = "bench-grid";
+
+struct WallStats {
+    iters: u64,
+    min_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+}
+
+fn wall_stats(samples: &[u64]) -> WallStats {
+    let iters = samples.len() as u64;
+    let sum: u64 = samples.iter().sum();
+    WallStats {
+        iters,
+        min_ns: samples.iter().copied().min().unwrap_or(0),
+        mean_ns: sum.checked_div(iters).unwrap_or(0),
+        max_ns: samples.iter().copied().max().unwrap_or(0),
+    }
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    /// Workload size (steps, commands, or documents per iteration).
+    size: u64,
+    wall: WallStats,
+    profile: ProfileSnapshot,
+}
+
+/// E1 shape: pure engine overhead — dispatch, provenance, scopes.
+fn engine_throughput(iters: usize, steps: usize) -> WorkloadResult {
+    let mut samples = Vec::with_capacity(iters);
+    let mut profile = ProfileSnapshot::default();
+    for _ in 0..iters {
+        let mut d = mesh_dfms(1, PlannerKind::CostBased, 1);
+        let started = Instant::now();
+        let txn = d.submit_flow("u", notify_flow("bench", steps)).unwrap();
+        d.pump();
+        samples.push(started.elapsed().as_nanos() as u64);
+        assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        profile = d.profile_snapshot();
+    }
+    WorkloadResult { name: "engine_throughput", size: steps as u64, wall: wall_stats(&samples), profile }
+}
+
+/// Crash-recovery shape: replay a journal of `commands` flows. The
+/// profile comes from the *recovered* engine — replay drives the same
+/// phase scopes live execution does.
+fn journal_replay(iters: usize, commands: usize) -> WorkloadResult {
+    let dir = std::env::temp_dir().join("dgf-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench-report-{}.dgj", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = JournalConfig::default();
+    let factory = || mesh_dfms(2, PlannerKind::CostBased, 42);
+    {
+        let mut d = factory();
+        d.attach_journal(&path, LABEL, config).unwrap();
+        for i in 0..commands {
+            d.submit_flow("u", notify_flow(&format!("f{i}"), 4)).unwrap();
+            d.pump();
+        }
+    }
+    let mut samples = Vec::with_capacity(iters);
+    let mut profile = ProfileSnapshot::default();
+    for _ in 0..iters {
+        let started = Instant::now();
+        let (d, report) = Dfms::recover(&path, LABEL, config, factory).unwrap();
+        samples.push(started.elapsed().as_nanos() as u64);
+        assert_eq!(report.replay.unwrap().divergences, 0);
+        profile = d.profile_snapshot();
+    }
+    let _ = std::fs::remove_file(&path);
+    WorkloadResult { name: "journal_replay", size: commands as u64, wall: wall_stats(&samples), profile }
+}
+
+/// F-series shape: DGL document handling without execution — each
+/// iteration parses and lints `docs` wide validation requests through
+/// the full `handle_xml` path, so the profile shows the dgl-parse and
+/// lint-gate phases in isolation.
+fn dgl_parse(iters: usize, docs: usize, steps: usize) -> WorkloadResult {
+    let flow = match wide_request(steps).body {
+        RequestBody::Flow(flow) => flow,
+        _ => unreachable!("wide_request builds a flow"),
+    };
+    let xml = DataGridRequest::validation("bench", "u", flow).to_xml();
+    let mut samples = Vec::with_capacity(iters);
+    let mut profile = ProfileSnapshot::default();
+    for _ in 0..iters {
+        let mut d = mesh_dfms(1, PlannerKind::CostBased, 1);
+        let started = Instant::now();
+        for _ in 0..docs {
+            let response = d.handle_xml(&xml);
+            assert!(response.contains("validationReport"), "{response}");
+        }
+        samples.push(started.elapsed().as_nanos() as u64);
+        profile = d.profile_snapshot();
+    }
+    WorkloadResult { name: "dgl_parse", size: docs as u64, wall: wall_stats(&samples), profile }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_json(results: &[WorkloadResult], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"engine\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"wall_clock_note\": \"wall_ns and allocs are report-only; phases/calls/sim_us are deterministic\",");
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(out, "      \"size\": {},", w.size);
+        let _ = writeln!(out, "      \"iters\": {},", w.wall.iters);
+        let _ = writeln!(
+            out,
+            "      \"wall_ns\": {{\"min\": {}, \"mean\": {}, \"max\": {}}},",
+            w.wall.min_ns, w.wall.mean_ns, w.wall.max_ns
+        );
+        let _ = writeln!(out, "      \"folded\": \"{}\",", json_escape(&w.profile.folded()));
+        out.push_str("      \"profile\": [\n");
+        for (ni, node) in w.profile.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"phase\": \"{}\", \"depth\": {}, \"calls\": {}, \"sim_us\": {}, \"wall_ns\": {}, \"allocs\": {}}}",
+                node.phase.name(),
+                node.depth,
+                node.stats.calls,
+                node.stats.sim_us,
+                node.stats.wall_ns,
+                node.stats.allocs
+            );
+            out.push_str(if ni + 1 < w.profile.nodes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if wi + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("DGF_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let out_path = std::env::var("DGF_BENCH_OUT").map_or_else(|_| PathBuf::from("BENCH_engine.json"), PathBuf::from);
+    let (iters, steps, commands, docs) = if smoke { (2, 100, 10, 5) } else { (10, 1_000, 100, 50) };
+
+    println!("dgf-prof bench report ({} mode)", if smoke { "smoke" } else { "full" });
+    let results = vec![
+        engine_throughput(iters, steps),
+        journal_replay(iters, commands),
+        dgl_parse(iters, docs, 50),
+    ];
+    for w in &results {
+        println!(
+            "  {:18} size={:<5} iters={} wall mean {:.3} ms  ({} profile nodes)",
+            w.name,
+            w.size,
+            w.wall.iters,
+            w.wall.mean_ns as f64 / 1e6,
+            w.profile.nodes.len()
+        );
+    }
+    let json = render_json(&results, smoke);
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {}", out_path.display());
+}

@@ -17,7 +17,7 @@ use dgf_dgms::{
     PendingOp, Permission,
 };
 use dgf_ilm::IlmJob;
-use dgf_obs::{EventKind as ObsKind, Obs, SpanContext, SpanKind};
+use dgf_obs::{EventKind as ObsKind, Obs, Phase, SpanContext, SpanKind};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
 use dgf_simgrid::{ComputeId, Duration, EventQueue, FailureEvent, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
@@ -124,6 +124,10 @@ pub struct Dfms {
     /// lets this engine answer DGL `timeTravelQuery` requests by
     /// materializing past states of its own journal.
     pub(crate) time_travel: Option<crate::time_travel::TimeTravel>,
+    /// Wall-clock contention stats shared with the threaded server
+    /// front-end, when one wraps this engine (report-only; see
+    /// [`crate::server`]). Folded into DGL `profileReport`s.
+    server_stats: Option<std::sync::Arc<crate::server::ServerStats>>,
 }
 
 impl Dfms {
@@ -157,7 +161,15 @@ impl Dfms {
             cmd_depth: 0,
             last_replay: None,
             time_travel: None,
+            server_stats: None,
         }
+    }
+
+    /// Share the server front-end's contention stats with this engine so
+    /// `profileQuery` responses can carry them (called by
+    /// [`crate::server::DfmsServer::start`]).
+    pub(crate) fn attach_server_stats(&mut self, stats: std::sync::Arc<crate::server::ServerStats>) {
+        self.server_stats = Some(stats);
     }
 
     /// Switch the binding mode (default: late binding).
@@ -281,6 +293,7 @@ impl Dfms {
     /// a scrape so the report is never staler than "now".
     pub fn sample_telemetry(&mut self) {
         self.obs.set_now(self.now());
+        self.obs.prof_enter(Phase::TelemetrySample);
         let topology = self.grid.topology();
         // Per-storage occupancy, labeled by resource name (sorted keys
         // keep the scrape stable; resource names are unique).
@@ -334,6 +347,7 @@ impl Dfms {
         }
         self.obs.ts_mark_sampled();
         self.obs.health_check();
+        self.obs.prof_exit(Phase::TelemetrySample);
     }
 
     /// The Prometheus-style text scrape: every current metric (including
@@ -380,6 +394,45 @@ impl Dfms {
         report
     }
 
+    /// Answer a DGL [`dgf_dgl::ProfileQuery`]: snapshot the engine's
+    /// phase-attribution tree (depth-first, children in phase-id order),
+    /// optionally render the folded-stack text, and fold in the server
+    /// front-end's contention counters when one is attached. With
+    /// `reset`, the profile (and contention stats) restart from zero
+    /// after the snapshot — interval profiling.
+    pub fn profile_query(&mut self, q: &dgf_dgl::ProfileQuery) -> dgf_dgl::ProfileReport {
+        self.obs.set_now(self.now());
+        let snap = self.obs.profile_snapshot();
+        let phases = snap
+            .nodes
+            .iter()
+            .map(|n| dgf_dgl::ProfilePhase {
+                depth: n.depth,
+                phase: n.phase.name().to_owned(),
+                calls: n.stats.calls,
+                sim_us: n.stats.sim_us,
+                wall_ns: n.stats.wall_ns,
+                allocs: n.stats.allocs,
+            })
+            .collect();
+        let folded = q.folded.then(|| snap.folded());
+        let contention = self.server_stats.as_ref().map(|s| s.snapshot());
+        if q.reset {
+            self.obs.profile_reset();
+            if let Some(stats) = &self.server_stats {
+                stats.reset();
+            }
+        }
+        dgf_dgl::ProfileReport { time_us: self.obs.now().0, phases, folded, contention }
+    }
+
+    /// The engine's current profile snapshot (phase tree). Operator
+    /// surfaces that sit on the engine directly — examples, benches —
+    /// use this; wire clients go through [`Dfms::profile_query`].
+    pub fn profile_snapshot(&self) -> dgf_obs::ProfileSnapshot {
+        self.obs.profile_snapshot()
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -407,7 +460,10 @@ impl Dfms {
                 DataGridResponse::telemetry(&request.id, report)
             }
             RequestBody::Validation(q) => {
+                self.obs.set_now(self.now());
+                self.obs.prof_enter(Phase::LintGate);
                 let report = self.validate_flow(&q.flow, request.vo.as_deref());
+                self.obs.prof_exit(Phase::LintGate);
                 DataGridResponse::validation(&request.id, report)
             }
             RequestBody::Recovery(q) => {
@@ -420,6 +476,10 @@ impl Dfms {
             RequestBody::TimeTravel(q) => {
                 let report = self.time_travel_query(&q.clone());
                 DataGridResponse::time_travel(&request.id, report)
+            }
+            RequestBody::Profile(q) => {
+                let report = self.profile_query(&q.clone());
+                DataGridResponse::profile(&request.id, report)
             }
             RequestBody::Flow(_) => {
                 let el = self
@@ -459,7 +519,11 @@ impl Dfms {
 
     /// Handle a raw DGL XML document and answer with DGL XML.
     pub fn handle_xml(&mut self, xml: &str) -> String {
-        match dgf_dgl::parse_request(xml) {
+        self.obs.set_now(self.now());
+        self.obs.prof_enter(Phase::DglParse);
+        let parsed = dgf_dgl::parse_request(xml);
+        self.obs.prof_exit(Phase::DglParse);
+        match parsed {
             Ok(request) => self.handle(request).to_xml(),
             Err(e) => DataGridResponse::ack(
                 "unparsed",
@@ -529,7 +593,10 @@ impl Dfms {
     /// metrics (`lint.*`), and error-severity diagnostics refuse the
     /// submission with the full report in the error.
     fn lint_gate(&mut self, flow: &Flow, vo: Option<&str>) -> Result<(), DfmsError> {
+        self.obs.set_now(self.now());
+        self.obs.prof_enter(Phase::LintGate);
         let report = self.validate_flow(flow, vo);
+        self.obs.prof_exit(Phase::LintGate);
         let errors = report.errors() as u64;
         let warnings = report.warnings() as u64;
         let rejected = !report.valid;
@@ -581,12 +648,14 @@ impl Dfms {
             };
             let mut specs = Vec::new();
             collect_execute_specs(&spec, "", &mut specs);
+            self.obs.prof_enter(Phase::Schedule);
             for (path, step) in specs {
                 if let Some(task) = abstract_task_from_spec(&step, run.vo.clone()) {
                     let key = format!("{}:{}", run.lineage, path);
                     let _ = self.binding.resolve(&mut self.scheduler, &self.grid, &key, &task, None);
                 }
             }
+            self.obs.prof_exit(Phase::Schedule);
         }
         let flow_name = run.nodes[0].name.clone();
         let lineage = run.lineage.clone();
@@ -1020,6 +1089,7 @@ impl Dfms {
         if self.obs.ts_due() {
             self.sample_telemetry();
         }
+        self.obs.prof_enter(Phase::StepExecute);
         match work {
             Work::Start { run, node } => self.start_node(run, node),
             Work::OpDone { run, node } => self.op_done(run, node),
@@ -1028,6 +1098,7 @@ impl Dfms {
             }
             Work::IlmDue { job } => self.ilm_due(job),
         }
+        self.obs.prof_exit(Phase::StepExecute);
     }
 
     fn run_ref(&self, id: RunId) -> &Run {
@@ -1641,8 +1712,10 @@ impl Dfms {
     /// action spans under it.
     fn after_events(&mut self, _events: &[NamespaceEvent], run_id: RunId, cause: Option<SpanContext>) {
         let depth = self.run_ref(run_id).options.trigger_depth;
+        self.obs.prof_enter(Phase::TriggerEval);
         let firings = self.triggers.poll(&self.grid, depth, cause);
         self.handle_firings(firings);
+        self.obs.prof_exit(Phase::TriggerEval);
     }
 
     fn handle_firings(&mut self, firings: Vec<Firing>) {
@@ -1778,8 +1851,11 @@ impl Dfms {
         let node_span = self.run_ref(run_id).node(node_id).span;
         let bind_span = self.obs.span_start(SpanKind::SchedulerBinding, &task.code, node_span);
         let binding_key = format!("{lineage}:{path_id}");
+        self.obs.prof_enter(Phase::Schedule);
+        let resolved = self.binding.resolve(&mut self.scheduler, &self.grid, &binding_key, &task, Some(bind_span));
+        self.obs.prof_exit(Phase::Schedule);
         let placement =
-            match self.binding.resolve(&mut self.scheduler, &self.grid, &binding_key, &task, Some(bind_span)) {
+            match resolved {
                 Ok(p) => p,
                 Err(e @ dgf_scheduler::PlannerError::NoEligibleResource { .. })
                     if self.scheduler.feasible_ever(&self.grid, &task) =>
@@ -2165,6 +2241,12 @@ impl Dfms {
     }
 
     fn record_node(&mut self, run_id: RunId, node_id: NodeId, outcome: StepOutcome) {
+        self.obs.prof_enter(Phase::ProvenanceAppend);
+        self.record_node_inner(run_id, node_id, outcome);
+        self.obs.prof_exit(Phase::ProvenanceAppend);
+    }
+
+    fn record_node_inner(&mut self, run_id: RunId, node_id: NodeId, outcome: StepOutcome) {
         let run = self.run_ref(run_id);
         let node = run.node(node_id);
         let verb = match &node.body {
@@ -2364,11 +2446,17 @@ impl Dfms {
     fn journal_append_command(&mut self, el: Element) {
         let Some(j) = self.journal.as_mut() else { return };
         let Some(journal) = j.journal.as_mut() else { return };
-        if journal.append(el).is_ok() {
+        self.obs.prof_enter(Phase::JournalAppend);
+        let ok = journal.append(el).is_ok();
+        let (sync_calls, sync_nanos) = journal.take_sync_profile();
+        if ok {
             j.commands_since_checkpoint += 1;
-            return;
         }
-        self.obs.inc("journal", "errors");
+        self.obs.prof_record_leaf(Phase::JournalFsync, sync_calls, sync_nanos);
+        self.obs.prof_exit(Phase::JournalAppend);
+        if !ok {
+            self.obs.inc("journal", "errors");
+        }
     }
 
     /// Journal one derived effect — or, during replay, log it for the
@@ -2376,8 +2464,18 @@ impl Dfms {
     /// apply: `false` only once a time-travel replay has derived past
     /// its ordinal limit (callers then suppress the provenance write).
     fn journal_transition(&mut self, body: Element) -> bool {
-        let Some(j) = self.journal.as_mut() else { return true };
-        match j.on_transition(body) {
+        if self.journal.is_none() {
+            return true;
+        }
+        // A phase scope around the write *and* the fsyncs it triggered.
+        self.obs.prof_enter(Phase::JournalAppend);
+        let j = self.journal.as_mut().expect("checked above");
+        let result = j.on_transition(body);
+        let (sync_calls, sync_nanos) =
+            j.journal.as_mut().map(Journal::take_sync_profile).unwrap_or((0, 0));
+        self.obs.prof_record_leaf(Phase::JournalFsync, sync_calls, sync_nanos);
+        self.obs.prof_exit(Phase::JournalAppend);
+        match result {
             Ok(apply) => apply,
             Err(_) => {
                 self.obs.inc("journal", "errors");
@@ -2426,11 +2524,20 @@ impl Dfms {
         let el = self.checkpoint_element();
         let j = self.journal.as_mut().expect("checked above");
         let Some(journal) = j.journal.as_mut() else { return Ok(None) };
-        let seq = journal.append(el)?;
+        // No `?` between the phase enter and exit: a failed append or
+        // compact must still close the scope.
+        self.obs.prof_enter(Phase::JournalAppend);
+        let appended = journal.append(el);
+        let compacted = match &appended {
+            Ok(seq) if j.config.compact_on_checkpoint => journal.compact(*seq).map(|_| ()),
+            _ => Ok(()),
+        };
+        let (sync_calls, sync_nanos) = journal.take_sync_profile();
+        self.obs.prof_record_leaf(Phase::JournalFsync, sync_calls, sync_nanos);
+        self.obs.prof_exit(Phase::JournalAppend);
+        let seq = appended?;
+        compacted?;
         j.commands_since_checkpoint = 0;
-        if j.config.compact_on_checkpoint {
-            journal.compact(seq)?;
-        }
         self.obs.inc("journal", "checkpoints");
         Ok(Some(seq))
     }

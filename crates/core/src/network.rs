@@ -117,13 +117,15 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
-            // Telemetry, validation, recovery, and time travel are
-            // server-global: serve them from the first registered server
-            // (each server sees its own grid view and its own journal).
+            // Telemetry, validation, recovery, time travel, and profile
+            // are server-global: serve them from the first registered
+            // server (each server sees its own grid view, journal, and
+            // profile).
             RequestBody::Telemetry(_)
             | RequestBody::Validation(_)
             | RequestBody::Recovery(_)
-            | RequestBody::TimeTravel(_) => self
+            | RequestBody::TimeTravel(_)
+            | RequestBody::Profile(_) => self
                 .order
                 .first()
                 .cloned()

@@ -15,12 +15,133 @@ use crate::DfmsError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 enum ClientMessage {
-    Request { xml: String, reply: Sender<String> },
+    Request { xml: String, reply: Sender<String>, enqueued_at: Instant },
     Shutdown,
+}
+
+/// One wall-clock histogram of the request path: count/sum/min/max in
+/// nanoseconds. Deliberately coarse — the DGL `profileReport` carries
+/// these four numbers per dimension, not bucket arrays.
+#[derive(Debug, Default, Clone, Copy)]
+struct WallHist {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl WallHist {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    fn to_report(self, name: &str) -> dgf_dgl::LockHistogram {
+        dgf_dgl::LockHistogram {
+            name: name.to_owned(),
+            count: self.count,
+            sum_ns: self.sum_ns,
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+/// Contention telemetry for the `Arc<Mutex<Dfms>>` request path:
+/// queue depth, enqueue→dequeue wait, lock-acquire wait, and lock-hold
+/// histograms. Shared between the client handles (enqueue side), the
+/// worker (dequeue side), and the engine (which folds a snapshot into
+/// DGL `profileReport`s).
+///
+/// Everything here is wall-clock and report-only: these numbers vary
+/// between runs and never feed deterministic engine state or the
+/// metrics registry the scrape-determinism gates cover.
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    enqueued: AtomicU64,
+    served: AtomicU64,
+    depth: AtomicU64,
+    depth_max: AtomicU64,
+    queue_wait: Mutex<WallHist>,
+    lock_acquire: Mutex<WallHist>,
+    lock_hold: Mutex<WallHist>,
+}
+
+impl ServerStats {
+    /// Client side: a request just entered the channel.
+    fn record_enqueue(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Worker side, after acquiring the engine lock: how long the
+    /// request sat in the channel and how long the lock acquire took.
+    fn record_waits(&self, queue_wait_ns: u64, lock_acquire_ns: u64) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.lock().record(queue_wait_ns);
+        self.lock_acquire.lock().record(lock_acquire_ns);
+    }
+
+    /// Worker side, after answering: how long the lock was held.
+    fn record_hold(&self, lock_hold_ns: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.lock_hold.lock().record(lock_hold_ns);
+    }
+
+    /// Requests served so far (survives a worker panic).
+    pub(crate) fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for a DGL `profileReport`.
+    pub(crate) fn snapshot(&self) -> dgf_dgl::ServerContention {
+        dgf_dgl::ServerContention {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            queue_depth_max: self.depth_max.load(Ordering::Relaxed),
+            hists: vec![
+                self.queue_wait.lock().to_report("queue-wait"),
+                self.lock_acquire.lock().to_report("lock-acquire"),
+                self.lock_hold.lock().to_report("lock-hold"),
+            ],
+        }
+    }
+
+    /// Zero every counter and histogram (interval profiling; the
+    /// current queue depth is preserved — requests in flight still
+    /// drain through `record_waits`).
+    pub(crate) fn reset(&self) {
+        self.enqueued.store(0, Ordering::Relaxed);
+        self.served.store(0, Ordering::Relaxed);
+        self.depth_max.store(self.depth.load(Ordering::Relaxed), Ordering::Relaxed);
+        *self.queue_wait.lock() = WallHist::default();
+        *self.lock_acquire.lock() = WallHist::default();
+        *self.lock_hold.lock() = WallHist::default();
+    }
+}
+
+/// Render a worker panic payload for the shutdown log: panics carry
+/// `&str` or `String` in practice; anything else is named, not lost.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
 }
 
 /// A running DfMS server: an engine plus a worker thread draining a
@@ -30,31 +151,47 @@ pub struct DfmsServer {
     engine: Arc<Mutex<Dfms>>,
     sender: Sender<ClientMessage>,
     worker: Option<JoinHandle<u64>>,
+    stats: Arc<ServerStats>,
 }
 
 /// A cloneable client handle to a [`DfmsServer`].
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     sender: Sender<ClientMessage>,
+    stats: Arc<ServerStats>,
 }
 
 impl DfmsServer {
     /// Start a server around an engine.
-    pub fn start(engine: Dfms) -> Self {
+    pub fn start(mut engine: Dfms) -> Self {
+        let stats = Arc::new(ServerStats::default());
+        engine.attach_server_stats(Arc::clone(&stats));
         let engine = Arc::new(Mutex::new(engine));
         let (sender, receiver): (Sender<ClientMessage>, Receiver<ClientMessage>) = unbounded();
         let worker_engine = Arc::clone(&engine);
+        let worker_stats = Arc::clone(&stats);
         let worker = std::thread::Builder::new()
             .name("dfms-server".into())
             .spawn(move || {
                 let mut served = 0u64;
                 while let Ok(message) = receiver.recv() {
                     match message {
-                        ClientMessage::Request { xml, reply } => {
+                        ClientMessage::Request { xml, reply, enqueued_at } => {
+                            let dequeued = Instant::now();
                             let response = {
                                 let mut engine = worker_engine.lock();
+                                let locked = Instant::now();
+                                // Record the waits before handling so a
+                                // profileQuery carried by this request
+                                // sees its own queue time.
+                                worker_stats.record_waits(
+                                    dequeued.duration_since(enqueued_at).as_nanos() as u64,
+                                    locked.duration_since(dequeued).as_nanos() as u64,
+                                );
                                 engine.obs().inc("server", "requests.served");
-                                engine.handle_xml(&xml)
+                                let response = engine.handle_xml(&xml);
+                                worker_stats.record_hold(locked.elapsed().as_nanos() as u64);
+                                response
                             };
                             served += 1;
                             // A dropped client is not a server error.
@@ -66,7 +203,7 @@ impl DfmsServer {
                 served
             })
             .expect("spawning the DfMS worker thread");
-        DfmsServer { engine, sender, worker: Some(worker) }
+        DfmsServer { engine, sender, worker: Some(worker), stats }
     }
 
     /// Start a server around an engine with a fresh write-ahead journal
@@ -99,7 +236,7 @@ impl DfmsServer {
 
     /// A client handle (cheap to clone, safe to share across threads).
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { sender: self.sender.clone() }
+        ServerHandle { sender: self.sender.clone(), stats: Arc::clone(&self.stats) }
     }
 
     /// Direct, locked access to the engine (tests, administration).
@@ -108,9 +245,20 @@ impl DfmsServer {
     }
 
     /// Stop the worker and return (requests served, the engine).
+    ///
+    /// If the worker thread panicked, the panic is logged (payload
+    /// included) rather than swallowed, and the served count falls back
+    /// to the shared `ServerStats` counter — which is exact up to the
+    /// request that killed the worker.
     pub fn shutdown(mut self) -> (u64, Arc<Mutex<Dfms>>) {
         let _ = self.sender.send(ClientMessage::Shutdown);
-        let served = self.worker.take().expect("worker present until shutdown").join().unwrap_or(0);
+        let served = match self.worker.take().expect("worker present until shutdown").join() {
+            Ok(served) => served,
+            Err(payload) => {
+                eprintln!("dfms-server worker panicked: {}", panic_message(payload.as_ref()));
+                self.stats.served()
+            }
+        };
         (served, Arc::clone(&self.engine))
     }
 }
@@ -119,7 +267,9 @@ impl Drop for DfmsServer {
     fn drop(&mut self) {
         let _ = self.sender.send(ClientMessage::Shutdown);
         if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+            if let Err(payload) = worker.join() {
+                eprintln!("dfms-server worker panicked: {}", panic_message(payload.as_ref()));
+            }
         }
     }
 }
@@ -132,8 +282,13 @@ impl ServerHandle {
     /// (an invalid [`dgf_dgl::RequestAck`] with a diagnostic message).
     pub fn request(&self, xml: &str) -> Option<String> {
         let (reply_tx, reply_rx) = bounded(1);
+        self.stats.record_enqueue();
         self.sender
-            .send(ClientMessage::Request { xml: xml.to_owned(), reply: reply_tx })
+            .send(ClientMessage::Request {
+                xml: xml.to_owned(),
+                reply: reply_tx,
+                enqueued_at: Instant::now(),
+            })
             .ok()?;
         reply_rx.recv().ok()
     }
@@ -194,6 +349,20 @@ impl ServerHandle {
         let response = self.request(&xml)?;
         match dgf_dgl::parse_response(&response).ok()?.body {
             dgf_dgl::ResponseBody::TimeTravel(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Run one profile query over the wire (the DGL `profileQuery`
+    /// pair): the engine's phase-attribution tree, optionally the
+    /// folded-stack text, plus this server's contention counters.
+    /// Returns `None` if the server has shut down or answered with
+    /// something other than a profile report.
+    pub fn profile(&self, query: dgf_dgl::ProfileQuery) -> Option<dgf_dgl::ProfileReport> {
+        let xml = dgf_dgl::DataGridRequest::profile("profile", "operator", query).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::Profile(report) => Some(report),
             _ => None,
         }
     }
@@ -396,6 +565,62 @@ mod tests {
         let err = DfmsServer::recover(&path, "grid-b", config, engine).err().unwrap();
         assert!(err.to_string().contains("genesis label mismatch"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_over_the_wire_reports_phases_and_contention() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let _ = handle.request(&ingest_request("r1", "/p.dat")).unwrap();
+        let report = handle.profile(dgf_dgl::ProfileQuery::new().with_folded(true)).unwrap();
+        let names: Vec<&str> = report.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert!(names.contains(&"dgl-parse"), "{names:?}");
+        assert!(names.contains(&"step-execute"), "{names:?}");
+        assert!(names.contains(&"provenance-append"), "{names:?}");
+        // Every phase so far ran under a request, so call counts are
+        // deterministic and sim time only accrues inside step-execute.
+        let parse = report.phases.iter().find(|p| p.phase == "dgl-parse").unwrap();
+        assert_eq!(parse.depth, 0);
+        assert_eq!(parse.calls, 2); // the ingest + this profile query
+        let folded = report.folded.expect("folded stacks requested");
+        assert!(folded.lines().any(|l| l.starts_with("step-execute;provenance-append ")), "{folded}");
+        let contention = report.contention.expect("a served engine carries contention stats");
+        assert!(contention.enqueued >= 2, "{contention:?}");
+        assert_eq!(contention.hists.len(), 3);
+        let hold = contention.hists.iter().find(|h| h.name == "lock-hold").unwrap();
+        assert!(hold.count >= 1, "{hold:?}");
+        assert!(hold.sum_ns >= hold.min_ns, "{hold:?}");
+        drop(handle);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn profile_reset_starts_a_fresh_interval() {
+        let server = DfmsServer::start(engine());
+        let handle = server.handle();
+        let _ = handle.request(&ingest_request("r1", "/q.dat")).unwrap();
+        let first = handle.profile(dgf_dgl::ProfileQuery::new().with_reset(true)).unwrap();
+        assert!(first.total_calls() > 0);
+        // After the reset, only the follow-up query's own parse can have
+        // landed in the tree: the flow's phases are gone.
+        let second = handle.profile(dgf_dgl::ProfileQuery::new()).unwrap();
+        assert!(
+            !second.phases.iter().any(|p| p.phase == "step-execute"),
+            "{:?}",
+            second.phases
+        );
+        drop(handle);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn panic_messages_survive_common_payload_types() {
+        let p1 = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p1.as_ref()), "boom");
+        let p2 = std::panic::catch_unwind(|| panic!("{}", String::from("formatted boom"))).unwrap_err();
+        assert_eq!(panic_message(p2.as_ref()), "formatted boom");
+        let p3 = std::panic::catch_unwind(|| std::panic::panic_any(42_i32)).unwrap_err();
+        assert_eq!(panic_message(p3.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -121,17 +121,17 @@ pub mod prelude {
     };
     pub use crate::dgl::{
         BisectSpec, DataGridRequest, DataGridResponse, DglOperation, ErrorPolicy, Expr, Flow,
-        FlowBuilder, FlowStatusQuery, RecoveryQuery, RecoveryReport, ReplayStats, ReportEvent,
-        ReportMetric, ReportSpan, RequestBody, ResponseBody, Diagnostic, FlowValidationQuery,
-        RunState, Severity, StatusReport, Step, TelemetryQuery, TelemetryReport, TimeTravelQuery,
-        TimeTravelReport, ValidationReport, Value,
+        FlowBuilder, FlowStatusQuery, ProfileQuery, ProfileReport, RecoveryQuery, RecoveryReport,
+        ReplayStats, ReportEvent, ReportMetric, ReportSpan, RequestBody, ResponseBody, Diagnostic,
+        FlowValidationQuery, RunState, Severity, StatusReport, Step, TelemetryQuery,
+        TelemetryReport, TimeTravelQuery, TimeTravelReport, ValidationReport, Value,
     };
     pub use crate::journal::Journal;
     pub use crate::lint::{lint, lint_with_grid, GridContext};
     pub use crate::obs::{
-        decode_perfetto, to_chrome_trace, to_perfetto_trace, EventTail, FlowHealth, HealthConfig,
-        HealthState, MetricsSnapshot, Obs, ObsEvent, Rollup, SamplingConfig, Span, SpanContext,
-        SpanId, SpanKind, TimeSeriesStore, TraceId,
+        decode_perfetto, to_chrome_trace, to_perfetto_trace, CountingAllocator, EventTail,
+        FlowHealth, HealthConfig, HealthState, MetricsSnapshot, Obs, ObsEvent, ProfileSnapshot,
+        Rollup, SamplingConfig, Span, SpanContext, SpanId, SpanKind, TimeSeriesStore, TraceId,
     };
     pub use crate::dgms::{
         DataGrid, EventKind, LogicalPath, MetaQuery, MetaTriple, Operation, Permission, Principal,

@@ -27,6 +27,7 @@ mod builder;
 mod error;
 mod expr;
 mod flow;
+mod profile;
 mod recovery;
 mod request;
 mod response;
@@ -45,6 +46,9 @@ pub use expr::Expr;
 pub use flow::{
     Case, Children, ControlPattern, Flow, FlowLogic, IterSource, RuleAction, UserDefinedRule,
     VarDecl, RULE_AFTER_EXIT, RULE_BEFORE_ENTRY,
+};
+pub use profile::{
+    LockHistogram, ProfilePhase, ProfileQuery, ProfileReport, ServerContention,
 };
 pub use recovery::{FlowRecovery, RecoveryQuery, RecoveryReport, ReplayStats};
 pub use step::ErrorPolicy;

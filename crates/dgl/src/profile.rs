@@ -1,0 +1,213 @@
+//! The performance-profiling operator surface of the protocol: a query
+//! over the engine's phase profiler and server contention counters, and
+//! its report.
+//!
+//! The engine attributes its work to a tree of nestable phases
+//! (dgl-parse, schedule, step-execute, journal-append, …; see
+//! `docs/OBSERVABILITY.md` § Profiling). [`ProfileQuery`] fetches that
+//! tree — flattened depth-first so the XML codec stays non-recursive —
+//! plus the server's request-path contention histograms, and can
+//! optionally reset the accumulators for interval profiling. Like the
+//! rest of the crate these are plain data; the XML codec lives in
+//! `xml_codec`.
+//!
+//! Determinism contract: `calls` and `sim_us` are functions of the
+//! simulated schedule and are byte-identical across reruns of a seeded
+//! scenario; `wall_ns`, `allocs`, and every contention histogram are
+//! wall-clock measurements that vary run to run and are report-only.
+
+use std::fmt;
+
+/// A `<profileQuery>` request body.
+///
+/// ```
+/// use dgf_dgl::ProfileQuery;
+///
+/// let q = ProfileQuery::new().with_folded(true).with_reset(true);
+/// assert!(q.folded && q.reset);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileQuery {
+    /// Also return the folded-stack rendering (`flamegraph.pl`/inferno
+    /// input) of the phase tree.
+    pub folded: bool,
+    /// Reset the profiler and contention accumulators after snapshotting,
+    /// so the next query reports a fresh interval.
+    pub reset: bool,
+}
+
+impl ProfileQuery {
+    /// A plain snapshot query: no folded text, no reset.
+    pub fn new() -> Self {
+        ProfileQuery::default()
+    }
+
+    /// Request the folded-stack rendering too.
+    pub fn with_folded(mut self, folded: bool) -> Self {
+        self.folded = folded;
+        self
+    }
+
+    /// Reset the accumulators after snapshotting.
+    pub fn with_reset(mut self, reset: bool) -> Self {
+        self.reset = reset;
+        self
+    }
+}
+
+/// One node of the phase tree, flattened depth-first.
+///
+/// The tree shape is recovered from `depth`: a node's parent is the
+/// nearest preceding node with `depth - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePhase {
+    /// Nesting depth; 0 for root phases.
+    pub depth: u32,
+    /// The phase name (kebab-case, e.g. `step-execute`).
+    pub phase: String,
+    /// Times the scope was entered at this position in the tree.
+    pub calls: u64,
+    /// Simulated µs accumulated in the scope (deterministic).
+    pub sim_us: u64,
+    /// Wall nanoseconds accumulated in the scope (report-only).
+    pub wall_ns: u64,
+    /// Heap allocations observed inside the scope (report-only; 0
+    /// unless the counting allocator is installed).
+    pub allocs: u64,
+}
+
+/// One wall-clock histogram of the server request path (report-only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockHistogram {
+    /// What was measured: `queue-wait`, `lock-acquire`, or `lock-hold`.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum_ns: u64,
+    /// Smallest sample, ns (0 when `count` is 0).
+    pub min_ns: u64,
+    /// Largest sample, ns (0 when `count` is 0).
+    pub max_ns: u64,
+}
+
+impl LockHistogram {
+    /// Mean sample in ns, 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The server's `Arc<Mutex<Dfms>>` request-path contention counters
+/// (report-only). Absent from the report when the engine is driven
+/// directly, without a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerContention {
+    /// Requests enqueued since start (or last reset).
+    pub enqueued: u64,
+    /// Requests served since start (or last reset).
+    pub served: u64,
+    /// High-water mark of the request queue depth.
+    pub queue_depth_max: u64,
+    /// Wall-clock histograms: enqueue→dequeue wait, lock-acquire wait,
+    /// and lock-hold time.
+    pub hists: Vec<LockHistogram>,
+}
+
+/// A `<profileReport>` response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Simulation time (µs) when the snapshot was taken.
+    pub time_us: u64,
+    /// The phase tree, flattened depth-first (empty when no
+    /// instrumented work has run since the last reset).
+    pub phases: Vec<ProfilePhase>,
+    /// The folded-stack rendering, when the query asked for it. One
+    /// `path;to;phase self_wall_ns` line per node, newline-terminated.
+    pub folded: Option<String>,
+    /// Server contention counters, when a server is attached.
+    pub contention: Option<ServerContention>,
+}
+
+impl ProfileReport {
+    /// A report with no profile data yet.
+    pub fn empty(time_us: u64) -> Self {
+        ProfileReport { time_us, phases: Vec::new(), folded: None, contention: None }
+    }
+
+    /// Total wall nanoseconds across root phases (report-only).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.phases.iter().filter(|p| p.depth == 0).map(|p| p.wall_ns).sum()
+    }
+
+    /// Total calls across root phases.
+    pub fn total_calls(&self) -> u64 {
+        self.phases.iter().filter(|p| p.depth == 0).map(|p| p.calls).sum()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile @{}us {} phases", self.time_us, self.phases.len())?;
+        if !self.phases.is_empty() {
+            write!(f, " ({} calls, {}ns wall)", self.total_calls(), self.total_wall_ns())?;
+        }
+        if let Some(c) = &self.contention {
+            write!(
+                f,
+                " server: {}/{} served, queue≤{}",
+                c.served, c.enqueued, c.queue_depth_max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_builder_sets_flags() {
+        let q = ProfileQuery::new();
+        assert!(!q.folded && !q.reset);
+        let q = q.with_folded(true).with_reset(true);
+        assert!(q.folded && q.reset);
+    }
+
+    #[test]
+    fn histogram_mean_handles_empty() {
+        let h =
+            LockHistogram { name: "lock-hold".into(), count: 0, sum_ns: 0, min_ns: 0, max_ns: 0 };
+        assert_eq!(h.mean_ns(), 0);
+        let h = LockHistogram { name: "lock-hold".into(), count: 4, sum_ns: 10, ..h };
+        assert_eq!(h.mean_ns(), 2);
+    }
+
+    #[test]
+    fn report_totals_sum_roots_only() {
+        let mk = |depth, calls, wall_ns| ProfilePhase {
+            depth,
+            phase: "step-execute".into(),
+            calls,
+            sim_us: 0,
+            wall_ns,
+            allocs: 0,
+        };
+        let r = ProfileReport {
+            time_us: 7,
+            phases: vec![mk(0, 2, 100), mk(1, 5, 60), mk(0, 1, 40)],
+            folded: None,
+            contention: None,
+        };
+        assert_eq!(r.total_wall_ns(), 140);
+        assert_eq!(r.total_calls(), 3);
+        let s = r.to_string();
+        assert!(s.contains("3 phases") && s.contains("3 calls"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_display_is_compact() {
+        assert_eq!(ProfileReport::empty(9).to_string(), "profile @9us 0 phases");
+    }
+}

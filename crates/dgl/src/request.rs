@@ -1,6 +1,7 @@
 //! [`DataGridRequest`]: the client→DfMS document of Figure 2.
 
 use crate::flow::Flow;
+use crate::profile::ProfileQuery;
 use crate::recovery::RecoveryQuery;
 use crate::status::FlowStatusQuery;
 use crate::telemetry::TelemetryQuery;
@@ -38,6 +39,9 @@ pub enum RequestBody {
     /// A time-travel query over the server's journaled history
     /// (inspect an ordinal, diff two, or bisect for a predicate).
     TimeTravel(TimeTravelQuery),
+    /// A performance-profile query (phase tree, folded stacks, server
+    /// contention counters).
+    Profile(ProfileQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -130,6 +134,18 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::TimeTravel(query),
+        }
+    }
+
+    /// A profile request: phase attribution and server contention.
+    pub fn profile(id: impl Into<String>, user: impl Into<String>, query: ProfileQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Profile(query),
         }
     }
 

@@ -1,5 +1,6 @@
 //! [`DataGridResponse`]: the DfMS→client document of Figure 4.
 
+use crate::profile::ProfileReport;
 use crate::recovery::RecoveryReport;
 use crate::status::{RunState, StatusReport};
 use crate::telemetry::TelemetryReport;
@@ -40,6 +41,9 @@ pub enum ResponseBody {
     /// A time-travel answer: an ordinal summary, a diff, or a
     /// bisection outcome over the server's journaled history.
     TimeTravel(TimeTravelReport),
+    /// A performance-profile snapshot (phase tree, folded stacks,
+    /// server contention counters).
+    Profile(ProfileReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -82,10 +86,15 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::TimeTravel(report) }
     }
 
+    /// A profile response.
+    pub fn profile(request_id: impl Into<String>, report: ProfileReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Profile(report) }
+    }
+
     /// The transaction this response refers to. Telemetry, validation,
-    /// recovery, and time-travel responses describe no transaction
-    /// (empty string): they are grid-global, or lint a flow that never
-    /// ran.
+    /// recovery, time-travel, and profile responses describe no
+    /// transaction (empty string): they are grid-global, or lint a flow
+    /// that never ran.
     pub fn transaction(&self) -> &str {
         match &self.body {
             ResponseBody::Ack(a) => &a.transaction,
@@ -93,7 +102,8 @@ impl DataGridResponse {
             ResponseBody::Telemetry(_)
             | ResponseBody::Validation(_)
             | ResponseBody::Recovery(_)
-            | ResponseBody::TimeTravel(_) => "",
+            | ResponseBody::TimeTravel(_)
+            | ResponseBody::Profile(_) => "",
         }
     }
 }

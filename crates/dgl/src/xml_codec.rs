@@ -72,6 +72,7 @@ impl DataGridRequest {
             RequestBody::Validation(q) => root.push_element(q.to_element()),
             RequestBody::Recovery(q) => root.push_element(q.to_element()),
             RequestBody::TimeTravel(q) => root.push_element(q.to_element()),
+            RequestBody::Profile(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -112,10 +113,12 @@ impl DataGridRequest {
             RequestBody::Recovery(crate::RecoveryQuery::from_element(q_el)?)
         } else if let Some(q_el) = e.child("timeTravelQuery") {
             RequestBody::TimeTravel(crate::TimeTravelQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("profileQuery") {
+            RequestBody::Profile(crate::ProfileQuery::from_element(q_el)?)
         } else {
             return Err(DglError::schema(
                 &e.name,
-                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, <recoveryQuery>, or <timeTravelQuery>",
+                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, <recoveryQuery>, <timeTravelQuery>, or <profileQuery>",
             ));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
@@ -1033,6 +1036,131 @@ impl crate::TimeTravelReport {
     }
 }
 
+impl crate::ProfileQuery {
+    /// Encode as an XML element: `<profileQuery/>` with optional
+    /// `folded`/`reset` flags (omitted when false so plain snapshot
+    /// queries stay minimal).
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("profileQuery");
+        if self.folded {
+            el.set_attr("folded", "true");
+        }
+        if self.reset {
+            el.set_attr("reset", "true");
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        Ok(crate::ProfileQuery {
+            folded: e.attr("folded") == Some("true"),
+            reset: e.attr("reset") == Some("true"),
+        })
+    }
+}
+
+impl crate::ProfileReport {
+    /// Encode as an XML element. Phases travel flattened depth-first,
+    /// one `<phase>` per tree node; optional halves (`<folded>`,
+    /// `<contention>`) are omitted when absent so every report
+    /// round-trips byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("profileReport").with_attr("time", self.time_us.to_string());
+        for p in &self.phases {
+            el.push_element(
+                Element::new("phase")
+                    .with_attr("depth", p.depth.to_string())
+                    .with_attr("name", &p.phase)
+                    .with_attr("calls", p.calls.to_string())
+                    .with_attr("simUs", p.sim_us.to_string())
+                    .with_attr("wallNs", p.wall_ns.to_string())
+                    .with_attr("allocs", p.allocs.to_string()),
+            );
+        }
+        if let Some(folded) = &self.folded {
+            el.push_element(Element::new("folded").with_text(folded));
+        }
+        if let Some(c) = &self.contention {
+            let mut ce = Element::new("contention")
+                .with_attr("enqueued", c.enqueued.to_string())
+                .with_attr("served", c.served.to_string())
+                .with_attr("queueDepthMax", c.queue_depth_max.to_string());
+            for h in &c.hists {
+                ce.push_element(
+                    Element::new("hist")
+                        .with_attr("name", &h.name)
+                        .with_attr("count", h.count.to_string())
+                        .with_attr("sumNs", h.sum_ns.to_string())
+                        .with_attr("minNs", h.min_ns.to_string())
+                        .with_attr("maxNs", h.max_ns.to_string()),
+                );
+            }
+            el.push_element(ce);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |el: &Element, attr: &str| -> Result<u64, DglError> {
+            let raw = require_attr(el, attr)?;
+            raw.parse().map_err(|_| DglError::schema(&el.name, format!("bad {attr} {raw:?}")))
+        };
+        let phases = e
+            .children_named("phase")
+            .map(|pe| {
+                let raw = require_attr(pe, "depth")?;
+                let depth = raw
+                    .parse()
+                    .map_err(|_| DglError::schema(&pe.name, format!("bad depth {raw:?}")))?;
+                Ok(crate::ProfilePhase {
+                    depth,
+                    phase: require_attr(pe, "name")?.to_owned(),
+                    calls: num(pe, "calls")?,
+                    sim_us: num(pe, "simUs")?,
+                    wall_ns: num(pe, "wallNs")?,
+                    allocs: num(pe, "allocs")?,
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        // Element text is whitespace-trimmed by the XML layer; the
+        // folded format is line-oriented and always ends in exactly
+        // one newline, so restore it after the trim.
+        let folded = e.child("folded").map(|s| {
+            let text = s.text();
+            if text.is_empty() {
+                text
+            } else {
+                text + "\n"
+            }
+        });
+        let contention = e
+            .child("contention")
+            .map(|ce| -> Result<crate::ServerContention, DglError> {
+                Ok(crate::ServerContention {
+                    enqueued: num(ce, "enqueued")?,
+                    served: num(ce, "served")?,
+                    queue_depth_max: num(ce, "queueDepthMax")?,
+                    hists: ce
+                        .children_named("hist")
+                        .map(|he| {
+                            Ok(crate::LockHistogram {
+                                name: require_attr(he, "name")?.to_owned(),
+                                count: num(he, "count")?,
+                                sum_ns: num(he, "sumNs")?,
+                                min_ns: num(he, "minNs")?,
+                                max_ns: num(he, "maxNs")?,
+                            })
+                        })
+                        .collect::<Result<_, DglError>>()?,
+                })
+            })
+            .transpose()?;
+        Ok(crate::ProfileReport { time_us: num(e, "time")?, phases, folded, contention })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -1159,6 +1287,7 @@ impl DataGridResponse {
             ResponseBody::Validation(report) => root.push_element(report.to_element()),
             ResponseBody::Recovery(report) => root.push_element(report.to_element()),
             ResponseBody::TimeTravel(report) => root.push_element(report.to_element()),
+            ResponseBody::Profile(report) => root.push_element(report.to_element()),
         }
         root
     }
@@ -1329,9 +1458,13 @@ impl DataGridResponse {
             let report = crate::TimeTravelReport::from_element(t)?;
             return Ok(DataGridResponse { request_id, body: ResponseBody::TimeTravel(report) });
         }
+        if let Some(t) = e.child("profileReport") {
+            let report = crate::ProfileReport::from_element(t)?;
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Profile(report) });
+        }
         Err(DglError::schema(
             "dataGridResponse",
-            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, <recoveryReport>, or <timeTravelReport>",
+            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, <recoveryReport>, <timeTravelReport>, or <profileReport>",
         ))
     }
 }
@@ -1718,6 +1851,74 @@ mod tests {
             },
         );
         assert_eq!(parse_response(&full.to_xml()).unwrap(), full);
+    }
+
+    #[test]
+    fn profile_queries_round_trip() {
+        // Plain snapshot: no flags on the wire.
+        let plain = DataGridRequest::profile("r1", "operator", crate::ProfileQuery::new());
+        let xml = plain.to_xml();
+        assert!(xml.contains("<profileQuery/>"), "{xml}");
+        assert_eq!(parse_request(&xml).unwrap(), plain);
+
+        let full = DataGridRequest::profile(
+            "r2",
+            "operator",
+            crate::ProfileQuery::new().with_folded(true).with_reset(true),
+        );
+        assert_eq!(parse_request(&full.to_xml()).unwrap(), full);
+    }
+
+    #[test]
+    fn profile_reports_round_trip() {
+        let empty = DataGridResponse::profile("r0", crate::ProfileReport::empty(7));
+        assert!(!empty.to_xml().contains("<folded>"), "{}", empty.to_xml());
+        assert_eq!(parse_response(&empty.to_xml()).unwrap(), empty);
+
+        let folded_text = "step-execute 1200\nstep-execute;journal-append 400\n";
+        let full = DataGridResponse::profile(
+            "r1",
+            crate::ProfileReport {
+                time_us: 99,
+                phases: vec![
+                    crate::ProfilePhase {
+                        depth: 0,
+                        phase: "step-execute".into(),
+                        calls: 12,
+                        sim_us: 4000,
+                        wall_ns: 1600,
+                        allocs: 88,
+                    },
+                    crate::ProfilePhase {
+                        depth: 1,
+                        phase: "journal-append".into(),
+                        calls: 12,
+                        sim_us: 0,
+                        wall_ns: 400,
+                        allocs: 3,
+                    },
+                ],
+                folded: Some(folded_text.into()),
+                contention: Some(crate::ServerContention {
+                    enqueued: 9,
+                    served: 8,
+                    queue_depth_max: 3,
+                    hists: vec![crate::LockHistogram {
+                        name: "lock-hold".into(),
+                        count: 8,
+                        sum_ns: 9000,
+                        min_ns: 100,
+                        max_ns: 4000,
+                    }],
+                }),
+            },
+        );
+        let parsed = parse_response(&full.to_xml()).unwrap();
+        assert_eq!(parsed, full);
+        let ResponseBody::Profile(r) = parsed.body else { panic!("expected profile") };
+        assert_eq!(r.folded.as_deref(), Some(folded_text), "folded text travels byte-exactly");
+        // Profile responses carry no transaction.
+        assert_eq!(full.transaction(), "");
     }
 
     #[test]

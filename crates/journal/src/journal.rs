@@ -154,6 +154,8 @@ pub struct Journal {
     offset: u64,
     unsynced: u32,
     last_checkpoint_seq: Option<u64>,
+    sync_calls: u64,
+    sync_nanos: u64,
 }
 
 impl Journal {
@@ -214,6 +216,8 @@ impl Journal {
             offset: good_len,
             unsynced: 0,
             last_checkpoint_seq: report.last_checkpoint_seq,
+            sync_calls: 0,
+            sync_nanos: 0,
         };
         Ok((journal, records, report))
     }
@@ -288,9 +292,25 @@ impl Journal {
 
     /// Force any batched transitions to disk.
     pub fn sync(&mut self) -> Result<(), JournalError> {
+        let started = std::time::Instant::now();
         self.file.sync_data().map_err(|e| io_err("sync", e))?;
+        self.sync_calls += 1;
+        self.sync_nanos += started.elapsed().as_nanos() as u64;
         self.unsynced = 0;
         Ok(())
+    }
+
+    /// Drain the fsync cost accumulated since the last call as
+    /// `(calls, wall_nanos)`. Every [`Journal::sync`] — whether forced
+    /// by the [`SyncPolicy`] during [`Journal::append`] or issued
+    /// directly — is counted, so a caller polling after each append
+    /// attributes fsync cost exactly once. Wall time is report-only:
+    /// it varies between runs and must never feed deterministic state.
+    pub fn take_sync_profile(&mut self) -> (u64, u64) {
+        let taken = (self.sync_calls, self.sync_nanos);
+        self.sync_calls = 0;
+        self.sync_nanos = 0;
+        taken
     }
 
     /// Compact the journal at a checkpoint boundary: keep the genesis

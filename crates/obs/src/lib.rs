@@ -39,6 +39,7 @@ mod event;
 mod health;
 mod metrics;
 mod perfetto;
+mod prof;
 mod recorder;
 mod ring;
 mod span;
@@ -50,14 +51,17 @@ pub use event::{EventKind, ObsEvent};
 pub use health::{FlowHealth, HealthConfig, HealthMonitor, HealthState, HealthTransition};
 pub use metrics::{percentile, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, SimHistogram};
 pub use perfetto::{
-    decode_perfetto, to_perfetto_trace, PerfettoEvent, PerfettoPacket, PerfettoTrack, SLICE_BEGIN,
-    SLICE_END,
+    decode_perfetto, to_perfetto_trace, to_perfetto_trace_with_profile, PerfettoEvent,
+    PerfettoPacket, PerfettoTrack, SLICE_BEGIN, SLICE_END,
+};
+pub use prof::{
+    allocations, CountingAllocator, Phase, PhaseStats, ProfileNode, ProfileSnapshot, Profiler,
 };
 pub use recorder::{EventTail, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use ring::RingBuffer;
 pub use span::{Span, SpanContext, SpanId, SpanKind, TraceId};
 pub use timeseries::{render_scrape, Rollup, SamplingConfig, SeriesPoint, TimeSeries, TimeSeriesStore};
-pub use trace_export::to_chrome_trace;
+pub use trace_export::{to_chrome_trace, to_chrome_trace_with_profile};
 
 use dgf_simgrid::{Duration, SimTime};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -70,6 +74,7 @@ struct Inner {
     traces: trace::TraceStore,
     timeseries: TimeSeriesStore,
     health: HealthMonitor,
+    prof: Profiler,
 }
 
 /// The shared observability handle: one flight recorder plus one
@@ -95,6 +100,7 @@ impl Obs {
                 traces: trace::TraceStore::default(),
                 timeseries: TimeSeriesStore::new(SamplingConfig::default()),
                 health: HealthMonitor::new(HealthConfig::default()),
+                prof: Profiler::new(),
             })),
         }
     }
@@ -425,6 +431,59 @@ impl Obs {
     /// [`to_perfetto_trace`]).
     pub fn export_perfetto_trace(&self) -> Vec<u8> {
         to_perfetto_trace(self.lock().traces.spans())
+    }
+
+    // ------------------------------------------------------------------
+    // Phase profiling (dgf-prof)
+    // ------------------------------------------------------------------
+
+    /// Enter a profiled phase at the shared simulation clock, nesting
+    /// under the currently open phase. Must pair with [`Obs::prof_exit`]
+    /// on every control path.
+    pub fn prof_enter(&self, phase: Phase) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.prof.enter(phase, now);
+    }
+
+    /// Exit the innermost open profiled phase at the shared clock.
+    pub fn prof_exit(&self, phase: Phase) {
+        let mut inner = self.lock();
+        let now = inner.now;
+        inner.prof.exit(phase, now);
+    }
+
+    /// Fold an externally-measured cost into the profile as a leaf
+    /// under the currently open phase (see [`Profiler::record_leaf`]).
+    pub fn prof_record_leaf(&self, phase: Phase, calls: u64, wall_ns: u64) {
+        self.lock().prof.record_leaf(phase, calls, wall_ns);
+    }
+
+    /// A point-in-time copy of the phase-profile tree.
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        self.lock().prof.snapshot()
+    }
+
+    /// Drop every accumulated profile node (and any open scopes).
+    pub fn profile_reset(&self) {
+        self.lock().prof.reset();
+    }
+
+    /// Chrome trace export with the phase profile merged in as a
+    /// synthetic `dgf-prof` timeline (see
+    /// [`to_chrome_trace_with_profile`]). Report-only: the profile
+    /// slices carry wall-clock widths and vary between runs.
+    pub fn export_chrome_trace_with_profile(&self) -> String {
+        let inner = self.lock();
+        to_chrome_trace_with_profile(inner.traces.spans(), &inner.prof.snapshot())
+    }
+
+    /// Perfetto export with the phase profile merged in as a synthetic
+    /// `dgf-prof` track (see [`to_perfetto_trace_with_profile`]).
+    /// Report-only, like its Chrome sibling.
+    pub fn export_perfetto_trace_with_profile(&self) -> Vec<u8> {
+        let inner = self.lock();
+        to_perfetto_trace_with_profile(inner.traces.spans(), &inner.prof.snapshot())
     }
 }
 

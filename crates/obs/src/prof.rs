@@ -1,0 +1,480 @@
+//! `dgf-prof` — deterministic phase-attribution profiling.
+//!
+//! The engine's hot path is a handful of phases (DGL parse, the lint
+//! gate, scheduling, step execution, trigger evaluation, provenance and
+//! journal appends, telemetry sampling). This module attributes cost to
+//! those phases as a *scoped tree*: a phase entered while another is on
+//! the stack becomes (or reuses) a child node, so the profile reads
+//! like a folded flamegraph of the engine's control flow.
+//!
+//! Every node accumulates four quantities:
+//!
+//! * `calls` — how many times the phase ran at this position;
+//! * `sim_us` — simulation-clock time elapsed inside the phase;
+//! * `wall_ns` — wall-clock time elapsed inside the phase;
+//! * `allocs` — heap allocations performed inside the phase (zero
+//!   unless [`CountingAllocator`] is installed as the global
+//!   allocator).
+//!
+//! **Determinism contract:** the tree *structure*, `calls`, and
+//! `sim_us` are pure functions of the engine's (deterministic)
+//! execution, so two identically-seeded runs produce byte-identical
+//! [`ProfileSnapshot::structure_text`] output — `scripts/verify.sh`
+//! gates on this. `wall_ns` and `allocs` are report-only: they vary
+//! between runs and machines and are excluded from the structure
+//! rendering.
+
+use dgf_simgrid::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The fixed phase catalogue. Interned: a phase's id is its discriminant,
+/// and the profile tree keys children by it, so lookups never hash or
+/// compare strings on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// Parsing an inbound DGL XML document into a request.
+    DglParse,
+    /// The submit-time static-analysis gate (`dgf-lint`).
+    LintGate,
+    /// Scheduler binding: resolving an abstract task to a placement.
+    Schedule,
+    /// Dispatching one engine work item (start/op-done/exec-done/ilm).
+    StepExecute,
+    /// Polling the trigger engine and handling its firings.
+    TriggerEval,
+    /// Building and storing one provenance record.
+    ProvenanceAppend,
+    /// Framing and writing a journal record (command or transition).
+    JournalAppend,
+    /// The fsync beneath a journal append (write-ahead durability).
+    JournalFsync,
+    /// A telemetry sample pass (time-series gauges + health watchdog).
+    TelemetrySample,
+}
+
+impl Phase {
+    /// Every phase, in id order.
+    pub const ALL: [Phase; 9] = [
+        Phase::DglParse,
+        Phase::LintGate,
+        Phase::Schedule,
+        Phase::StepExecute,
+        Phase::TriggerEval,
+        Phase::ProvenanceAppend,
+        Phase::JournalAppend,
+        Phase::JournalFsync,
+        Phase::TelemetrySample,
+    ];
+
+    /// The phase's stable, kebab-case name (the wire and folded-stack
+    /// vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::DglParse => "dgl-parse",
+            Phase::LintGate => "lint-gate",
+            Phase::Schedule => "schedule",
+            Phase::StepExecute => "step-execute",
+            Phase::TriggerEval => "trigger-eval",
+            Phase::ProvenanceAppend => "provenance-append",
+            Phase::JournalAppend => "journal-append",
+            Phase::JournalFsync => "journal-fsync",
+            Phase::TelemetrySample => "telemetry-sample",
+        }
+    }
+
+    /// Parse a phase name produced by [`Phase::name`].
+    pub fn parse(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    fn id(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The accumulated cost of one profile-tree node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Times the phase ran at this tree position.
+    pub calls: u64,
+    /// Simulation-clock µs elapsed inside the phase (deterministic).
+    pub sim_us: u64,
+    /// Wall-clock ns elapsed inside the phase (report-only).
+    pub wall_ns: u64,
+    /// Heap allocations inside the phase (report-only; zero unless
+    /// [`CountingAllocator`] is the global allocator).
+    pub allocs: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    phase: Phase,
+    children: BTreeMap<u8, usize>,
+    stats: PhaseStats,
+}
+
+#[derive(Debug)]
+struct Frame {
+    node: usize,
+    wall: Instant,
+    sim: SimTime,
+    allocs: u64,
+}
+
+/// The phase profiler: a scope stack over an accumulating profile tree.
+///
+/// Not a public entry point on its own — the engine drives it through
+/// the shared [`crate::Obs`] handle (`prof_enter` / `prof_exit`), which
+/// stamps phases with the simulation clock it already maintains.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    nodes: Vec<Node>,
+    roots: BTreeMap<u8, usize>,
+    stack: Vec<Frame>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    fn child_of(&mut self, parent: Option<usize>, phase: Phase) -> usize {
+        let map = match parent {
+            Some(p) => &mut self.nodes[p].children,
+            None => &mut self.roots,
+        };
+        if let Some(&idx) = map.get(&phase.id()) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        match parent {
+            Some(p) => self.nodes[p].children.insert(phase.id(), idx),
+            None => self.roots.insert(phase.id(), idx),
+        };
+        self.nodes.push(Node { phase, children: BTreeMap::new(), stats: PhaseStats::default() });
+        idx
+    }
+
+    /// Enter `phase` at simulation time `now`, nesting under the
+    /// currently open phase (if any).
+    pub fn enter(&mut self, phase: Phase, now: SimTime) {
+        let parent = self.stack.last().map(|f| f.node);
+        let node = self.child_of(parent, phase);
+        self.stack.push(Frame { node, wall: Instant::now(), sim: now, allocs: allocations() });
+    }
+
+    /// Exit the innermost open phase at simulation time `now`,
+    /// accumulating its cost. `phase` documents the caller's intent;
+    /// enters and exits must pair, and a mismatch is a bug in the
+    /// instrumented code (debug builds assert). Exiting with nothing
+    /// open is a no-op.
+    pub fn exit(&mut self, phase: Phase, now: SimTime) {
+        let Some(frame) = self.stack.pop() else { return };
+        debug_assert_eq!(self.nodes[frame.node].phase, phase, "unbalanced phase scope");
+        let _ = phase;
+        let stats = &mut self.nodes[frame.node].stats;
+        stats.calls += 1;
+        stats.sim_us += now.0.saturating_sub(frame.sim.0);
+        stats.wall_ns += frame.wall.elapsed().as_nanos() as u64;
+        stats.allocs += allocations().saturating_sub(frame.allocs);
+    }
+
+    /// Fold an externally-measured leaf into the tree as a child of the
+    /// currently open phase: `calls` occurrences totalling `wall_ns`.
+    /// Used for costs measured below the engine's instrumentation
+    /// boundary (the journal's fsyncs), which are instantaneous in
+    /// simulation time.
+    pub fn record_leaf(&mut self, phase: Phase, calls: u64, wall_ns: u64) {
+        if calls == 0 && wall_ns == 0 {
+            return;
+        }
+        let parent = self.stack.last().map(|f| f.node);
+        let node = self.child_of(parent, phase);
+        let stats = &mut self.nodes[node].stats;
+        stats.calls += calls;
+        stats.wall_ns += wall_ns;
+    }
+
+    /// Drop every accumulated node and any open scopes. Resets happen
+    /// between requests (`profileQuery reset="true"`), never inside an
+    /// instrumented phase, so abandoning open frames is safe: the
+    /// matching exits become no-ops against the emptied stack.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.roots.clear();
+        self.stack.clear();
+    }
+
+    /// A point-in-time copy of the profile tree, in deterministic
+    /// depth-first order (children by phase id).
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut work: Vec<(usize, u32)> =
+            self.roots.values().rev().map(|&idx| (idx, 0)).collect();
+        while let Some((idx, depth)) = work.pop() {
+            let node = &self.nodes[idx];
+            let child_wall: u64 =
+                node.children.values().map(|&c| self.nodes[c].stats.wall_ns).sum();
+            let child_sim: u64 =
+                node.children.values().map(|&c| self.nodes[c].stats.sim_us).sum();
+            nodes.push(ProfileNode {
+                phase: node.phase,
+                depth,
+                stats: node.stats,
+                self_wall_ns: node.stats.wall_ns.saturating_sub(child_wall),
+                self_sim_us: node.stats.sim_us.saturating_sub(child_sim),
+            });
+            for &child in node.children.values().rev() {
+                work.push((child, depth + 1));
+            }
+        }
+        ProfileSnapshot { nodes }
+    }
+}
+
+/// One node of a [`ProfileSnapshot`], positioned by `depth` in the
+/// snapshot's depth-first order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// The phase at this tree position.
+    pub phase: Phase,
+    /// Nesting depth (roots are 0).
+    pub depth: u32,
+    /// Accumulated cost, inclusive of children.
+    pub stats: PhaseStats,
+    /// Wall ns net of children (the folded-stack "self" value).
+    pub self_wall_ns: u64,
+    /// Sim µs net of children.
+    pub self_sim_us: u64,
+}
+
+/// A point-in-time copy of the profile tree, in depth-first order with
+/// children ordered by phase id — a deterministic serialization of the
+/// tree shape.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// The nodes, depth-first.
+    pub nodes: Vec<ProfileNode>,
+}
+
+impl ProfileSnapshot {
+    /// True when nothing was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `(stack-path, node)` pairs in depth-first order, paths rendered
+    /// as semicolon-joined phase names (`step-execute;schedule`).
+    pub fn flattened(&self) -> Vec<(String, &ProfileNode)> {
+        let mut stack: Vec<&'static str> = Vec::new();
+        self.nodes
+            .iter()
+            .map(|node| {
+                stack.truncate(node.depth as usize);
+                stack.push(node.phase.name());
+                (stack.join(";"), node)
+            })
+            .collect()
+    }
+
+    /// The profile as folded-stack text: one `path value` line per
+    /// node, value = *self* wall nanoseconds. The format is what
+    /// `flamegraph.pl` and inferno consume directly:
+    ///
+    /// ```text
+    /// step-execute;schedule 182934
+    /// ```
+    ///
+    /// Ends with exactly one newline (empty when nothing was profiled).
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, node) in self.flattened() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&node.self_wall_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The deterministic half of the profile: tree shape, call counts,
+    /// and sim-time totals, with the report-only fields (wall, allocs)
+    /// omitted. Two identically-seeded runs render byte-identical
+    /// structure text; `scripts/verify.sh` gates on it.
+    pub fn structure_text(&self) -> String {
+        let mut out = String::from("# dgf profile structure (wall/alloc fields zeroed)\n");
+        for (path, node) in self.flattened() {
+            out.push_str(&format!(
+                "{path} calls={} sim_us={}\n",
+                node.stats.calls, node.stats.sim_us
+            ));
+        }
+        out
+    }
+
+    /// Total wall ns across root nodes (the profiled grand total).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.nodes.iter().filter(|n| n.depth == 0).map(|n| n.stats.wall_ns).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocation counting
+// ---------------------------------------------------------------------
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// The number of heap allocations observed by [`CountingAllocator`]
+/// since process start — zero forever if it was never installed.
+pub fn allocations() -> u64 {
+    ALLOCATION_COUNT.load(Ordering::Relaxed)
+}
+
+/// An opt-in counting wrapper around the system allocator. Binaries
+/// that want per-phase allocation deltas (the bench runner does)
+/// install it:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: dgf_obs::CountingAllocator = dgf_obs::CountingAllocator;
+/// ```
+///
+/// The count is process-global; attribute it per phase only in
+/// single-threaded measurement harnesses.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is a relaxed atomic increment, which cannot violate the
+// GlobalAlloc contract.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn phases_nest_into_a_tree() {
+        let mut p = Profiler::new();
+        p.enter(Phase::StepExecute, t(0));
+        p.enter(Phase::Schedule, t(0));
+        p.exit(Phase::Schedule, t(5));
+        p.exit(Phase::StepExecute, t(10));
+        p.enter(Phase::StepExecute, t(10));
+        p.exit(Phase::StepExecute, t(12));
+
+        let snap = p.snapshot();
+        let flat = snap.flattened();
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["step-execute", "step-execute;schedule"]);
+        assert_eq!(flat[0].1.stats.calls, 2);
+        assert_eq!(flat[0].1.stats.sim_us, 12);
+        assert_eq!(flat[1].1.stats.calls, 1);
+        assert_eq!(flat[1].1.stats.sim_us, 5);
+        assert_eq!(flat[0].1.self_sim_us, 7, "self time nets out the child");
+    }
+
+    #[test]
+    fn same_phase_at_different_depths_is_distinct() {
+        let mut p = Profiler::new();
+        p.enter(Phase::TriggerEval, t(0));
+        p.enter(Phase::LintGate, t(0));
+        p.exit(Phase::LintGate, t(0));
+        p.exit(Phase::TriggerEval, t(0));
+        p.enter(Phase::LintGate, t(0));
+        p.exit(Phase::LintGate, t(0));
+        let snap = p.snapshot();
+        let paths: Vec<String> = snap.flattened().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["lint-gate", "trigger-eval", "trigger-eval;lint-gate"]);
+    }
+
+    #[test]
+    fn structure_text_is_wall_free_and_deterministic() {
+        let build = || {
+            let mut p = Profiler::new();
+            p.enter(Phase::DglParse, t(1));
+            p.exit(Phase::DglParse, t(2));
+            p.enter(Phase::StepExecute, t(2));
+            p.enter(Phase::JournalAppend, t(2));
+            p.record_leaf(Phase::JournalFsync, 3, 999);
+            p.exit(Phase::JournalAppend, t(2));
+            p.exit(Phase::StepExecute, t(9));
+            p.snapshot().structure_text()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "wall time must not leak into structure text");
+        assert!(a.contains("dgl-parse calls=1 sim_us=1"), "{a}");
+        assert!(a.contains("step-execute;journal-append;journal-fsync calls=3 sim_us=0"), "{a}");
+        let body: Vec<&str> = a.lines().skip(1).collect();
+        assert!(!body.iter().any(|l| l.contains("wall")), "{a}");
+    }
+
+    #[test]
+    fn folded_lines_parse_as_stack_space_value() {
+        let mut p = Profiler::new();
+        p.enter(Phase::StepExecute, t(0));
+        p.enter(Phase::ProvenanceAppend, t(0));
+        p.exit(Phase::ProvenanceAppend, t(0));
+        p.exit(Phase::StepExecute, t(0));
+        let folded = p.snapshot().folded();
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("folded line has a value");
+            assert!(!stack.is_empty());
+            value.parse::<u64>().expect("folded value is an integer");
+            for frame in stack.split(';') {
+                assert!(Phase::parse(frame).is_some(), "unknown frame {frame:?}");
+            }
+        }
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn exit_without_enter_is_a_noop_and_reset_clears() {
+        let mut p = Profiler::new();
+        p.exit(Phase::DglParse, t(0));
+        assert!(p.snapshot().is_empty());
+        p.enter(Phase::DglParse, t(0));
+        p.exit(Phase::DglParse, t(1));
+        assert!(!p.snapshot().is_empty());
+        p.reset();
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::parse(phase.name()), Some(phase));
+        }
+        assert_eq!(Phase::parse("nonsense"), None);
+    }
+}

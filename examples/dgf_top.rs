@@ -5,6 +5,9 @@
 //!
 //! ```sh
 //! cargo run --example dgf_top
+//! # append the dgf-prof section: top phases by cumulative wall time
+//! # plus the server-lock contention summary:
+//! cargo run --example dgf_top -- --profile
 //! ```
 //!
 //! The scenario injects a simgrid failure (one cluster offline, the
@@ -180,4 +183,59 @@ fn main() {
     let health = dfms.obs().health_flow(&stuck_txn).expect("stuck flow is watched");
     assert_eq!(health.state, HealthState::Stalled);
     println!("\n{} is {} — last completed step at {:.1}s sim-time", stuck_txn, health.state, health.last_progress.0 as f64 / 1e6);
+
+    // ---- --profile: the dgf-prof section ----------------------------
+    // Wrap the engine in the threaded server front-end, drive a few
+    // concurrent clients so the contention histograms fill, then pull
+    // the phase tree and lock-wait summary over the DGL wire.
+    if std::env::args().any(|a| a == "--profile") {
+        let server = DfmsServer::start(dfms);
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let handle = server.handle();
+            joins.push(std::thread::spawn(move || {
+                let q = DataGridRequest::telemetry(format!("t{i}"), "operator", TelemetryQuery::scrape()).to_xml();
+                handle.request(&q).expect("server alive");
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        let report = server
+            .handle()
+            .profile(ProfileQuery::new().with_folded(true))
+            .expect("profile over the wire");
+
+        println!("\nprofile (top phases by cumulative wall time; sim-time is the deterministic column):");
+        let mut phases = report.phases;
+        phases.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then_with(|| a.phase.cmp(&b.phase)));
+        println!("  {:<28} {:>7} {:>10} {:>12}", "phase", "calls", "sim-ms", "wall-ms");
+        for p in phases.iter().take(8) {
+            let label = format!("{}{}", "· ".repeat(p.depth as usize), p.phase);
+            println!(
+                "  {:<28} {:>7} {:>10.1} {:>12.3}",
+                label,
+                p.calls,
+                p.sim_us as f64 / 1e3,
+                p.wall_ns as f64 / 1e6
+            );
+        }
+        if let Some(folded) = &report.folded {
+            println!("  ({} folded-stack lines; pipe to flamegraph.pl for an SVG)", folded.lines().count());
+        }
+
+        let c = report.contention.expect("server-side profile carries contention");
+        println!("\nserver contention: {} enqueued / {} served, queue depth <= {}", c.enqueued, c.served, c.queue_depth_max);
+        for h in &c.hists {
+            println!(
+                "  {:<14} n={:<4} mean={:>8}ns min={:>8}ns max={:>8}ns",
+                h.name,
+                h.count,
+                h.mean_ns(),
+                h.min_ns,
+                h.max_ns
+            );
+        }
+        let _ = server.shutdown();
+    }
 }

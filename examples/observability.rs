@@ -9,6 +9,9 @@
 //! # write the Prometheus-style telemetry scrape (byte-identical
 //! # across seeded reruns):
 //! DGF_SCRAPE_OUT=/tmp/dgf-scrape.txt cargo run --example observability
+//! # write the phase-profile structure (byte-identical across reruns —
+//! # wall/alloc fields zeroed, tree shape and call counts kept):
+//! DGF_PROFILE_OUT=/tmp/dgf-profile.txt cargo run --example observability
 //! ```
 //!
 //! See `docs/OBSERVABILITY.md` for the full event taxonomy, metric
@@ -127,5 +130,20 @@ fn main() {
     if let Ok(path) = std::env::var("DGF_SCRAPE_OUT") {
         std::fs::write(&path, &scrape).expect("scrape file is writable");
         println!("wrote the full scrape to {path}");
+    }
+
+    // 9. The phase profiler (`dgf-prof`): every engine pass above also
+    //    accumulated into a scoped phase tree — parse, lint, schedule,
+    //    step-execute, provenance, telemetry. Wall-clock and allocation
+    //    fields vary between runs; the *structure* (tree shape, call
+    //    counts, sim-time totals) is deterministic, and
+    //    `structure_text()` renders exactly that stable subset
+    //    (scripts/verify.sh gates on it being byte-identical).
+    let profile = dfms.profile_snapshot();
+    println!("\n--- phase profile structure ---\n{}", profile.structure_text());
+    println!("folded stacks: {} lines (flamegraph.pl-ready)", profile.folded().lines().count());
+    if let Ok(path) = std::env::var("DGF_PROFILE_OUT") {
+        std::fs::write(&path, profile.structure_text()).expect("profile file is writable");
+        println!("wrote the profile structure to {path}");
     }
 }

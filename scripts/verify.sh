@@ -126,4 +126,32 @@ if ! grep -q 'perfetto export: .* — verified' "$travel_a"; then
     exit 1
 fi
 
+# Profile-structure determinism: the dgf-prof phase tree (wall/alloc
+# fields zeroed; tree shape, call counts, sim-time totals kept) must be
+# byte-identical across two identically-seeded runs.
+profile_a=$(mktemp) profile_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b" "$lint_a" "$lint_b" "$recover_a" "$recover_b" "$travel_a" "$travel_b" "$profile_a" "$profile_b"' EXIT
+DGF_PROFILE_OUT="$profile_a" cargo run -q --example observability >/dev/null
+DGF_PROFILE_OUT="$profile_b" cargo run -q --example observability >/dev/null
+if ! cmp -s "$profile_a" "$profile_b"; then
+    echo "verify: profile structures differ between seeded reruns" >&2
+    diff "$profile_a" "$profile_b" | head -20 >&2
+    exit 1
+fi
+if ! grep -q 'step-execute;provenance-append calls=' "$profile_a"; then
+    echo "verify: profile structure lost the step-execute/provenance nesting" >&2
+    cat "$profile_a" >&2
+    exit 1
+fi
+
+# The BENCH trajectory runner must execute end-to-end (smoke mode) and
+# emit a report naming all three workloads.
+./scripts/bench_report --smoke >/dev/null
+for workload in engine_throughput journal_replay dgl_parse; do
+    if ! grep -q "\"name\": \"$workload\"" target/BENCH_engine.smoke.json; then
+        echo "verify: bench_report smoke run is missing workload $workload" >&2
+        exit 1
+    fi
+done
+
 echo "verify: OK"

@@ -294,3 +294,85 @@ proptest! {
         prop_assert_eq!(parsed, response);
     }
 }
+
+fn profile_phase_strategy() -> impl Strategy<Value = dgl::ProfilePhase> {
+    (
+        0u32..5,
+        "[a-z][a-z-]{0,14}",
+        0u64..1_000_000,
+        0u64..u64::MAX / 2,
+        0u64..u64::MAX / 2,
+        0u64..1_000_000,
+    )
+        .prop_map(|(depth, phase, calls, sim_us, wall_ns, allocs)| dgl::ProfilePhase {
+            depth,
+            phase,
+            calls,
+            sim_us,
+            wall_ns,
+            allocs,
+        })
+}
+
+fn lock_histogram_strategy() -> impl Strategy<Value = dgl::LockHistogram> {
+    ("[a-z][a-z-]{0,14}", 0u64..100_000, 0u64..u64::MAX / 2, 0u64..1_000_000, 0u64..u64::MAX / 2)
+        .prop_map(|(name, count, sum_ns, min_ns, max_ns)| dgl::LockHistogram {
+            name,
+            count,
+            sum_ns,
+            min_ns,
+            max_ns,
+        })
+}
+
+/// Folded-stack text as [`dgf_obs::ProfileSnapshot::folded`] emits it:
+/// one `path;to;phase self_ns` line per node, newline-terminated.
+fn folded_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(("[a-z][a-z-]{0,10}(;[a-z][a-z-]{0,10}){0,3}", 0u64..1_000_000), 1..6)
+        .prop_map(|lines| lines.into_iter().map(|(path, ns)| format!("{path} {ns}\n")).collect())
+}
+
+fn contention_strategy() -> impl Strategy<Value = dgl::ServerContention> {
+    (0u64..100_000, 0u64..100_000, 0u64..64, proptest::collection::vec(lock_histogram_strategy(), 0..4))
+        .prop_map(|(enqueued, served, queue_depth_max, hists)| dgl::ServerContention {
+            enqueued,
+            served,
+            queue_depth_max,
+            hists,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The profiler wire pair's request half: every flag combination
+    /// survives a request XML round trip.
+    #[test]
+    fn profile_queries_round_trip_the_wire(folded in any::<bool>(), reset in any::<bool>()) {
+        let query = dgl::ProfileQuery::new().with_folded(folded).with_reset(reset);
+        let request = DataGridRequest::profile("prop", "operator", query);
+        let xml = request.to_xml();
+        let parsed = parse_request(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, request);
+    }
+
+    /// The profiler wire pair's response half: any phase tree, folded
+    /// text, and contention block survives a response XML round trip —
+    /// byte-exact on the folded text, which flamegraph tooling consumes.
+    #[test]
+    fn profile_reports_round_trip_the_wire(
+        time_us in 0u64..u64::MAX / 2,
+        phases in proptest::collection::vec(profile_phase_strategy(), 0..8),
+        folded in proptest::option::of(folded_strategy()),
+        contention in proptest::option::of(contention_strategy()),
+    ) {
+        let report = dgl::ProfileReport { time_us, phases, folded: folded.clone(), contention };
+        let response = dgl::DataGridResponse::profile("prop", report);
+        let xml = response.to_xml();
+        let parsed = dgl::parse_response(&xml).expect("round trip parses");
+        if let (Some(sent), dgl::ResponseBody::Profile(got)) = (folded, &parsed.body) {
+            prop_assert_eq!(Some(sent), got.folded.clone());
+        }
+        prop_assert_eq!(parsed, response);
+    }
+}
