@@ -132,29 +132,30 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-fn render_json(results: &[WorkloadResult], smoke: bool) -> String {
+/// One run of the trajectory: a labeled entry holding every workload.
+/// No trailing newline — the caller splices it into the document.
+fn render_entry(results: &[WorkloadResult], label: &str, smoke: bool) -> String {
     let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"engine\",");
-    let _ = writeln!(out, "  \"smoke\": {smoke},");
-    let _ = writeln!(out, "  \"wall_clock_note\": \"wall_ns and allocs are report-only; phases/calls/sim_us are deterministic\",");
-    out.push_str("  \"workloads\": [\n");
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"label\": \"{}\",", json_escape(label));
+    let _ = writeln!(out, "      \"smoke\": {smoke},");
+    out.push_str("      \"workloads\": [\n");
     for (wi, w) in results.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
-        let _ = writeln!(out, "      \"size\": {},", w.size);
-        let _ = writeln!(out, "      \"iters\": {},", w.wall.iters);
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"name\": \"{}\",", w.name);
+        let _ = writeln!(out, "          \"size\": {},", w.size);
+        let _ = writeln!(out, "          \"iters\": {},", w.wall.iters);
         let _ = writeln!(
             out,
-            "      \"wall_ns\": {{\"min\": {}, \"mean\": {}, \"max\": {}}},",
+            "          \"wall_ns\": {{\"min\": {}, \"mean\": {}, \"max\": {}}},",
             w.wall.min_ns, w.wall.mean_ns, w.wall.max_ns
         );
-        let _ = writeln!(out, "      \"folded\": \"{}\",", json_escape(&w.profile.folded()));
-        out.push_str("      \"profile\": [\n");
+        let _ = writeln!(out, "          \"folded\": \"{}\",", json_escape(&w.profile.folded()));
+        out.push_str("          \"profile\": [\n");
         for (ni, node) in w.profile.nodes.iter().enumerate() {
             let _ = write!(
                 out,
-                "        {{\"phase\": \"{}\", \"depth\": {}, \"calls\": {}, \"sim_us\": {}, \"wall_ns\": {}, \"allocs\": {}}}",
+                "            {{\"phase\": \"{}\", \"depth\": {}, \"calls\": {}, \"sim_us\": {}, \"wall_ns\": {}, \"allocs\": {}}}",
                 node.phase.name(),
                 node.depth,
                 node.stats.calls,
@@ -164,19 +165,47 @@ fn render_json(results: &[WorkloadResult], smoke: bool) -> String {
             );
             out.push_str(if ni + 1 < w.profile.nodes.len() { ",\n" } else { "\n" });
         }
-        out.push_str("      ]\n");
-        out.push_str(if wi + 1 < results.len() { "    },\n" } else { "    }\n" });
+        out.push_str("          ]\n");
+        out.push_str(if wi + 1 < results.len() { "        },\n" } else { "        }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("      ]\n");
+    out.push_str("    }");
     out
+}
+
+/// A fresh single-entry trajectory document.
+fn render_document(entry: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"engine\",");
+    let _ = writeln!(out, "  \"wall_clock_note\": \"wall_ns and allocs are report-only; phases/calls/sim_us are deterministic\",");
+    out.push_str("  \"trajectory\": [\n");
+    out.push_str(entry);
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Append the entry to an existing trajectory file, or start a new
+/// document. A file in any other shape (the pre-trajectory format, a
+/// truncated write) is replaced wholesale rather than corrupted further.
+fn append_entry(existing: Option<&str>, entry: &str) -> String {
+    const TAIL: &str = "\n  ]\n}\n";
+    match existing {
+        Some(prev) if prev.contains("\"trajectory\": [") => match prev.strip_suffix(TAIL) {
+            Some(head) => format!("{head},\n{entry}{TAIL}"),
+            None => render_document(entry),
+        },
+        _ => render_document(entry),
+    }
 }
 
 fn main() {
     let smoke = std::env::var("DGF_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let label = std::env::var("DGF_BENCH_LABEL").unwrap_or_else(|_| "dev".to_string());
     let out_path = std::env::var("DGF_BENCH_OUT").map_or_else(|_| PathBuf::from("BENCH_engine.json"), PathBuf::from);
     let (iters, steps, commands, docs) = if smoke { (2, 100, 10, 5) } else { (10, 1_000, 100, 50) };
 
-    println!("dgf-prof bench report ({} mode)", if smoke { "smoke" } else { "full" });
+    println!("dgf-prof bench report ({} mode, label {label:?})", if smoke { "smoke" } else { "full" });
     let results = vec![
         engine_throughput(iters, steps),
         journal_replay(iters, commands),
@@ -192,7 +221,9 @@ fn main() {
             w.profile.nodes.len()
         );
     }
-    let json = render_json(&results, smoke);
+    let entry = render_entry(&results, &label, smoke);
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let json = append_entry(existing.as_deref(), &entry);
     std::fs::write(&out_path, &json).expect("write bench report");
-    println!("wrote {}", out_path.display());
+    println!("wrote {} ({} trajectory entries)", out_path.display(), json.matches("\"label\": ").count());
 }

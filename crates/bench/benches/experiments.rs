@@ -25,6 +25,20 @@ fn main() {
     println!("\nall experiments completed");
 }
 
+/// Acceptance invariant for the E1 scenarios: every completed flow's
+/// critical path partitions its makespan exactly — each sim-µs of the
+/// flow's lifetime is attributed to exactly one wait state.
+fn assert_attribution_invariant(d: &Dfms) {
+    for p in d.obs().why_paths() {
+        assert_eq!(
+            p.segments_sum_us(),
+            p.makespan_us(),
+            "critical path must partition the makespan of {}",
+            p.txn
+        );
+    }
+}
+
 /// E1 — §3.1 scalability: tasks per workflow, concurrent workflows,
 /// resource count.
 fn e1_scalability() {
@@ -37,6 +51,7 @@ fn e1_scalability() {
         d.pump();
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        assert_attribution_invariant(&d);
         rows.push(vec![
             format!("steps/flow={steps}"),
             format!("{wall_ms:.1}"),
@@ -55,6 +70,7 @@ fn e1_scalability() {
         d.pump();
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         assert!(txns.iter().all(|t| d.status(t, None).unwrap().state == RunState::Completed));
+        assert_attribution_invariant(&d);
         rows.push(vec![
             format!("concurrent flows={flows}"),
             format!("{wall_ms:.1}"),
@@ -88,6 +104,7 @@ fn e1_scalability() {
         let txn = d.submit_flow("u", b.build().unwrap()).unwrap();
         d.pump();
         assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+        assert_attribution_invariant(&d);
         maybe_dump_metrics(&format!("E1c domains={domains}"), &d);
         rows.push(vec![
             format!("domains={domains} (slots={})", domains * 32),

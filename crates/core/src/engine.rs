@@ -21,7 +21,7 @@ use dgf_obs::{EventKind as ObsKind, Obs, Phase, SpanContext, SpanKind};
 use dgf_scheduler::{AbstractTask, BindingCache, BindingMode, ResourceReq, Scheduler, VirtualDataCatalog};
 use dgf_simgrid::{ComputeId, Duration, EventQueue, FailureEvent, SimTime, StorageId};
 use dgf_triggers::{Firing, TriggerAction, TriggerEngine};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 /// Hard ceiling on while-loop iterations: a runaway `while (true)` in a
@@ -128,6 +128,11 @@ pub struct Dfms {
     /// front-end, when one wraps this engine (report-only; see
     /// [`crate::server`]). Folded into DGL `profileReport`s.
     server_stats: Option<std::sync::Arc<crate::server::ServerStats>>,
+    /// Per-class SLA deadline budgets (see [`Dfms::set_class_objective`]):
+    /// flows submitted with a matching reserved `dgf.class` variable
+    /// inherit the class budget unless they carry their own
+    /// `dgf.deadline`. Ordered so reports iterate deterministically.
+    class_objectives: BTreeMap<String, Duration>,
 }
 
 impl Dfms {
@@ -162,6 +167,7 @@ impl Dfms {
             last_replay: None,
             time_travel: None,
             server_stats: None,
+            class_objectives: BTreeMap::new(),
         }
     }
 
@@ -433,6 +439,73 @@ impl Dfms {
         self.obs.profile_snapshot()
     }
 
+    /// Answer a DGL [`dgf_dgl::WhyQuery`]: snapshot the attribution
+    /// engine — completed-flow critical paths, the aggregated
+    /// wait-state bottleneck table, and SLA alert lifecycles, with
+    /// burn rates computed against the engine clock. Read-only: alert
+    /// transitions are derived on the event loop (a journaled command
+    /// context), never from a query, so asking "why" cannot perturb
+    /// what recovery replays.
+    pub fn why_query(&mut self, q: &dgf_dgl::WhyQuery) -> dgf_dgl::WhyReport {
+        self.obs.set_now(self.now());
+        let now = self.now();
+        let wanted =
+            |flow: &str, txn: &str| q.flow.as_deref().map(|f| f == flow || f == txn).unwrap_or(true);
+        let all_paths = self.obs.why_paths();
+        let flows_analyzed = all_paths.len() as u64;
+        let paths = if q.paths {
+            all_paths.iter().filter(|p| wanted(&p.flow, &p.txn)).map(why_path_to_dgl).collect()
+        } else {
+            Vec::new()
+        };
+        let bottlenecks = self
+            .obs
+            .why_bottlenecks(q.top_k as usize)
+            .iter()
+            .map(|b| dgf_dgl::WhyBottleneck {
+                state: wait_state_to_dgl(b.state),
+                resource: b.resource.clone(),
+                total_us: b.total_us,
+                share_ppm: b.share_ppm,
+            })
+            .collect();
+        let alerts = if q.alerts {
+            self.obs
+                .why_alerts()
+                .iter()
+                .filter(|a| wanted(&a.flow, &a.txn))
+                .map(|a| why_alert_to_dgl(a, now))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        dgf_dgl::WhyReport {
+            time_us: now.0,
+            flows_analyzed,
+            attributed_us: self.obs.why_attributed_us(),
+            paths,
+            bottlenecks,
+            alerts,
+        }
+    }
+
+    /// Register a per-class SLA deadline budget: a flow submitted with
+    /// the reserved `dgf.class` variable equal to `class` (and no
+    /// per-flow `dgf.deadline` override) gets `budget` as its
+    /// deadline, measured from submission. Journaled as a command so
+    /// recovery re-registers the objective before replaying the
+    /// submissions it governs.
+    pub fn set_class_objective(&mut self, class: &str, budget: Duration) {
+        let el = self.should_journal().then(|| {
+            recovery::command("classObjective")
+                .with_attr("class", class)
+                .with_attr("budgetUs", budget.0.to_string())
+        });
+        self.with_command(el, |e| {
+            e.class_objectives.insert(class.to_owned(), budget);
+        });
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -480,6 +553,10 @@ impl Dfms {
             RequestBody::Profile(q) => {
                 let report = self.profile_query(&q.clone());
                 DataGridResponse::profile(&request.id, report)
+            }
+            RequestBody::Why(q) => {
+                let report = self.why_query(&q.clone());
+                DataGridResponse::why(&request.id, report)
             }
             RequestBody::Flow(_) => {
                 let el = self
@@ -622,6 +699,10 @@ impl Dfms {
         let txn = format!("t{}", self.next_txn);
         self.next_txn += 1;
         let id = RunId(self.runs.len() as u64);
+        // SLA objective, read before the spec moves into the run: the
+        // reserved `dgf.deadline` / `dgf.class` variables (or a
+        // registered class budget) govern this flow's deadline.
+        let sla = self.sla_objective(&flow);
         let lineage = options.lineage.clone().unwrap_or_else(|| txn.clone());
         let mut run = Run {
             txn: txn.clone(),
@@ -678,10 +759,63 @@ impl Dfms {
                 .with_attr("flow", &flow_name)
                 .with_attr("user", user),
         );
+        // Open the SLA alert in `pending`; the event loop moves it to
+        // `firing`/`resolved`. The transition is journaled so recovery
+        // replays the identical lifecycle.
+        if let Some((class, budget)) = sla {
+            let now = self.now();
+            let deadline = now + budget;
+            self.obs.record(ObsKind::SlaAlert {
+                txn: txn.clone(),
+                class: class.clone(),
+                state: dgf_obs::AlertState::Pending,
+                burn_ppm: 0,
+            });
+            if self.journal_transition(
+                recovery::transition("alert")
+                    .with_attr("txn", &txn)
+                    .with_attr("class", &class)
+                    .with_attr("state", "pending")
+                    .with_attr("deadlineUs", deadline.0.to_string()),
+            ) {
+                self.obs.why_register_alert(dgf_obs::SlaAlert {
+                    txn: txn.clone(),
+                    class,
+                    flow: flow_name.clone(),
+                    started: now,
+                    deadline,
+                    state: dgf_obs::AlertState::Pending,
+                    fired_at: None,
+                    resolved_at: None,
+                    breached: false,
+                });
+            }
+        }
         // The watchdog counts submission as the first progress.
         self.obs.health_register(&txn);
         self.queue.schedule_in(Duration::ZERO, Work::Start { run: id, node: NodeId(0) });
         Ok(txn)
+    }
+
+    /// Resolve a flow's SLA deadline objective from its reserved
+    /// variables: a positive `dgf.deadline` (budget in seconds) wins;
+    /// otherwise a registered class budget matching `dgf.class`
+    /// applies. Returns the objective class and budget, or `None` when
+    /// the flow carries no objective.
+    fn sla_objective(&self, flow: &Flow) -> Option<(String, Duration)> {
+        let var = |name: &str| {
+            flow.variables.iter().find(|v| v.name == name).map(|v| v.initial.as_str())
+        };
+        let class = var("dgf.class").map(str::to_owned);
+        if let Some(budget) = var("dgf.deadline")
+            .and_then(|t| Value::from_text(t).as_f64())
+            .filter(|s| *s > 0.0)
+        {
+            return Some((class.unwrap_or_else(|| "flow".to_owned()), Duration::from_secs_f64(budget)));
+        }
+        let class = class?;
+        let budget = *self.class_objectives.get(&class)?;
+        Some((class, budget))
     }
 
     /// Register a recurring ILM job; its first run is scheduled at the
@@ -810,9 +944,43 @@ impl Dfms {
             // clock reading at that derivation.
             if !e.replay_halted() {
                 e.queue.advance_to(until.max(e.queue.now()));
+                // The advance may have carried the clock past a
+                // deadline with no queued work left to observe it.
+                e.obs.set_now(e.queue.now());
+                e.evaluate_alerts();
             }
             n
         })
+    }
+
+    /// Advance SLA alert lifecycles to the engine clock: every pending
+    /// alert whose deadline has passed moves to `firing`, recorded in
+    /// the flight recorder AND journaled as a derived transition so a
+    /// crash/recover cycle replays the identical lifecycle. Called
+    /// only from journaled command contexts (the event loop and the
+    /// `pump_until` tail) — read-only queries must never derive new
+    /// transitions, or replay would diverge.
+    fn evaluate_alerts(&mut self) {
+        let now = self.now();
+        for txn in self.obs.why_due_firings(now) {
+            let Some(alert) = self.obs.why_alert(&txn) else { continue };
+            let burn = alert.burn_ppm(now);
+            self.obs.inc("engine", "sla.firings");
+            self.obs.record(ObsKind::SlaAlert {
+                txn: txn.clone(),
+                class: alert.class.clone(),
+                state: dgf_obs::AlertState::Firing,
+                burn_ppm: burn,
+            });
+            if self.journal_transition(
+                recovery::transition("alert")
+                    .with_attr("txn", &txn)
+                    .with_attr("state", "firing")
+                    .with_attr("burnPpm", burn.to_string()),
+            ) {
+                self.obs.why_fire_alert(&txn, now);
+            }
+        }
     }
 
     fn is_terminal(&self, txn: &str) -> bool {
@@ -1089,6 +1257,9 @@ impl Dfms {
         if self.obs.ts_due() {
             self.sample_telemetry();
         }
+        // Deadlines are pure clock facts: alert firings are evaluated
+        // on every event-loop beat, before the work item runs.
+        self.evaluate_alerts();
         self.obs.prof_enter(Phase::StepExecute);
         match work {
             Work::Start { run, node } => self.start_node(run, node),
@@ -1129,6 +1300,9 @@ impl Dfms {
                     let path = run.path_of(node_id);
                     self.obs.inc("engine", "window.waits");
                     self.obs.observe("engine", "window.wait", wait);
+                    // Attribution: the park interval is a wait mark so
+                    // the critical path charges it to `window-closed`.
+                    self.obs.why_mark(&txn, &path, dgf_obs::WaitState::WindowClosed, now, reopen, "window");
                     self.obs.record(ObsKind::WindowWait { txn, node: path, resume_us: reopen.0 });
                     self.queue.schedule_at(reopen, Work::Start { run: run_id, node: node_id });
                     return;
@@ -1653,6 +1827,21 @@ impl Dfms {
                 if pending.bytes_moved > 0 {
                     self.obs.span_attr(ctx, "bytes", &pending.bytes_moved.to_string());
                 }
+                // Endpoint attrs let the attribution engine charge
+                // byte-moving ops to `transfer-on-link` with a concrete
+                // src→dst blame label.
+                match &pending.op {
+                    Operation::Replicate { src, dst, .. } => {
+                        if let Some(src) = src {
+                            self.obs.span_attr(ctx, "src", src);
+                        }
+                        self.obs.span_attr(ctx, "dst", dst);
+                    }
+                    Operation::Ingest { resource, .. } => {
+                        self.obs.span_attr(ctx, "dst", resource);
+                    }
+                    _ => {}
+                }
                 pending.ctx = Some(ctx);
                 self.obs.add("engine", "bytes.moved", pending.bytes_moved);
                 self.obs.inc("engine", "dgms.ops");
@@ -1770,6 +1959,9 @@ impl Dfms {
                             if let Some(flow_span) = self.run_ref(run_id).nodes[0].span {
                                 self.obs.span_attr(flow_span, "cause.trace", &span.trace.0.to_string());
                                 self.obs.span_attr(flow_span, "cause.span", &span.span.0.to_string());
+                                // Attribution reads this to charge the
+                                // spawned flow's lead-in to the trigger.
+                                self.obs.span_attr(flow_span, "cause.trigger", &firing.trigger);
                             }
                         }
                     }
@@ -1866,6 +2058,25 @@ impl Dfms {
                     self.obs.span_attr(bind_span, "result", "queued");
                     self.obs.span_end(bind_span);
                     self.obs.inc("engine", "exec.queue.retries");
+                    // Attribution: the mark tiles exactly one retry
+                    // interval, so back-to-back retries merge into one
+                    // `queued-for-cluster` critical-path segment
+                    // blaming the saturated pool.
+                    {
+                        let txn = self.run_ref(run_id).txn.clone();
+                        let pool = format!(
+                            "pool:{}",
+                            task.requirement.domain.as_deref().unwrap_or("grid")
+                        );
+                        self.obs.why_mark(
+                            &txn,
+                            &path_id,
+                            dgf_obs::WaitState::QueuedForCluster,
+                            now,
+                            now + QUEUE_RETRY_INTERVAL,
+                            &pool,
+                        );
+                    }
                     self.queue.schedule_in(QUEUE_RETRY_INTERVAL, Work::Start { run: run_id, node: node_id });
                     return;
                 }
@@ -2310,11 +2521,45 @@ impl Dfms {
         let run = self.run_ref(run_id);
         let node = run.node(node_id);
         let duration = node.finished.since(node.started);
+        let finished = node.finished;
         let txn = run.txn.clone();
+        let root_span = run.nodes[0].span;
         self.obs.observe("engine", "run.duration", duration);
         self.obs.record(ObsKind::RunFinished { txn: txn.clone(), state: state.into() });
         // Terminal flows leave the watchdog's watch list.
         self.obs.health_finish(&txn);
+        // Resolve the flow's SLA alert: burn freezes at the terminal
+        // instant, and `breached` records whether the flow ran past
+        // its deadline. Journaled like the firing, so recovery replays
+        // the full lifecycle byte-identically.
+        if let Some(alert) = self.obs.why_alert(&txn) {
+            if alert.state != dgf_obs::AlertState::Resolved {
+                let breached = finished > alert.deadline;
+                let burn = alert.burn_ppm(finished);
+                self.obs.record(ObsKind::SlaAlert {
+                    txn: txn.clone(),
+                    class: alert.class.clone(),
+                    state: dgf_obs::AlertState::Resolved,
+                    burn_ppm: burn,
+                });
+                if self.journal_transition(
+                    recovery::transition("alert")
+                        .with_attr("txn", &txn)
+                        .with_attr("state", "resolved")
+                        .with_attr("breached", if breached { "true" } else { "false" })
+                        .with_attr("burnPpm", burn.to_string()),
+                ) {
+                    self.obs.why_resolve_alert(&txn, finished, breached);
+                }
+            }
+        }
+        // Attribution: the root span was closed by the provenance
+        // write just before this call; derive and retain the flow's
+        // critical path. A pure function of spans + wait marks, so
+        // recovery re-derives it — nothing to journal.
+        if let Some(root) = root_span {
+            self.obs.why_flow_finished(root);
+        }
     }
 
     /// Run a node's user-defined rule with the given reserved name.
@@ -2757,6 +3002,13 @@ impl Dfms {
                     self.pump_until(SimTime(us));
                 }
             }
+            Some("classObjective") => {
+                if let (Some(class), Some(us)) =
+                    (el.attr("class"), el.attr("budgetUs").and_then(|v| v.parse().ok()))
+                {
+                    self.set_class_objective(class, Duration(us));
+                }
+            }
             Some("bindingMode") => {
                 self.set_binding_mode(if el.attr("mode") == Some("early") {
                     BindingMode::Early
@@ -2900,4 +3152,66 @@ fn abstract_task_from_spec(step: &Step, vo: Option<String>) -> Option<AbstractTa
         })
         .collect::<Option<Vec<_>>>()?;
     Some(AbstractTask { code, nominal, inputs, outputs, requirement, vo })
+}
+
+// ----------------------------------------------------------------------
+// obs ↔ DGL attribution-type mapping (dgf-obs cannot see dgf-dgl, so
+// the taxonomy enums exist in both crates; the engine is the bridge).
+// ----------------------------------------------------------------------
+
+fn wait_state_to_dgl(s: dgf_obs::WaitState) -> dgf_dgl::WaitState {
+    match s {
+        dgf_obs::WaitState::Executing => dgf_dgl::WaitState::Executing,
+        dgf_obs::WaitState::QueuedForCluster => dgf_dgl::WaitState::QueuedForCluster,
+        dgf_obs::WaitState::TransferOnLink => dgf_dgl::WaitState::TransferOnLink,
+        dgf_obs::WaitState::WindowClosed => dgf_dgl::WaitState::WindowClosed,
+        dgf_obs::WaitState::TriggerWait => dgf_dgl::WaitState::TriggerWait,
+        dgf_obs::WaitState::LintAdmission => dgf_dgl::WaitState::LintAdmission,
+    }
+}
+
+fn alert_state_to_dgl(s: dgf_obs::AlertState) -> dgf_dgl::AlertState {
+    match s {
+        dgf_obs::AlertState::Pending => dgf_dgl::AlertState::Pending,
+        dgf_obs::AlertState::Firing => dgf_dgl::AlertState::Firing,
+        dgf_obs::AlertState::Resolved => dgf_dgl::AlertState::Resolved,
+    }
+}
+
+fn why_path_to_dgl(p: &dgf_obs::CriticalPath) -> dgf_dgl::WhyPath {
+    dgf_dgl::WhyPath {
+        txn: p.txn.clone(),
+        flow: p.flow.clone(),
+        start_us: p.start.0,
+        end_us: p.end.0,
+        caused_by: p.caused_by.clone(),
+        segments: p
+            .segments
+            .iter()
+            .map(|s| dgf_dgl::WhySegment {
+                from_us: s.from.0,
+                until_us: s.until.0,
+                state: wait_state_to_dgl(s.state),
+                resource: s.resource.clone(),
+                node: s.node.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Burn is computed against `now` for live alerts and frozen at
+/// resolution for resolved ones (see [`dgf_obs::SlaAlert::burn_ppm`]).
+fn why_alert_to_dgl(a: &dgf_obs::SlaAlert, now: SimTime) -> dgf_dgl::WhyAlert {
+    dgf_dgl::WhyAlert {
+        txn: a.txn.clone(),
+        class: a.class.clone(),
+        flow: a.flow.clone(),
+        started_us: a.started.0,
+        deadline_us: a.deadline.0,
+        state: alert_state_to_dgl(a.state),
+        burn_ppm: a.burn_ppm(now),
+        fired_at_us: a.fired_at.map(|t| t.0),
+        resolved_at_us: a.resolved_at.map(|t| t.0),
+        breached: a.breached,
+    }
 }

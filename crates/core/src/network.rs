@@ -117,15 +117,16 @@ impl DfmsNetwork {
                 .get(&q.transaction)
                 .cloned()
                 .ok_or_else(|| DfmsError::UnknownTransaction(q.transaction.clone()))?,
-            // Telemetry, validation, recovery, time travel, and profile
-            // are server-global: serve them from the first registered
-            // server (each server sees its own grid view, journal, and
-            // profile).
+            // Telemetry, validation, recovery, time travel, profile,
+            // and why are server-global: serve them from the first
+            // registered server (each server sees its own grid view,
+            // journal, profile, and attribution store).
             RequestBody::Telemetry(_)
             | RequestBody::Validation(_)
             | RequestBody::Recovery(_)
             | RequestBody::TimeTravel(_)
-            | RequestBody::Profile(_) => self
+            | RequestBody::Profile(_)
+            | RequestBody::Why(_) => self
                 .order
                 .first()
                 .cloned()

@@ -366,6 +366,20 @@ impl ServerHandle {
             _ => None,
         }
     }
+
+    /// Run one attribution query over the wire (the DGL `whyQuery`
+    /// pair): completed-flow critical paths, the wait-state bottleneck
+    /// table, and SLA alert lifecycles with burn rates. Returns `None`
+    /// if the server has shut down or answered with something other
+    /// than a why report.
+    pub fn why(&self, query: dgf_dgl::WhyQuery) -> Option<dgf_dgl::WhyReport> {
+        let xml = dgf_dgl::DataGridRequest::why("why", "operator", query).to_xml();
+        let response = self.request(&xml)?;
+        match dgf_dgl::parse_response(&response).ok()?.body {
+            dgf_dgl::ResponseBody::Why(report) => Some(report),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

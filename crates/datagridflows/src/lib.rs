@@ -126,6 +126,12 @@ pub mod prelude {
         FlowValidationQuery, RunState, Severity, StatusReport, Step, TelemetryQuery,
         TelemetryReport, TimeTravelQuery, TimeTravelReport, ValidationReport, Value,
     };
+    // The attribution (dgf-why) wire pair. `WaitState` / `AlertState`
+    // exist in both dgf-dgl and dgf-obs; the prelude exports the wire
+    // versions (reach the analysis-side twins via `crate::obs::…`).
+    pub use crate::dgl::{
+        AlertState, WaitState, WhyAlert, WhyBottleneck, WhyPath, WhyQuery, WhyReport, WhySegment,
+    };
     pub use crate::journal::Journal;
     pub use crate::lint::{lint, lint_with_grid, GridContext};
     pub use crate::obs::{

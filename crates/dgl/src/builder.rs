@@ -137,6 +137,23 @@ impl FlowBuilder {
         self
     }
 
+    /// Declare a per-flow SLA deadline via the reserved `dgf.deadline`
+    /// variable: the engine opens a burn-rate alert that fires when
+    /// the flow is still running `secs` simulated seconds after
+    /// submission (see `docs/OBSERVABILITY.md`).
+    #[must_use]
+    pub fn with_deadline_secs(self, secs: impl std::fmt::Display) -> Self {
+        self.var("dgf.deadline", secs.to_string())
+    }
+
+    /// Tag the flow with an SLA objective class via the reserved
+    /// `dgf.class` variable. Flows without their own `dgf.deadline`
+    /// inherit the budget registered for the class on the server.
+    #[must_use]
+    pub fn with_class(self, class: impl Into<String>) -> Self {
+        self.var("dgf.class", class)
+    }
+
     /// Attach a user-defined rule.
     #[must_use]
     pub fn rule(mut self, rule: UserDefinedRule) -> Self {

@@ -38,6 +38,7 @@ mod telemetry;
 mod time_travel;
 mod validation;
 mod value;
+mod why;
 mod xml_codec;
 
 pub use builder::FlowBuilder;
@@ -64,6 +65,9 @@ pub use time_travel::{
 };
 pub use validation::{Diagnostic, FlowValidationQuery, Severity, ValidationReport};
 pub use value::Value;
+pub use why::{
+    AlertState, WaitState, WhyAlert, WhyBottleneck, WhyPath, WhyQuery, WhyReport, WhySegment,
+};
 pub use xml_codec::{parse_request, parse_response};
 
 /// Interpolate `${name}` references in a template string from a scope.

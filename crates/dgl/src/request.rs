@@ -7,6 +7,7 @@ use crate::status::FlowStatusQuery;
 use crate::telemetry::TelemetryQuery;
 use crate::time_travel::TimeTravelQuery;
 use crate::validation::FlowValidationQuery;
+use crate::why::WhyQuery;
 
 /// Whether the client wants to wait for execution or get an immediate
 /// acknowledgement (Appendix A: "the requests can be synchronous or
@@ -42,6 +43,9 @@ pub enum RequestBody {
     /// A performance-profile query (phase tree, folded stacks, server
     /// contention counters).
     Profile(ProfileQuery),
+    /// An attribution query (critical paths, wait-state bottlenecks,
+    /// SLA alerts).
+    Why(WhyQuery),
 }
 
 /// A complete Data Grid Request: "general information including document
@@ -146,6 +150,18 @@ impl DataGridRequest {
             vo: None,
             mode: RequestMode::Synchronous,
             body: RequestBody::Profile(query),
+        }
+    }
+
+    /// An attribution request: why flows took as long as they did.
+    pub fn why(id: impl Into<String>, user: impl Into<String>, query: WhyQuery) -> Self {
+        DataGridRequest {
+            id: id.into(),
+            description: String::new(),
+            user: user.into(),
+            vo: None,
+            mode: RequestMode::Synchronous,
+            body: RequestBody::Why(query),
         }
     }
 

@@ -6,6 +6,7 @@ use crate::status::{RunState, StatusReport};
 use crate::telemetry::TelemetryReport;
 use crate::time_travel::TimeTravelReport;
 use crate::validation::ValidationReport;
+use crate::why::WhyReport;
 
 /// A Request Acknowledgement: "contains a unique identifier for each
 /// request and the initial status of the request and its validity"
@@ -44,6 +45,9 @@ pub enum ResponseBody {
     /// A performance-profile snapshot (phase tree, folded stacks,
     /// server contention counters).
     Profile(ProfileReport),
+    /// An attribution snapshot (critical paths, wait-state
+    /// bottlenecks, SLA alerts).
+    Why(WhyReport),
 }
 
 /// A complete Data Grid Response, paired to a request by `request_id`.
@@ -91,8 +95,13 @@ impl DataGridResponse {
         DataGridResponse { request_id: request_id.into(), body: ResponseBody::Profile(report) }
     }
 
+    /// A why (attribution) response.
+    pub fn why(request_id: impl Into<String>, report: WhyReport) -> Self {
+        DataGridResponse { request_id: request_id.into(), body: ResponseBody::Why(report) }
+    }
+
     /// The transaction this response refers to. Telemetry, validation,
-    /// recovery, time-travel, and profile responses describe no
+    /// recovery, time-travel, profile, and why responses describe no
     /// transaction (empty string): they are grid-global, or lint a flow
     /// that never ran.
     pub fn transaction(&self) -> &str {
@@ -103,7 +112,8 @@ impl DataGridResponse {
             | ResponseBody::Validation(_)
             | ResponseBody::Recovery(_)
             | ResponseBody::TimeTravel(_)
-            | ResponseBody::Profile(_) => "",
+            | ResponseBody::Profile(_)
+            | ResponseBody::Why(_) => "",
         }
     }
 }

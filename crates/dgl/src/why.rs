@@ -1,0 +1,424 @@
+//! The attribution operator surface of the protocol (`dgf-why`): a
+//! query over the engine's critical-path / wait-state analysis and SLA
+//! alert state, and its report.
+//!
+//! A datagridflow's makespan is dominated by *waiting* — for cluster
+//! slots, schedule windows, WAN transfers — and the raw span tree shows
+//! what happened but not *why the flow took as long as it did*.
+//! [`WhyQuery`] fetches the engine's answer: each completed flow's
+//! critical path partitioned into wait-state segments, an aggregated
+//! bottleneck report blaming resources/links, and the lifecycle of
+//! every SLA deadline alert. Like the rest of the crate these are plain
+//! data; the XML codec lives in `xml_codec`.
+//!
+//! Determinism contract: every field is a function of the simulated
+//! schedule (times in sim-µs, shares and burn rates in integer
+//! parts-per-million — never floats), so a report is byte-identical
+//! across reruns of a seeded scenario.
+
+use std::fmt;
+
+/// The closed wait-state taxonomy: every sim-microsecond of a completed
+/// flow's critical path is classified as exactly one of these.
+///
+/// `docs/OBSERVABILITY.md` § Attribution & alerting is the normative
+/// description of when each state is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitState {
+    /// A step was running on a bound compute resource.
+    Executing,
+    /// A step was eligible but no cluster slot was free.
+    QueuedForCluster,
+    /// Bytes were moving on a WAN link or between storage tiers.
+    TransferOnLink,
+    /// A node was parked until its schedule window reopened.
+    WindowClosed,
+    /// Time between a causal trigger firing and the spawned flow's
+    /// first dispatched work (structurally near-zero in the current
+    /// engine, where triggers fire synchronously).
+    TriggerWait,
+    /// Engine admission, lint gating, and control-flow bookkeeping —
+    /// the residual class that keeps the taxonomy closed.
+    LintAdmission,
+}
+
+impl WaitState {
+    /// The stable kebab-case name used on the wire and in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WaitState::Executing => "executing",
+            WaitState::QueuedForCluster => "queued-for-cluster",
+            WaitState::TransferOnLink => "transfer-on-link",
+            WaitState::WindowClosed => "window-closed",
+            WaitState::TriggerWait => "trigger-wait",
+            WaitState::LintAdmission => "lint/admission",
+        }
+    }
+
+    /// Parse a wire name back into the taxonomy.
+    pub fn parse(s: &str) -> Option<WaitState> {
+        Some(match s {
+            "executing" => WaitState::Executing,
+            "queued-for-cluster" => WaitState::QueuedForCluster,
+            "transfer-on-link" => WaitState::TransferOnLink,
+            "window-closed" => WaitState::WindowClosed,
+            "trigger-wait" => WaitState::TriggerWait,
+            "lint/admission" => WaitState::LintAdmission,
+            _ => return None,
+        })
+    }
+
+    /// Every state, in wire order (used by proptests and docs).
+    pub const ALL: [WaitState; 6] = [
+        WaitState::Executing,
+        WaitState::QueuedForCluster,
+        WaitState::TransferOnLink,
+        WaitState::WindowClosed,
+        WaitState::TriggerWait,
+        WaitState::LintAdmission,
+    ];
+}
+
+impl fmt::Display for WaitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The lifecycle of an SLA deadline alert: `pending → firing →
+/// resolved`, each transition recorded in the flight recorder and the
+/// journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    /// The objective is registered and the deadline has not passed.
+    Pending,
+    /// The deadline passed while the flow was still running.
+    Firing,
+    /// The flow reached a terminal state (see `breached` for whether it
+    /// beat its deadline).
+    Resolved,
+}
+
+impl AlertState {
+    /// The stable wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<AlertState> {
+        Some(match s {
+            "pending" => AlertState::Pending,
+            "firing" => AlertState::Firing,
+            "resolved" => AlertState::Resolved,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `<whyQuery>` request body.
+///
+/// ```
+/// use dgf_dgl::WhyQuery;
+///
+/// let q = WhyQuery::new().with_flow("t1").with_top_k(3);
+/// assert_eq!(q.flow.as_deref(), Some("t1"));
+/// assert_eq!(q.top_k, 3);
+/// assert!(q.paths && q.alerts);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyQuery {
+    /// Restrict the per-flow critical paths to one transaction id.
+    pub flow: Option<String>,
+    /// How many bottleneck rows to return (0 = all).
+    pub top_k: u32,
+    /// Include the per-flow critical paths.
+    pub paths: bool,
+    /// Include the SLA alert table.
+    pub alerts: bool,
+}
+
+impl Default for WhyQuery {
+    fn default() -> Self {
+        WhyQuery { flow: None, top_k: 5, paths: true, alerts: true }
+    }
+}
+
+impl WhyQuery {
+    /// The default query: every flow, top-5 bottlenecks, paths and
+    /// alerts included.
+    pub fn new() -> Self {
+        WhyQuery::default()
+    }
+
+    /// Restrict critical paths to one transaction.
+    pub fn with_flow(mut self, txn: impl Into<String>) -> Self {
+        self.flow = Some(txn.into());
+        self
+    }
+
+    /// Cap the bottleneck table at `k` rows (0 = unlimited).
+    pub fn with_top_k(mut self, k: u32) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Include or omit the per-flow critical paths.
+    pub fn with_paths(mut self, paths: bool) -> Self {
+        self.paths = paths;
+        self
+    }
+
+    /// Include or omit the SLA alert table.
+    pub fn with_alerts(mut self, alerts: bool) -> Self {
+        self.alerts = alerts;
+        self
+    }
+}
+
+/// One segment of a flow's critical path: a half-open sim-time interval
+/// `[from_us, until_us)` classified into the wait-state taxonomy and
+/// blamed on a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhySegment {
+    /// Segment start, sim-µs.
+    pub from_us: u64,
+    /// Segment end, sim-µs (strictly greater than `from_us`).
+    pub until_us: u64,
+    /// The wait-state classification.
+    pub state: WaitState,
+    /// The blamed resource: a compute name for `executing`, `src→dst`
+    /// for `transfer-on-link`, a pool label for `queued-for-cluster`,
+    /// `window` / `engine` / `trigger:<name>` for the rest.
+    pub resource: String,
+    /// The flow-tree node the segment is anchored to (`/` for
+    /// flow-level time).
+    pub node: String,
+}
+
+impl WhySegment {
+    /// Segment length in sim-µs.
+    pub fn duration_us(&self) -> u64 {
+        self.until_us.saturating_sub(self.from_us)
+    }
+}
+
+/// One completed flow's critical path: a gap-free partition of
+/// `[start_us, end_us)` into [`WhySegment`]s.
+///
+/// Invariant (tested): the segment durations sum exactly to the flow
+/// makespan, `end_us - start_us`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyPath {
+    /// Transaction id.
+    pub txn: String,
+    /// Root flow name.
+    pub flow: String,
+    /// Flow start (root span open), sim-µs.
+    pub start_us: u64,
+    /// Flow end (root span close), sim-µs.
+    pub end_us: u64,
+    /// The trigger that spawned this flow, when it was trigger-spawned.
+    pub caused_by: Option<String>,
+    /// The critical-path segments, in time order.
+    pub segments: Vec<WhySegment>,
+}
+
+impl WhyPath {
+    /// The flow makespan in sim-µs.
+    pub fn makespan_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Sum of all segment durations — equal to [`WhyPath::makespan_us`]
+    /// by construction.
+    pub fn segments_sum_us(&self) -> u64 {
+        self.segments.iter().map(WhySegment::duration_us).sum()
+    }
+}
+
+/// One row of the aggregated bottleneck report: total critical-path
+/// sim-time charged to a `(state, resource)` pair across every analyzed
+/// flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyBottleneck {
+    /// The wait-state classification.
+    pub state: WaitState,
+    /// The blamed resource (same convention as [`WhySegment`]).
+    pub resource: String,
+    /// Total critical-path sim-µs charged to this pair.
+    pub total_us: u64,
+    /// This pair's share of all attributed critical-path time, in
+    /// integer parts-per-million.
+    pub share_ppm: u64,
+}
+
+/// One SLA deadline alert with its full lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyAlert {
+    /// Transaction id of the governed flow.
+    pub txn: String,
+    /// The objective class (`dgf.class` value, or `flow` for a per-flow
+    /// `dgf.deadline`).
+    pub class: String,
+    /// Root flow name.
+    pub flow: String,
+    /// Flow submission time, sim-µs.
+    pub started_us: u64,
+    /// The deadline, sim-µs (`started_us` + budget).
+    pub deadline_us: u64,
+    /// Current lifecycle state.
+    pub state: AlertState,
+    /// Burn rate in parts-per-million of budget consumed: 1_000_000
+    /// means the budget is exactly spent. For resolved alerts this is
+    /// frozen at resolution time.
+    pub burn_ppm: u64,
+    /// When the alert transitioned to firing, if it ever did.
+    pub fired_at_us: Option<u64>,
+    /// When the alert resolved (the flow reached a terminal state).
+    pub resolved_at_us: Option<u64>,
+    /// True when the flow finished after its deadline.
+    pub breached: bool,
+}
+
+/// A `<whyReport>` response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyReport {
+    /// Simulation time (µs) when the report was taken.
+    pub time_us: u64,
+    /// Completed flows that have been analyzed (before any `flow`
+    /// filter).
+    pub flows_analyzed: u64,
+    /// Total critical-path sim-µs attributed across every analyzed flow
+    /// (the denominator of every bottleneck share).
+    pub attributed_us: u64,
+    /// Per-flow critical paths (empty when the query said `paths =
+    /// false`).
+    pub paths: Vec<WhyPath>,
+    /// The aggregated bottleneck table, largest contributor first.
+    pub bottlenecks: Vec<WhyBottleneck>,
+    /// Every SLA alert, in registration order (empty when the query
+    /// said `alerts = false`).
+    pub alerts: Vec<WhyAlert>,
+}
+
+impl WhyReport {
+    /// A report with nothing analyzed yet.
+    pub fn empty(time_us: u64) -> Self {
+        WhyReport {
+            time_us,
+            flows_analyzed: 0,
+            attributed_us: 0,
+            paths: Vec::new(),
+            bottlenecks: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Alerts currently in the `firing` state.
+    pub fn firing(&self) -> impl Iterator<Item = &WhyAlert> {
+        self.alerts.iter().filter(|a| a.state == AlertState::Firing)
+    }
+}
+
+impl fmt::Display for WhyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "why @{}us {} flows, {}us attributed, {} bottlenecks",
+            self.time_us,
+            self.flows_analyzed,
+            self.attributed_us,
+            self.bottlenecks.len()
+        )?;
+        let firing = self.firing().count();
+        if !self.alerts.is_empty() {
+            write!(f, ", {} alerts ({} firing)", self.alerts.len(), firing)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_state_names_round_trip() {
+        for s in WaitState::ALL {
+            assert_eq!(WaitState::parse(s.name()), Some(s), "{s}");
+        }
+        assert_eq!(WaitState::parse("coffee-break"), None);
+    }
+
+    #[test]
+    fn alert_state_names_round_trip() {
+        for s in [AlertState::Pending, AlertState::Firing, AlertState::Resolved] {
+            assert_eq!(AlertState::parse(s.name()), Some(s), "{s}");
+        }
+        assert_eq!(AlertState::parse("snoozed"), None);
+    }
+
+    #[test]
+    fn query_builder_sets_fields() {
+        let q = WhyQuery::new();
+        assert!(q.flow.is_none() && q.top_k == 5 && q.paths && q.alerts);
+        let q = q.with_flow("t9").with_top_k(0).with_paths(false).with_alerts(false);
+        assert_eq!(q.flow.as_deref(), Some("t9"));
+        assert!(q.top_k == 0 && !q.paths && !q.alerts);
+    }
+
+    #[test]
+    fn path_sums_segments() {
+        let seg = |from_us, until_us, state| WhySegment {
+            from_us,
+            until_us,
+            state,
+            resource: "r".into(),
+            node: "/0".into(),
+        };
+        let p = WhyPath {
+            txn: "t1".into(),
+            flow: "f".into(),
+            start_us: 10,
+            end_us: 40,
+            caused_by: None,
+            segments: vec![
+                seg(10, 25, WaitState::QueuedForCluster),
+                seg(25, 40, WaitState::Executing),
+            ],
+        };
+        assert_eq!(p.makespan_us(), 30);
+        assert_eq!(p.segments_sum_us(), 30);
+    }
+
+    #[test]
+    fn report_display_is_compact() {
+        let mut r = WhyReport::empty(7);
+        assert_eq!(r.to_string(), "why @7us 0 flows, 0us attributed, 0 bottlenecks");
+        r.alerts.push(WhyAlert {
+            txn: "t1".into(),
+            class: "flow".into(),
+            flow: "f".into(),
+            started_us: 0,
+            deadline_us: 100,
+            state: AlertState::Firing,
+            burn_ppm: 1_500_000,
+            fired_at_us: Some(100),
+            resolved_at_us: None,
+            breached: false,
+        });
+        assert_eq!(r.firing().count(), 1);
+        assert!(r.to_string().ends_with("1 alerts (1 firing)"), "{r}");
+    }
+}

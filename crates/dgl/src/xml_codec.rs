@@ -73,6 +73,7 @@ impl DataGridRequest {
             RequestBody::Recovery(q) => root.push_element(q.to_element()),
             RequestBody::TimeTravel(q) => root.push_element(q.to_element()),
             RequestBody::Profile(q) => root.push_element(q.to_element()),
+            RequestBody::Why(q) => root.push_element(q.to_element()),
         }
         root
     }
@@ -115,10 +116,12 @@ impl DataGridRequest {
             RequestBody::TimeTravel(crate::TimeTravelQuery::from_element(q_el)?)
         } else if let Some(q_el) = e.child("profileQuery") {
             RequestBody::Profile(crate::ProfileQuery::from_element(q_el)?)
+        } else if let Some(q_el) = e.child("whyQuery") {
+            RequestBody::Why(crate::WhyQuery::from_element(q_el)?)
         } else {
             return Err(DglError::schema(
                 &e.name,
-                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, <recoveryQuery>, <timeTravelQuery>, or <profileQuery>",
+                "needs a <flow>, <flowStatusQuery>, <telemetryQuery>, <flowValidationQuery>, <recoveryQuery>, <timeTravelQuery>, <profileQuery>, or <whyQuery>",
             ));
         };
         Ok(DataGridRequest { id, description, user, vo, mode, body })
@@ -1161,6 +1164,186 @@ impl crate::ProfileReport {
     }
 }
 
+impl crate::WhyQuery {
+    /// Encode as an XML element: `<whyQuery topK="5"/>`; the `flow`
+    /// filter is omitted when unset, `paths`/`alerts` are omitted when
+    /// true (their default) so the plain query stays minimal.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("whyQuery").with_attr("topK", self.top_k.to_string());
+        if let Some(flow) = &self.flow {
+            el.set_attr("flow", flow);
+        }
+        if !self.paths {
+            el.set_attr("paths", "false");
+        }
+        if !self.alerts {
+            el.set_attr("alerts", "false");
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let raw = require_attr(e, "topK")?;
+        let top_k =
+            raw.parse().map_err(|_| DglError::schema(&e.name, format!("bad topK {raw:?}")))?;
+        Ok(crate::WhyQuery {
+            flow: e.attr("flow").map(str::to_owned),
+            top_k,
+            paths: e.attr("paths") != Some("false"),
+            alerts: e.attr("alerts") != Some("false"),
+        })
+    }
+}
+
+impl crate::WhyReport {
+    /// Encode as an XML element: one `<criticalPath>` (with nested
+    /// `<segment>`s) per analyzed flow, one `<bottleneck>` per
+    /// aggregated blame row, one `<alert>` per SLA objective. Optional
+    /// attributes (`causedBy`, `firedAt`, `resolvedAt`) are omitted
+    /// when absent so every report round-trips byte-identically.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("whyReport")
+            .with_attr("time", self.time_us.to_string())
+            .with_attr("flows", self.flows_analyzed.to_string())
+            .with_attr("attributedUs", self.attributed_us.to_string());
+        for p in &self.paths {
+            let mut pe = Element::new("criticalPath")
+                .with_attr("txn", &p.txn)
+                .with_attr("flow", &p.flow)
+                .with_attr("startUs", p.start_us.to_string())
+                .with_attr("endUs", p.end_us.to_string());
+            if let Some(cause) = &p.caused_by {
+                pe.set_attr("causedBy", cause);
+            }
+            for s in &p.segments {
+                pe.push_element(
+                    Element::new("segment")
+                        .with_attr("fromUs", s.from_us.to_string())
+                        .with_attr("untilUs", s.until_us.to_string())
+                        .with_attr("state", s.state.name())
+                        .with_attr("resource", &s.resource)
+                        .with_attr("node", &s.node),
+                );
+            }
+            el.push_element(pe);
+        }
+        for b in &self.bottlenecks {
+            el.push_element(
+                Element::new("bottleneck")
+                    .with_attr("state", b.state.name())
+                    .with_attr("resource", &b.resource)
+                    .with_attr("totalUs", b.total_us.to_string())
+                    .with_attr("sharePpm", b.share_ppm.to_string()),
+            );
+        }
+        for a in &self.alerts {
+            let mut ae = Element::new("alert")
+                .with_attr("txn", &a.txn)
+                .with_attr("class", &a.class)
+                .with_attr("flow", &a.flow)
+                .with_attr("startedUs", a.started_us.to_string())
+                .with_attr("deadlineUs", a.deadline_us.to_string())
+                .with_attr("state", a.state.name())
+                .with_attr("burnPpm", a.burn_ppm.to_string())
+                .with_attr("breached", if a.breached { "true" } else { "false" });
+            if let Some(t) = a.fired_at_us {
+                ae.set_attr("firedAtUs", t.to_string());
+            }
+            if let Some(t) = a.resolved_at_us {
+                ae.set_attr("resolvedAtUs", t.to_string());
+            }
+            el.push_element(ae);
+        }
+        el
+    }
+
+    /// Decode from an XML element.
+    pub fn from_element(e: &Element) -> Result<Self, DglError> {
+        let num = |el: &Element, attr: &str| -> Result<u64, DglError> {
+            let raw = require_attr(el, attr)?;
+            raw.parse().map_err(|_| DglError::schema(&el.name, format!("bad {attr} {raw:?}")))
+        };
+        let opt_num = |el: &Element, attr: &str| -> Result<Option<u64>, DglError> {
+            el.attr(attr)
+                .map(|raw| {
+                    raw.parse()
+                        .map_err(|_| DglError::schema(&el.name, format!("bad {attr} {raw:?}")))
+                })
+                .transpose()
+        };
+        let wait_state = |el: &Element| -> Result<crate::WaitState, DglError> {
+            let raw = require_attr(el, "state")?;
+            crate::WaitState::parse(raw)
+                .ok_or_else(|| DglError::schema(&el.name, format!("unknown wait state {raw:?}")))
+        };
+        let paths = e
+            .children_named("criticalPath")
+            .map(|pe| {
+                Ok(crate::WhyPath {
+                    txn: require_attr(pe, "txn")?.to_owned(),
+                    flow: require_attr(pe, "flow")?.to_owned(),
+                    start_us: num(pe, "startUs")?,
+                    end_us: num(pe, "endUs")?,
+                    caused_by: pe.attr("causedBy").map(str::to_owned),
+                    segments: pe
+                        .children_named("segment")
+                        .map(|se| {
+                            Ok(crate::WhySegment {
+                                from_us: num(se, "fromUs")?,
+                                until_us: num(se, "untilUs")?,
+                                state: wait_state(se)?,
+                                resource: require_attr(se, "resource")?.to_owned(),
+                                node: require_attr(se, "node")?.to_owned(),
+                            })
+                        })
+                        .collect::<Result<_, DglError>>()?,
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        let bottlenecks = e
+            .children_named("bottleneck")
+            .map(|be| {
+                Ok(crate::WhyBottleneck {
+                    state: wait_state(be)?,
+                    resource: require_attr(be, "resource")?.to_owned(),
+                    total_us: num(be, "totalUs")?,
+                    share_ppm: num(be, "sharePpm")?,
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        let alerts = e
+            .children_named("alert")
+            .map(|ae| {
+                let raw = require_attr(ae, "state")?;
+                let state = crate::AlertState::parse(raw).ok_or_else(|| {
+                    DglError::schema(&ae.name, format!("unknown alert state {raw:?}"))
+                })?;
+                Ok(crate::WhyAlert {
+                    txn: require_attr(ae, "txn")?.to_owned(),
+                    class: require_attr(ae, "class")?.to_owned(),
+                    flow: require_attr(ae, "flow")?.to_owned(),
+                    started_us: num(ae, "startedUs")?,
+                    deadline_us: num(ae, "deadlineUs")?,
+                    state,
+                    burn_ppm: num(ae, "burnPpm")?,
+                    fired_at_us: opt_num(ae, "firedAtUs")?,
+                    resolved_at_us: opt_num(ae, "resolvedAtUs")?,
+                    breached: require_attr(ae, "breached")? == "true",
+                })
+            })
+            .collect::<Result<_, DglError>>()?;
+        Ok(crate::WhyReport {
+            time_us: num(e, "time")?,
+            flows_analyzed: num(e, "flows")?,
+            attributed_us: num(e, "attributedUs")?,
+            paths,
+            bottlenecks,
+            alerts,
+        })
+    }
+}
+
 fn state_to_str(s: RunState) -> &'static str {
     match s {
         RunState::Pending => "pending",
@@ -1288,6 +1471,7 @@ impl DataGridResponse {
             ResponseBody::Recovery(report) => root.push_element(report.to_element()),
             ResponseBody::TimeTravel(report) => root.push_element(report.to_element()),
             ResponseBody::Profile(report) => root.push_element(report.to_element()),
+            ResponseBody::Why(report) => root.push_element(report.to_element()),
         }
         root
     }
@@ -1462,9 +1646,13 @@ impl DataGridResponse {
             let report = crate::ProfileReport::from_element(t)?;
             return Ok(DataGridResponse { request_id, body: ResponseBody::Profile(report) });
         }
+        if let Some(t) = e.child("whyReport") {
+            let report = crate::WhyReport::from_element(t)?;
+            return Ok(DataGridResponse { request_id, body: ResponseBody::Why(report) });
+        }
         Err(DglError::schema(
             "dataGridResponse",
-            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, <recoveryReport>, <timeTravelReport>, or <profileReport>",
+            "needs <requestAcknowledgement>, <statusReport>, <telemetryReport>, <validationReport>, <recoveryReport>, <timeTravelReport>, <profileReport>, or <whyReport>",
         ))
     }
 }
@@ -1918,6 +2106,81 @@ mod tests {
         let ResponseBody::Profile(r) = parsed.body else { panic!("expected profile") };
         assert_eq!(r.folded.as_deref(), Some(folded_text), "folded text travels byte-exactly");
         // Profile responses carry no transaction.
+        assert_eq!(full.transaction(), "");
+    }
+
+    #[test]
+    fn why_queries_round_trip() {
+        let plain = DataGridRequest::why("r1", "operator", crate::WhyQuery::new());
+        let xml = plain.to_xml();
+        assert!(xml.contains("<whyQuery topK=\"5\"/>"), "{xml}");
+        assert_eq!(parse_request(&xml).unwrap(), plain);
+
+        let full = DataGridRequest::why(
+            "r2",
+            "operator",
+            crate::WhyQuery::new().with_flow("t3").with_top_k(0).with_paths(false).with_alerts(false),
+        );
+        assert_eq!(parse_request(&full.to_xml()).unwrap(), full);
+    }
+
+    #[test]
+    fn why_reports_round_trip() {
+        let empty = DataGridResponse::why("r0", crate::WhyReport::empty(7));
+        assert_eq!(parse_response(&empty.to_xml()).unwrap(), empty);
+
+        let full = DataGridResponse::why(
+            "r1",
+            crate::WhyReport {
+                time_us: 640,
+                flows_analyzed: 2,
+                attributed_us: 300,
+                paths: vec![crate::WhyPath {
+                    txn: "t1".into(),
+                    flow: "pipeline".into(),
+                    start_us: 100,
+                    end_us: 400,
+                    caused_by: Some("on-ingest".into()),
+                    segments: vec![
+                        crate::WhySegment {
+                            from_us: 100,
+                            until_us: 250,
+                            state: crate::WaitState::TransferOnLink,
+                            resource: "cern-disk→fnal-disk".into(),
+                            node: "/0".into(),
+                        },
+                        crate::WhySegment {
+                            from_us: 250,
+                            until_us: 400,
+                            state: crate::WaitState::Executing,
+                            resource: "fnal-hpc".into(),
+                            node: "/1".into(),
+                        },
+                    ],
+                }],
+                bottlenecks: vec![crate::WhyBottleneck {
+                    state: crate::WaitState::TransferOnLink,
+                    resource: "cern-disk→fnal-disk".into(),
+                    total_us: 150,
+                    share_ppm: 500_000,
+                }],
+                alerts: vec![crate::WhyAlert {
+                    txn: "t1".into(),
+                    class: "flow".into(),
+                    flow: "pipeline".into(),
+                    started_us: 100,
+                    deadline_us: 350,
+                    state: crate::AlertState::Resolved,
+                    burn_ppm: 1_200_000,
+                    fired_at_us: Some(350),
+                    resolved_at_us: Some(400),
+                    breached: true,
+                }],
+            },
+        );
+        let parsed = parse_response(&full.to_xml()).unwrap();
+        assert_eq!(parsed, full);
+        // Why responses carry no transaction.
         assert_eq!(full.transaction(), "");
     }
 

@@ -365,6 +365,13 @@ impl DefUse<'_> {
     fn pop_frame(&mut self) {
         let frame = self.frames.pop().expect("balanced frames");
         for v in frame {
+            // `dgf.`-prefixed names are reserved engine directives
+            // (`dgf.deadline`, `dgf.class`): the *engine* reads them at
+            // submission, so "never read by the flow" is their normal,
+            // correct state.
+            if v.name.starts_with("dgf.") {
+                continue;
+            }
             if !v.read {
                 self.diags.push(
                     Diagnostic::new(

@@ -135,6 +135,20 @@ pub enum EventKind {
         /// True when the gate refused submission.
         rejected: bool,
     },
+    /// An SLA deadline alert changed lifecycle state (`sla.pending` /
+    /// `sla.firing` / `sla.resolved` — named by the state the alert
+    /// *entered*).
+    SlaAlert {
+        /// Transaction id of the governed flow.
+        txn: String,
+        /// Objective class (`flow` for a per-flow deadline).
+        class: String,
+        /// The lifecycle state entered.
+        state: crate::AlertState,
+        /// Budget consumed at the transition, integer
+        /// parts-per-million (1_000_000 = deadline reached).
+        burn_ppm: u64,
+    },
     /// The flow-progress watchdog re-classified a flow
     /// (`health.healthy` / `health.slow` / `health.stalled` — named by
     /// the state the flow *entered*).
@@ -173,6 +187,11 @@ impl EventKind {
                     "lint.report"
                 }
             }
+            EventKind::SlaAlert { state, .. } => match state {
+                crate::AlertState::Pending => "sla.pending",
+                crate::AlertState::Firing => "sla.firing",
+                crate::AlertState::Resolved => "sla.resolved",
+            },
             EventKind::HealthTransition { to, .. } => match to {
                 crate::HealthState::Healthy => "health.healthy",
                 crate::HealthState::Slow => "health.slow",
@@ -194,6 +213,7 @@ impl EventKind {
             | EventKind::WindowWait { txn, .. }
             | EventKind::FaultRetry { txn, .. }
             | EventKind::ProvenanceWrite { txn, .. }
+            | EventKind::SlaAlert { txn, .. }
             | EventKind::HealthTransition { txn, .. } => Some(txn),
             EventKind::TriggerFired { .. } | EventKind::LintReport { .. } => None,
         }
@@ -211,6 +231,7 @@ impl EventKind {
             | EventKind::ProvenanceWrite { node, .. } => Some(node),
             EventKind::RunSubmitted { .. } => Some("/"),
             EventKind::RunFinished { .. } => Some("/"),
+            EventKind::SlaAlert { .. } => Some("/"),
             EventKind::HealthTransition { .. } => Some("/"),
             EventKind::TriggerFired { .. } | EventKind::LintReport { .. } => None,
         }
@@ -248,6 +269,9 @@ impl EventKind {
             }
             EventKind::LintReport { flow, errors, warnings, rejected } => {
                 format!("flow={flow} errors={errors} warnings={warnings} rejected={rejected}")
+            }
+            EventKind::SlaAlert { txn, class, state, burn_ppm } => {
+                format!("{txn} class={class} state={state} burn_ppm={burn_ppm}")
             }
             EventKind::HealthTransition { txn, from, to, last_progress_us } => {
                 format!("{txn} {from}->{to} last_progress_us={last_progress_us}")

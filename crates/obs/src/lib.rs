@@ -46,6 +46,7 @@ mod span;
 mod timeseries;
 mod trace;
 mod trace_export;
+mod why;
 
 pub use event::{EventKind, ObsEvent};
 pub use health::{FlowHealth, HealthConfig, HealthMonitor, HealthState, HealthTransition};
@@ -62,6 +63,10 @@ pub use ring::RingBuffer;
 pub use span::{Span, SpanContext, SpanId, SpanKind, TraceId};
 pub use timeseries::{render_scrape, Rollup, SamplingConfig, SeriesPoint, TimeSeries, TimeSeriesStore};
 pub use trace_export::{to_chrome_trace, to_chrome_trace_with_profile};
+pub use why::{
+    critical_path, AlertState, Bottleneck, CriticalPath, PathSegment, SlaAlert, WaitMark,
+    WaitState,
+};
 
 use dgf_simgrid::{Duration, SimTime};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -75,6 +80,7 @@ struct Inner {
     timeseries: TimeSeriesStore,
     health: HealthMonitor,
     prof: Profiler,
+    why: why::WhyStore,
 }
 
 /// The shared observability handle: one flight recorder plus one
@@ -101,6 +107,7 @@ impl Obs {
                 timeseries: TimeSeriesStore::new(SamplingConfig::default()),
                 health: HealthMonitor::new(HealthConfig::default()),
                 prof: Profiler::new(),
+                why: why::WhyStore::default(),
             })),
         }
     }
@@ -431,6 +438,111 @@ impl Obs {
     /// [`to_perfetto_trace`]).
     pub fn export_perfetto_trace(&self) -> Vec<u8> {
         to_perfetto_trace(self.lock().traces.spans())
+    }
+
+    // ------------------------------------------------------------------
+    // Attribution (dgf-why)
+    // ------------------------------------------------------------------
+
+    /// Record a wait interval: flow `txn` could not advance at `node`
+    /// during `[from, until)` because of `state`, blamed on `resource`.
+    /// The engine calls this whenever it parks work; the marks classify
+    /// critical-path gaps when the flow finishes.
+    pub fn why_mark(
+        &self,
+        txn: &str,
+        node: &str,
+        state: WaitState,
+        from: SimTime,
+        until: SimTime,
+        resource: &str,
+    ) {
+        self.lock().why.add_mark(WaitMark {
+            txn: txn.to_owned(),
+            node: node.to_owned(),
+            state,
+            from,
+            until,
+            resource: resource.to_owned(),
+        });
+    }
+
+    /// Analyze a finished flow: compute its critical path from the
+    /// trace's span tree (plus any recorded wait marks) and retain it
+    /// for [`Obs::why_paths`] / [`Obs::why_bottlenecks`]. A no-op when
+    /// the root span is unknown or still open.
+    pub fn why_flow_finished(&self, root: SpanContext) {
+        let mut inner = self.lock();
+        let spans = inner.traces.trace_spans(root.trace);
+        inner.why.flow_finished(&spans, root.span);
+    }
+
+    /// Every completed flow's critical path, in completion order.
+    pub fn why_paths(&self) -> Vec<CriticalPath> {
+        self.lock().why.paths().to_vec()
+    }
+
+    /// Total critical-path sim-µs attributed across every analyzed
+    /// flow (the denominator of every bottleneck share).
+    pub fn why_attributed_us(&self) -> u64 {
+        self.lock().why.attributed_us()
+    }
+
+    /// The aggregated `(state, resource)` blame table, largest
+    /// contributor first; `top_k = 0` returns every row.
+    pub fn why_bottlenecks(&self, top_k: usize) -> Vec<Bottleneck> {
+        self.lock().why.bottlenecks(top_k)
+    }
+
+    /// Register an SLA deadline objective for a flow. Re-registration
+    /// of the same transaction (recovery replay re-drives submissions)
+    /// keeps the first registration.
+    pub fn why_register_alert(&self, alert: SlaAlert) {
+        self.lock().why.register_alert(alert);
+    }
+
+    /// Transactions whose pending alert's deadline has passed at
+    /// `now`, in registration order. The engine turns each into a
+    /// journaled `sla.firing` transition via [`Obs::why_fire_alert`].
+    pub fn why_due_firings(&self, now: SimTime) -> Vec<String> {
+        self.lock().why.due_firings(now)
+    }
+
+    /// Move a pending alert to `firing` at `at`.
+    pub fn why_fire_alert(&self, txn: &str, at: SimTime) {
+        if let Some(a) = self.lock().why.alert_mut(txn) {
+            if a.state == AlertState::Pending {
+                a.state = AlertState::Firing;
+                a.fired_at = Some(at);
+            }
+        }
+    }
+
+    /// Resolve an alert at `at` (its flow reached a terminal state);
+    /// `breached` records whether the flow finished past its deadline.
+    pub fn why_resolve_alert(&self, txn: &str, at: SimTime, breached: bool) {
+        if let Some(a) = self.lock().why.alert_mut(txn) {
+            if a.state != AlertState::Resolved {
+                a.state = AlertState::Resolved;
+                a.resolved_at = Some(at);
+                a.breached = breached;
+            }
+        }
+    }
+
+    /// One flow's alert, when it has an objective.
+    pub fn why_alert(&self, txn: &str) -> Option<SlaAlert> {
+        self.lock().why.alerts().iter().find(|a| a.txn == txn).cloned()
+    }
+
+    /// Every SLA alert, in registration order.
+    pub fn why_alerts(&self) -> Vec<SlaAlert> {
+        self.lock().why.alerts().to_vec()
+    }
+
+    /// Every recorded wait mark, in recording order (diagnostic).
+    pub fn why_marks(&self) -> Vec<WaitMark> {
+        self.lock().why.marks().to_vec()
     }
 
     // ------------------------------------------------------------------

@@ -70,6 +70,7 @@ fn main() {
     let slots = dfms.grid().topology().compute(compute_ids[0]).slots;
     dfms.grid_mut().topology_mut().compute_mut(compute_ids[0]).busy = slots;
     let stuck = FlowBuilder::sequential("nightly-derivation")
+        .with_deadline_secs(180)
         .step("mk", DglOperation::CreateCollection { path: "/stuck".into() })
         .step("put", DglOperation::Ingest { path: "/stuck/in".into(), size: "1000000".into(), resource: "site0-disk".into() })
         .step(
@@ -183,6 +184,33 @@ fn main() {
     let health = dfms.obs().health_flow(&stuck_txn).expect("stuck flow is watched");
     assert_eq!(health.state, HealthState::Stalled);
     println!("\n{} is {} — last completed step at {:.1}s sim-time", stuck_txn, health.state, health.last_progress.0 as f64 / 1e6);
+
+    // ---- the dgf-why section: blame and SLA burn ---------------------
+    // Top bottlenecks aggregate critical-path time across the completed
+    // flows; the stuck flow's deadline alert is firing by now.
+    let why = dfms.why_query(&WhyQuery::new().with_top_k(3).with_paths(false));
+    println!("\nwhy (top bottlenecks over {:.1}s of attributed critical-path time):", why.attributed_us as f64 / 1e6);
+    for b in &why.bottlenecks {
+        println!(
+            "  {:<20} {:<24} {:>8.1}s {:>6.1}%",
+            b.state.to_string(),
+            b.resource,
+            b.total_us as f64 / 1e6,
+            b.share_ppm as f64 / 1e4
+        );
+    }
+    let firing: Vec<_> = why.firing().collect();
+    println!("alerts firing: {}", firing.len());
+    for a in &firing {
+        println!(
+            "  {:<8} class={:<6} burn={:.2}x budget — deadline was {:.1}s, flow still running",
+            a.txn,
+            a.class,
+            a.burn_ppm as f64 / 1e6,
+            a.deadline_us as f64 / 1e6
+        );
+    }
+    assert!(firing.iter().any(|a| a.txn == stuck_txn), "the stuck flow's SLA must be firing");
 
     // ---- --profile: the dgf-prof section ----------------------------
     // Wrap the engine in the threaded server front-end, drive a few

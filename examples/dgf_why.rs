@@ -1,0 +1,226 @@
+//! `dgf_why` — the attribution console: *why is this flow slow?*
+//!
+//! ```sh
+//! cargo run --example dgf_why
+//! # persist the wire-format report (the verify.sh determinism gate
+//! # runs the example twice and byte-compares the two files):
+//! DGF_WHY_OUT=/tmp/why.xml cargo run --example dgf_why
+//! ```
+//!
+//! The scenario manufactures one flow per wait-state family and then
+//! asks the engine to explain each of them:
+//!
+//! * `genome-xsite` — input lands at site0 but the job is pinned to
+//!   site1's cluster, so the critical path crosses the WAN
+//!   (`transfer-on-link`);
+//! * `quarterly-report` — both clusters are saturated past its 120 s
+//!   deadline (`queued-for-cluster`; its SLA alert fires, then resolves
+//!   *breached* when the flow finally completes);
+//! * `archive-sweep` — submitted in the morning with an off-hours
+//!   schedule window, so it idles until 20:00 (`window-closed`);
+//! * `slow-migration` — still queued at snapshot time, so its alert is
+//!   caught mid-flight in the `firing` state.
+//!
+//! Every critical path asserts the partition invariant: the segment
+//! durations sum exactly to the flow makespan. The report itself is
+//! fetched over the DGL wire (`<whyQuery>` → `<whyReport>`) through the
+//! threaded server front-end. See `docs/OBSERVABILITY.md`.
+
+use datagridflows::prelude::*;
+
+fn exec(code: &str, secs: &str, pin: Option<&str>, input: &str, output: &str) -> DglOperation {
+    DglOperation::Execute {
+        code: code.into(),
+        nominal_secs: secs.into(),
+        resource_type: pin.map(Into::into),
+        inputs: vec![input.into()],
+        outputs: vec![(output.into(), "50000000".into())],
+    }
+}
+
+fn main() {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains: 2 });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("operator", topology.domain_ids().next().unwrap()));
+    users.make_admin("operator").unwrap();
+    let mut dfms = Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, 42));
+
+    // Server-side objective: everything tagged class=nightly must land
+    // within 30 simulated minutes of submission.
+    dfms.set_class_objective("nightly", Duration::from_secs(1800));
+
+    // ---- 1. the WAN-bound flow --------------------------------------
+    // Ingest at site0, compute pinned to site1: the scheduler must
+    // stage 2 GB across the mesh before the job can start.
+    let xsite = FlowBuilder::sequential("genome-xsite")
+        .with_class("nightly")
+        .step("mk", DglOperation::CreateCollection { path: "/xsite".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/xsite/in".into(), size: "2000000000".into(), resource: "site0-disk".into() },
+        )
+        .step("run", exec("align", "120", Some("compute@site1"), "/xsite/in", "/xsite/out"))
+        .step("cp", DglOperation::Replicate { path: "/xsite/out".into(), src: None, dst: "site1-archive".into() })
+        .build()
+        .unwrap();
+    let xsite_txn = dfms.submit_flow("operator", xsite).unwrap();
+    dfms.pump();
+    assert_eq!(dfms.status(&xsite_txn, None).unwrap().state, RunState::Completed);
+
+    // ---- 2. the queue-bound flow ------------------------------------
+    // Saturate every cluster with local load, submit with a 120 s
+    // deadline, and hold the squeeze for 150 s: the alert fires at
+    // deadline, and the flow finishes late → resolved *breached*.
+    let compute_ids: Vec<_> = dfms.grid().topology().compute_ids().collect();
+    let saturate = |dfms: &mut Dfms, on: bool| {
+        for id in &compute_ids {
+            let slots = dfms.grid().topology().compute(*id).slots;
+            dfms.grid_mut().topology_mut().compute_mut(*id).busy = if on { slots } else { 0 };
+        }
+    };
+    saturate(&mut dfms, true);
+    let queued = FlowBuilder::sequential("quarterly-report")
+        .with_deadline_secs(120)
+        .step("mk", DglOperation::CreateCollection { path: "/q".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/q/in".into(), size: "1000000".into(), resource: "site0-pfs".into() },
+        )
+        .step("run", exec("rollup", "60", None, "/q/in", "/q/out"))
+        .build()
+        .unwrap();
+    let queued_txn = dfms.submit_flow("operator", queued).unwrap();
+    let squeeze = dfms.now();
+    dfms.pump_until(squeeze + Duration::from_secs(150));
+    saturate(&mut dfms, false);
+    dfms.pump_until_terminal(&queued_txn);
+    assert_eq!(dfms.status(&queued_txn, None).unwrap().state, RunState::Completed);
+
+    // ---- 3. the window-bound flow -----------------------------------
+    // Submitted at 08:00 with an off-hours window: pure data movement,
+    // parked until the window opens at 20:00.
+    let morning = SimTime(8 * 3600 * 1_000_000);
+    if dfms.now() < morning {
+        dfms.pump_until(morning);
+    }
+    let gated = FlowBuilder::sequential("archive-sweep")
+        .step("mk", DglOperation::CreateCollection { path: "/cold".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/cold/in".into(), size: "300000000".into(), resource: "site0-pfs".into() },
+        )
+        .step("cp", DglOperation::Replicate { path: "/cold/in".into(), src: None, dst: "site1-archive".into() })
+        .build()
+        .unwrap();
+    let gated_txn = dfms
+        .submit_flow_with(
+            "operator",
+            gated,
+            RunOptions { window: Some(ScheduleWindow::off_hours(20, 6)), ..Default::default() },
+        )
+        .unwrap();
+
+    // ---- 4. the still-firing flow -----------------------------------
+    // Saturate again and leave it stuck: by snapshot time its 60 s
+    // deadline is long gone and the alert is caught mid-fire.
+    saturate(&mut dfms, true);
+    let slow = FlowBuilder::sequential("slow-migration")
+        .with_deadline_secs(60)
+        .step("mk", DglOperation::CreateCollection { path: "/slow".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/slow/in".into(), size: "1000000".into(), resource: "site0-disk".into() },
+        )
+        .step("run", exec("migrate", "60", None, "/slow/in", "/slow/out"))
+        .build()
+        .unwrap();
+    let slow_txn = dfms.submit_flow("operator", slow).unwrap();
+    dfms.pump_until_terminal(&gated_txn);
+    assert_eq!(dfms.status(&gated_txn, None).unwrap().state, RunState::Completed);
+
+    // ---- fetch the report over the DGL wire --------------------------
+    let server = DfmsServer::start(dfms);
+    let report = server.handle().why(WhyQuery::new().with_top_k(6)).expect("why over the wire");
+    let _ = server.shutdown();
+
+    // ---- render ------------------------------------------------------
+    println!("dgf why — attribution report @ {:.1}s sim-time", report.time_us as f64 / 1e6);
+    println!("{}", "=".repeat(72));
+    println!(
+        "\n{} flows analyzed · {:.1}s of critical-path time attributed",
+        report.flows_analyzed,
+        report.attributed_us as f64 / 1e6
+    );
+
+    for p in &report.paths {
+        // The tentpole invariant: the critical path partitions the
+        // makespan exactly — every sim-µs is accounted for, once.
+        assert_eq!(p.segments_sum_us(), p.makespan_us(), "critical path must partition the makespan of {}", p.txn);
+        let caused = p.caused_by.as_deref().map(|c| format!("  caused-by={c}")).unwrap_or_default();
+        println!("\n{} ({}) — makespan {:.1}s{}", p.txn, p.flow, p.makespan_us() as f64 / 1e6, caused);
+        println!("  {:>9} {:>9}  {:<20} {:<24} {:>6}", "at", "for", "state", "blamed resource", "share");
+        for s in &p.segments {
+            let dur = s.until_us - s.from_us;
+            println!(
+                "  {:>8.1}s {:>8.1}s  {:<20} {:<24} {:>5.1}%",
+                (s.from_us - p.start_us) as f64 / 1e6,
+                dur as f64 / 1e6,
+                s.state.to_string(),
+                s.resource,
+                dur as f64 * 100.0 / p.makespan_us().max(1) as f64
+            );
+        }
+    }
+
+    println!("\nbottlenecks (grid-wide, by critical-path time):");
+    for b in &report.bottlenecks {
+        println!(
+            "  {:<20} {:<24} {:>8.1}s {:>6.1}%",
+            b.state.to_string(),
+            b.resource,
+            b.total_us as f64 / 1e6,
+            b.share_ppm as f64 / 1e4
+        );
+    }
+
+    println!("\nSLA alerts:");
+    println!("  {:<8} {:<18} {:<9} {:<8} {:>7} outcome", "txn", "flow", "state", "class", "burn");
+    for a in &report.alerts {
+        let outcome = if a.resolved_at_us.is_some() {
+            if a.breached { "breached".to_string() } else { "met".to_string() }
+        } else if let Some(fired) = a.fired_at_us {
+            format!("firing since {:.1}s", fired as f64 / 1e6)
+        } else {
+            "within budget".to_string()
+        };
+        println!(
+            "  {:<8} {:<18} {:<9} {:<8} {:>6.2}x {}",
+            a.txn,
+            a.flow,
+            a.state.to_string(),
+            a.class,
+            a.burn_ppm as f64 / 1e6,
+            outcome
+        );
+    }
+
+    // The scenario produced exactly the story the console claims.
+    let has = |txn: &str, state: WaitState| {
+        report.paths.iter().any(|p| p.txn == txn && p.segments.iter().any(|s| s.state == state))
+    };
+    assert!(has(&xsite_txn, WaitState::TransferOnLink), "xsite's path crosses the WAN");
+    assert!(has(&queued_txn, WaitState::QueuedForCluster), "the squeezed flow queued");
+    assert!(has(&gated_txn, WaitState::WindowClosed), "the off-hours flow waited for its window");
+    let alert = |txn: &str| report.alerts.iter().find(|a| a.txn == txn).expect("alert registered");
+    assert!(alert(&queued_txn).state == AlertState::Resolved && alert(&queued_txn).breached);
+    assert!(alert(&xsite_txn).state == AlertState::Resolved && !alert(&xsite_txn).breached);
+    assert_eq!(alert(&slow_txn).state, AlertState::Firing, "slow-migration is still stuck");
+    let shares: u64 = report.bottlenecks.iter().map(|b| b.share_ppm).sum();
+    assert!(shares <= 1_000_000, "shares are parts-per-million of the attributed total");
+
+    // Wire-format dump for the byte-determinism gate in verify.sh.
+    if let Ok(path) = std::env::var("DGF_WHY_OUT") {
+        std::fs::write(&path, report.to_element().to_xml_pretty()).expect("write why report");
+        println!("\nwrote wire-format report to {path}");
+    }
+}

@@ -144,8 +144,32 @@ if ! grep -q 'step-execute;provenance-append calls=' "$profile_a"; then
     exit 1
 fi
 
+# Attribution determinism: the dgf_why console runs a seeded scenario
+# (WAN-bound, queue-bound, window-bound, and mid-fire flows), asserts
+# the critical-path partition invariant and the alert lifecycles
+# in-process, and dumps the full wire-format whyReport. Two runs must
+# produce byte-identical reports.
+why_a=$(mktemp) why_b=$(mktemp) why_console=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b" "$scrape_a" "$scrape_b" "$lint_a" "$lint_b" "$recover_a" "$recover_b" "$travel_a" "$travel_b" "$profile_a" "$profile_b" "$why_a" "$why_b" "$why_console"' EXIT
+DGF_WHY_OUT="$why_a" cargo run -q --example dgf_why >"$why_console"
+DGF_WHY_OUT="$why_b" cargo run -q --example dgf_why >/dev/null
+if ! cmp -s "$why_a" "$why_b"; then
+    echo "verify: whyReport differs between seeded reruns" >&2
+    diff "$why_a" "$why_b" | head -20 >&2
+    exit 1
+fi
+if ! grep -q 'flows analyzed' "$why_console" || ! grep -q 'bottlenecks (grid-wide, by critical-path time):' "$why_console"; then
+    echo "verify: dgf_why console output lost its attribution sections" >&2
+    tail -10 "$why_console" >&2
+    exit 1
+fi
+if ! grep -q '<whyReport' "$why_a"; then
+    echo "verify: DGF_WHY_OUT did not capture a wire-format whyReport" >&2
+    exit 1
+fi
+
 # The BENCH trajectory runner must execute end-to-end (smoke mode) and
-# emit a report naming all three workloads.
+# emit a report naming all three workloads inside a trajectory entry.
 ./scripts/bench_report --smoke >/dev/null
 for workload in engine_throughput journal_replay dgl_parse; do
     if ! grep -q "\"name\": \"$workload\"" target/BENCH_engine.smoke.json; then
@@ -153,5 +177,9 @@ for workload in engine_throughput journal_replay dgl_parse; do
         exit 1
     fi
 done
+if ! grep -q '"trajectory": \[' target/BENCH_engine.smoke.json; then
+    echo "verify: bench_report no longer emits the trajectory format" >&2
+    exit 1
+fi
 
 echo "verify: OK"

@@ -90,6 +90,7 @@ fn compute_churn_with_retries_completes_or_fails_cleanly() {
             assert!(report.message.is_some(), "failure without a message: {report}");
         }
         assert_no_leaks(&d);
+        assert_attribution_invariant(&d);
     }
     assert!(completed >= 3, "retry+late-binding should save most runs: {completed}/6");
 }
@@ -132,6 +133,7 @@ fn transfer_flows_survive_link_churn() {
         let state = pump_with_chaos(&mut d, &plan, &txn, SimTime::from_hours(6));
         assert!(state.is_terminal());
         assert_no_leaks(&d);
+        assert_attribution_invariant(&d);
         // Storage accounting stays exact regardless of outcome.
         let catalog_bytes: u64 = d.grid().stats().physical_bytes;
         let used: u64 = {
@@ -342,6 +344,19 @@ fn recover_and_finish(path: &Path, config: JournalConfig) -> (Dfms, RecoveryRepo
     (revived, report)
 }
 
+/// The dgf-why partition invariant: every completed flow's critical
+/// path sums exactly to its makespan, chaos or not.
+fn assert_attribution_invariant(d: &Dfms) {
+    for p in d.obs().why_paths() {
+        assert_eq!(
+            p.segments_sum_us(),
+            p.makespan_us(),
+            "critical path of {} must partition its makespan",
+            p.txn
+        );
+    }
+}
+
 #[test]
 fn kill_at_every_record_boundary_recovers_byte_identically() {
     let config = JournalConfig { checkpoint_every: 3, ..Default::default() };
@@ -477,5 +492,98 @@ fn torn_tail_is_truncated_and_recovery_proceeds() {
     assert_eq!(replay.divergences, 0);
     assert_eq!(fingerprint(&revived), expected);
     let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_file(&ref_path);
+}
+
+// ----------------------------------------------------------------------
+// SLA alerts across crashes: lifecycles must replay byte-identically
+// ----------------------------------------------------------------------
+
+fn sla_flow(name: &str, steps: usize, secs: u32, deadline: u32) -> Flow {
+    let mut b = FlowBuilder::sequential(name).with_deadline_secs(deadline);
+    for i in 0..steps {
+        b = b.step(
+            format!("s{i}"),
+            DglOperation::Execute {
+                code: format!("{name}-job{i}"),
+                nominal_secs: secs.to_string(),
+                resource_type: None,
+                inputs: vec![],
+                outputs: vec![],
+            },
+        );
+    }
+    b.build().unwrap()
+}
+
+/// Alerts through every lifecycle edge: t1 meets its deadline (pending
+/// → resolved, never fired); t2 blows through its 180 s budget while
+/// paused and resumed (pending → firing → resolved, breached).
+fn alert_script() -> Vec<Cmd> {
+    vec![
+        Cmd::Submit(sla_flow("sla-meet", 1, 60, 600)), // t1
+        Cmd::PumpUntil(120),
+        Cmd::Submit(sla_flow("sla-burn", 5, 300, 180)), // t2
+        Cmd::PumpUntil(400), // fires at 300 s
+        Cmd::Pause("t2"),
+        Cmd::PumpUntil(600),
+        Cmd::Resume("t2"),
+        Cmd::Pump, // t2 resolves, breached
+    ]
+}
+
+#[test]
+fn crash_replays_alert_lifecycles_identically() {
+    // No checkpoints: compaction would drop early transition records,
+    // and this test wants the full alert lifecycle on disk (the
+    // checkpointed paths are exercised by the boundary test above).
+    let config = JournalConfig { checkpoint_every: u64::MAX, ..Default::default() };
+    let ref_path = temp_journal("alerts");
+    let mut reference = dfms(4, 7);
+    reference.attach_journal(&ref_path, LABEL, config).unwrap();
+    for cmd in &alert_script() {
+        cmd.apply(&mut reference);
+    }
+    let expected = reference.why_query(&WhyQuery::new()).to_element().to_xml_pretty();
+
+    // The scenario really exercised both lifecycles, and the partition
+    // invariant holds for the analyzed flows.
+    let report = reference.why_query(&WhyQuery::new());
+    assert!(report.alerts.iter().any(|a| a.breached && a.fired_at_us.is_some()), "{report}");
+    assert!(report.alerts.iter().any(|a| !a.breached && a.fired_at_us.is_none()), "{report}");
+    assert_attribution_invariant(&reference);
+
+    // Alert transitions are first-class journal records.
+    let (records, _) = Journal::read(&ref_path).unwrap();
+    let alert_states: Vec<&str> = records
+        .iter()
+        .filter(|r| r.body.name == "transition" && r.body.attr("kind") == Some("alert"))
+        .filter_map(|r| r.body.attr("state"))
+        .collect();
+    assert!(alert_states.contains(&"pending") && alert_states.contains(&"firing") && alert_states.contains(&"resolved"), "{alert_states:?}");
+
+    // Kill at every record boundary: replay never diverges, and the
+    // full whyReport — paths, bottlenecks, and alert lifecycles with
+    // their burn rates — is byte-identical after recovery.
+    let total = records.len();
+    for keep in 0..=total {
+        let crash_path = temp_journal(&format!("alerts-k{keep}"));
+        std::fs::copy(&ref_path, &crash_path).unwrap();
+        Journal::truncate_records(&crash_path, keep).unwrap();
+        let (mut revived, boot) = Dfms::recover(&crash_path, LABEL, config, || dfms(4, 7)).unwrap();
+        let replayed = boot.replay.as_ref().map(|r| r.commands_replayed).unwrap_or(0) as usize;
+        if let Some(replay) = boot.replay {
+            assert_eq!(replay.divergences, 0, "kill at record {keep}/{total}: alert replay diverged");
+        }
+        for cmd in &alert_script()[replayed..] {
+            cmd.apply(&mut revived);
+        }
+        assert_eq!(
+            revived.why_query(&WhyQuery::new()).to_element().to_xml_pretty(),
+            expected,
+            "kill at record {keep}/{total}: recovered whyReport drifted"
+        );
+        let _ = std::fs::remove_file(&crash_path);
+    }
     let _ = std::fs::remove_file(&ref_path);
 }

@@ -376,3 +376,123 @@ proptest! {
         prop_assert_eq!(parsed, response);
     }
 }
+
+fn wait_state_strategy() -> impl Strategy<Value = WaitState> {
+    (0usize..WaitState::ALL.len()).prop_map(|i| WaitState::ALL[i])
+}
+
+/// Blame labels as the engine emits them: pool labels, window, and
+/// link endpoints with the non-ASCII `→` separator.
+fn resource_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9-]{0,10}",
+        "pool:[a-z][a-z0-9]{0,6}",
+        "[a-z][a-z0-9-]{0,8}→[a-z][a-z0-9-]{0,8}",
+        Just("window".to_string()),
+    ]
+}
+
+fn why_segment_strategy() -> impl Strategy<Value = WhySegment> {
+    (0u64..u64::MAX / 4, 0u64..u64::MAX / 4, wait_state_strategy(), resource_strategy(), "/[0-9/]{0,6}")
+        .prop_map(|(from_us, len, state, resource, node)| WhySegment {
+            from_us,
+            until_us: from_us + len,
+            state,
+            resource,
+            node,
+        })
+}
+
+fn why_path_strategy() -> impl Strategy<Value = WhyPath> {
+    (
+        "t[1-9][0-9]{0,3}",
+        "[a-z][a-z0-9-]{0,10}",
+        0u64..u64::MAX / 4,
+        0u64..u64::MAX / 4,
+        proptest::option::of("[a-z][a-z0-9-]{0,10}"),
+        proptest::collection::vec(why_segment_strategy(), 0..5),
+    )
+        .prop_map(|(txn, flow, start_us, len, caused_by, segments)| WhyPath {
+            txn,
+            flow,
+            start_us,
+            end_us: start_us + len,
+            caused_by,
+            segments,
+        })
+}
+
+fn why_alert_strategy() -> impl Strategy<Value = WhyAlert> {
+    (
+        ("t[1-9][0-9]{0,3}", "[a-z][a-z0-9-]{0,8}", "[a-z][a-z0-9-]{0,10}", 0u64..u64::MAX / 4, 1u64..u64::MAX / 4),
+        (
+            prop_oneof![Just(AlertState::Pending), Just(AlertState::Firing), Just(AlertState::Resolved)],
+            0u64..100_000_000,
+            proptest::option::of(0u64..u64::MAX / 2),
+            proptest::option::of(0u64..u64::MAX / 2),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(|((txn, class, flow, started_us, budget), (state, burn_ppm, fired_at_us, resolved_at_us, breached))| {
+            WhyAlert {
+                txn,
+                class,
+                flow,
+                started_us,
+                deadline_us: started_us + budget,
+                state,
+                burn_ppm,
+                fired_at_us,
+                resolved_at_us,
+                breached,
+            }
+        })
+}
+
+fn why_bottleneck_strategy() -> impl Strategy<Value = WhyBottleneck> {
+    (wait_state_strategy(), resource_strategy(), 0u64..u64::MAX / 2, 0u64..1_000_001)
+        .prop_map(|(state, resource, total_us, share_ppm)| WhyBottleneck { state, resource, total_us, share_ppm })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The attribution wire pair's request half: any filter/flag
+    /// combination survives a request XML round trip.
+    #[test]
+    fn why_queries_round_trip_the_wire(
+        flow in proptest::option::of("t[1-9][0-9]{0,3}"),
+        top_k in 0u32..1000,
+        paths in any::<bool>(),
+        alerts in any::<bool>(),
+    ) {
+        let mut query = WhyQuery::new().with_top_k(top_k).with_paths(paths).with_alerts(alerts);
+        if let Some(f) = flow {
+            query = query.with_flow(f);
+        }
+        let request = DataGridRequest::why("prop", "operator", query);
+        let xml = request.to_xml();
+        let parsed = parse_request(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, request);
+    }
+
+    /// The attribution wire pair's response half: any mix of critical
+    /// paths (every wait state, `→`-labelled links), bottleneck rows,
+    /// and alerts in any lifecycle state survives a response XML round
+    /// trip.
+    #[test]
+    fn why_reports_round_trip_the_wire(
+        time_us in 0u64..u64::MAX / 2,
+        flows_analyzed in 0u64..100_000,
+        attributed_us in 0u64..u64::MAX / 2,
+        paths in proptest::collection::vec(why_path_strategy(), 0..4),
+        bottlenecks in proptest::collection::vec(why_bottleneck_strategy(), 0..6),
+        alerts in proptest::collection::vec(why_alert_strategy(), 0..4),
+    ) {
+        let report = WhyReport { time_us, flows_analyzed, attributed_us, paths, bottlenecks, alerts };
+        let response = dgl::DataGridResponse::why("prop", report);
+        let xml = response.to_xml();
+        let parsed = dgl::parse_response(&xml).expect("round trip parses");
+        prop_assert_eq!(parsed, response);
+    }
+}

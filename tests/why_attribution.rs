@@ -1,0 +1,341 @@
+//! Integration tests for the `dgf-why` attribution engine: critical
+//! paths over hand-built DAGs (fan-out/fan-in, overlapping transfers,
+//! trigger-spawned flows), wait-state accounting for queue/window
+//! stalls, SLA burn-rate alert lifecycles, and the `whyQuery` wire
+//! surface. The load-bearing invariant everywhere: a critical path is
+//! an exact partition — segment sim-times sum to the flow makespan.
+
+use datagridflows::prelude::*;
+
+fn dfms(domains: u32, seed: u64) -> Dfms {
+    let topology = GridBuilder::preset(GridPreset::UniformMesh { domains });
+    let mut users = UserRegistry::new();
+    users.register(Principal::new("u", topology.domain_ids().next().unwrap()));
+    users.make_admin("u").unwrap();
+    Dfms::new(DataGrid::new(topology, users), Scheduler::new(PlannerKind::CostBased, seed))
+}
+
+fn exec(code: &str, secs: &str) -> DglOperation {
+    DglOperation::Execute {
+        code: code.into(),
+        nominal_secs: secs.into(),
+        resource_type: None,
+        inputs: vec![],
+        outputs: vec![],
+    }
+}
+
+/// The partition invariant, checked segment by segment: contiguous,
+/// gap-free, covering `[start, end)` exactly once.
+fn assert_partition(p: &WhyPath) {
+    assert_eq!(
+        p.segments_sum_us(),
+        p.makespan_us(),
+        "critical path of {} must sum to its makespan",
+        p.txn
+    );
+    let mut cursor = p.start_us;
+    for s in &p.segments {
+        assert_eq!(s.from_us, cursor, "{}: segments must tile without gaps", p.txn);
+        assert!(s.until_us >= s.from_us, "{}: segment runs backwards", p.txn);
+        cursor = s.until_us;
+    }
+    assert_eq!(cursor, p.end_us, "{}: segments must reach the flow end", p.txn);
+}
+
+fn report(d: &mut Dfms) -> WhyReport {
+    d.why_query(&WhyQuery::new().with_top_k(32))
+}
+
+#[test]
+fn fan_out_critical_path_is_the_slowest_branch() {
+    let mut d = dfms(1, 1);
+    let flow = FlowBuilder::parallel("fan")
+        .step("fast", exec("a", "30"))
+        .step("slow", exec("b", "120"))
+        .step("mid", exec("c", "60"))
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+
+    let r = report(&mut d);
+    assert_eq!(r.flows_analyzed, 1);
+    let p = &r.paths[0];
+    assert_partition(p);
+    // The three branches overlap; the flow is as long as the slowest
+    // one, not their sum, and that branch is what the path charges.
+    assert!(p.makespan_us() >= 120_000_000 && p.makespan_us() < 210_000_000, "{}", p.makespan_us());
+    let slowest = p.segments.iter().max_by_key(|s| s.until_us - s.from_us).unwrap();
+    assert_eq!(slowest.state, WaitState::Executing);
+    assert!(slowest.until_us - slowest.from_us >= 120_000_000);
+    assert!(p.segments.iter().all(|s| s.state == WaitState::Executing), "{:?}", p.segments);
+}
+
+#[test]
+fn fan_in_with_overlapping_transfers_blames_the_wan() {
+    let mut d = dfms(2, 2);
+    // prep → two concurrent cross-site replicas of the same 1 GB object
+    // (overlapping on the WAN) → checksum join.
+    let prep = FlowBuilder::sequential("prep")
+        .step("mk", DglOperation::CreateCollection { path: "/d".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/d/in".into(), size: "1000000000".into(), resource: "site0-disk".into() },
+        )
+        .build()
+        .unwrap();
+    let spread = FlowBuilder::parallel("spread")
+        .step("cp1", DglOperation::Replicate { path: "/d/in".into(), src: None, dst: "site1-disk".into() })
+        .step("cp2", DglOperation::Replicate { path: "/d/in".into(), src: None, dst: "site1-archive".into() })
+        .build()
+        .unwrap();
+    let tail = FlowBuilder::sequential("tail")
+        .step("sum", DglOperation::Checksum { path: "/d/in".into(), resource: None, register: true })
+        .build()
+        .unwrap();
+    let flow = FlowBuilder::sequential("fan-in").flow(prep).flow(spread).flow(tail).build().unwrap();
+    let txn = d.submit_flow("u", flow).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+
+    let r = report(&mut d);
+    let p = &r.paths[0];
+    assert_partition(p);
+    // The join waits for the slower replicate: transfer time dominates
+    // and the blamed resource names a concrete destination.
+    let wan: Vec<_> = p.segments.iter().filter(|s| s.state == WaitState::TransferOnLink).collect();
+    assert!(!wan.is_empty(), "no transfer segments on the path: {:?}", p.segments);
+    assert!(wan.iter().any(|s| s.resource.contains("→site1")), "{wan:?}");
+    let wan_us: u64 = wan.iter().map(|s| s.until_us - s.from_us).sum();
+    assert!(wan_us * 2 > p.makespan_us(), "transfers should dominate: {wan_us} of {}", p.makespan_us());
+}
+
+#[test]
+fn trigger_spawned_flow_records_its_cause() {
+    let mut d = dfms(2, 3);
+    let stamp = FlowBuilder::sequential("stamp")
+        .step(
+            "meta",
+            DglOperation::SetMetadata { path: "${event.path}".into(), attribute: "seen".into(), value: "1".into() },
+        )
+        .build()
+        .unwrap();
+    d.triggers_mut().register(
+        Trigger::new("stamp-on-ingest", "u", LogicalPath::parse("/t").unwrap(), TriggerAction::Flow(stamp))
+            .on(&[EventKind::ObjectIngested]),
+    );
+    let driver = FlowBuilder::sequential("driver")
+        .step("mk", DglOperation::CreateCollection { path: "/t".into() })
+        .step(
+            "put",
+            DglOperation::Ingest { path: "/t/x".into(), size: "1000000".into(), resource: "site0-disk".into() },
+        )
+        .build()
+        .unwrap();
+    let txn = d.submit_flow("u", driver).unwrap();
+    d.pump();
+    assert_eq!(d.status(&txn, None).unwrap().state, RunState::Completed);
+
+    let r = report(&mut d);
+    assert_eq!(r.flows_analyzed, 2, "the trigger spawned a second analyzed flow");
+    for p in &r.paths {
+        assert_partition(p);
+    }
+    let spawned = r.paths.iter().find(|p| p.flow == "stamp").expect("spawned flow analyzed");
+    assert_eq!(spawned.caused_by.as_deref(), Some("stamp-on-ingest"));
+    let parent = r.paths.iter().find(|p| p.txn == txn).unwrap();
+    assert_eq!(parent.caused_by, None);
+}
+
+#[test]
+fn queue_and_window_stalls_are_classified() {
+    let mut d = dfms(1, 4);
+    // Saturate the only cluster, submit, hold ~95 s, release.
+    let ids: Vec<_> = d.grid().topology().compute_ids().collect();
+    let slots = d.grid().topology().compute(ids[0]).slots;
+    d.grid_mut().topology_mut().compute_mut(ids[0]).busy = slots;
+    let queued_txn = d
+        .submit_flow("u", FlowBuilder::sequential("q").step("run", exec("j", "30")).build().unwrap())
+        .unwrap();
+    d.pump_until(d.now() + Duration::from_secs(95));
+    d.grid_mut().topology_mut().compute_mut(ids[0]).busy = 0;
+    d.pump_until_terminal(&queued_txn);
+
+    // Park a data-only flow behind an off-hours window at 09:00.
+    let morning = SimTime(9 * 3600 * 1_000_000);
+    if d.now() < morning {
+        d.pump_until(morning);
+    }
+    let gated_txn = d
+        .submit_flow_with(
+            "u",
+            FlowBuilder::sequential("w")
+                .step("mk", DglOperation::CreateCollection { path: "/w".into() })
+                .build()
+                .unwrap(),
+            RunOptions { window: Some(ScheduleWindow::off_hours(20, 6)), ..Default::default() },
+        )
+        .unwrap();
+    d.pump_until_terminal(&gated_txn);
+
+    let r = report(&mut d);
+    for p in &r.paths {
+        assert_partition(p);
+    }
+    let queued = r.paths.iter().find(|p| p.txn == queued_txn).unwrap();
+    let queued_us: u64 = queued
+        .segments
+        .iter()
+        .filter(|s| s.state == WaitState::QueuedForCluster)
+        .map(|s| s.until_us - s.from_us)
+        .sum();
+    // Held for 95 s; the queue retry cadence quantizes the tail.
+    assert!((60_000_000..=150_000_000).contains(&queued_us), "{queued_us}");
+    assert!(queued.segments.iter().any(|s| s.state == WaitState::QueuedForCluster && s.resource.starts_with("pool:")));
+
+    let gated = r.paths.iter().find(|p| p.txn == gated_txn).unwrap();
+    let win = gated.segments.iter().find(|s| s.state == WaitState::WindowClosed).expect("window stall attributed");
+    // Submitted at 09:00, window opens at 20:00 → exactly 11 h parked.
+    assert_eq!(win.until_us - win.from_us, 11 * 3600 * 1_000_000);
+    assert_eq!(win.resource, "window");
+}
+
+#[test]
+fn sla_alert_lifecycle_and_burn_rates() {
+    let mut d = dfms(1, 5);
+    d.set_class_objective("bulk", Duration::from_secs(300));
+
+    // Meets its per-flow deadline comfortably: never fires.
+    let fast_txn = d
+        .submit_flow(
+            "u",
+            FlowBuilder::sequential("fast").with_deadline_secs(600).step("run", exec("fast-job", "30")).build().unwrap(),
+        )
+        .unwrap();
+    d.pump();
+
+    // Class-inherited budget (no dgf.deadline of its own).
+    let class_txn = d
+        .submit_flow(
+            "u",
+            FlowBuilder::sequential("bulky").with_class("bulk").step("run", exec("bulk-job", "30")).build().unwrap(),
+        )
+        .unwrap();
+    let class_started = d.now();
+    d.pump();
+
+    // Breaches: saturate the cluster past a 60 s deadline.
+    let ids: Vec<_> = d.grid().topology().compute_ids().collect();
+    let slots = d.grid().topology().compute(ids[0]).slots;
+    d.grid_mut().topology_mut().compute_mut(ids[0]).busy = slots;
+    let late_txn = d
+        .submit_flow(
+            "u",
+            FlowBuilder::sequential("late").with_deadline_secs(60).step("run", exec("late-job", "30")).build().unwrap(),
+        )
+        .unwrap();
+    d.pump_until(d.now() + Duration::from_secs(90));
+
+    // Mid-flight: the late flow's alert is firing, burn past 1x budget.
+    let mid = report(&mut d);
+    let firing: Vec<_> = mid.firing().collect();
+    assert_eq!(firing.len(), 1);
+    assert_eq!(firing[0].txn, late_txn);
+    assert!(firing[0].burn_ppm > 1_000_000, "burn {} must exceed the budget", firing[0].burn_ppm);
+    assert!(firing[0].fired_at_us.is_some() && firing[0].resolved_at_us.is_none());
+
+    d.grid_mut().topology_mut().compute_mut(ids[0]).busy = 0;
+    d.pump_until_terminal(&late_txn);
+
+    let r = report(&mut d);
+    let alert = |txn: &str| r.alerts.iter().find(|a| a.txn == txn).unwrap();
+    let fast = alert(&fast_txn);
+    assert_eq!((fast.state, fast.breached, fast.fired_at_us), (AlertState::Resolved, false, None));
+    assert!(fast.burn_ppm < 1_000_000);
+    let class = alert(&class_txn);
+    assert_eq!(class.class, "bulk");
+    assert_eq!(class.deadline_us, class_started.0 + 300_000_000, "deadline = submission + class budget");
+    let late = alert(&late_txn);
+    assert_eq!((late.state, late.breached), (AlertState::Resolved, true));
+    assert!(late.fired_at_us.is_some() && late.resolved_at_us.is_some());
+
+    // Burn freezes at resolution: querying later must not move it.
+    d.pump_until(d.now() + Duration::from_secs(3600));
+    let later = report(&mut d);
+    let frozen = later.alerts.iter().find(|a| a.txn == late_txn).unwrap();
+    assert_eq!(frozen.burn_ppm, late.burn_ppm, "resolved burn is frozen");
+}
+
+#[test]
+fn why_query_filters_and_stability() {
+    let mut d = dfms(1, 6);
+    let t1 = d
+        .submit_flow(
+            "u",
+            FlowBuilder::sequential("one").with_deadline_secs(600).step("run", exec("a", "10")).build().unwrap(),
+        )
+        .unwrap();
+    let t2 = d
+        .submit_flow(
+            "u",
+            FlowBuilder::sequential("two").with_deadline_secs(600).step("run", exec("b", "20")).build().unwrap(),
+        )
+        .unwrap();
+    d.pump();
+
+    let full = d.why_query(&WhyQuery::new());
+    assert_eq!(full.flows_analyzed, 2);
+    assert_eq!(full.paths.len(), 2);
+    assert_eq!(full.alerts.len(), 2);
+    assert_eq!(
+        full.attributed_us,
+        full.paths.iter().map(WhyPath::makespan_us).sum::<u64>(),
+        "attributed time is the sum of analyzed makespans"
+    );
+    let shares: u64 = full.bottlenecks.iter().map(|b| b.share_ppm).sum();
+    assert!(shares <= 1_000_000);
+
+    let only_t2 = d.why_query(&WhyQuery::new().with_flow(&t2));
+    assert!(only_t2.paths.iter().all(|p| p.txn == t2) && only_t2.paths.len() == 1);
+    assert!(only_t2.alerts.iter().all(|a| a.txn == t2) && only_t2.alerts.len() == 1);
+    let _ = t1;
+
+    let lean = d.why_query(&WhyQuery::new().with_paths(false).with_alerts(false).with_top_k(1));
+    assert!(lean.paths.is_empty() && lean.alerts.is_empty());
+    assert_eq!(lean.bottlenecks.len(), 1);
+    assert_eq!(lean.flows_analyzed, 2, "filters do not hide the analysis count");
+
+    // The query is read-only: asking twice yields byte-identical XML.
+    let a = d.why_query(&WhyQuery::new()).to_element().to_xml_pretty();
+    let b = d.why_query(&WhyQuery::new()).to_element().to_xml_pretty();
+    assert_eq!(a, b);
+}
+
+/// The E1 scalability shape (many steps per flow, many concurrent
+/// flows): the partition invariant holds for *every* completed flow.
+#[test]
+fn e1_shape_invariant_holds_for_every_flow() {
+    let mut d = dfms(3, 7);
+    let mut b = FlowBuilder::sequential("deep");
+    for i in 0..100 {
+        b = b.step(format!("n{i}"), DglOperation::Notify { message: format!("step {i}") });
+    }
+    d.submit_flow("u", b.build().unwrap()).unwrap();
+    for i in 0..40 {
+        let f = FlowBuilder::sequential(format!("wide{i}"))
+            .step("run", exec(&format!("job{i}"), "60"))
+            .build()
+            .unwrap();
+        d.submit_flow("u", f).unwrap();
+    }
+    d.pump();
+
+    let r = report(&mut d);
+    assert_eq!(r.flows_analyzed, 41);
+    assert_eq!(r.paths.len(), 41);
+    for p in &r.paths {
+        assert_partition(p);
+    }
+}
